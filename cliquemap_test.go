@@ -1,0 +1,266 @@
+package cliquemap
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newCell(t *testing.T, opt Options) *Cell {
+	t.Helper()
+	c, err := NewCell(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Spares: 1, Mode: R32})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+
+	if err := cl.Set(ctx, []byte("greeting"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get(ctx, []byte("greeting"))
+	if err != nil || !ok || string(v) != "hello" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := cl.Erase(ctx, []byte("greeting")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get(ctx, []byte("greeting")); ok {
+		t.Error("erased key still visible")
+	}
+	st := cl.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("client stats: %+v", st)
+	}
+}
+
+func TestPublicCas(t *testing.T) {
+	c := newCell(t, Options{})
+	cl := c.NewClient(ClientOptions{})
+	ctx := context.Background()
+	v1, err := cl.SetVersioned(ctx, []byte("counter"), []byte("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cl.Cas(ctx, []byte("counter"), []byte("2"), v1)
+	if err != nil || !ok {
+		t.Fatalf("cas: %v %v", ok, err)
+	}
+	ok, _ = cl.Cas(ctx, []byte("counter"), []byte("3"), v1)
+	if ok {
+		t.Error("stale cas applied")
+	}
+}
+
+func TestPublicBatch(t *testing.T) {
+	c := newCell(t, Options{})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+	var keys [][]byte
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("b%d", i))
+		keys = append(keys, k)
+		cl.Set(ctx, k, k)
+	}
+	vals, found, err := cl.GetBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if !found[i] || string(vals[i]) != string(keys[i]) {
+			t.Errorf("batch[%d]: %q %v", i, vals[i], found[i])
+		}
+	}
+}
+
+func TestPublicMaintenanceFlow(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Spares: 1})
+	cl := c.NewClient(ClientOptions{})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		cl.Set(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	primary := c.Internal().Store.Get().AddrFor(1)
+	if _, err := c.PlannedMaintenance(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.Get(ctx, []byte("k3")); err != nil || !ok {
+		t.Fatalf("get during maintenance: %v %v", ok, err)
+	}
+	if err := c.CompleteMaintenance(ctx, 1, primary); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCrashRestart(t *testing.T) {
+	c := newCell(t, Options{})
+	cl := c.NewClient(ClientOptions{})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		cl.Set(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	c.Crash(0)
+	if _, ok, err := cl.Get(ctx, []byte("k1")); err != nil || !ok {
+		t.Fatalf("get with shard down: %v %v", ok, err)
+	}
+	if err := c.Restart(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().RepairsIssued == 0 {
+		t.Error("restart did not repair")
+	}
+}
+
+func TestPublicModesAndTransports(t *testing.T) {
+	for _, mode := range []Mode{R1, R2Immutable, R32} {
+		for _, tp := range []Transport{PonyExpress, OneRMA} {
+			t.Run(fmt.Sprintf("%v-%d", mode, tp), func(t *testing.T) {
+				c := newCell(t, Options{Mode: mode, Transport: tp})
+				cl := c.NewClient(ClientOptions{})
+				ctx := context.Background()
+				if err := cl.Set(ctx, []byte("k"), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+				v, ok, err := cl.Get(ctx, []byte("k"))
+				if err != nil || !ok || string(v) != "v" {
+					t.Fatalf("get: %q %v %v", v, ok, err)
+				}
+			})
+		}
+	}
+}
+
+func TestPublicEvictionPolicies(t *testing.T) {
+	for _, pol := range []string{"lru", "arc", "clock", "slfu"} {
+		t.Run(pol, func(t *testing.T) {
+			c := newCell(t, Options{Eviction: pol})
+			cl := c.NewClient(ClientOptions{TouchBatch: 8})
+			ctx := context.Background()
+			for i := 0; i < 20; i++ {
+				cl.Set(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+				cl.Get(ctx, []byte(fmt.Sprintf("k%d", i)))
+			}
+			cl.FlushTouches(ctx)
+		})
+	}
+	if _, err := NewCell(Options{Eviction: "bogus"}); err == nil {
+		t.Error("bogus eviction policy accepted")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Sets: 1, MemoryBytes: 5 << 20}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+	for _, n := range []int{512, 4 << 10, 4 << 20, 4 << 30} {
+		if fmtBytes(n) == "" {
+			t.Error("fmtBytes empty")
+		}
+	}
+}
+
+func TestRepairLoopLifecycle(t *testing.T) {
+	c := newCell(t, Options{})
+	c.StartRepairLoop(10 * time.Millisecond)
+	c.StartRepairLoop(10 * time.Millisecond) // idempotent
+	time.Sleep(30 * time.Millisecond)
+	c.StopRepairLoop()
+	c.StopRepairLoop() // idempotent
+}
+
+func TestPublicWANClient(t *testing.T) {
+	c := newCell(t, Options{ClientHosts: 2})
+	local := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	wan := c.NewWANClient(ClientOptions{}, 20*time.Millisecond)
+	ctx := context.Background()
+	if err := local.Set(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := wan.Get(ctx, []byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("wan get: %q %v %v", v, ok, err)
+	}
+	if wan.Stats().GetP50 < 18*time.Millisecond {
+		t.Errorf("wan p50 = %v, want ~>=20ms", wan.Stats().GetP50)
+	}
+}
+
+func TestPublicImmutable(t *testing.T) {
+	c := newCell(t, Options{Mode: R2Immutable})
+	ctx := context.Background()
+	if err := c.LoadImmutable(ctx, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.NewClient(ClientOptions{})
+	v, ok, err := cl.Get(ctx, []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := cl.Set(ctx, []byte("a"), []byte("x")); err == nil {
+		t.Error("sealed cell accepted a SET")
+	}
+}
+
+func TestPublicCompression(t *testing.T) {
+	c := newCell(t, Options{CompressThreshold: 128})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+	val := make([]byte, 8192) // zeros: maximally compressible
+	if err := cl.Set(ctx, []byte("z"), val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.Get(ctx, []byte("z"))
+	if err != nil || !ok || len(got) != len(val) {
+		t.Fatalf("get: len=%d ok=%v err=%v", len(got), ok, err)
+	}
+}
+
+// TestPublicCustomHash: a cell-wide custom hash (§6.5) controls placement
+// while all operations keep working, including against the default hash's
+// reserved zero value.
+func TestPublicCustomHash(t *testing.T) {
+	c := newCell(t, Options{
+		Hash: func(key []byte) (hi, lo uint64) {
+			h := DefaultHash(key)
+			return h.Hi ^ 0x1234, h.Lo // different placement than default
+		},
+	})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("ch%d", i))
+		if err := cl.Set(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		k := []byte(fmt.Sprintf("ch%d", i))
+		v, ok, err := cl.Get(ctx, k)
+		if err != nil || !ok || string(v) != string(k) {
+			t.Fatalf("%s: %q %v %v", k, v, ok, err)
+		}
+	}
+	if err := cl.Erase(ctx, []byte("ch0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := cl.Get(ctx, []byte("ch0")); ok {
+		t.Error("erase under custom hash failed")
+	}
+	// A degenerate hash returning zero must be remapped, not break the
+	// empty-slot sentinel.
+	z := newCell(t, Options{Hash: func([]byte) (uint64, uint64) { return 0, 0 }})
+	zcl := z.NewClient(ClientOptions{})
+	if err := zcl.Set(ctx, []byte("zk"), []byte("zv")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := zcl.Get(ctx, []byte("zk")); err != nil || !ok || string(v) != "zv" {
+		t.Fatalf("zero-hash cell: %q %v %v", v, ok, err)
+	}
+}

@@ -1,0 +1,56 @@
+// Command cmbench regenerates the paper's evaluation figures (§7) against
+// the simulated substrate and prints each as a text table.
+//
+// Usage:
+//
+//	cmbench                # run every figure
+//	cmbench -fig 11        # run one figure
+//	cmbench -list          # list available figures
+//
+// Absolute values come from the calibrated simulation (see DESIGN.md); the
+// comparisons — who wins, by what factor, where crossovers fall — are the
+// reproduction targets recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cliquemap/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "single figure to run (e.g. 11 or fig11)")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		for _, id := range []string{"3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20"} {
+			fmt.Printf("fig%s\n", id)
+		}
+		return
+	}
+
+	if *fig != "" {
+		f, ok := experiments.ByName(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cmbench: unknown figure %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		runOne(f)
+		return
+	}
+
+	for _, f := range experiments.All() {
+		runOne(f)
+	}
+}
+
+func runOne(f func() experiments.Result) {
+	start := time.Now()
+	res := f()
+	fmt.Print(res.Format())
+	fmt.Printf("  (%.1fs)\n\n", time.Since(start).Seconds())
+}

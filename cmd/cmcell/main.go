@@ -1,0 +1,154 @@
+// Command cmcell runs a CliqueMap cell under synthetic load and reports
+// client- and backend-side statistics — a quick operational smoke test of
+// the whole stack.
+//
+// Usage:
+//
+//	cmcell -shards 5 -spares 1 -mode r32 -strategy scar \
+//	       -keys 2000 -ops 20000 -getfrac 0.95 -valsize 1024 \
+//	       -maintain -crash
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cliquemap"
+	"cliquemap/internal/workload"
+)
+
+func main() {
+	shards := flag.Int("shards", 3, "backend count")
+	spares := flag.Int("spares", 1, "warm spare count")
+	mode := flag.String("mode", "r32", "replication: r1, r2, r32")
+	strategy := flag.String("strategy", "scar", "lookup: 2xr, scar, msg, rpc")
+	transport := flag.String("transport", "pony", "rma transport: pony, 1rma")
+	keys := flag.Int("keys", 1000, "corpus size")
+	ops := flag.Int("ops", 10000, "operations to run")
+	getFrac := flag.Float64("getfrac", 0.95, "GET fraction of the mix")
+	valSize := flag.Int("valsize", 1024, "value size in bytes")
+	zipf := flag.Float64("zipf", 1.1, "key popularity skew (<=1 for uniform)")
+	evict := flag.String("evict", "lru", "eviction policy: lru, arc, clock, slfu")
+	maintain := flag.Bool("maintain", false, "inject a planned maintenance mid-run")
+	crash := flag.Bool("crash", false, "inject a crash + restart mid-run")
+	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
+	flag.Parse()
+
+	opt := cliquemap.Options{Shards: *shards, Spares: *spares, Eviction: *evict}
+	switch *mode {
+	case "r1":
+		opt.Mode = cliquemap.R1
+	case "r2":
+		opt.Mode = cliquemap.R2Immutable
+	case "r32":
+		opt.Mode = cliquemap.R32
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+	switch *transport {
+	case "pony":
+		opt.Transport = cliquemap.PonyExpress
+	case "1rma":
+		opt.Transport = cliquemap.OneRMA
+	default:
+		fatal("unknown transport %q", *transport)
+	}
+
+	var strat cliquemap.Strategy
+	switch *strategy {
+	case "2xr":
+		strat = cliquemap.Lookup2xR
+	case "scar":
+		strat = cliquemap.LookupSCAR
+	case "msg":
+		strat = cliquemap.LookupMSG
+	case "rpc":
+		strat = cliquemap.LookupRPC
+	default:
+		fatal("unknown strategy %q", *strategy)
+	}
+
+	cell, err := cliquemap.NewCell(opt)
+	if err != nil {
+		fatal("building cell: %v", err)
+	}
+	cl := cell.NewClient(cliquemap.ClientOptions{Strategy: strat, TouchBatch: 64})
+	ctx := context.Background()
+
+	fmt.Printf("cmcell: %d shards + %d spares, %s, %s lookups over %s\n",
+		*shards, *spares, *mode, *strategy, *transport)
+
+	if *listen != "" {
+		gw, gerr := cell.ServeTCP(*listen)
+		if gerr != nil {
+			fatal("tcp gateway: %v", gerr)
+		}
+		defer gw.Close()
+		fmt.Printf("RPC surface on tcp://%s (rpc.DialTCP + proto schemas)\n", *listen)
+	}
+
+	// Preload.
+	start := time.Now()
+	for i := 0; i < *keys; i++ {
+		if err := cl.Set(ctx, []byte(workload.Key(uint64(i))), workload.ValueGen(uint64(i), *valSize)); err != nil {
+			fatal("preload: %v", err)
+		}
+	}
+	fmt.Printf("preloaded %d keys (%dB values) in %v\n", *keys, *valSize, time.Since(start).Round(time.Millisecond))
+
+	var kg workload.KeyGen
+	if *zipf > 1 {
+		kg = workload.NewZipfKeys(uint64(*keys), *zipf, 1)
+	} else {
+		kg = workload.NewUniformKeys(uint64(*keys), 1)
+	}
+	mix := workload.NewMix(*getFrac, 2)
+
+	start = time.Now()
+	for i := 0; i < *ops; i++ {
+		if *maintain && i == *ops/3 {
+			primary := cell.Internal().Store.Get().AddrFor(0)
+			if _, err := cell.PlannedMaintenance(ctx, 0); err != nil {
+				fatal("maintenance: %v", err)
+			}
+			fmt.Printf("t+%v planned maintenance: shard 0 -> spare (primary was %s)\n",
+				time.Since(start).Round(time.Millisecond), primary)
+		}
+		if *crash && i == *ops/2 {
+			cell.Crash(1)
+			fmt.Printf("t+%v crashed shard 1\n", time.Since(start).Round(time.Millisecond))
+		}
+		if *crash && i == 2**ops/3 {
+			if err := cell.Restart(ctx, 1); err != nil {
+				fatal("restart: %v", err)
+			}
+			fmt.Printf("t+%v restarted shard 1 (repairs ran)\n", time.Since(start).Round(time.Millisecond))
+		}
+		k := []byte(workload.Key(kg.Next()))
+		if mix.NextIsGet() {
+			if _, _, err := cl.Get(ctx, k); err != nil {
+				fmt.Fprintf(os.Stderr, "get %s: %v\n", k, err)
+			}
+		} else {
+			if err := cl.Set(ctx, k, workload.ValueGen(1, *valSize)); err != nil {
+				fmt.Fprintf(os.Stderr, "set %s: %v\n", k, err)
+			}
+		}
+	}
+	wall := time.Since(start)
+
+	cs := cl.Stats()
+	fmt.Printf("\n%d ops in %v (%.0f ops/s real)\n", *ops, wall.Round(time.Millisecond), float64(*ops)/wall.Seconds())
+	fmt.Printf("client: gets=%d hits=%d misses=%d sets=%d retries=%d rpc_fallbacks=%d\n",
+		cs.Gets, cs.Hits, cs.Misses, cs.Sets, cs.Retries, cs.RPCFallbacks)
+	fmt.Printf("modelled GET latency: p50=%v p99=%v\n", cs.GetP50, cs.GetP99)
+	fmt.Printf("cell: %v\n", cell.Stats())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cmcell: "+format+"\n", args...)
+	os.Exit(1)
+}

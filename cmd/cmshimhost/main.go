@@ -1,0 +1,62 @@
+// Command cmshimhost is the shim subprocess (§6.2): it embeds the primary
+// CliqueMap client (here backed by a self-contained cell) and serves the
+// shim frame protocol on stdin/stdout. Language shims launch this binary
+// and speak frames over the pipe pair, exactly as the production Java/Go/
+// Python shims launch the C++ client subprocess.
+//
+// Usage (normally launched by shim.Launch, not by hand):
+//
+//	cmshimhost -shards 3 -mode r32
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"cliquemap"
+	"cliquemap/internal/shim"
+)
+
+// cellStore adapts the public client to the shim Store interface.
+type cellStore struct{ cl *cliquemap.Client }
+
+func (s cellStore) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return s.cl.Get(ctx, key)
+}
+func (s cellStore) Set(ctx context.Context, key, value []byte) error {
+	return s.cl.Set(ctx, key, value)
+}
+func (s cellStore) Erase(ctx context.Context, key []byte) error { return s.cl.Erase(ctx, key) }
+
+func main() {
+	shards := flag.Int("shards", 3, "backend count for the embedded cell")
+	mode := flag.String("mode", "r32", "replication mode: r1, r2, r32")
+	flag.Parse()
+
+	var m cliquemap.Mode
+	switch *mode {
+	case "r1":
+		m = cliquemap.R1
+	case "r2":
+		m = cliquemap.R2Immutable
+	case "r32":
+		m = cliquemap.R32
+	default:
+		fmt.Fprintf(os.Stderr, "cmshimhost: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cell, err := cliquemap.NewCell(cliquemap.Options{Shards: *shards, Mode: m})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cmshimhost: %v\n", err)
+		os.Exit(1)
+	}
+	cl := cell.NewClient(cliquemap.ClientOptions{Strategy: cliquemap.LookupSCAR})
+
+	if err := shim.Serve(context.Background(), os.Stdin, os.Stdout, cellStore{cl: cl}); err != nil {
+		fmt.Fprintf(os.Stderr, "cmshimhost: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+package cliquemap_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cliquemap"
+)
+
+// The basic lifecycle: build a replicated cell, write over RPC, read over
+// RMA with a client-side quorum.
+func Example() {
+	cell, err := cliquemap.NewCell(cliquemap.Options{Shards: 3, Spares: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := cell.NewClient(cliquemap.ClientOptions{Strategy: cliquemap.LookupSCAR})
+	ctx := context.Background()
+
+	client.Set(ctx, []byte("city"), []byte("lenoir"))
+	v, ok, _ := client.Get(ctx, []byte("city"))
+	fmt.Println(ok, string(v))
+	// Output: true lenoir
+}
+
+// Conditional updates: CAS succeeds only against the version a previous
+// mutation nominated (§5.2).
+func ExampleClient_Cas() {
+	cell, _ := cliquemap.NewCell(cliquemap.Options{})
+	client := cell.NewClient(cliquemap.ClientOptions{})
+	ctx := context.Background()
+
+	v1, _ := client.SetVersioned(ctx, []byte("leader"), []byte("task-1"))
+	swapped, _ := client.Cas(ctx, []byte("leader"), []byte("task-2"), v1)
+	fmt.Println("first cas:", swapped)
+	swapped, _ = client.Cas(ctx, []byte("leader"), []byte("task-3"), v1) // stale
+	fmt.Println("stale cas:", swapped)
+	// Output:
+	// first cas: true
+	// stale cas: false
+}
+
+// Erase tombstones the version (§5.2): the key is gone and stale writers
+// cannot resurrect it.
+func ExampleClient_Erase() {
+	cell, _ := cliquemap.NewCell(cliquemap.Options{})
+	client := cell.NewClient(cliquemap.ClientOptions{})
+	ctx := context.Background()
+
+	client.Set(ctx, []byte("session"), []byte("token"))
+	client.Erase(ctx, []byte("session"))
+	_, ok, _ := client.Get(ctx, []byte("session"))
+	fmt.Println("after erase:", ok)
+	// Output: after erase: false
+}
+
+// R=3.2 serves reads and writes with any single backend down (§5.1).
+func ExampleCell_Crash() {
+	cell, _ := cliquemap.NewCell(cliquemap.Options{Shards: 3})
+	client := cell.NewClient(cliquemap.ClientOptions{})
+	ctx := context.Background()
+
+	client.Set(ctx, []byte("k"), []byte("v"))
+	cell.Crash(0)
+	v, ok, _ := client.Get(ctx, []byte("k"))
+	fmt.Println(ok, string(v))
+
+	cell.Restart(ctx, 0) // repairs re-fill the restarted task
+	fmt.Println("repaired:", cell.Stats().RepairsIssued > 0)
+	// Output:
+	// true v
+	// repaired: true
+}
+
+// Planned maintenance hides behind a warm spare (§6.1).
+func ExampleCell_PlannedMaintenance() {
+	cell, _ := cliquemap.NewCell(cliquemap.Options{Shards: 3, Spares: 1})
+	client := cell.NewClient(cliquemap.ClientOptions{})
+	ctx := context.Background()
+	client.Set(ctx, []byte("k"), []byte("v"))
+
+	primary := "backend-0"
+	spare, _ := cell.PlannedMaintenance(ctx, 0)
+	_, ok, _ := client.Get(ctx, []byte("k"))
+	fmt.Println("during rollout:", ok, spare != primary)
+	cell.CompleteMaintenance(ctx, 0, primary)
+	// Output: during rollout: true true
+}
+
+// An immutable corpus (§6.4): bulk-loaded, sealed, served from a single
+// replica.
+func ExampleCell_LoadImmutable() {
+	cell, _ := cliquemap.NewCell(cliquemap.Options{Mode: cliquemap.R2Immutable})
+	ctx := context.Background()
+	cell.LoadImmutable(ctx, map[string][]byte{"model": []byte("weights")})
+
+	client := cell.NewClient(cliquemap.ClientOptions{})
+	v, ok, _ := client.Get(ctx, []byte("model"))
+	fmt.Println(ok, string(v))
+	fmt.Println("mutable:", client.Set(ctx, []byte("model"), []byte("x")) == nil)
+	// Output:
+	// true weights
+	// mutable: false
+}

@@ -1,0 +1,96 @@
+// Ads-style serving (§7.1): latency-critical batched lookups feeding an
+// auction, with a background backfill refreshing the corpus.
+//
+// Advertising data is keyed by topic and fetched on demand when an auction
+// runs; late responses are discarded, so the example enforces an auction
+// deadline and reports how many auctions met it. Batches reach tens to
+// hundreds of keys in the tail, which makes the client's downlink (incast)
+// the limiting factor — the same effect §7.2.2 documents.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"cliquemap"
+	"cliquemap/internal/workload"
+)
+
+const (
+	topics          = 2000
+	auctions        = 300
+	auctionDeadline = 5 * time.Millisecond // modelled, per §7.1's ~5ms tail
+)
+
+func main() {
+	cell, err := cliquemap.NewCell(cliquemap.Options{
+		Shards: 5,
+		Spares: 1,
+		Mode:   cliquemap.R32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The backfill pipeline loads advertising data per topic.
+	backfill := cell.NewClient(cliquemap.ClientOptions{})
+	sizes := workload.AdsSizes(1)
+	fmt.Printf("backfilling %d topics...\n", topics)
+	for i := uint64(0); i < topics; i++ {
+		if err := backfill.Set(ctx, []byte(workload.Key(i)), workload.ValueGen(i, sizes.Next())); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The serving path: each auction fetches a batch of topics.
+	server := cell.NewClient(cliquemap.ClientOptions{
+		Strategy:   cliquemap.LookupSCAR,
+		TouchBatch: 128, // feed recency to the backends' eviction policy
+	})
+	batches := workload.AdsBatches(2)
+	keys := workload.NewZipfKeys(topics, 1.2, 3)
+
+	met, missed := 0, 0
+	var worst time.Duration
+	for a := 0; a < auctions; a++ {
+		bs := batches.Next()
+		batch := make([][]byte, bs)
+		for i := range batch {
+			batch[i] = []byte(workload.Key(keys.Next()))
+		}
+		_, found, err := server.GetBatch(ctx, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hits := 0
+		for _, f := range found {
+			if f {
+				hits++
+			}
+		}
+		st := server.Stats()
+		latency := st.GetP99 // conservative: tail of the batch's lookups
+		if latency > worst {
+			worst = latency
+		}
+		if latency <= auctionDeadline {
+			met++
+		} else {
+			missed++
+		}
+		if a%100 == 0 {
+			fmt.Printf("auction %3d: batch=%3d hits=%3d modelled p99=%v\n", a, bs, hits, latency)
+		}
+	}
+	server.FlushTouches(ctx)
+
+	st := server.Stats()
+	fmt.Printf("\n%d auctions: %d met the %v deadline, %d missed (worst %v)\n",
+		auctions, met, auctionDeadline, missed, worst)
+	fmt.Printf("lookups: %d (%d hits), modelled p50=%v p99=%v, retries=%d\n",
+		st.Gets, st.Hits, st.GetP50, st.GetP99, st.Retries)
+	fmt.Printf("cell: %v\n", cell.Stats())
+}

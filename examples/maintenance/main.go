@@ -1,0 +1,76 @@
+// Maintenance walkthrough (§6.1, §5.4): planned binary rollouts hidden by
+// warm spares, and an unplanned crash healed by quorum repairs — all while
+// a client keeps reading.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cliquemap"
+	"cliquemap/internal/workload"
+)
+
+const corpus = 500
+
+func main() {
+	cell, err := cliquemap.NewCell(cliquemap.Options{
+		Shards: 3,
+		Spares: 1,
+		Mode:   cliquemap.R32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	client := cell.NewClient(cliquemap.ClientOptions{Strategy: cliquemap.Lookup2xR})
+
+	for i := uint64(0); i < corpus; i++ {
+		if err := client.Set(ctx, []byte(workload.Key(i)), workload.ValueGen(i, 512)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	verify := func(phase string) {
+		ok := 0
+		for i := uint64(0); i < corpus; i++ {
+			if _, found, err := client.Get(ctx, []byte(workload.Key(i))); err == nil && found {
+				ok++
+			}
+		}
+		st := client.Stats()
+		fmt.Printf("%-28s %d/%d keys readable (retries so far: %d)\n", phase, ok, corpus, st.Retries)
+	}
+
+	verify("baseline:")
+
+	// ---- Planned maintenance: migrate shard 0 to the warm spare. -------
+	primary := cell.Internal().Store.Get().AddrFor(0)
+	spare, err := cell.PlannedMaintenance(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplanned maintenance: shard 0 moved %s -> %s\n", primary, spare)
+	verify("during rollout:")
+
+	// The "upgraded" primary returns; data streams back.
+	if err := cell.CompleteMaintenance(ctx, 0, primary); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rollout complete: shard 0 back on %s\n", primary)
+	verify("after rollout:")
+
+	// ---- Unplanned failure: crash shard 1, then restart + repair. ------
+	fmt.Println("\ncrashing shard 1 (unplanned)")
+	cell.Crash(1)
+	verify("one replica down:") // quorum of the remaining two serves
+
+	if err := cell.Restart(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+	st := cell.Stats()
+	fmt.Printf("restarted shard 1; repairs issued: %d\n", st.RepairsIssued)
+	verify("after repair:")
+
+	fmt.Printf("\ncell: %v\n", st)
+}

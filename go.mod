@@ -1,0 +1,3 @@
+module cliquemap
+
+go 1.22

@@ -1,0 +1,57 @@
+// Package checksum provides the end-to-end entry checksum that makes
+// CliqueMap responses self-validating (§3 of the paper, after Pilaf).
+//
+// Every KV pair stored in a backend is guarded by a checksum computed over
+// its key, value, and metadata (version number and layout pointer). Because
+// RMA reads are not atomic with respect to server-side mutation, a client
+// that fetches a DataEntry mid-SET can observe a torn state; the checksum is
+// the mechanism that detects it. Torn reads are rare but normal — detection
+// plus client retry replaces server-side locking.
+package checksum
+
+import "hash/crc64"
+
+// table uses the ECMA polynomial, the conventional choice for storage
+// integrity checks.
+var table = crc64.MakeTable(crc64.ECMA)
+
+// Sum computes the entry checksum over the concatenation of its parts.
+// Parts are length-prefixed implicitly by the caller's fixed layout; mixing
+// a per-part rotation here guards against boundary-shift collisions
+// (e.g. key="ab",val="c" vs key="a",val="bc").
+func Sum(parts ...[]byte) uint64 {
+	var s uint64
+	for _, p := range parts {
+		s = s<<1 | s>>63 // rotate to make part boundaries significant
+		s ^= crc64.Update(0, table, p)
+	}
+	// Avoid the all-zeroes checksum so a zeroed (freshly allocated or
+	// nullified) entry never validates.
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// SumMeta folds small fixed metadata (version, pointer words) into a
+// checksum without allocating.
+func SumMeta(key, value []byte, meta ...uint64) uint64 {
+	var mb [8]byte
+	s := Sum(key, value)
+	for _, m := range meta {
+		mb[0] = byte(m)
+		mb[1] = byte(m >> 8)
+		mb[2] = byte(m >> 16)
+		mb[3] = byte(m >> 24)
+		mb[4] = byte(m >> 32)
+		mb[5] = byte(m >> 40)
+		mb[6] = byte(m >> 48)
+		mb[7] = byte(m >> 56)
+		s = s<<1 | s>>63
+		s ^= crc64.Update(0, table, mb[:])
+	}
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package checksum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("key"), []byte("value"))
+	b := Sum([]byte("key"), []byte("value"))
+	if a != b {
+		t.Errorf("Sum not deterministic: %x != %x", a, b)
+	}
+}
+
+func TestSumNeverZero(t *testing.T) {
+	if Sum() == 0 || Sum(nil) == 0 || Sum([]byte{}) == 0 {
+		t.Error("Sum of empty input must not be zero")
+	}
+	if SumMeta(nil, nil) == 0 {
+		t.Error("SumMeta of empty input must not be zero")
+	}
+}
+
+func TestSumBoundaryShift(t *testing.T) {
+	// "ab"+"c" must differ from "a"+"bc": part boundaries are significant.
+	if Sum([]byte("ab"), []byte("c")) == Sum([]byte("a"), []byte("bc")) {
+		t.Error("boundary shift collision")
+	}
+}
+
+func TestSumDetectsSingleBitFlip(t *testing.T) {
+	key := []byte("some-key")
+	val := make([]byte, 256)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	want := Sum(key, val)
+	for i := range val {
+		for bit := 0; bit < 8; bit++ {
+			val[i] ^= 1 << bit
+			if Sum(key, val) == want {
+				t.Fatalf("bit flip at byte %d bit %d undetected", i, bit)
+			}
+			val[i] ^= 1 << bit
+		}
+	}
+}
+
+func TestSumMetaSensitivity(t *testing.T) {
+	k, v := []byte("k"), []byte("v")
+	base := SumMeta(k, v, 1, 2)
+	if SumMeta(k, v, 1, 3) == base {
+		t.Error("meta word change undetected")
+	}
+	if SumMeta(k, v, 2, 1) == base {
+		t.Error("meta word order change undetected")
+	}
+	if SumMeta(k, v, 1) == base {
+		t.Error("meta word count change undetected")
+	}
+}
+
+func TestSumProperty(t *testing.T) {
+	// Property: different (key,value) pairs virtually never collide, and
+	// identical pairs always agree.
+	f := func(k1, v1, k2, v2 []byte) bool {
+		s1 := Sum(k1, v1)
+		s2 := Sum(k2, v2)
+		same := string(k1) == string(k2) && string(v1) == string(v2)
+		if same {
+			return s1 == s2
+		}
+		return s1 != s2 // CRC64 collision on random short inputs: ~impossible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSum4KB(b *testing.B) {
+	key := []byte("benchmark-key")
+	val := make([]byte, 4096)
+	b.SetBytes(int64(len(val)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Sum(key, val)
+	}
+}

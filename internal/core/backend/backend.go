@@ -1,0 +1,977 @@
+// Package backend implements a CliqueMap backend task (§4): the
+// RMA-accessible index and data regions, and the RPC handlers that own all
+// mutation — SET/ERASE/CAS with version monotonicity, eviction under
+// capacity and associativity conflicts, access-record ingestion for
+// recency policies, index resizing, data-region reshaping, cohort
+// scanning, quorum repair, and warm-spare migration.
+//
+// The division of labour is the paper's core idea: GETs never run backend
+// code (they are served by the NIC out of registered memory), so
+// everything here can be straightforward locked Go — and the self-
+// validating formats in internal/core/layout make it safe for this code to
+// rearrange memory underneath in-flight RMAs, because any client that
+// observes an intermediate state fails validation and retries.
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/eviction"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/slab"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/truetime"
+)
+
+// Options configures one backend task.
+type Options struct {
+	Shard  int    // primary shard served; -1 for an idle spare
+	HostID int    // fabric host
+	Addr   string // RPC address
+
+	Geometry     layout.Geometry // initial index shape
+	DataBytes    int             // initially populated data-region bytes
+	DataMaxBytes int             // reserved ceiling for reshaping
+	SlabBytes    int             // slab size for the data allocator
+
+	Policy           string  // eviction policy name (internal/eviction)
+	MaxLoadFactor    float64 // index resize trigger (§4.1)
+	GrowWatermark    float64 // data-region growth trigger (§4.1)
+	GrowStep         float64 // fraction of current size to grow by
+	OverflowFallback bool    // RPC side-table on bucket overflow (§4.2)
+	TombstoneCap     int     // tombstone cache capacity (§5.2)
+	ReshapeEnabled   bool    // false = paper's "pre-allocate for peak" baseline
+	// CompressThreshold enables DEFLATE compression of values at least
+	// this many bytes (0 disables) — one of the post-launch features §9
+	// credits to keeping mutations on RPC.
+	CompressThreshold int
+	// Hash overrides the key hash (§6.5 added customizable hash functions
+	// for disaggregation users). Must match the clients'; nil means
+	// hashring.DefaultHash.
+	Hash hashring.HashFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hash == nil {
+		o.Hash = hashring.DefaultHash
+	}
+	if o.Geometry.Buckets == 0 {
+		o.Geometry = layout.Geometry{Buckets: 256, Ways: layout.DefaultWays}
+	}
+	if o.Geometry.Ways == 0 {
+		o.Geometry.Ways = layout.DefaultWays
+	}
+	if o.DataBytes == 0 {
+		o.DataBytes = 4 << 20
+	}
+	if o.DataMaxBytes < o.DataBytes {
+		o.DataMaxBytes = o.DataBytes * 16
+	}
+	if o.SlabBytes == 0 {
+		o.SlabBytes = 256 << 10
+	}
+	if o.MaxLoadFactor == 0 {
+		o.MaxLoadFactor = 0.70
+	}
+	if o.GrowWatermark == 0 {
+		o.GrowWatermark = 0.85
+	}
+	if o.GrowStep == 0 {
+		o.GrowStep = 0.5
+	}
+	if o.TombstoneCap == 0 {
+		o.TombstoneCap = 8192
+	}
+	return o
+}
+
+// Counters aggregates the backend's observable behaviour.
+type Counters struct {
+	Sets, SetsApplied     uint64
+	Erases, ErasesApplied uint64
+	CasOps, CasApplied    uint64
+	Gets                  uint64
+	VersionRejects        uint64
+	CapacityEvictions     uint64
+	AssocEvictions        uint64
+	Overflows             uint64
+	Touches               uint64
+	IndexResizes          uint64
+	DataGrows             uint64
+	RepairsIssued         uint64
+}
+
+// indexRegion is the current RMA-accessible index.
+type indexRegion struct {
+	geo    layout.Geometry
+	region *rmem.Region
+	win    *rmem.Window
+	epoch  uint64
+	used   int // occupied IndexEntries
+}
+
+// dataRegion is the slab-managed DataEntry pool.
+type dataRegion struct {
+	region  *rmem.Region
+	windows []*rmem.Window // all live windows, oldest first
+	alloc   *slab.Allocator
+}
+
+func (d *dataRegion) current() *rmem.Window { return d.windows[len(d.windows)-1] }
+
+// sideEntry is an overflowed KV pair reachable only via RPC (§4.2).
+type sideEntry struct {
+	value   []byte
+	version truetime.Version
+}
+
+// Backend is one CliqueMap backend task.
+type Backend struct {
+	opt   Options
+	store *config.Store
+	reg   *rmem.Registry
+	gen   *truetime.Generator
+	net   *rpc.Network
+	srv   *rpc.Server
+	acct  *stats.CPUAccount
+
+	mu       sync.Mutex
+	shard    int
+	spare    bool
+	sealed   bool
+	configID uint64
+	idx      *indexRegion
+	data     *dataRegion
+	policy   eviction.Policy
+	tomb     *tombstoneCache
+	side     map[string]sideEntry
+	scratch  []byte
+	ctr      Counters
+}
+
+// New builds and registers a backend task: its memory regions, RMA
+// windows, and RPC service. The same registry must be attached to the
+// host's NIC so inbound RMAs can be served.
+func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network, gen *truetime.Generator, acct *stats.CPUAccount) (*Backend, error) {
+	opt = opt.withDefaults()
+	if err := opt.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		opt:   opt,
+		store: store,
+		reg:   reg,
+		gen:   gen,
+		net:   net,
+		acct:  acct,
+		shard: opt.Shard,
+		spare: opt.Shard < 0,
+		side:  make(map[string]sideEntry),
+		tomb:  newTombstoneCache(opt.TombstoneCap),
+	}
+	pol, err := eviction.New(opt.Policy, opt.Geometry.Buckets*opt.Geometry.Ways)
+	if err != nil {
+		return nil, err
+	}
+	b.policy = pol
+	if store != nil {
+		b.configID = store.Get().ID
+	}
+
+	b.idx = b.newIndex(opt.Geometry, 1)
+
+	dataBytes := opt.DataBytes
+	if !opt.ReshapeEnabled {
+		dataBytes = opt.DataMaxBytes // pre-allocate for peak (the baseline)
+	}
+	region := rmem.NewRegion(dataBytes, opt.DataMaxBytes)
+	alloc, err := slab.New(dataBytes, opt.SlabBytes, nil)
+	if err != nil {
+		return nil, fmt.Errorf("backend: data allocator: %w", err)
+	}
+	b.data = &dataRegion{region: region, alloc: alloc}
+	b.data.windows = []*rmem.Window{reg.Register(region, 1)}
+
+	b.srv = net.Serve(opt.Addr, opt.HostID)
+	b.registerHandlers()
+	return b, nil
+}
+
+// newIndex builds a zeroed index region with configID-stamped buckets.
+func (b *Backend) newIndex(geo layout.Geometry, epoch uint64) *indexRegion {
+	region := rmem.NewRegion(geo.RegionBytes(), geo.RegionBytes())
+	hdr := make([]byte, layout.BucketHeaderSize)
+	for i := 0; i < geo.Buckets; i++ {
+		layout.EncodeBucketHeader(hdr, b.configID, 0)
+		region.Write(geo.BucketOffset(i), hdr)
+	}
+	return &indexRegion{geo: geo, region: region, win: b.reg.Register(region, epoch), epoch: epoch}
+}
+
+// Addr returns the RPC address.
+func (b *Backend) Addr() string { return b.opt.Addr }
+
+// HostID returns the fabric host.
+func (b *Backend) HostID() int { return b.opt.HostID }
+
+// Shard returns the currently served shard (-1 for idle spare).
+func (b *Backend) Shard() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.shard
+}
+
+// Server exposes the RPC server (for Stop/Start fault injection).
+func (b *Backend) Server() *rpc.Server { return b.srv }
+
+// CountersSnapshot returns a copy of the counters.
+func (b *Backend) CountersSnapshot() Counters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ctr
+}
+
+// MemoryBytes reports the backend's populated DRAM footprint: index region
+// plus populated data region — the Figure 3 metric.
+func (b *Backend) MemoryBytes() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.idx.geo.RegionBytes() + b.data.region.Populated()
+}
+
+// DataUtilization returns allocated/populated for the data region.
+func (b *Backend) DataUtilization() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.data.alloc.Stats()
+	if st.PoolBytes == 0 {
+		return 0
+	}
+	return float64(st.AllocatedBytes) / float64(st.PoolBytes)
+}
+
+// SetConfigID restamps every bucket header with the new configuration ID.
+// Clients holding the old ID fail validation on their next GET and refresh
+// (§6.1).
+func (b *Backend) SetConfigID(id uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.configID = id
+	b.restampLocked()
+}
+
+func (b *Backend) restampLocked() {
+	hdr := make([]byte, layout.BucketHeaderSize)
+	for i := 0; i < b.idx.geo.Buckets; i++ {
+		off := b.idx.geo.BucketOffset(i)
+		cur, err := b.idx.region.Read(off, layout.BucketHeaderSize)
+		if err != nil {
+			continue
+		}
+		flags := uint64(0)
+		if len(cur) >= layout.BucketHeaderSize {
+			dec, derr := layout.DecodeBucket(append(cur, make([]byte, b.idx.geo.BucketSize()-layout.BucketHeaderSize)...), b.idx.geo.Ways)
+			if derr == nil {
+				flags = dec.Flags
+			}
+		}
+		layout.EncodeBucketHeader(hdr, b.configID, flags)
+		b.idx.region.Write(off, hdr)
+	}
+}
+
+// hello describes the backend's current RMA geometry for the client
+// handshake.
+func (b *Backend) hello() proto.HelloResp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wins := make([]rmem.WindowID, len(b.data.windows))
+	for i, w := range b.data.windows {
+		wins[i] = w.ID
+	}
+	return proto.HelloResp{
+		ConfigID:    b.configID,
+		Shard:       b.shard,
+		Buckets:     b.idx.geo.Buckets,
+		Ways:        b.idx.geo.Ways,
+		IndexWindow: b.idx.win.ID,
+		IndexEpoch:  b.idx.epoch,
+		DataWindows: wins,
+	}
+}
+
+// --------------------------------------------------------------- lookup --
+
+// findEntryLocked locates key's IndexEntry, returning its bucket, slot and
+// decoded form.
+func (b *Backend) findEntryLocked(h hashring.KeyHash) (bucket int, slot int, e layout.IndexEntry, ok bool) {
+	bucket = int(h.Lo % uint64(b.idx.geo.Buckets))
+	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+	if err != nil {
+		return bucket, -1, layout.IndexEntry{}, false
+	}
+	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+	if err != nil {
+		return bucket, -1, layout.IndexEntry{}, false
+	}
+	e, slot, ok = dec.Find(h)
+	return bucket, slot, e, ok
+}
+
+// readEntryLocked materializes the DataEntry behind e.
+func (b *Backend) readEntryLocked(e layout.IndexEntry) (layout.DataEntry, error) {
+	raw, err := b.reg.Read(e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
+	if err != nil {
+		return layout.DataEntry{}, err
+	}
+	return layout.DecodeDataEntry(raw)
+}
+
+// localGet serves the RPC/MSG lookup path and repair reads.
+func (b *Backend) localGet(key []byte) (value []byte, ver truetime.Version, found bool) {
+	h := b.opt.Hash(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ctr.Gets++
+	if _, _, e, ok := b.findEntryLocked(h); ok {
+		de, err := b.readEntryLocked(e)
+		if err == nil && string(de.Key) == string(key) {
+			if val, merr := de.MaterializeValue(); merr == nil {
+				return val, de.Version, true
+			}
+		}
+	}
+	if se, ok := b.side[string(key)]; ok {
+		return append([]byte(nil), se.value...), se.version, true
+	}
+	return nil, truetime.Version{}, false
+}
+
+// ------------------------------------------------------------- mutation --
+
+// versionBoundLocked returns the threshold a mutation's version must
+// exceed: the stored version when the key is resident, else its tombstone
+// bound (§5.2).
+func (b *Backend) versionBoundLocked(key []byte, h hashring.KeyHash) truetime.Version {
+	if _, _, e, ok := b.findEntryLocked(h); ok {
+		return e.Version
+	}
+	if se, ok := b.side[string(key)]; ok {
+		return se.version
+	}
+	return b.tomb.bound(string(key))
+}
+
+// writeEntryLocked encodes and stores a DataEntry, compressing the value
+// when configured and worthwhile, returning its pointer. The body is
+// written in chunks — the §5.3 tearing window is real.
+func (b *Backend) writeEntryLocked(key, value []byte, v truetime.Version) (layout.Pointer, slab.Ref, error) {
+	stored, compressed := value, false
+	if b.opt.CompressThreshold > 0 && len(value) >= b.opt.CompressThreshold {
+		stored, compressed = layout.CompressValue(value)
+	}
+	return b.writeStoredLocked(key, stored, compressed, v)
+}
+
+// writeStoredLocked stores already-materialized entry bytes (used directly
+// when relocating an entry whose stored form must be preserved).
+func (b *Backend) writeStoredLocked(key, stored []byte, compressed bool, v truetime.Version) (layout.Pointer, slab.Ref, error) {
+	need := layout.DataEntrySize(len(key), len(stored))
+	ref, err := b.allocLocked(need)
+	if err != nil {
+		return layout.Pointer{}, slab.Ref{}, err
+	}
+	if cap(b.scratch) < need {
+		b.scratch = make([]byte, need*2)
+	}
+	buf := b.scratch[:need]
+	layout.EncodeDataEntryFlagged(buf, key, stored, v, compressed)
+	if err := b.data.region.WriteChunked(ref.Offset, buf); err != nil {
+		b.data.alloc.Free(ref, need)
+		return layout.Pointer{}, slab.Ref{}, err
+	}
+	return layout.Pointer{
+		Window: b.data.current().ID,
+		Offset: uint64(ref.Offset),
+		Size:   uint64(need),
+	}, ref, nil
+}
+
+// allocLocked carves space, evicting under capacity conflicts and growing
+// the data region at the §4.1 high watermark.
+func (b *Backend) allocLocked(need int) (slab.Ref, error) {
+	for {
+		ref, err := b.data.alloc.Alloc(need)
+		if err == nil {
+			b.maybeGrowLocked()
+			return ref, nil
+		}
+		if err != slab.ErrNoCapacity {
+			return slab.Ref{}, err
+		}
+		// Prefer growth over eviction when reshaping is on and headroom
+		// remains.
+		if b.growLocked() {
+			continue
+		}
+		if !b.evictOneLocked(false) {
+			return slab.Ref{}, slab.ErrNoCapacity
+		}
+	}
+}
+
+// maybeGrowLocked grows ahead of demand at the high watermark.
+func (b *Backend) maybeGrowLocked() {
+	if !b.opt.ReshapeEnabled {
+		return
+	}
+	st := b.data.alloc.Stats()
+	if st.PoolBytes > 0 && float64(st.AllocatedBytes)/float64(st.PoolBytes) >= b.opt.GrowWatermark {
+		b.growLocked()
+	}
+}
+
+// growLocked populates more of the reserved range and registers a new
+// overlapping window (§4.1). Returns false at the ceiling or with
+// reshaping disabled.
+func (b *Backend) growLocked() bool {
+	if !b.opt.ReshapeEnabled {
+		return false
+	}
+	cur := b.data.region.Populated()
+	if cur >= b.opt.DataMaxBytes {
+		return false
+	}
+	step := int(float64(cur) * b.opt.GrowStep)
+	if step < b.opt.SlabBytes {
+		step = b.opt.SlabBytes
+	}
+	if cur+step > b.opt.DataMaxBytes {
+		step = b.opt.DataMaxBytes - cur
+	}
+	newPop := b.data.region.Grow(step)
+	grew := b.data.alloc.Grow(newPop - cur)
+	if grew <= 0 {
+		return false
+	}
+	// Advertise a second, larger overlapping window; clients converge to
+	// it over time. Old windows stay valid for existing pointers.
+	w := b.reg.Register(b.data.region, b.data.current().Epoch+1)
+	b.data.windows = append(b.data.windows, w)
+	b.ctr.DataGrows++
+	return true
+}
+
+// evictOneLocked removes one policy-chosen victim anywhere in the pool
+// (capacity conflict) or, with assoc=true, the caller handles bucket
+// choice itself. Returns false if nothing is evictable.
+func (b *Backend) evictOneLocked(assoc bool) bool {
+	key, ok := b.policy.Victim()
+	if !ok {
+		return false
+	}
+	b.removeKeyLocked([]byte(key))
+	if assoc {
+		b.ctr.AssocEvictions++
+	} else {
+		b.ctr.CapacityEvictions++
+	}
+	return true
+}
+
+// removeKeyLocked nullifies key's IndexEntry and frees its DataEntry.
+// In-flight 2×R GETs may still complete against the old bytes; they are
+// ordered-before the eviction (§4.2).
+func (b *Backend) removeKeyLocked(key []byte) {
+	h := b.opt.Hash(key)
+	bucket, slot, e, ok := b.findEntryLocked(h)
+	if ok {
+		empty := make([]byte, layout.IndexEntrySize)
+		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, empty)
+		b.idx.used--
+		b.data.alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+	}
+	delete(b.side, string(key))
+	b.policy.Remove(string(key))
+}
+
+// sizeClassOf recovers the slab class for an entry of encoded size n.
+func sizeClassOf(n int) int {
+	for _, c := range slab.DefaultSizeClasses() {
+		if c >= n {
+			return c
+		}
+	}
+	return n
+}
+
+// ApplySet installs a KV pair directly (bulk loaders and tests); normal
+// traffic arrives via the SET RPC handler.
+func (b *Backend) ApplySet(key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
+	return b.applySet(key, value, v)
+}
+
+// applySet is the SET RPC's core (§3, §5.2): version-gated install with
+// eviction under capacity and associativity conflicts.
+func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
+	h := b.opt.Hash(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ctr.Sets++
+
+	bound := b.versionBoundLocked(key, h)
+	if !bound.Less(v) {
+		b.ctr.VersionRejects++
+		return false, bound, 0
+	}
+
+	before := b.ctr.CapacityEvictions + b.ctr.AssocEvictions
+
+	ptr, ref, err := b.writeEntryLocked(key, value, v)
+	if err != nil {
+		return false, bound, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
+	}
+
+	bucket, slot, old, exists := b.findEntryLocked(h)
+	entryBuf := make([]byte, layout.IndexEntrySize)
+	layout.EncodeIndexEntry(entryBuf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
+
+	overflowed := false
+	if exists {
+		// Overwrite in place: the new pointer's publication is the
+		// ordering point; then reclaim the old DataEntry.
+		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
+		b.data.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
+	} else if s, ok := b.emptySlotLocked(bucket); ok {
+		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+s*layout.IndexEntrySize, entryBuf)
+		b.idx.used++
+	} else if b.opt.OverflowFallback {
+		// Associativity conflict with RPC fallback: park in the side
+		// table and mark the bucket overflowed (§4.2).
+		b.data.alloc.Free(ref, layout.DataEntrySize(len(key), len(value)))
+		b.side[string(key)] = sideEntry{value: append([]byte(nil), value...), version: v}
+		b.setOverflowLocked(bucket)
+		b.ctr.Overflows++
+		overflowed = true
+	} else {
+		// Associativity conflict: evict the oldest-versioned entry in
+		// this bucket to admit the new one.
+		if vs, vok := b.bucketVictimLocked(bucket); vok {
+			b.evictSlotLocked(bucket, vs)
+			b.ctr.AssocEvictions++
+			b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+vs*layout.IndexEntrySize, entryBuf)
+			b.idx.used++
+		} else {
+			b.data.alloc.Free(ref, layout.DataEntrySize(len(key), len(value)))
+			return false, bound, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
+		}
+	}
+
+	b.policy.Add(string(key))
+	b.tomb.drop(string(key))
+	if !overflowed {
+		delete(b.side, string(key))
+	}
+	b.ctr.SetsApplied++
+	b.maybeResizeIndexLocked()
+	return true, v, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
+}
+
+func (b *Backend) emptySlotLocked(bucket int) (int, bool) {
+	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+	if err != nil {
+		return -1, false
+	}
+	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+	if err != nil {
+		return -1, false
+	}
+	for i, e := range dec.Entries {
+		if e.Empty() {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// bucketVictimLocked picks the slot with the lowest VersionNumber.
+func (b *Backend) bucketVictimLocked(bucket int) (int, bool) {
+	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+	if err != nil {
+		return -1, false
+	}
+	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+	if err != nil {
+		return -1, false
+	}
+	best, found := -1, false
+	var bestV truetime.Version
+	for i, e := range dec.Entries {
+		if e.Empty() {
+			continue
+		}
+		if !found || e.Version.Less(bestV) {
+			best, bestV, found = i, e.Version, true
+		}
+	}
+	return best, found
+}
+
+// evictSlotLocked removes the entry at (bucket, slot).
+func (b *Backend) evictSlotLocked(bucket, slot int) {
+	off := b.idx.geo.BucketOffset(bucket) + layout.BucketHeaderSize + slot*layout.IndexEntrySize
+	raw, err := b.idx.region.Read(off, layout.IndexEntrySize)
+	if err != nil {
+		return
+	}
+	e, err := layout.DecodeIndexEntry(raw)
+	if err != nil || e.Empty() {
+		return
+	}
+	if de, derr := b.readEntryLocked(e); derr == nil {
+		b.policy.Remove(string(de.Key))
+	}
+	empty := make([]byte, layout.IndexEntrySize)
+	b.idx.region.Write(off, empty)
+	b.idx.used--
+	b.data.alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+}
+
+func (b *Backend) setOverflowLocked(bucket int) {
+	off := b.idx.geo.BucketOffset(bucket)
+	hdr := make([]byte, layout.BucketHeaderSize)
+	layout.EncodeBucketHeader(hdr, b.configID, layout.OverflowFlag)
+	b.idx.region.Write(off, hdr)
+}
+
+// ApplyErase erases a key directly (model checking and tests); normal
+// traffic arrives via the ERASE RPC handler.
+func (b *Backend) ApplyErase(key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
+	return b.applyErase(key, v)
+}
+
+// applyErase is the ERASE RPC's core (§5.2).
+func (b *Backend) applyErase(key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
+	h := b.opt.Hash(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ctr.Erases++
+	bound := b.versionBoundLocked(key, h)
+	if !bound.Less(v) {
+		b.ctr.VersionRejects++
+		return false, bound
+	}
+	b.removeKeyLocked(key)
+	b.tomb.insert(string(key), v)
+	b.ctr.ErasesApplied++
+	return true, v
+}
+
+// applyCas is the CAS RPC's core (§5.2): install only when the stored
+// version matches the expectation.
+func (b *Backend) applyCas(key, value []byte, expected, v truetime.Version) (applied bool, stored truetime.Version) {
+	h := b.opt.Hash(key)
+	b.mu.Lock()
+	cur := b.versionBoundLocked(key, h)
+	if _, _, _, ok := b.findEntryLocked(h); !ok {
+		if _, sideOK := b.side[string(key)]; !sideOK {
+			// Key absent: CAS succeeds only against the zero version.
+			cur = truetime.Version{}
+			if t := b.tomb.bound(string(key)); !t.Zero() {
+				cur = t
+			}
+		}
+	}
+	b.ctr.CasOps++
+	b.mu.Unlock()
+
+	if cur != expected {
+		return false, cur
+	}
+	applied, stored, _ = b.applySet(key, value, v)
+	if applied {
+		b.mu.Lock()
+		b.ctr.CasApplied++
+		b.mu.Unlock()
+	}
+	return applied, stored
+}
+
+// applyUpdateVersion rewrites key's stored version (repair step 2, §5.4).
+func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
+	h := b.opt.Hash(key)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, _, e, ok := b.findEntryLocked(h); ok {
+		de, err := b.readEntryLocked(e)
+		if err != nil || string(de.Key) != string(key) {
+			return false
+		}
+		if !e.Version.Less(v) {
+			return false
+		}
+		stored := append([]byte(nil), de.Value...)
+		ptr, _, werr := b.writeStoredLocked(key, stored, de.Compressed, v)
+		if werr != nil {
+			return false
+		}
+		bucket, slot, old, _ := b.findEntryLocked(h)
+		buf := make([]byte, layout.IndexEntrySize)
+		layout.EncodeIndexEntry(buf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
+		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, buf)
+		b.data.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
+		return true
+	}
+	if se, ok := b.side[string(key)]; ok && se.version.Less(v) {
+		se.version = v
+		b.side[string(key)] = se
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------------------ reshaping --
+
+// maybeResizeIndexLocked upsizes the index past the target load factor
+// (§4.1): build a new, larger index, repopulate it, revoke remote access
+// to the original. Mutations stall (we hold the lock); client RMAs against
+// the old window fail and retry via RPC, learning the new geometry.
+func (b *Backend) maybeResizeIndexLocked() {
+	capEntries := b.idx.geo.Buckets * b.idx.geo.Ways
+	if float64(b.idx.used)/float64(capEntries) < b.opt.MaxLoadFactor {
+		return
+	}
+	oldIdx := b.idx
+
+	// Collect live entries once; rehash into progressively larger
+	// geometries until every entry places (a target bucket can overflow
+	// its ways, in which case we double again rather than drop data).
+	var live []layout.IndexEntry
+	for i := 0; i < oldIdx.geo.Buckets; i++ {
+		raw, err := oldIdx.region.Read(oldIdx.geo.BucketOffset(i), oldIdx.geo.BucketSize())
+		if err != nil {
+			continue
+		}
+		dec, err := layout.DecodeBucket(raw, oldIdx.geo.Ways)
+		if err != nil {
+			continue
+		}
+		for _, e := range dec.Entries {
+			if !e.Empty() {
+				live = append(live, e)
+			}
+		}
+	}
+
+	entryBuf := make([]byte, layout.IndexEntrySize)
+	buckets := oldIdx.geo.Buckets * 2
+	var next *indexRegion
+	for attempt := 0; attempt < 8; attempt++ {
+		newGeo := layout.Geometry{Buckets: buckets, Ways: oldIdx.geo.Ways}
+		candidate := b.newIndex(newGeo, oldIdx.epoch+1)
+		ok := true
+		for _, e := range live {
+			nb := int(e.Hash.Lo % uint64(newGeo.Buckets))
+			s, found := emptySlotIn(candidate, nb)
+			if !found {
+				ok = false
+				break
+			}
+			layout.EncodeIndexEntry(entryBuf, e)
+			candidate.region.Write(newGeo.BucketOffset(nb)+layout.BucketHeaderSize+s*layout.IndexEntrySize, entryBuf)
+		}
+		if ok {
+			next = candidate
+			break
+		}
+		b.reg.Revoke(candidate.win.ID)
+		buckets *= 2
+	}
+	if next == nil {
+		return // pathological; keep the old index rather than lose data
+	}
+	next.used = len(live)
+	b.idx = next
+	b.reg.Revoke(oldIdx.win.ID)
+	b.ctr.IndexResizes++
+}
+
+func emptySlotIn(idx *indexRegion, bucket int) (int, bool) {
+	raw, err := idx.region.Read(idx.geo.BucketOffset(bucket), idx.geo.BucketSize())
+	if err != nil {
+		return -1, false
+	}
+	dec, err := layout.DecodeBucket(raw, idx.geo.Ways)
+	if err != nil {
+		return -1, false
+	}
+	for i, e := range dec.Entries {
+		if e.Empty() {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// CompactRestart models the paper's non-disruptive restart downsizing:
+// rebuild the data region sized to current usage (plus slack), preserving
+// contents. Used by the Figure 3 harness when the corpus shrinks.
+func (b *Backend) CompactRestart(slack float64) {
+	type kv struct {
+		key, value []byte
+		v          truetime.Version
+	}
+	b.mu.Lock()
+	var items []kv
+	for i := 0; i < b.idx.geo.Buckets; i++ {
+		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(i), b.idx.geo.BucketSize())
+		if err != nil {
+			continue
+		}
+		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		if err != nil {
+			continue
+		}
+		for _, e := range dec.Entries {
+			if e.Empty() {
+				continue
+			}
+			de, derr := b.readEntryLocked(e)
+			if derr != nil {
+				continue
+			}
+			val, merr := de.MaterializeValue()
+			if merr != nil {
+				continue
+			}
+			items = append(items, kv{append([]byte(nil), de.Key...), val, de.Version})
+		}
+	}
+	// Size the new pool to fit current usage plus slack.
+	var need int
+	for _, it := range items {
+		need += sizeClassOf(layout.DataEntrySize(len(it.key), len(it.value)))
+	}
+	newBytes := int(float64(need) * (1 + slack))
+	if newBytes < b.opt.SlabBytes*2 {
+		newBytes = b.opt.SlabBytes * 2
+	}
+	newBytes = (newBytes/b.opt.SlabBytes + 1) * b.opt.SlabBytes
+	if newBytes > b.opt.DataMaxBytes {
+		newBytes = b.opt.DataMaxBytes
+	}
+	for _, w := range b.data.windows {
+		b.reg.Revoke(w.ID)
+	}
+	region := rmem.NewRegion(newBytes, b.opt.DataMaxBytes)
+	alloc, err := slab.New(newBytes, b.opt.SlabBytes, nil)
+	if err != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.data = &dataRegion{region: region, alloc: alloc}
+	b.data.windows = []*rmem.Window{b.reg.Register(region, 1)}
+
+	// Rebuild a fresh index at the same geometry and reinstall entries.
+	oldGeoEpoch := b.idx.epoch + 1
+	b.reg.Revoke(b.idx.win.ID)
+	b.idx = b.newIndex(b.idx.geo, oldGeoEpoch)
+	b.mu.Unlock()
+
+	for _, it := range items {
+		b.applySet(it.key, it.value, it.v)
+	}
+}
+
+// Items snapshots all resident KV pairs of a shard (or every shard with
+// shard < 0) — the migration and cohort-scan source.
+func (b *Backend) Items(shard, shards int) []proto.MigrateItem {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []proto.MigrateItem
+	for i := 0; i < b.idx.geo.Buckets; i++ {
+		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(i), b.idx.geo.BucketSize())
+		if err != nil {
+			continue
+		}
+		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		if err != nil {
+			continue
+		}
+		for _, e := range dec.Entries {
+			if e.Empty() {
+				continue
+			}
+			if shard >= 0 && shards > 0 && int(e.Hash.Hi%uint64(shards)) != shard {
+				continue
+			}
+			de, derr := b.readEntryLocked(e)
+			if derr != nil {
+				continue
+			}
+			val, merr := de.MaterializeValue()
+			if merr != nil {
+				continue
+			}
+			out = append(out, proto.MigrateItem{
+				Key:     append([]byte(nil), de.Key...),
+				Value:   val,
+				Version: de.Version,
+			})
+		}
+	}
+	for k, se := range b.side {
+		h := b.opt.Hash([]byte(k))
+		if shard >= 0 && shards > 0 && int(h.Hi%uint64(shards)) != shard {
+			continue
+		}
+		out = append(out, proto.MigrateItem{Key: []byte(k), Value: append([]byte(nil), se.value...), Version: se.version})
+	}
+	return out
+}
+
+// Len returns the resident entry count.
+func (b *Backend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.idx.used + len(b.side)
+}
+
+// Seal marks the corpus immutable (§6.4, R=2/Immutable): client-facing
+// mutations are rejected from now on. Repair and migration paths remain
+// open — they preserve, rather than change, the corpus.
+func (b *Backend) Seal() {
+	b.mu.Lock()
+	b.sealed = true
+	b.mu.Unlock()
+}
+
+// Sealed reports whether client mutations are rejected.
+func (b *Backend) Sealed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sealed
+}
+
+// IngestTouches feeds batched access records to the eviction policy
+// (§4.2).
+func (b *Backend) IngestTouches(keys [][]byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range keys {
+		b.policy.Touch(string(k))
+		b.ctr.Touches++
+	}
+}
+
+// rpcClient builds the backend's outbound RPC identity (repairs,
+// migrations).
+func (b *Backend) rpcClient() *rpc.Client {
+	return b.net.Client(b.opt.HostID, fmt.Sprintf("backend-%s", b.opt.Addr))
+}

@@ -1,0 +1,424 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/truetime"
+)
+
+// ErrSealed rejects client mutations against an immutable corpus (§6.4).
+var ErrSealed = errors.New("backend: corpus is sealed (R=2/Immutable)")
+
+// Handler CPU costs (ns) billed per invocation, on top of the RPC
+// framework cost. SETs dominate Figure 19's backend CPU at low GET
+// fractions.
+const (
+	setHandlerCPU   = 2600
+	eraseHandlerCPU = 1800
+	getHandlerCPU   = 1600
+	touchHandlerCPU = 300
+	scanHandlerCPU  = 4000
+)
+
+// registerHandlers wires the RPC service surface.
+func (b *Backend) registerHandlers() {
+	s := b.srv
+	s.Handle(proto.MethodHello, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		return b.hello().Marshal(), nil
+	})
+
+	s.Handle(proto.MethodGet, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalGetReq(req)
+		if err != nil {
+			return nil, err
+		}
+		value, ver, found := b.localGet(r.Key)
+		return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodGet, getHandlerCPU)
+
+	s.Handle(proto.MethodSet, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalSetReq(req)
+		if err != nil {
+			return nil, err
+		}
+		if b.Sealed() && !r.Repair {
+			return nil, ErrSealed
+		}
+		applied, stored, ev := b.applySet(r.Key, r.Value, r.Version)
+		return proto.MutateResp{Applied: applied, Stored: stored, Evictions: ev}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodSet, setHandlerCPU)
+
+	s.Handle(proto.MethodErase, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		if b.Sealed() {
+			return nil, ErrSealed
+		}
+		r, err := proto.UnmarshalEraseReq(req)
+		if err != nil {
+			return nil, err
+		}
+		applied, stored := b.applyErase(r.Key, r.Version)
+		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodErase, eraseHandlerCPU)
+
+	s.Handle(proto.MethodCas, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		if b.Sealed() {
+			return nil, ErrSealed
+		}
+		r, err := proto.UnmarshalCasReq(req)
+		if err != nil {
+			return nil, err
+		}
+		applied, stored := b.applyCas(r.Key, r.Value, r.Expected, r.Version)
+		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodCas, setHandlerCPU)
+
+	s.Handle(proto.MethodTouch, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalTouchReq(req)
+		if err != nil {
+			return nil, err
+		}
+		b.IngestTouches(r.Keys)
+		return proto.Ack{}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodTouch, touchHandlerCPU)
+
+	s.Handle(proto.MethodScan, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalScanReq(req)
+		if err != nil {
+			return nil, err
+		}
+		return b.scan(r).Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodScan, scanHandlerCPU)
+
+	s.Handle(proto.MethodUpdateVersion, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalUpdateVersionReq(req)
+		if err != nil {
+			return nil, err
+		}
+		applied := b.applyUpdateVersion(r.Key, r.Version)
+		return proto.MutateResp{Applied: applied, Stored: r.Version}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodUpdateVersion, eraseHandlerCPU)
+
+	s.Handle(proto.MethodMigrateBatch, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalMigrateBatchReq(req)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range r.Items {
+			b.applySet(it.Key, it.Value, it.Version)
+		}
+		return proto.Ack{}.Marshal(), nil
+	})
+	s.SetMethodCost(proto.MethodMigrateBatch, setHandlerCPU)
+
+	s.Handle(proto.MethodAssumeShard, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalAssumeShardReq(req)
+		if err != nil {
+			return nil, err
+		}
+		b.mu.Lock()
+		b.shard = r.Shard
+		b.spare = r.Shard < 0
+		b.mu.Unlock()
+		return proto.Ack{}.Marshal(), nil
+	})
+
+	s.Handle(proto.MethodConfig, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		cfg := b.store.Get()
+		return proto.ConfigResp{
+			ConfigID:   cfg.ID,
+			Replicas:   cfg.Mode.Replicas(),
+			Quorum:     cfg.Mode.Quorum(),
+			ShardAddrs: append([]string(nil), cfg.ShardAddrs...),
+		}.Marshal(), nil
+	})
+
+	s.Handle(proto.MethodStats, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		c := b.CountersSnapshot()
+		b.mu.Lock()
+		shard, sealed := b.shard, b.sealed
+		resident := uint64(b.idx.used + len(b.side))
+		b.mu.Unlock()
+		return proto.StatsResp{
+			Shard:          shard,
+			Sealed:         sealed,
+			ResidentKeys:   resident,
+			MemoryBytes:    uint64(b.MemoryBytes()),
+			Sets:           c.Sets,
+			Gets:           c.Gets,
+			Evictions:      c.CapacityEvictions + c.AssocEvictions,
+			IndexResizes:   c.IndexResizes,
+			DataGrows:      c.DataGrows,
+			RepairsIssued:  c.RepairsIssued,
+			VersionRejects: c.VersionRejects,
+		}.Marshal(), nil
+	})
+
+	s.Handle(proto.MethodRequestRepair, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalAssumeShardReq(req) // carries just the shard
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.RepairShard(ctx, r.Shard); err != nil {
+			return nil, err
+		}
+		return proto.Ack{}.Marshal(), nil
+	})
+}
+
+// HandleMsg serves the two-sided MSG lookup strategy (Figure 7) delivered
+// through the software NIC: a GET that wakes a backend application thread.
+func (b *Backend) HandleMsg(req []byte) ([]byte, error) {
+	r, err := proto.UnmarshalGetReq(req)
+	if err != nil {
+		return nil, err
+	}
+	value, ver, found := b.localGet(r.Key)
+	return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
+}
+
+// scan returns a page of (KeyHash, Version, Key) summaries for keys whose
+// primary shard matches — the §5.4 cohort-scan surface.
+func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
+	cfg := b.store.Get()
+	shards := cfg.Shards
+	limit := r.Limit
+	if limit <= 0 {
+		limit = 1024
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var resp proto.ScanResp
+	bucket := int(r.Cursor)
+	for ; bucket < b.idx.geo.Buckets; bucket++ {
+		if len(resp.Items) >= limit {
+			resp.NextCursor = uint64(bucket)
+			return resp
+		}
+		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+		if err != nil {
+			continue
+		}
+		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		if err != nil {
+			continue
+		}
+		for _, e := range dec.Entries {
+			if e.Empty() {
+				continue
+			}
+			if shards > 0 && int(e.Hash.Hi%uint64(shards)) != r.Shard {
+				continue
+			}
+			de, derr := b.readEntryLocked(e)
+			if derr != nil {
+				continue
+			}
+			resp.Items = append(resp.Items, proto.ScanItem{
+				HashHi: e.Hash.Hi, HashLo: e.Hash.Lo,
+				Version: e.Version,
+				Key:     append([]byte(nil), de.Key...),
+			})
+		}
+	}
+	// Side-table entries are scanned too.
+	for k, se := range b.side {
+		h := b.opt.Hash([]byte(k))
+		if shards > 0 && int(h.Hi%uint64(shards)) != r.Shard {
+			continue
+		}
+		resp.Items = append(resp.Items, proto.ScanItem{
+			HashHi: h.Hi, HashLo: h.Lo, Version: se.version, Key: []byte(k),
+		})
+	}
+	resp.Done = true
+	return resp
+}
+
+// RepairShard runs the §5.4 repair procedure for shard s, which this
+// backend should only do when it participates in s's cohort. For every key
+// of shard s, it gathers the per-replica versions (its own view plus
+// cohort scans over RPC), detects dirty quorums, and settles all replicas
+// on a fresh VersionNumber N: SET to replicas missing the key,
+// UpdateVersion to replicas holding it.
+func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err error) {
+	cfg := b.store.Get()
+	cohort := cfg.Cohort(s)
+
+	type replicaView struct {
+		addr  string
+		local bool
+		items map[string]proto.ScanItem
+	}
+	views := make([]replicaView, 0, len(cohort))
+	client := b.rpcClient()
+
+	for _, shard := range cohort {
+		addr := cfg.AddrFor(shard)
+		view := replicaView{addr: addr, items: make(map[string]proto.ScanItem)}
+		if addr == b.opt.Addr {
+			view.local = true
+			for _, it := range b.Items(s, cfg.Shards) {
+				view.items[string(it.Key)] = proto.ScanItem{Key: it.Key, Version: it.Version}
+			}
+		} else {
+			cursor := uint64(0)
+			for {
+				resp, _, cerr := client.Call(ctx, addr, proto.MethodScan, proto.ScanReq{Shard: s, Cursor: cursor, Limit: 4096}.Marshal())
+				if cerr != nil {
+					// A down cohort member cannot be scanned; repair what
+					// the reachable members show.
+					break
+				}
+				page, perr := proto.UnmarshalScanResp(resp)
+				if perr != nil {
+					return repaired, perr
+				}
+				for _, it := range page.Items {
+					view.items[string(it.Key)] = it
+				}
+				if page.Done {
+					break
+				}
+				cursor = page.NextCursor
+			}
+		}
+		views = append(views, view)
+	}
+
+	// Union of keys across replicas.
+	keys := map[string]bool{}
+	for _, v := range views {
+		for k := range v.items {
+			keys[k] = true
+		}
+	}
+
+	for k := range keys {
+		var versions []truetime.Version
+		bestIdx := -1
+		var bestV truetime.Version
+		for i, v := range views {
+			it, ok := v.items[k]
+			if !ok {
+				versions = append(versions, truetime.Version{})
+				continue
+			}
+			versions = append(versions, it.Version)
+			if bestIdx < 0 || bestV.Less(it.Version) {
+				bestIdx, bestV = i, it.Version
+			}
+		}
+		clean := true
+		for _, v := range versions {
+			if v != bestV {
+				clean = false
+				break
+			}
+		}
+		if clean || bestIdx < 0 {
+			continue
+		}
+
+		// Fetch the authoritative value from the highest-versioned holder.
+		var value []byte
+		var found bool
+		if views[bestIdx].local {
+			value, _, found = b.localGet([]byte(k))
+		} else {
+			resp, _, cerr := client.Call(ctx, views[bestIdx].addr, proto.MethodGet, proto.GetReq{Key: []byte(k)}.Marshal())
+			if cerr == nil {
+				g, gerr := proto.UnmarshalGetResp(resp)
+				if gerr == nil && g.Found {
+					value, found = g.Value, true
+				}
+			}
+		}
+		if !found {
+			continue // value vanished (erase racing the repair); skip
+		}
+
+		// Settle every replica on fresh version N. N must dominate the
+		// highest version any replica holds — under clock skew the local
+		// TrueTime bound may lag a version nominated by a fast client, so
+		// bump above it explicitly (ClientID and Seq keep N unique).
+		n := b.gen.Next()
+		if !bestV.Less(n) {
+			n = truetime.Version{Micros: bestV.Micros + 1, ClientID: n.ClientID, Seq: n.Seq}
+		}
+		for i, v := range views {
+			hasKey := !versions[i].Zero()
+			if v.local {
+				if hasKey {
+					b.applyUpdateVersion([]byte(k), n)
+				} else {
+					b.applySet([]byte(k), value, n)
+				}
+				continue
+			}
+			var method string
+			var payload []byte
+			if hasKey {
+				method = proto.MethodUpdateVersion
+				payload = proto.UpdateVersionReq{Key: []byte(k), Version: n}.Marshal()
+			} else {
+				method = proto.MethodSet
+				payload = proto.SetReq{Key: []byte(k), Value: value, Version: n, Repair: true}.Marshal()
+			}
+			client.Call(ctx, v.addr, method, payload)
+		}
+		repaired++
+	}
+
+	b.mu.Lock()
+	b.ctr.RepairsIssued += uint64(repaired)
+	b.mu.Unlock()
+	return repaired, nil
+}
+
+// MigrateTo streams this backend's shard contents to target and hands the
+// shard over — the planned-maintenance path of §6.1. The caller (cell
+// orchestration) is responsible for the config update that points the
+// shard at the target.
+func (b *Backend) MigrateTo(ctx context.Context, targetAddr string) error {
+	b.mu.Lock()
+	shard := b.shard
+	b.mu.Unlock()
+	if shard < 0 {
+		return fmt.Errorf("backend %s: no shard to migrate", b.opt.Addr)
+	}
+	cfg := b.store.Get()
+	items := b.Items(-1, cfg.Shards) // a backend holds copies for 3 shards; move them all
+	client := b.rpcClient()
+
+	const batch = 256
+	for i := 0; i < len(items); i += batch {
+		end := i + batch
+		if end > len(items) {
+			end = len(items)
+		}
+		req := proto.MigrateBatchReq{Shard: shard, Items: items[i:end], Final: end == len(items)}
+		if _, _, err := client.Call(ctx, targetAddr, proto.MethodMigrateBatch, req.Marshal()); err != nil {
+			return err
+		}
+	}
+	if _, _, err := client.Call(ctx, targetAddr, proto.MethodAssumeShard, proto.AssumeShardReq{Shard: shard}.Marshal()); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.shard = -1
+	b.spare = true
+	b.mu.Unlock()
+	return nil
+}

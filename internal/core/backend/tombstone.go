@@ -1,0 +1,66 @@
+package backend
+
+import (
+	"cliquemap/internal/truetime"
+)
+
+// tombstoneCache retains VersionNumbers of ERASEd keys (§5.2): late
+// arriving SETs must not resurrect affirmatively-erased values, but erased
+// versions cannot live in the index region without wasting RMA-accessible
+// DRAM. The cache is a fully associative, fixed-size structure on the
+// backend's heap; evicted entries are approximated (bounded above) by a
+// single summary VersionNumber — coarse, but never inconsistent.
+type tombstoneCache struct {
+	cap     int
+	entries map[string]truetime.Version
+	order   []string // FIFO eviction order
+	summary truetime.Version
+}
+
+func newTombstoneCache(capacity int) *tombstoneCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &tombstoneCache{cap: capacity, entries: make(map[string]truetime.Version)}
+}
+
+// insert records key as erased at v, evicting the oldest tombstone into
+// the summary if full. A newer tombstone for the same key wins.
+func (t *tombstoneCache) insert(key string, v truetime.Version) {
+	if old, ok := t.entries[key]; ok {
+		if old.Less(v) {
+			t.entries[key] = v
+		}
+		return
+	}
+	for len(t.entries) >= t.cap && len(t.order) > 0 {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		if ev, ok := t.entries[victim]; ok {
+			if t.summary.Less(ev) {
+				t.summary = ev
+			}
+			delete(t.entries, victim)
+		}
+	}
+	t.entries[key] = v
+	t.order = append(t.order, key)
+}
+
+// drop removes key's tombstone (a newer SET superseded it). The summary is
+// untouched — it only ever grows.
+func (t *tombstoneCache) drop(key string) {
+	delete(t.entries, key)
+}
+
+// bound returns the highest version that could have erased key: the exact
+// tombstone when cached, else the summary upper bound.
+func (t *tombstoneCache) bound(key string) truetime.Version {
+	if v, ok := t.entries[key]; ok {
+		return v
+	}
+	return t.summary
+}
+
+// len returns the cached tombstone count.
+func (t *tombstoneCache) len() int { return len(t.entries) }

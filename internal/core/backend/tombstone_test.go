@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"cliquemap/internal/truetime"
+)
+
+func ver(n int64) truetime.Version { return truetime.Version{Micros: n, ClientID: 1, Seq: 1} }
+
+func TestTombstoneExactLookup(t *testing.T) {
+	tc := newTombstoneCache(4)
+	tc.insert("a", ver(10))
+	if got := tc.bound("a"); got != ver(10) {
+		t.Errorf("bound(a) = %v", got)
+	}
+	if got := tc.bound("absent"); !got.Zero() {
+		t.Errorf("bound(absent) = %v, want zero (empty summary)", got)
+	}
+}
+
+func TestTombstoneNewerWins(t *testing.T) {
+	tc := newTombstoneCache(4)
+	tc.insert("a", ver(10))
+	tc.insert("a", ver(5)) // older: ignored
+	if got := tc.bound("a"); got != ver(10) {
+		t.Errorf("bound = %v, want v10", got)
+	}
+	tc.insert("a", ver(20))
+	if got := tc.bound("a"); got != ver(20) {
+		t.Errorf("bound = %v, want v20", got)
+	}
+	if tc.len() != 1 {
+		t.Errorf("len = %d", tc.len())
+	}
+}
+
+// TestTombstoneSummaryUpperBound: evicted tombstones are approximated by
+// the summary — coarse (it bounds unrelated keys too) but never lower
+// than the evicted version (§5.2: "bounded above... never inconsistent").
+func TestTombstoneSummaryUpperBound(t *testing.T) {
+	tc := newTombstoneCache(2)
+	tc.insert("a", ver(10))
+	tc.insert("b", ver(20))
+	tc.insert("c", ver(5)) // evicts "a" (FIFO) into the summary
+	if tc.len() != 2 {
+		t.Fatalf("len = %d, want 2", tc.len())
+	}
+	// "a" is gone from the cache; its bound must still be >= v10.
+	if got := tc.bound("a"); got.Less(ver(10)) {
+		t.Errorf("bound(a) = %v < evicted version", got)
+	}
+	// The summary also bounds never-erased keys (documented coarseness).
+	if got := tc.bound("never-seen"); got.Less(ver(10)) {
+		t.Errorf("summary bound = %v", got)
+	}
+}
+
+func TestTombstoneSummaryMonotone(t *testing.T) {
+	tc := newTombstoneCache(1)
+	var last truetime.Version
+	for i := 1; i <= 50; i++ {
+		tc.insert(fmt.Sprintf("k%d", i), ver(int64(i)))
+		b := tc.bound("probe")
+		if b.Less(last) {
+			t.Fatalf("summary regressed: %v after %v", b, last)
+		}
+		last = b
+	}
+	// With capacity 1, the 49 oldest were evicted: summary >= v49.
+	if tc.bound("probe").Less(ver(49)) {
+		t.Errorf("summary = %v, want >= v49", tc.bound("probe"))
+	}
+}
+
+func TestTombstoneDrop(t *testing.T) {
+	tc := newTombstoneCache(4)
+	tc.insert("a", ver(10))
+	tc.drop("a")
+	if got := tc.bound("a"); !got.Zero() {
+		t.Errorf("after drop, bound = %v", got)
+	}
+	// Dropping must not shrink the summary.
+	tc2 := newTombstoneCache(1)
+	tc2.insert("x", ver(10))
+	tc2.insert("y", ver(20)) // x evicted → summary v10
+	tc2.drop("y")
+	if tc2.bound("anything").Less(ver(10)) {
+		t.Error("drop shrank the summary")
+	}
+}
+
+func TestTombstoneZeroCapDefaults(t *testing.T) {
+	tc := newTombstoneCache(0)
+	if tc.cap <= 0 {
+		t.Error("zero capacity not defaulted")
+	}
+}

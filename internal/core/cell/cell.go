@@ -1,0 +1,611 @@
+// Package cell orchestrates a CliqueMap cell: N backend tasks plus warm
+// spares on a simulated fabric, the HA configuration store, per-host NICs
+// (Pony Express or 1RMA), and client construction.
+//
+// The cell is also the fault-injection surface for the §7.2 experiments:
+// planned maintenance via spare migration (§6.1, Figure 13), crashes and
+// post-restart repairs (§5.4, Figure 14), antagonist load on individual
+// hosts (§7.2.1, Figure 11), and cohort-scan repair sweeps.
+package cell
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"cliquemap/internal/core/backend"
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/nic"
+	"cliquemap/internal/onerma"
+	"cliquemap/internal/pony"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/truetime"
+)
+
+// Transport selects the RMA substrate (§7.2.4).
+type Transport int
+
+const (
+	// TransportPony is the software NIC with SCAR and engine scale-out.
+	TransportPony Transport = iota
+	// Transport1RMA is the all-hardware NIC: 2×R only, low RTT.
+	Transport1RMA
+)
+
+// Options configures a cell.
+type Options struct {
+	Shards      int
+	Spares      int
+	Mode        config.Mode
+	Transport   Transport
+	ClientHosts int // hosts reserved for clients (≥1)
+
+	Fabric  fabric.Params
+	Backend backend.Options // template; per-task fields are filled in
+	// ACL, when set, gates every backend RPC by (principal, method) —
+	// the per-RPC ACLs Table 1 credits to the RPC framework.
+	ACL rpc.Authenticator
+	// Hash overrides the cell-wide key hash (§6.5); backends and every
+	// client constructed by this cell share it. nil = DefaultHash.
+	Hash    hashring.HashFunc
+	RPCCost rpc.CostModel
+	Pony    pony.CostModel
+	PonyEng pony.EngineConfig
+	OneRMA  onerma.CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 3
+	}
+	if o.ClientHosts == 0 {
+		o.ClientHosts = 1
+	}
+	return o
+}
+
+// node is one backend task and its host-side NIC state.
+type node struct {
+	info    config.BackendInfo
+	b       *backend.Backend
+	ponyNIC *pony.NIC
+	oneNIC  *onerma.NIC
+}
+
+// Cell is a running CliqueMap cell.
+type Cell struct {
+	opt    Options
+	Fabric *fabric.Fabric
+	Net    *rpc.Network
+	Store  *config.Store
+	Acct   *stats.CPUAccount
+	Clock  *truetime.SystemClock
+	// HWHist collects 1RMA hardware timestamps (Figure 16).
+	HWHist *stats.Histogram
+
+	mu          sync.Mutex
+	nodes       []*node // shards first, then spares
+	byAddr      map[string]*node
+	clientNICs  map[int]interface{} // host → *pony.NIC or *onerma.NIC
+	nextClient  int
+	clientIDSeq uint64
+	repairStop  chan struct{}
+}
+
+// New builds and starts a cell.
+func New(opt Options) (*Cell, error) {
+	opt = opt.withDefaults()
+	hosts := opt.Shards + opt.Spares + opt.ClientHosts
+	c := &Cell{
+		opt:        opt,
+		Fabric:     fabric.New(hosts, opt.Fabric),
+		Acct:       stats.NewCPUAccount(),
+		Clock:      truetime.NewSystemClock(),
+		HWHist:     &stats.Histogram{},
+		byAddr:     make(map[string]*node),
+		clientNICs: make(map[int]interface{}),
+	}
+	c.Net = rpc.NewNetwork(c.Fabric, opt.RPCCost, c.Acct)
+
+	// Initial configuration: shard i on host i; spares idle after.
+	cfg := config.CellConfig{Mode: opt.Mode, Shards: opt.Shards}
+	for i := 0; i < opt.Shards; i++ {
+		addr := fmt.Sprintf("backend-%d", i)
+		cfg.ShardAddrs = append(cfg.ShardAddrs, addr)
+		cfg.Backends = append(cfg.Backends, config.BackendInfo{Shard: i, Addr: addr, HostID: i})
+	}
+	for i := 0; i < opt.Spares; i++ {
+		addr := fmt.Sprintf("spare-%d", i)
+		cfg.Backends = append(cfg.Backends, config.BackendInfo{Shard: -1, Addr: addr, HostID: opt.Shards + i, Spare: true})
+	}
+	c.Store = config.NewStore(cfg)
+
+	for _, info := range c.Store.Get().Backends {
+		n, err := c.startNode(info)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+		c.byAddr[info.Addr] = n
+	}
+	return c, nil
+}
+
+// startNode builds a backend task with its registry and NIC on its host.
+func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
+	reg := rmem.NewRegistry()
+	bopt := c.opt.Backend
+	if c.opt.Hash != nil {
+		bopt.Hash = c.opt.Hash
+	}
+	bopt.Shard = info.Shard
+	bopt.HostID = info.HostID
+	bopt.Addr = info.Addr
+	gen := truetime.NewGenerator(c.Clock, uint64(1000+info.HostID))
+	b, err := backend.New(bopt, c.Store, reg, c.Net, gen, c.Acct)
+	if err != nil {
+		return nil, err
+	}
+	if c.opt.ACL != nil {
+		b.Server().SetAuthenticator(c.opt.ACL)
+	}
+	n := &node{info: info, b: b}
+	switch c.opt.Transport {
+	case TransportPony:
+		n.ponyNIC = pony.New(c.Fabric.Host(info.HostID), reg, c.opt.Pony, c.opt.PonyEng, c.Acct)
+		n.ponyNIC.SetMsgHandler(b.HandleMsg)
+	case Transport1RMA:
+		n.oneNIC = onerma.New(c.Fabric.Host(info.HostID), reg, c.opt.OneRMA, c.Acct, nil)
+	}
+	return n, nil
+}
+
+// Backend returns the task currently serving shard s.
+func (c *Cell) Backend(s int) *backend.Backend {
+	addr := c.Store.Get().AddrFor(s)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.byAddr[addr]; n != nil {
+		return n.b
+	}
+	return nil
+}
+
+// BackendByAddr returns the task at addr.
+func (c *Cell) BackendByAddr(addr string) *backend.Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.byAddr[addr]; n != nil {
+		return n.b
+	}
+	return nil
+}
+
+// Nodes returns all backend tasks (shards then spares).
+func (c *Cell) Nodes() []*backend.Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*backend.Backend, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.b
+	}
+	return out
+}
+
+// PonyEngines returns the engine count per backend node (Figure 15).
+func (c *Cell) PonyEngines() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.ponyNIC != nil {
+			out = append(out, n.ponyNIC.Engines())
+		}
+	}
+	return out
+}
+
+// TotalMemoryBytes sums every task's populated DRAM (Figure 3).
+func (c *Cell) TotalMemoryBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.nodes {
+		total += n.b.MemoryBytes()
+	}
+	return total
+}
+
+// clientHostID assigns client i to a host in the client range.
+func (c *Cell) clientHostID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := c.opt.Shards + c.opt.Spares
+	h := base + c.nextClient%c.opt.ClientHosts
+	c.nextClient++
+	return h
+}
+
+// clientNIC lazily builds the client-side NIC for a host.
+func (c *Cell) clientNIC(host int) interface{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.clientNICs[host]; ok {
+		return n
+	}
+	var n interface{}
+	switch c.opt.Transport {
+	case TransportPony:
+		n = pony.New(c.Fabric.Host(host), nil, c.opt.Pony, c.opt.PonyEng, c.Acct)
+	case Transport1RMA:
+		n = onerma.New(c.Fabric.Host(host), nil, c.opt.OneRMA, c.Acct, c.HWHist)
+	}
+	c.clientNICs[host] = n
+	return n
+}
+
+// servingNIC returns the NIC of the backend on the given host, or nil.
+func (c *Cell) servingNIC(host int) *node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		if n.info.HostID == host {
+			return n
+		}
+	}
+	return nil
+}
+
+// NewClient constructs a client attached to a client host of this cell.
+func (c *Cell) NewClient(copt client.Options) *client.Client {
+	c.mu.Lock()
+	c.clientIDSeq++
+	if copt.ID == 0 {
+		copt.ID = c.clientIDSeq
+	}
+	c.mu.Unlock()
+	if copt.HostID == 0 {
+		copt.HostID = c.clientHostID()
+	}
+
+	dial := func(host int) nic.RMA {
+		local := c.clientNIC(copt.HostID)
+		target := c.servingNIC(host)
+		if target == nil {
+			return deadConn{}
+		}
+		switch c.opt.Transport {
+		case TransportPony:
+			return pony.Dial(c.Fabric, local.(*pony.NIC), target.ponyNIC)
+		default:
+			return onerma.Dial(c.Fabric, local.(*onerma.NIC), target.oneNIC)
+		}
+	}
+	var msg client.MsgFunc
+	if c.opt.Transport == TransportPony {
+		msg = func(host int, at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
+			local := c.clientNIC(copt.HostID).(*pony.NIC)
+			target := c.servingNIC(host)
+			if target == nil || target.ponyNIC == nil {
+				return nil, fabric.OpTrace{}, nic.ErrUnreachable
+			}
+			return pony.Dial(c.Fabric, local, target.ponyNIC).Message(at, req)
+		}
+	}
+	if c.opt.Hash != nil && copt.Hash == nil {
+		copt.Hash = c.opt.Hash
+	}
+	rpcc := c.Net.Client(copt.HostID, fmt.Sprintf("client-%d", copt.ID))
+	return client.New(copt, c.Store, rpcc, c.Clock, dial, msg, c.Fabric.NowNs, c.Acct)
+}
+
+// ServeTCP exposes the cell's RPC surface on a real socket, so processes
+// outside this address space (remote tools, other services, WAN callers)
+// can drive the full protocol. Calls enter the fabric at the first client
+// host.
+func (c *Cell) ServeTCP(addr string) (*rpc.TCPGateway, error) {
+	return rpc.ServeTCP(c.Net, addr, c.opt.Shards+c.opt.Spares)
+}
+
+// NewWANClient constructs a client in a remote region reaching this cell
+// purely over RPC (Table 1: RMA protocols are not applicable over WAN, so
+// lookups fall back to the RPC path). oneWay is the extra WAN latency
+// added to every delivery at the client's host. The client's lookup
+// strategy is forced to RPC.
+func (c *Cell) NewWANClient(copt client.Options, oneWay time.Duration) *client.Client {
+	copt.Strategy = client.StrategyRPC
+	if copt.HostID == 0 {
+		copt.HostID = c.clientHostID()
+	}
+	c.Fabric.Host(copt.HostID).SetExtraLatency(uint64(oneWay.Nanoseconds()))
+	return c.NewClient(copt)
+}
+
+// deadConn fails every op — a target host with no serving backend.
+type deadConn struct{}
+
+func (deadConn) Read(uint64, rmem.WindowID, int, int) ([]byte, fabric.OpTrace, error) {
+	return nil, fabric.OpTrace{}, nic.ErrUnreachable
+}
+
+func (deadConn) ScanAndRead(uint64, rmem.WindowID, int, int, hashring.KeyHash, int) (nic.ScarResult, fabric.OpTrace, error) {
+	return nic.ScarResult{}, fabric.OpTrace{}, nic.ErrUnreachable
+}
+
+func (deadConn) SupportsScar() bool { return false }
+
+// bumpConfig applies a mutation to the store and restamps every live
+// backend's buckets with the new ID.
+func (c *Cell) bumpConfig(mutate func(*config.CellConfig)) config.CellConfig {
+	next := c.Store.Update(mutate)
+	c.mu.Lock()
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		if !n.b.Server().Stopped() {
+			n.b.SetConfigID(next.ID)
+		}
+	}
+	return next
+}
+
+// SetAntagonist places external load on the host serving shard s
+// (§7.2.1's ~95Gbps competing demand).
+func (c *Cell) SetAntagonist(shard int, frac float64) {
+	host := c.Store.Get().HostFor(shard)
+	if host >= 0 {
+		c.Fabric.Host(host).SetExternalLoad(frac)
+	}
+}
+
+// SetClientLoad places external load on a client's host (Figure 12's
+// incast exacerbation).
+func (c *Cell) SetClientLoad(clientHost int, frac float64) {
+	c.Fabric.Host(clientHost).SetExternalLoad(frac)
+}
+
+// Crash simulates an unplanned failure of the task serving shard s: RPC
+// server stops and the NIC goes dark (§7.2.3, Figure 14).
+func (c *Cell) Crash(shard int) {
+	addr := c.Store.Get().AddrFor(shard)
+	c.mu.Lock()
+	n := c.byAddr[addr]
+	c.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.b.Server().Stop()
+	if n.ponyNIC != nil {
+		n.ponyNIC.SetDown(true)
+	}
+	if n.oneNIC != nil {
+		n.oneNIC.SetDown(true)
+	}
+}
+
+// Restart brings shard s back as a fresh, empty task on its host (the
+// paper restarts on another host; host identity is immaterial here) and
+// runs the §5.4 post-restart repairs: the restarted backend requests
+// repairs from the healthy members of every cohort it participates in.
+func (c *Cell) Restart(ctx context.Context, shard int) error {
+	cfg := c.Store.Get()
+	addr := cfg.AddrFor(shard)
+	c.mu.Lock()
+	old := c.byAddr[addr]
+	c.mu.Unlock()
+	if old == nil {
+		return fmt.Errorf("cell: no task at %s", addr)
+	}
+
+	fresh, err := c.startNode(old.info) // re-Serve replaces the dead server
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for i, n := range c.nodes {
+		if n == old {
+			c.nodes[i] = fresh
+		}
+	}
+	c.byAddr[addr] = fresh
+	c.mu.Unlock()
+
+	fresh.b.SetConfigID(cfg.ID)
+	return c.RepairCohortsOf(ctx, shard)
+}
+
+// RepairCohortsOf repairs every shard whose cohort includes shard s —
+// what a restarted backend requests (§5.4).
+func (c *Cell) RepairCohortsOf(ctx context.Context, s int) error {
+	cfg := c.Store.Get()
+	replicas := cfg.Mode.Replicas()
+	for d := 0; d < replicas; d++ {
+		target := ((s-d)%cfg.Shards + cfg.Shards) % cfg.Shards
+		owner := c.BackendByAddr(cfg.AddrFor(target))
+		if owner == nil || owner.Server().Stopped() {
+			continue
+		}
+		if _, err := owner.RepairShard(ctx, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RepairAll runs one cohort-scan repair sweep across every shard.
+func (c *Cell) RepairAll(ctx context.Context) (int, error) {
+	cfg := c.Store.Get()
+	total := 0
+	for s := 0; s < cfg.Shards; s++ {
+		owner := c.BackendByAddr(cfg.AddrFor(s))
+		if owner == nil || owner.Server().Stopped() {
+			continue
+		}
+		n, err := owner.RepairShard(ctx, s)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// StartRepairLoop runs RepairAll on the given cadence until StopRepairLoop
+// (the paper tunes the inter-scan interval per deployment; tens of
+// seconds is typical).
+func (c *Cell) StartRepairLoop(interval time.Duration) {
+	c.mu.Lock()
+	if c.repairStop != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.repairStop = stop
+	c.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.RepairAll(context.Background())
+			}
+		}
+	}()
+}
+
+// StopRepairLoop halts the background repair sweep.
+func (c *Cell) StopRepairLoop() {
+	c.mu.Lock()
+	if c.repairStop != nil {
+		close(c.repairStop)
+		c.repairStop = nil
+	}
+	c.mu.Unlock()
+}
+
+// PlannedMaintenance migrates shard s to an idle warm spare ahead of
+// maintenance (§6.1, Figure 13), returning the spare's address. Clients
+// discover the move via bucket ConfigID mismatch → config refresh.
+func (c *Cell) PlannedMaintenance(ctx context.Context, shard int) (string, error) {
+	cfg := c.Store.Get()
+	var spare *node
+	c.mu.Lock()
+	for _, n := range c.nodes {
+		if n.info.Spare && n.b.Shard() < 0 && !n.b.Server().Stopped() {
+			spare = n
+			break
+		}
+	}
+	c.mu.Unlock()
+	if spare == nil {
+		return "", fmt.Errorf("cell: no idle spare")
+	}
+	primary := c.BackendByAddr(cfg.AddrFor(shard))
+	if primary == nil {
+		return "", fmt.Errorf("cell: shard %d has no task", shard)
+	}
+	if err := primary.MigrateTo(ctx, spare.info.Addr); err != nil {
+		return "", err
+	}
+	c.bumpConfig(func(cc *config.CellConfig) {
+		cc.ShardAddrs[shard] = spare.info.Addr
+	})
+	return spare.info.Addr, nil
+}
+
+// CompleteMaintenance returns shard s from its spare to the (restarted)
+// primary task: the spare streams the data back and the config flips.
+func (c *Cell) CompleteMaintenance(ctx context.Context, shard int, primaryAddr string) error {
+	cfg := c.Store.Get()
+	spareAddr := cfg.AddrFor(shard)
+	spare := c.BackendByAddr(spareAddr)
+	if spare == nil {
+		return fmt.Errorf("cell: shard %d spare missing", shard)
+	}
+	primary := c.BackendByAddr(primaryAddr)
+	if primary == nil || primary.Server().Stopped() {
+		return fmt.Errorf("cell: primary %s not ready", primaryAddr)
+	}
+	if err := spare.MigrateTo(ctx, primaryAddr); err != nil {
+		return err
+	}
+	c.bumpConfig(func(cc *config.CellConfig) {
+		cc.ShardAddrs[shard] = primaryAddr
+	})
+	return nil
+}
+
+// CompactAll triggers the non-disruptive downsizing restart on every task
+// (Figure 3's corpus-shrink response).
+func (c *Cell) CompactAll(slack float64) {
+	for _, b := range c.Nodes() {
+		if !b.Server().Stopped() {
+			b.CompactRestart(slack)
+		}
+	}
+}
+
+// LoadImmutable bulk-loads an immutable corpus (§6.4): every KV pair is
+// installed on its replica set directly and the cell is then sealed —
+// client mutations are rejected from that point on. Intended for
+// R=2/Immutable cells, where the corpus comes from an external system of
+// record.
+func (c *Cell) LoadImmutable(ctx context.Context, items map[string][]byte) error {
+	cfg := c.Store.Get()
+	gen := truetime.NewGenerator(c.Clock, 999)
+	for k, v := range items {
+		hashFn := c.opt.Hash
+		if hashFn == nil {
+			hashFn = hashring.DefaultHash
+		}
+		h := hashFn([]byte(k))
+		primary := int(h.Hi % uint64(cfg.Shards))
+		ver := gen.Next()
+		for _, shard := range cfg.Cohort(primary) {
+			b := c.BackendByAddr(cfg.AddrFor(shard))
+			if b == nil {
+				return fmt.Errorf("cell: shard %d has no task", shard)
+			}
+			if applied, _, _ := b.ApplySet([]byte(k), v, ver); !applied {
+				return fmt.Errorf("cell: immutable load of %q rejected", k)
+			}
+		}
+	}
+	for _, b := range c.Nodes() {
+		b.Seal()
+	}
+	return nil
+}
+
+// AggregateCounters sums counters across tasks.
+func (c *Cell) AggregateCounters() backend.Counters {
+	var out backend.Counters
+	for _, b := range c.Nodes() {
+		s := b.CountersSnapshot()
+		out.Sets += s.Sets
+		out.SetsApplied += s.SetsApplied
+		out.Erases += s.Erases
+		out.ErasesApplied += s.ErasesApplied
+		out.CasOps += s.CasOps
+		out.CasApplied += s.CasApplied
+		out.Gets += s.Gets
+		out.VersionRejects += s.VersionRejects
+		out.CapacityEvictions += s.CapacityEvictions
+		out.AssocEvictions += s.AssocEvictions
+		out.Overflows += s.Overflows
+		out.Touches += s.Touches
+		out.IndexResizes += s.IndexResizes
+		out.DataGrows += s.DataGrows
+		out.RepairsIssued += s.RepairsIssued
+	}
+	return out
+}

@@ -1,0 +1,948 @@
+// Package client implements the CliqueMap client library (§3, §5): the
+// only component that touches every transport.
+//
+// GETs run over one-sided RMA — 2×R (bucket fetch then data fetch), SCAR
+// (single round trip on software NICs), MSG (two-sided messaging), or a
+// pure RPC fallback — while every mutation is an RPC to all replicas with
+// a client-nominated VersionNumber.
+//
+// Under R=3.2 the client fetches the index from all three replicas,
+// speculatively reads data from the first responder (the preferred
+// backend), and forms a per-KV majority quorum on {VersionNumber,
+// KeyHash}; a GET is a hit only if the checksum validates, two replicas
+// agree, the full key matches, and the data came from a quorum member
+// (§5.1). Every hazard — torn reads, revoked windows, config changes,
+// crashed backends, lost quorums — funnels into one mechanism: classify
+// the failure, repair client state at the right layer (retry / re-
+// handshake / config refresh), and try again (§3, §9).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/nic"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/truetime"
+)
+
+// Strategy selects the lookup path (§6.3, Figure 7).
+type Strategy int
+
+const (
+	// Strategy2xR: two dependent RMA reads. Works on every transport.
+	Strategy2xR Strategy = iota
+	// StrategySCAR: single-round-trip scan-and-read (software NICs only).
+	StrategySCAR
+	// StrategyMSG: two-sided messaging through the NIC.
+	StrategyMSG
+	// StrategyRPC: full RPC lookups (WAN / no-RMA environments).
+	StrategyRPC
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case Strategy2xR:
+		return "2xR"
+	case StrategySCAR:
+		return "SCAR"
+	case StrategyMSG:
+		return "MSG"
+	case StrategyRPC:
+		return "RPC"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+var (
+	// ErrInquorate reports a GET that could not assemble a quorum after
+	// retries — surfaced as an error so callers can distinguish it from a
+	// clean miss (§5.3: repeated mutations can starve GETs).
+	ErrInquorate = errors.New("client: no quorum")
+	// ErrExhausted reports an op that ran out of retries/deadline.
+	ErrExhausted = errors.New("client: retries exhausted")
+	// ErrUnavailable reports that too few replicas were reachable.
+	ErrUnavailable = errors.New("client: replicas unavailable")
+)
+
+// Metrics aggregates client-observable behaviour for the experiments.
+type Metrics struct {
+	Gets, Hits, Misses     stats.Counter
+	Sets, Erases, CasOps   stats.Counter
+	TornRetries            stats.Counter // checksum failures (§3)
+	WindowRetries          stats.Counter // revoked windows → re-handshake (§4.1)
+	ConfigRetries          stats.Counter // config-ID mismatches → refresh (§6.1)
+	QuorumRetries          stats.Counter // preferred backend outside quorum (§5.1)
+	Inquorate              stats.Counter
+	RPCFallbacks           stats.Counter // overflow-bit / final RPC lookups
+	GetLatency, SetLatency stats.Histogram
+}
+
+// RetryCount sums retryable hazards observed.
+func (m *Metrics) RetryCount() uint64 {
+	return m.TornRetries.Value() + m.WindowRetries.Value() + m.ConfigRetries.Value() + m.QuorumRetries.Value()
+}
+
+// Options configures a client.
+type Options struct {
+	ID         uint64 // client identity for VersionNumbers
+	HostID     int    // fabric host the client runs on
+	Strategy   Strategy
+	Retries    int  // per-op retry budget (default 5)
+	TouchBatch int  // flush threshold for access records; 0 disables (§4.2)
+	NoFallback bool // disable the final RPC lookup fallback
+	Hash       hashring.HashFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Retries == 0 {
+		o.Retries = 5
+	}
+	if o.Hash == nil {
+		o.Hash = hashring.DefaultHash
+	}
+	return o
+}
+
+// DialFunc opens a one-sided connection to a backend host.
+type DialFunc func(hostID int) nic.RMA
+
+// MsgFunc performs a two-sided NIC message exchange with a backend host;
+// nil when the transport lacks messaging. at is the op's virtual start
+// instant (0 = now).
+type MsgFunc func(hostID int, at uint64, req []byte) ([]byte, fabric.OpTrace, error)
+
+// NowFunc samples the fabric's virtual clock; nil means legs are not
+// pinned to a common op start (acceptable for tests).
+type NowFunc func() uint64
+
+// Client is one CliqueMap client instance. Safe for concurrent use.
+type Client struct {
+	opt   Options
+	store *config.Store
+	rpcc  rpc.Caller
+	gen   *truetime.Generator
+	dial  DialFunc
+	msg   MsgFunc
+	now   NowFunc
+	clock truetime.Clock
+	acct  *stats.CPUAccount
+
+	mu     sync.Mutex
+	cfg    config.CellConfig
+	conns  map[int]nic.RMA            // by host id
+	hellos map[string]proto.HelloResp // by backend addr
+	touchQ map[string][][]byte        // by backend addr
+
+	M Metrics
+}
+
+// Client-side CPU per lookup attempt by strategy (Figure 7 calibration).
+const (
+	cpu2xR  = 900
+	cpuSCAR = 560
+	cpuMSG  = 700
+	cpuRPC  = 1200
+)
+
+// New builds a client. msg, now, and acct may be nil.
+func New(opt Options, store *config.Store, rpcc rpc.Caller, clock truetime.Clock, dial DialFunc, msg MsgFunc, now NowFunc, acct *stats.CPUAccount) *Client {
+	opt = opt.withDefaults()
+	c := &Client{
+		opt:    opt,
+		store:  store,
+		rpcc:   rpcc,
+		gen:    truetime.NewGenerator(clock, opt.ID),
+		dial:   dial,
+		msg:    msg,
+		now:    now,
+		clock:  clock,
+		acct:   acct,
+		conns:  make(map[int]nic.RMA),
+		hellos: make(map[string]proto.HelloResp),
+		touchQ: make(map[string][][]byte),
+	}
+	c.cfg = store.Get()
+	return c
+}
+
+// Config returns the client's cached cell configuration.
+func (c *Client) Config() config.CellConfig {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}
+
+func (c *Client) chargeCPU(ns uint64) {
+	if c.acct != nil {
+		c.acct.Charge("client", ns)
+	}
+}
+
+// refreshConfig re-reads the HA store and drops cached handshakes, the
+// §6.1 recovery path for config-ID mismatches.
+func (c *Client) refreshConfig() {
+	c.mu.Lock()
+	c.cfg = c.store.Get()
+	c.hellos = make(map[string]proto.HelloResp)
+	c.mu.Unlock()
+}
+
+// forgetHandshake drops one backend's cached geometry, forcing a fresh
+// Hello on next use — the recovery path for revoked windows (§4.1).
+func (c *Client) forgetHandshake(addr string) {
+	c.mu.Lock()
+	delete(c.hellos, addr)
+	c.mu.Unlock()
+}
+
+// replica is the client's resolved view of one cohort member.
+type replica struct {
+	shard int
+	addr  string
+	host  int
+	hello proto.HelloResp
+	conn  nic.RMA
+}
+
+// resolveReplica produces a usable replica handle, performing the Hello
+// handshake if needed.
+func (c *Client) resolveReplica(ctx context.Context, shard int) (replica, error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+
+	addr := cfg.AddrFor(shard)
+	host := cfg.HostFor(shard)
+	if addr == "" || host < 0 {
+		return replica{}, fmt.Errorf("%w: shard %d unresolved", ErrUnavailable, shard)
+	}
+
+	c.mu.Lock()
+	hello, haveHello := c.hellos[addr]
+	conn, haveConn := c.conns[host]
+	c.mu.Unlock()
+
+	if !haveConn {
+		conn = c.dial(host)
+		c.mu.Lock()
+		c.conns[host] = conn
+		c.mu.Unlock()
+	}
+	if !haveHello {
+		resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodHello, nil)
+		if err != nil {
+			return replica{}, err
+		}
+		h, err := proto.UnmarshalHelloResp(resp)
+		if err != nil {
+			return replica{}, err
+		}
+		hello = h
+		c.mu.Lock()
+		c.hellos[addr] = h
+		c.mu.Unlock()
+	}
+	return replica{shard: shard, addr: addr, host: host, hello: hello, conn: conn}, nil
+}
+
+// indexView is one replica's answer to the index-fetch phase.
+type indexView struct {
+	rep      replica
+	entry    layout.IndexEntry
+	present  bool
+	overflow bool
+	scarData []byte // SCAR only: piggybacked DataEntry bytes
+	trace    fabric.OpTrace
+	err      error
+}
+
+// Get looks up key, transparently retrying transient hazards.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	v, found, _, err := c.GetTraced(ctx, key)
+	return v, found, err
+}
+
+// GetTraced is Get plus the op's modelled latency trace.
+func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found bool, tr fabric.OpTrace, err error) {
+	c.M.Gets.Inc()
+	var total fabric.OpTrace
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if ctx.Err() != nil {
+			return nil, false, total, ErrExhausted
+		}
+		val, ok, atr, aerr := c.attemptGet(ctx, key)
+		total.Sequence(atr)
+		if aerr == nil {
+			if ok {
+				c.M.Hits.Inc()
+				c.noteTouch(key)
+			} else {
+				c.M.Misses.Inc()
+			}
+			c.M.GetLatency.Record(total.Ns)
+			return val, ok, total, nil
+		}
+		c.classifyAndRepair(ctx, key, aerr)
+	}
+	// Final fallback: a plain RPC lookup against any reachable replica —
+	// CliqueMap always keeps an RPC path for lookups (§3, Table 1).
+	if !c.opt.NoFallback {
+		if val, ok, ftr, ferr := c.rpcGetAny(ctx, key); ferr == nil {
+			total.Sequence(ftr)
+			c.M.RPCFallbacks.Inc()
+			if ok {
+				c.M.Hits.Inc()
+			} else {
+				c.M.Misses.Inc()
+			}
+			c.M.GetLatency.Record(total.Ns)
+			return val, ok, total, nil
+		}
+	}
+	c.M.Inquorate.Inc()
+	return nil, false, total, fmt.Errorf("%w for key %q", ErrInquorate, key)
+}
+
+// classifyAndRepair performs the layered retry policy (§3): each failure
+// class repairs a different level of client state before the next attempt.
+func (c *Client) classifyAndRepair(ctx context.Context, key []byte, err error) {
+	var se errStale
+	var staleAddr string
+	if errors.As(err, &se) {
+		staleAddr = se.addr
+	}
+	switch {
+	case errors.Is(err, layout.ErrConfigChanged):
+		c.M.ConfigRetries.Inc()
+		c.refreshConfig()
+	case errors.Is(err, rpc.ErrUnavailable) || errors.Is(err, nic.ErrUnreachable):
+		c.M.WindowRetries.Inc()
+		c.refreshConfig()
+	case isWindowErr(err):
+		c.M.WindowRetries.Inc()
+		if staleAddr != "" {
+			c.forgetHandshake(staleAddr)
+		} else {
+			c.forgetAll()
+		}
+	case errors.Is(err, layout.ErrTornRead) || errors.Is(err, layout.ErrKeyMismatch):
+		c.M.TornRetries.Inc()
+	case errors.Is(err, ErrInquorate):
+		c.M.QuorumRetries.Inc()
+	default:
+		c.M.QuorumRetries.Inc()
+	}
+}
+
+func (c *Client) forgetAll() {
+	c.mu.Lock()
+	c.hellos = make(map[string]proto.HelloResp)
+	c.mu.Unlock()
+}
+
+// errStale wraps a window error with the backend it came from.
+type errStale struct {
+	addr string
+	err  error
+}
+
+func (e errStale) Error() string { return fmt.Sprintf("stale state at %s: %v", e.addr, e.err) }
+func (e errStale) Unwrap() error { return e.err }
+
+func isWindowErr(err error) bool {
+	var es errStale
+	return errors.As(err, &es)
+}
+
+// attemptGet performs one lookup attempt under the configured strategy
+// and replication mode.
+func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabric.OpTrace, error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+
+	h := c.opt.Hash(key)
+	primary := int(h.Hi % uint64(cfg.Shards))
+	cohort := cfg.Cohort(primary)
+
+	switch c.opt.Strategy {
+	case StrategyRPC:
+		return c.attemptGetRPC(ctx, key, cfg, cohort)
+	case StrategyMSG:
+		return c.attemptGetMSG(ctx, key, cfg, cohort)
+	}
+
+	at := c.opStart()
+
+	// R=2/Immutable consults a single replica for most operations; the
+	// second serves only when the first fails (§6.4).
+	if cfg.Mode == config.R2Immutable {
+		var lastErr error
+		for _, shard := range cohort {
+			v := c.fetchIndex(ctx, at, key, h, shard)
+			if v.err != nil {
+				lastErr = v.err
+				continue
+			}
+			return c.assembleGet(ctx, at, key, h, cfg, []indexView{v})
+		}
+		if lastErr == nil {
+			lastErr = ErrUnavailable
+		}
+		return nil, false, fabric.OpTrace{}, lastErr
+	}
+
+	// RMA strategies: fetch index views from every cohort member, all
+	// pinned to one virtual op-start instant so their responses contend
+	// for this client's downlink in the latency model.
+	views := make([]indexView, 0, len(cohort))
+	for _, shard := range cohort {
+		views = append(views, c.fetchIndex(ctx, at, key, h, shard))
+	}
+	return c.assembleGet(ctx, at, key, h, cfg, views)
+}
+
+// opStart samples the op's virtual start instant.
+func (c *Client) opStart() uint64 {
+	if c.now == nil {
+		return 0
+	}
+	return c.now()
+}
+
+// fetchIndex reads one replica's bucket (and, under SCAR, data).
+func (c *Client) fetchIndex(ctx context.Context, at uint64, key []byte, h hashring.KeyHash, shard int) indexView {
+	rep, err := c.resolveReplica(ctx, shard)
+	if err != nil {
+		return indexView{err: err}
+	}
+	v := indexView{rep: rep}
+	geo := layout.Geometry{Buckets: rep.hello.Buckets, Ways: rep.hello.Ways}
+	bucket := int(h.Lo % uint64(geo.Buckets))
+	off := geo.BucketOffset(bucket)
+
+	useScar := c.opt.Strategy == StrategySCAR && rep.conn.SupportsScar()
+	var raw []byte
+	if useScar {
+		c.chargeCPU(cpuSCAR)
+		res, tr, serr := rep.conn.ScanAndRead(at, rep.hello.IndexWindow, off, geo.BucketSize(), h, geo.Ways)
+		v.trace = tr
+		if serr != nil {
+			v.err = c.wrapTransportErr(rep, serr)
+			return v
+		}
+		raw = res.Bucket
+		if res.Found {
+			v.scarData = res.Data
+		}
+	} else {
+		c.chargeCPU(cpu2xR / 2) // per index leg; data leg bills the rest
+		raw2, tr, rerr := rep.conn.Read(at, rep.hello.IndexWindow, off, geo.BucketSize())
+		v.trace = tr
+		if rerr != nil {
+			v.err = c.wrapTransportErr(rep, rerr)
+			return v
+		}
+		raw = raw2
+	}
+
+	dec, derr := layout.DecodeBucket(raw, geo.Ways)
+	if derr != nil {
+		v.err = derr
+		return v
+	}
+	// Self-validation: the bucket's ConfigID must match the client's
+	// expectation (§6.1).
+	if dec.ConfigID != rep.hello.ConfigID {
+		v.err = layout.ErrConfigChanged
+		return v
+	}
+	v.overflow = dec.Overflowed()
+	if e, _, ok := dec.Find(h); ok {
+		v.entry = e
+		v.present = true
+	}
+	return v
+}
+
+// wrapTransportErr tags window/unreachable failures with the backend so
+// the retry layer can repair precisely.
+func (c *Client) wrapTransportErr(rep replica, err error) error {
+	if errors.Is(err, nic.ErrUnreachable) {
+		return err
+	}
+	return errStale{addr: rep.addr, err: err}
+}
+
+// assembleGet forms the quorum, fetches data, and validates.
+func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashring.KeyHash, cfg config.CellConfig, views []indexView) ([]byte, bool, fabric.OpTrace, error) {
+	quorumNeed := cfg.Mode.Quorum()
+
+	// Index-phase latency: the op can proceed once `quorumNeed` replicas
+	// have responded, so the phase costs the k-th fastest leg.
+	var legNs []uint64
+	var tr fabric.OpTrace
+	okViews := 0
+	for _, v := range views {
+		if v.err == nil {
+			legNs = append(legNs, v.trace.Ns)
+			tr.AddBytes(int(v.trace.Bytes))
+			okViews++
+		}
+	}
+	if okViews < quorumNeed {
+		// Not enough live replicas to even try: surface the first error.
+		for _, v := range views {
+			if v.err != nil {
+				return nil, false, tr, v.err
+			}
+		}
+		return nil, false, tr, ErrUnavailable
+	}
+	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
+	tr.Add(legNs[min(quorumNeed, len(legNs))-1])
+
+	// Vote per §5.1: replicas vote their IndexEntry's (VersionNumber,
+	// KeyHash); an absent entry votes the zero version (an agreed miss).
+	type vote struct {
+		ver   truetime.Version
+		count int
+	}
+	votes := map[truetime.Version]*vote{}
+	for _, v := range views {
+		if v.err != nil {
+			continue
+		}
+		ver := truetime.Version{}
+		if v.present {
+			ver = v.entry.Version
+		}
+		if votes[ver] == nil {
+			votes[ver] = &vote{ver: ver}
+		}
+		votes[ver].count++
+	}
+	var winner *vote
+	for _, v := range votes {
+		if v.count >= quorumNeed && (winner == nil || winner.ver.Less(v.ver)) {
+			winner = v
+		}
+	}
+	if winner == nil {
+		return nil, false, tr, ErrInquorate
+	}
+	if winner.ver.Zero() {
+		// Miss quorum. If any replica flagged overflow, the key may live
+		// in a side table reachable only via RPC (§4.2).
+		for _, v := range views {
+			if v.err == nil && v.overflow {
+				val, found, ftr, ferr := c.rpcGetAt(ctx, v.rep.addr, key)
+				tr.Sequence(ftr)
+				if ferr == nil {
+					c.M.RPCFallbacks.Inc()
+					return val, found, tr, nil
+				}
+			}
+		}
+		return nil, false, tr, nil
+	}
+
+	// Preferred backend: the fastest replica that is a quorum member
+	// (§5.1 — speculate on the first responder).
+	var members []indexView
+	for _, v := range views {
+		if v.err == nil && v.present && v.entry.Version == winner.ver {
+			members = append(members, v)
+		}
+	}
+	if len(members) == 0 {
+		return nil, false, tr, ErrInquorate
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].trace.Ns < members[j].trace.Ns })
+	preferred := members[0]
+
+	// SCAR already carried the data from every member; use the preferred
+	// copy. 2×R issues the second, dependent read now.
+	var raw []byte
+	if preferred.scarData != nil {
+		raw = preferred.scarData
+	} else if c.opt.Strategy == StrategySCAR {
+		// Scan missed on the wire (e.g. racing rewrite): retryable.
+		return nil, false, tr, layout.ErrTornRead
+	} else {
+		c.chargeCPU(cpu2xR / 2)
+		e := preferred.entry
+		dataAt := uint64(0)
+		if at != 0 {
+			dataAt = at + tr.Ns // the data fetch follows the index phase
+		}
+		data, dtr, derr := preferred.rep.conn.Read(dataAt, e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
+		tr.Sequence(dtr)
+		if derr != nil {
+			return nil, false, tr, c.wrapTransportErr(preferred.rep, derr)
+		}
+		raw = data
+	}
+
+	de, derr := layout.DecodeDataEntry(raw)
+	if derr != nil {
+		return nil, false, tr, derr // ErrTornRead: checksum caught a race
+	}
+	if err := de.ValidateAgainst(key, &winner.ver); err != nil {
+		return nil, false, tr, err
+	}
+	val, merr := de.MaterializeValue()
+	if merr != nil {
+		return nil, false, tr, merr
+	}
+	return val, true, tr, nil
+}
+
+// attemptGetRPC queries replicas over full RPC and quorums on versions.
+func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellConfig, cohort []int) ([]byte, bool, fabric.OpTrace, error) {
+	c.chargeCPU(cpuRPC)
+	return c.twoSidedQuorum(cfg, cohort, func(shard int) (proto.GetResp, fabric.OpTrace, error) {
+		addr := cfg.AddrFor(shard)
+		if addr == "" {
+			return proto.GetResp{}, fabric.OpTrace{}, ErrUnavailable
+		}
+		resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+		if err != nil {
+			return proto.GetResp{}, tr, err
+		}
+		g, gerr := proto.UnmarshalGetResp(resp)
+		return g, tr, gerr
+	})
+}
+
+// attemptGetMSG queries replicas via two-sided NIC messaging (Figure 7's
+// MSG strategy).
+func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellConfig, cohort []int) ([]byte, bool, fabric.OpTrace, error) {
+	if c.msg == nil {
+		return c.attemptGetRPC(ctx, key, cfg, cohort)
+	}
+	c.chargeCPU(cpuMSG)
+	at := c.opStart()
+	req := proto.GetReq{Key: key}.Marshal()
+	return c.twoSidedQuorum(cfg, cohort, func(shard int) (proto.GetResp, fabric.OpTrace, error) {
+		host := cfg.HostFor(shard)
+		if host < 0 {
+			return proto.GetResp{}, fabric.OpTrace{}, ErrUnavailable
+		}
+		resp, tr, err := c.msg(host, at, req)
+		if err != nil {
+			return proto.GetResp{}, tr, err
+		}
+		g, gerr := proto.UnmarshalGetResp(resp)
+		return g, tr, gerr
+	})
+}
+
+// twoSidedQuorum runs the version-quorum logic over any request/response
+// lookup primitive.
+func (c *Client) twoSidedQuorum(cfg config.CellConfig, cohort []int, fetch func(shard int) (proto.GetResp, fabric.OpTrace, error)) ([]byte, bool, fabric.OpTrace, error) {
+	need := cfg.Mode.Quorum()
+	type result struct {
+		resp proto.GetResp
+		ok   bool
+		ns   uint64
+	}
+	var results []result
+	var tr fabric.OpTrace
+	var legNs []uint64
+	for _, shard := range cohort {
+		resp, ltr, err := fetch(shard)
+		if err != nil {
+			continue
+		}
+		results = append(results, result{resp: resp, ok: true, ns: ltr.Ns})
+		legNs = append(legNs, ltr.Ns)
+		tr.AddBytes(int(ltr.Bytes))
+	}
+	if len(results) < need {
+		return nil, false, tr, ErrUnavailable
+	}
+	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
+	tr.Add(legNs[need-1])
+
+	votes := map[truetime.Version]int{}
+	for _, r := range results {
+		ver := truetime.Version{}
+		if r.resp.Found {
+			ver = r.resp.Version
+		}
+		votes[ver]++
+	}
+	var winner truetime.Version
+	won := false
+	for ver, n := range votes {
+		if n >= need && (!won || winner.Less(ver)) {
+			winner, won = ver, true
+		}
+	}
+	if !won {
+		return nil, false, tr, ErrInquorate
+	}
+	if winner.Zero() {
+		return nil, false, tr, nil
+	}
+	for _, r := range results {
+		if r.resp.Found && r.resp.Version == winner {
+			return r.resp.Value, true, tr, nil
+		}
+	}
+	return nil, false, tr, ErrInquorate
+}
+
+// rpcGetAny tries an RPC lookup on each cohort member until one answers.
+func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabric.OpTrace, error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	h := c.opt.Hash(key)
+	primary := int(h.Hi % uint64(cfg.Shards))
+	var tr fabric.OpTrace
+	var lastErr error = ErrUnavailable
+	for _, shard := range cfg.Cohort(primary) {
+		addr := cfg.AddrFor(shard)
+		if addr == "" {
+			continue
+		}
+		val, found, ftr, err := c.rpcGetAt(ctx, addr, key)
+		tr.Sequence(ftr)
+		if err == nil {
+			return val, found, tr, nil
+		}
+		lastErr = err
+	}
+	return nil, false, tr, lastErr
+}
+
+func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte) ([]byte, bool, fabric.OpTrace, error) {
+	resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+	if err != nil {
+		return nil, false, tr, err
+	}
+	g, gerr := proto.UnmarshalGetResp(resp)
+	if gerr != nil {
+		return nil, false, tr, gerr
+	}
+	return g.Value, g.Found, tr, nil
+}
+
+// GetBatch looks up many keys as one logical op (§7.1: Ads/Geo fetches are
+// highly batched). Lookups run concurrently with bounded fan-out; the
+// batch trace is the slowest leg, and the shared client downlink makes
+// large batches incast-bound, which the fabric model charges for.
+func (c *Client) GetBatch(ctx context.Context, keys [][]byte) (values [][]byte, found []bool, tr fabric.OpTrace, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, tr, nil
+	}
+	const fanout = 8
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, k := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, k []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v, ok, ktr, kerr := c.GetTraced(ctx, k)
+			mu.Lock()
+			values[i], found[i] = v, ok
+			if kerr != nil && firstErr == nil {
+				firstErr = kerr
+			}
+			tr.Merge(ktr)
+			mu.Unlock()
+		}(i, k)
+	}
+	wg.Wait()
+	return values, found, tr, firstErr
+}
+
+// ----------------------------------------------------------- mutations --
+
+// Set installs key=value on every replica at a fresh client-nominated
+// VersionNumber (§5.2). It succeeds when a write quorum acknowledges.
+func (c *Client) Set(ctx context.Context, key, value []byte) error {
+	_, err := c.SetVersioned(ctx, key, value)
+	return err
+}
+
+// SetVersioned is Set returning the nominated version (for later CAS).
+func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.Version, error) {
+	c.M.Sets.Inc()
+	v := c.gen.Next()
+	req := proto.SetReq{Key: key, Value: value, Version: v}.Marshal()
+	tr, err := c.mutateAll(ctx, key, proto.MethodSet, req)
+	c.M.SetLatency.Record(tr.Ns)
+	return v, err
+}
+
+// Erase removes key on every replica, tombstoning the version (§5.2).
+func (c *Client) Erase(ctx context.Context, key []byte) error {
+	c.M.Erases.Inc()
+	v := c.gen.Next()
+	req := proto.EraseReq{Key: key, Version: v}.Marshal()
+	tr, err := c.mutateAll(ctx, key, proto.MethodErase, req)
+	c.M.SetLatency.Record(tr.Ns)
+	return err
+}
+
+// Cas installs value only where the stored version equals expected (§5.2).
+// It reports whether the swap applied.
+func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
+	c.M.CasOps.Inc()
+	v := c.gen.Next()
+	req := proto.CasReq{Key: key, Value: value, Expected: expected, Version: v}.Marshal()
+
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	h := c.opt.Hash(key)
+	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
+
+	applied, acked := 0, 0
+	for _, shard := range cohort {
+		addr := cfg.AddrFor(shard)
+		if addr == "" {
+			continue
+		}
+		resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodCas, req)
+		if err != nil {
+			continue
+		}
+		mr, merr := proto.UnmarshalMutateResp(resp)
+		if merr != nil {
+			continue
+		}
+		acked++
+		if mr.Applied {
+			applied++
+		}
+	}
+	if acked < cfg.Mode.Quorum() {
+		return false, ErrUnavailable
+	}
+	return applied >= cfg.Mode.Quorum(), nil
+}
+
+// mutateAll sends a mutation to every cohort member, requiring a write
+// quorum of acknowledgements (applied or superseded-by-newer both count:
+// the mutation's ordering is settled either way, §5.2/§5.3).
+func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req []byte) (fabric.OpTrace, error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	h := c.opt.Hash(key)
+	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
+
+	var tr fabric.OpTrace
+	var legNs []uint64
+	acks := 0
+	for attempt := 0; attempt <= 1; attempt++ {
+		acks = 0
+		legNs = legNs[:0]
+		for _, shard := range cohort {
+			addr := cfg.AddrFor(shard)
+			if addr == "" {
+				continue
+			}
+			resp, ltr, err := c.rpcc.Call(ctx, addr, method, req)
+			if err != nil {
+				continue
+			}
+			if _, merr := proto.UnmarshalMutateResp(resp); merr != nil {
+				continue
+			}
+			acks++
+			legNs = append(legNs, ltr.Ns)
+			tr.AddBytes(int(ltr.Bytes))
+		}
+		if acks >= cfg.Mode.Quorum() {
+			break
+		}
+		// Not enough replicas answered: refresh config (a migration or
+		// restart may have moved shards) and retry once.
+		c.refreshConfig()
+		c.mu.Lock()
+		cfg = c.cfg
+		c.mu.Unlock()
+	}
+	if acks < cfg.Mode.Quorum() {
+		return tr, ErrUnavailable
+	}
+	// A mutation completes when the write quorum has acked: k-th fastest.
+	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
+	tr.Add(legNs[cfg.Mode.Quorum()-1])
+	return tr, nil
+}
+
+// --------------------------------------------------------------- touch --
+
+// noteTouch queues an access record for the key's primary backend and
+// flushes opportunistically (§4.2's batched background reporting).
+func (c *Client) noteTouch(key []byte) {
+	if c.opt.TouchBatch <= 0 {
+		return
+	}
+	c.mu.Lock()
+	cfg := c.cfg
+	h := c.opt.Hash(key)
+	var flush map[string][][]byte
+	for _, shard := range cfg.Cohort(int(h.Hi % uint64(cfg.Shards))) {
+		addr := cfg.AddrFor(shard)
+		if addr == "" {
+			continue
+		}
+		c.touchQ[addr] = append(c.touchQ[addr], append([]byte(nil), key...))
+		if len(c.touchQ[addr]) >= c.opt.TouchBatch {
+			if flush == nil {
+				flush = map[string][][]byte{}
+			}
+			flush[addr] = c.touchQ[addr]
+			c.touchQ[addr] = nil
+		}
+	}
+	c.mu.Unlock()
+	for addr, keys := range flush {
+		c.rpcc.Call(context.Background(), addr, proto.MethodTouch, proto.TouchReq{Keys: keys}.Marshal())
+	}
+}
+
+// FlushTouches force-flushes all pending access records.
+func (c *Client) FlushTouches(ctx context.Context) {
+	c.mu.Lock()
+	pending := c.touchQ
+	c.touchQ = make(map[string][][]byte)
+	c.mu.Unlock()
+	for addr, keys := range pending {
+		if len(keys) == 0 {
+			continue
+		}
+		c.rpcc.Call(ctx, addr, proto.MethodTouch, proto.TouchReq{Keys: keys}.Marshal())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,382 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"cliquemap/internal/core/backend"
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/nic"
+	"cliquemap/internal/pony"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/truetime"
+)
+
+// rig assembles a 3-backend R=3.2 cell by hand (without internal/core/cell,
+// which has its own tests) so client behaviours can be probed in isolation.
+type rig struct {
+	f        *fabric.Fabric
+	net      *rpc.Network
+	store    *config.Store
+	backends []*backend.Backend
+	nics     []*pony.NIC
+	acct     *stats.CPUAccount
+	clock    *truetime.SystemClock
+}
+
+const clientHost = 3
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{
+		f:     fabric.New(5, fabric.Params{}),
+		acct:  stats.NewCPUAccount(),
+		clock: truetime.NewSystemClock(),
+	}
+	r.net = rpc.NewNetwork(r.f, rpc.CostModel{}, r.acct)
+	cfg := config.CellConfig{Mode: config.R32, Shards: 3}
+	for i := 0; i < 3; i++ {
+		cfg.ShardAddrs = append(cfg.ShardAddrs, fmt.Sprintf("b%d", i))
+		cfg.Backends = append(cfg.Backends, config.BackendInfo{Shard: i, Addr: fmt.Sprintf("b%d", i), HostID: i})
+	}
+	r.store = config.NewStore(cfg)
+	for i := 0; i < 3; i++ {
+		reg := rmem.NewRegistry()
+		b, err := backend.New(backend.Options{
+			Shard: i, HostID: i, Addr: fmt.Sprintf("b%d", i),
+			Geometry:       layout.Geometry{Buckets: 32, Ways: 8},
+			DataBytes:      1 << 20,
+			DataMaxBytes:   4 << 20,
+			SlabBytes:      64 << 10,
+			ReshapeEnabled: true,
+		}, r.store, reg, r.net, truetime.NewGenerator(r.clock, uint64(100+i)), r.acct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := pony.New(r.f.Host(i), reg, pony.CostModel{}, pony.EngineConfig{}, r.acct)
+		n.SetMsgHandler(b.HandleMsg)
+		r.backends = append(r.backends, b)
+		r.nics = append(r.nics, n)
+	}
+	return r
+}
+
+func (r *rig) newClient(opt Options) *Client {
+	opt.HostID = clientHost
+	local := pony.New(r.f.Host(clientHost), nil, pony.CostModel{}, pony.EngineConfig{}, r.acct)
+	dial := func(host int) nic.RMA {
+		return pony.Dial(r.f, local, r.nics[host])
+	}
+	msg := func(host int, at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
+		return pony.Dial(r.f, local, r.nics[host]).Message(at, req)
+	}
+	return New(opt, r.store, r.net.Client(clientHost, "test"), r.clock, dial, msg, r.f.NowNs, r.acct)
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{Strategy2xR: "2xR", StrategySCAR: "SCAR", StrategyMSG: "MSG", StrategyRPC: "RPC"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%v.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	if err := cl.Set(ctx, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := cl.Get(ctx, []byte("a"))
+	if err != nil || !found || string(got) != "1" {
+		t.Fatalf("get: %q %v %v", got, found, err)
+	}
+	if cl.M.Gets.Value() != 1 || cl.M.Hits.Value() != 1 || cl.M.Sets.Value() != 1 {
+		t.Errorf("metrics: gets=%d hits=%d sets=%d", cl.M.Gets.Value(), cl.M.Hits.Value(), cl.M.Sets.Value())
+	}
+	if cl.M.GetLatency.Count() != 1 {
+		t.Error("latency not recorded")
+	}
+}
+
+// TestPreferredBackendAvoidsLoaded is the Figure 11 mechanism: under an
+// antagonist, the data fetch should come from an unloaded replica, keeping
+// latency near the no-load baseline.
+func TestPreferredBackendAvoidsLoaded(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	key := []byte("hot-key")
+	if err := cl.Set(ctx, key, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline median.
+	var base []uint64
+	for i := 0; i < 60; i++ {
+		_, _, tr, err := cl.GetTraced(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = append(base, tr.Ns)
+	}
+	// Load one replica's host heavily.
+	r.f.Host(0).SetExternalLoad(0.95)
+	var loaded []uint64
+	for i := 0; i < 60; i++ {
+		_, _, tr, err := cl.GetTraced(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded = append(loaded, tr.Ns)
+	}
+	if med(loaded) > 3*med(base) {
+		t.Errorf("R=3.2 median under single-host load %dns vs baseline %dns: preferred backend not avoiding the antagonist", med(loaded), med(base))
+	}
+}
+
+func med(xs []uint64) uint64 {
+	s := append([]uint64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestNoFallbackSurfacesInquorate(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR, NoFallback: true, Retries: 1})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("v"))
+	// Kill two backends: no quorum possible.
+	for i := 0; i < 2; i++ {
+		r.backends[i].Server().Stop()
+		r.nics[i].SetDown(true)
+	}
+	_, _, err := cl.Get(ctx, []byte("k"))
+	if err == nil {
+		t.Fatal("expected failure with 2/3 backends down and no fallback")
+	}
+}
+
+func TestRPCFallbackServesWithOneReplica(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("v"))
+	for i := 0; i < 2; i++ {
+		r.backends[i].Server().Stop()
+		r.nics[i].SetDown(true)
+	}
+	got, found, err := cl.Get(ctx, []byte("k"))
+	if err != nil || !found || string(got) != "v" {
+		t.Fatalf("fallback get: %q %v %v", got, found, err)
+	}
+	if cl.M.RPCFallbacks.Value() == 0 {
+		t.Error("fallback not counted")
+	}
+}
+
+func TestWindowRevocationRecovery(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("v"))
+	if _, found, _ := cl.Get(ctx, []byte("k")); !found {
+		t.Fatal("warmup get failed")
+	}
+	// Force index resizes on every backend by filling them: windows get
+	// revoked underneath the client's cached handshakes.
+	for i := 0; i < 400; i++ {
+		cl.Set(ctx, []byte(fmt.Sprintf("fill-%d", i)), []byte("x"))
+	}
+	// "k" may have been legitimately evicted by associativity conflicts;
+	// the invariant is that the client's answer (after transparent window
+	// recovery) matches the replicas' ground truth.
+	resident := 0
+	for _, b := range r.backends {
+		resp, err := b.HandleMsg(proto.GetReq{Key: []byte("k")}.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, _ := proto.UnmarshalGetResp(resp); g.Found {
+			resident++
+		}
+	}
+	got, found, err := cl.Get(ctx, []byte("k"))
+	if err != nil {
+		t.Fatalf("get after revocations: %v", err)
+	}
+	wantFound := resident >= 2
+	if found != wantFound {
+		t.Fatalf("found=%v but %d/3 replicas hold the key", found, resident)
+	}
+	if found && string(got) != "v" {
+		t.Fatalf("value corrupted: %q", got)
+	}
+}
+
+func TestScarPiggybacksData(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: StrategySCAR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("scar-value"))
+	got, found, tr, err := cl.GetTraced(ctx, []byte("k"))
+	if err != nil || !found || string(got) != "scar-value" {
+		t.Fatalf("scar get: %q %v %v", got, found, err)
+	}
+	// SCAR under R=3.2 solicits three full copies: bytes moved must cover
+	// at least 3 buckets + 3 data entries (§6.3's incast trade).
+	bucketSize := uint64(layout.Geometry{Buckets: 32, Ways: 8}.BucketSize())
+	minBytes := 3 * bucketSize // lower bound: three full bucket responses
+	if tr.Bytes < minBytes {
+		t.Errorf("scar moved only %d bytes", tr.Bytes)
+	}
+}
+
+func TestMsgStrategyUsesHandler(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: StrategyMSG})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("msg-value"))
+	got, found, err := cl.Get(ctx, []byte("k"))
+	if err != nil || !found || string(got) != "msg-value" {
+		t.Fatalf("msg get: %q %v %v", got, found, err)
+	}
+}
+
+func TestTouchQueueFlushThreshold(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR, TouchBatch: 3})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		cl.Set(ctx, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	for i := 0; i < 3; i++ {
+		cl.Get(ctx, []byte(fmt.Sprintf("k%d", i)))
+	}
+	var touches uint64
+	for _, b := range r.backends {
+		touches += b.CountersSnapshot().Touches
+	}
+	if touches == 0 {
+		t.Error("touch batch never flushed at threshold")
+	}
+}
+
+func TestVersionsAscendAcrossClients(t *testing.T) {
+	r := newRig(t)
+	c1 := r.newClient(Options{ID: 1})
+	c2 := r.newClient(Options{ID: 2})
+	ctx := context.Background()
+	v1, err := c1.SetVersioned(ctx, []byte("k"), []byte("from-c1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c2.SetVersioned(ctx, []byte("k"), []byte("from-c2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Less(v2) && !v2.Less(v1) {
+		t.Error("versions from distinct clients must be comparable and distinct")
+	}
+	// The later version's value must win on every replica.
+	later := "from-c2"
+	if v2.Less(v1) {
+		later = "from-c1"
+	}
+	for _, b := range r.backends {
+		resp, err := b.HandleMsg(proto.GetReq{Key: []byte("k")}.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := proto.UnmarshalGetResp(resp)
+		if string(g.Value) != later {
+			t.Errorf("replica %s holds %q, want %q", b.Addr(), g.Value, later)
+		}
+	}
+}
+
+func TestClientCPUAccounting(t *testing.T) {
+	r := newRig(t)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("k"), []byte("v"))
+	cl.Get(ctx, []byte("k"))
+	if r.acct.TotalNanos("client") == 0 {
+		t.Error("client CPU not billed")
+	}
+}
+
+func BenchmarkGet2xR(b *testing.B) {
+	r := newRigB(b)
+	cl := r.newClient(Options{Strategy: Strategy2xR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("bench"), make([]byte, 1024))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.Get(ctx, []byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetSCAR(b *testing.B) {
+	r := newRigB(b)
+	cl := r.newClient(Options{Strategy: StrategySCAR})
+	ctx := context.Background()
+	cl.Set(ctx, []byte("bench"), make([]byte, 1024))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.Get(ctx, []byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newRigB(b *testing.B) *rig {
+	b.Helper()
+	// Mirror of newRig for benchmarks.
+	r := &rig{
+		f:     fabric.New(5, fabric.Params{}),
+		acct:  stats.NewCPUAccount(),
+		clock: truetime.NewSystemClock(),
+	}
+	r.net = rpc.NewNetwork(r.f, rpc.CostModel{}, r.acct)
+	cfg := config.CellConfig{Mode: config.R32, Shards: 3}
+	for i := 0; i < 3; i++ {
+		cfg.ShardAddrs = append(cfg.ShardAddrs, fmt.Sprintf("b%d", i))
+		cfg.Backends = append(cfg.Backends, config.BackendInfo{Shard: i, Addr: fmt.Sprintf("b%d", i), HostID: i})
+	}
+	r.store = config.NewStore(cfg)
+	for i := 0; i < 3; i++ {
+		reg := rmem.NewRegistry()
+		bk, err := backend.New(backend.Options{
+			Shard: i, HostID: i, Addr: fmt.Sprintf("b%d", i),
+			Geometry:       layout.Geometry{Buckets: 32, Ways: 8},
+			DataBytes:      1 << 20,
+			DataMaxBytes:   4 << 20,
+			SlabBytes:      64 << 10,
+			ReshapeEnabled: true,
+		}, r.store, reg, r.net, truetime.NewGenerator(r.clock, uint64(100+i)), r.acct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := pony.New(r.f.Host(i), reg, pony.CostModel{}, pony.EngineConfig{}, r.acct)
+		n.SetMsgHandler(bk.HandleMsg)
+		r.backends = append(r.backends, bk)
+		r.nics = append(r.nics, n)
+	}
+	return r
+}

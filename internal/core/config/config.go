@@ -1,0 +1,180 @@
+// Package config models CliqueMap's cell configuration and the external
+// high-availability configuration store clients refresh from (§6.1 cites
+// Chubby/Spanner; here an in-process registry with the same watch/refresh
+// semantics).
+//
+// Configuration is versioned by a monotonically increasing ConfigID that is
+// also stamped into every Bucket header. A client that fetches a Bucket
+// whose ConfigID differs from its expectation knows a migration or
+// reconfiguration is in flight, refreshes its configuration, and "discovers
+// all migrations in flight and (temporary) roles of any spare backends".
+package config
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mode selects the replication scheme (§5, §6.4).
+type Mode int
+
+const (
+	// R1 stores one copy; availability comes from warm spares (§6.1).
+	R1 Mode = iota
+	// R2Immutable stores two copies of an immutable corpus; one replica is
+	// consulted per GET, the second serves on failure (§6.4).
+	R2Immutable
+	// R32 stores three copies with a client-side quorum of two (§5.1).
+	R32
+)
+
+// Replicas returns the copy count for the mode.
+func (m Mode) Replicas() int {
+	switch m {
+	case R1:
+		return 1
+	case R2Immutable:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Quorum returns the agreement threshold for the mode.
+func (m Mode) Quorum() int {
+	if m == R32 {
+		return 2
+	}
+	return 1
+}
+
+// String names the mode the way the paper does.
+func (m Mode) String() string {
+	switch m {
+	case R1:
+		return "R=1"
+	case R2Immutable:
+		return "R=2/Immutable"
+	case R32:
+		return "R=3.2"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// BackendInfo describes one backend task.
+type BackendInfo struct {
+	// Shard is the logical backend number keys hash to (-1 for an idle
+	// spare).
+	Shard int
+	// Addr is the task's RPC address.
+	Addr string
+	// HostID is the fabric host the task runs on.
+	HostID int
+	// Spare marks a warm spare, possibly temporarily holding a shard.
+	Spare bool
+}
+
+// CellConfig is a point-in-time view of the cell.
+type CellConfig struct {
+	// ID increases on every change and is stamped into bucket headers.
+	ID uint64
+	// Mode is the replication scheme.
+	Mode Mode
+	// Shards is the logical backend count (N in "mod N").
+	Shards int
+	// ShardAddrs maps each shard to the address currently serving it —
+	// normally its primary task, or a spare during migration.
+	ShardAddrs []string
+	// Backends lists all tasks, including idle spares.
+	Backends []BackendInfo
+}
+
+// AddrFor returns the serving address of shard s.
+func (c CellConfig) AddrFor(s int) string {
+	if s < 0 || s >= len(c.ShardAddrs) {
+		return ""
+	}
+	return c.ShardAddrs[s]
+}
+
+// HostFor returns the fabric host currently serving shard s, or -1.
+func (c CellConfig) HostFor(s int) int {
+	addr := c.AddrFor(s)
+	for _, b := range c.Backends {
+		if b.Addr == addr {
+			return b.HostID
+		}
+	}
+	return -1
+}
+
+// Cohort returns the shards hosting copies of a key whose primary shard is
+// p: p, p+1, ..., mod Shards (§5.1).
+func (c CellConfig) Cohort(p int) []int {
+	r := c.Mode.Replicas()
+	if r > c.Shards {
+		r = c.Shards
+	}
+	out := make([]int, r)
+	for i := range out {
+		out[i] = (p + i) % c.Shards
+	}
+	return out
+}
+
+// clone deep-copies the slices so watchers never share storage.
+func (c CellConfig) clone() CellConfig {
+	c.ShardAddrs = append([]string(nil), c.ShardAddrs...)
+	c.Backends = append([]BackendInfo(nil), c.Backends...)
+	return c
+}
+
+// Store is the high-availability configuration registry. Reads are cheap;
+// updates bump the ConfigID and notify watchers.
+type Store struct {
+	mu       sync.Mutex
+	cur      CellConfig
+	watchers []chan CellConfig
+}
+
+// NewStore initializes a store with cfg at ID 1.
+func NewStore(cfg CellConfig) *Store {
+	cfg.ID = 1
+	return &Store{cur: cfg.clone()}
+}
+
+// Get returns the current configuration.
+func (s *Store) Get() CellConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.clone()
+}
+
+// Update applies mutate to a copy of the configuration, bumps the ID, and
+// publishes it. It returns the new configuration.
+func (s *Store) Update(mutate func(*CellConfig)) CellConfig {
+	s.mu.Lock()
+	next := s.cur.clone()
+	mutate(&next)
+	next.ID = s.cur.ID + 1
+	s.cur = next.clone()
+	watchers := append([]chan CellConfig(nil), s.watchers...)
+	s.mu.Unlock()
+	for _, w := range watchers {
+		select {
+		case w <- next.clone():
+		default: // a slow watcher drops intermediate updates, never blocks
+		}
+	}
+	return next
+}
+
+// Watch returns a channel receiving subsequent configurations. The channel
+// is buffered; slow consumers observe only the latest updates.
+func (s *Store) Watch() <-chan CellConfig {
+	ch := make(chan CellConfig, 4)
+	s.mu.Lock()
+	s.watchers = append(s.watchers, ch)
+	s.mu.Unlock()
+	return ch
+}

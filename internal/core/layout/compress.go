@@ -1,0 +1,64 @@
+package layout
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// flateWriters pools DEFLATE encoders: flate.NewWriter allocates large
+// internal tables, which would otherwise dominate SET cost.
+var flateWriters = sync.Pool{
+	New: func() interface{} {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// CompressValue DEFLATE-compresses value, returning (stored, true) when
+// compression actually shrinks it, or (value, false) otherwise. Backends
+// call this in the SET handler when compression is enabled — the whole
+// feature lives on the RPC mutation path, which is exactly the agility
+// argument of §9: the RMA read format only grew a flag bit.
+func CompressValue(value []byte) ([]byte, bool) {
+	if len(value) < 64 {
+		return value, false // too small to be worth the header
+	}
+	var buf bytes.Buffer
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(value)
+	cerr := w.Close()
+	flateWriters.Put(w)
+	if werr != nil || cerr != nil {
+		return value, false
+	}
+	if buf.Len() >= len(value) {
+		return value, false
+	}
+	return buf.Bytes(), true
+}
+
+// DecompressValue expands a compressed stored value. Readers call this
+// only after checksum validation, so corrupt input here indicates a bug,
+// not a torn read.
+func DecompressValue(stored []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(stored))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("layout: decompress: %w", err)
+	}
+	return out, nil
+}
+
+// MaterializeValue returns the logical value of a validated entry,
+// decompressing if needed.
+func (e DataEntry) MaterializeValue() ([]byte, error) {
+	if !e.Compressed {
+		return append([]byte(nil), e.Value...), nil
+	}
+	return DecompressValue(e.Value)
+}

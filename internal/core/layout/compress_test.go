@@ -1,0 +1,149 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cliquemap/internal/truetime"
+)
+
+func compressible(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(i / 64) // long runs: compresses well
+	}
+	return v
+}
+
+func incompressible(n int) []byte {
+	v := make([]byte, n)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range v {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v[i] = byte(x)
+	}
+	return v
+}
+
+func TestCompressValueShrinks(t *testing.T) {
+	v := compressible(4096)
+	stored, ok := CompressValue(v)
+	if !ok {
+		t.Fatal("compressible value not compressed")
+	}
+	if len(stored) >= len(v) {
+		t.Fatalf("stored %d >= original %d", len(stored), len(v))
+	}
+	back, err := DecompressValue(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, v) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestCompressValueDeclines(t *testing.T) {
+	if _, ok := CompressValue([]byte("tiny")); ok {
+		t.Error("tiny value compressed")
+	}
+	v := incompressible(4096)
+	stored, ok := CompressValue(v)
+	if ok {
+		t.Errorf("incompressible value 'compressed' to %d bytes", len(stored))
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(v []byte) bool {
+		stored, ok := CompressValue(v)
+		if !ok {
+			return bytes.Equal(stored, v)
+		}
+		back, err := DecompressValue(stored)
+		return err == nil && bytes.Equal(back, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedEntryRoundTrip(t *testing.T) {
+	key := []byte("ck")
+	v := truetime.Version{Micros: 5, ClientID: 6, Seq: 7}
+	val := compressible(2048)
+	stored, ok := CompressValue(val)
+	if !ok {
+		t.Fatal("setup: not compressed")
+	}
+	buf := make([]byte, DataEntrySize(len(key), len(stored)))
+	EncodeDataEntryFlagged(buf, key, stored, v, true)
+
+	e, err := DecodeDataEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Compressed {
+		t.Fatal("compressed flag lost")
+	}
+	if err := e.ValidateAgainst(key, &v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.MaterializeValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Error("materialized value mismatch")
+	}
+}
+
+// TestCompressedFlagCoveredByChecksum: flipping just the compression bit
+// must fail validation — otherwise a torn flag could make a client
+// misinterpret raw bytes as DEFLATE or vice versa.
+func TestCompressedFlagCoveredByChecksum(t *testing.T) {
+	key := []byte("k")
+	val := compressible(1024)
+	stored, _ := CompressValue(val)
+	v := truetime.Version{Micros: 1, ClientID: 1, Seq: 1}
+	buf := make([]byte, DataEntrySize(len(key), len(stored)))
+	EncodeDataEntryFlagged(buf, key, stored, v, true)
+	buf[7] ^= 0x80 // clear the compressedBit (top bit of the length word)
+	if _, err := DecodeDataEntry(buf); err != ErrTornRead {
+		t.Errorf("flag flip: got %v, want ErrTornRead", err)
+	}
+}
+
+func TestUncompressedMaterialize(t *testing.T) {
+	key, val := []byte("k"), []byte("plain")
+	v := truetime.Version{Micros: 1}
+	buf := make([]byte, DataEntrySize(len(key), len(val)))
+	EncodeDataEntry(buf, key, val, v)
+	e, err := DecodeDataEntry(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Compressed {
+		t.Error("plain entry marked compressed")
+	}
+	got, err := e.MaterializeValue()
+	if err != nil || !bytes.Equal(got, val) {
+		t.Errorf("materialize: %q %v", got, err)
+	}
+	// Must be a copy, not an alias into the entry buffer.
+	got[0] = 'X'
+	if e.Value[0] == 'X' {
+		t.Error("MaterializeValue aliased entry storage")
+	}
+}
+
+func BenchmarkCompress4KB(b *testing.B) {
+	v := compressible(4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CompressValue(v)
+	}
+}

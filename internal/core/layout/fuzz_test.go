@@ -1,0 +1,63 @@
+package layout
+
+import (
+	"testing"
+
+	"cliquemap/internal/truetime"
+)
+
+// Decoders parse bytes produced by raw RMA reads of remote memory — which
+// can be torn, half-rewritten, or (after a window mix-up) arbitrary. They
+// must never panic; every outcome is either a valid entry or a retryable
+// error. `go test` runs the seed corpus; `go test -fuzz=FuzzDecodeDataEntry`
+// explores further.
+
+func FuzzDecodeDataEntry(f *testing.F) {
+	good := make([]byte, DataEntrySize(3, 5))
+	EncodeDataEntry(good, []byte("key"), []byte("value"), truetime.Version{Micros: 1, ClientID: 2, Seq: 3})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, DataEntryHeaderSize))
+	torn := append([]byte(nil), good...)
+	torn[DataEntryHeaderSize] ^= 0xff
+	f.Add(torn)
+	comp := make([]byte, DataEntrySize(1, 30))
+	stored, ok := CompressValue(make([]byte, 4096))
+	if ok && len(stored) <= 30 {
+		EncodeDataEntryFlagged(comp[:DataEntrySize(1, len(stored))], []byte("k"), stored, truetime.Version{Micros: 9}, true)
+		f.Add(comp)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeDataEntry(data)
+		if err != nil {
+			return // any error is fine; panics are not
+		}
+		// A decode that passes the checksum must also materialize without
+		// panicking (decompression errors are allowed as errors).
+		if _, merr := e.MaterializeValue(); merr != nil && !e.Compressed {
+			t.Errorf("uncompressed materialize failed: %v", merr)
+		}
+	})
+}
+
+func FuzzDecodeBucket(f *testing.F) {
+	g := Geometry{Buckets: 1, Ways: 4}
+	raw := make([]byte, g.BucketSize())
+	EncodeBucketHeader(raw, 1, 0)
+	f.Add(raw, 4)
+	f.Add([]byte{}, 4)
+	f.Add(make([]byte, 10), 2)
+	f.Fuzz(func(t *testing.T, data []byte, ways int) {
+		if ways <= 0 || ways > 64 {
+			return
+		}
+		b, err := DecodeBucket(data, ways)
+		if err != nil {
+			return
+		}
+		if len(b.Entries) != ways {
+			t.Errorf("decoded %d entries, want %d", len(b.Entries), ways)
+		}
+	})
+}

@@ -1,0 +1,757 @@
+// Package proto defines CliqueMap's RPC message schemas over the
+// versioned TLV encoding of internal/wire.
+//
+// Every message tolerates unknown fields, which is what let the production
+// system ship "over a hundred changes to CliqueMap's protocol definitions"
+// without lockstep client/backend upgrades (§6). Field tags are therefore
+// stable and append-only.
+package proto
+
+import (
+	"fmt"
+
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/truetime"
+	"cliquemap/internal/wire"
+)
+
+// Method names served by every backend.
+const (
+	MethodHello         = "CliqueMap.Hello"
+	MethodGet           = "CliqueMap.Get"
+	MethodSet           = "CliqueMap.Set"
+	MethodErase         = "CliqueMap.Erase"
+	MethodCas           = "CliqueMap.Cas"
+	MethodTouch         = "CliqueMap.Touch"
+	MethodScan          = "CliqueMap.Scan"
+	MethodUpdateVersion = "CliqueMap.UpdateVersion"
+	MethodMigrateStart  = "CliqueMap.MigrateStart"
+	MethodMigrateBatch  = "CliqueMap.MigrateBatch"
+	MethodAssumeShard   = "CliqueMap.AssumeShard"
+	MethodRequestRepair = "CliqueMap.RequestRepair"
+	// MethodStats was added after initial deployment — the kind of
+	// additive protocol evolution §6 describes. Old clients simply never
+	// call it; old servers answer ErrNoSuchMethod and new clients cope.
+	MethodStats = "CliqueMap.Stats"
+	// MethodConfig lets external (TCP/WAN) callers discover the cell's
+	// shard map without access to the in-process config store.
+	MethodConfig = "CliqueMap.Config"
+)
+
+// Version field tags, shared by every message embedding a VersionNumber.
+func encodeVersion(e *wire.Encoder, base uint64, v truetime.Version) {
+	e.Uint(base, uint64(v.Micros))
+	e.Uint(base+1, v.ClientID)
+	e.Uint(base+2, v.Seq)
+}
+
+type versionAcc struct{ m, c, s uint64 }
+
+func (a versionAcc) version() truetime.Version {
+	return truetime.Version{Micros: int64(a.m), ClientID: a.c, Seq: a.s}
+}
+
+// HelloResp is the connection handshake (§3's "established at
+// connection-time alongside other RMA-relevant metadata"): everything a
+// client needs to issue raw RMAs against this backend.
+type HelloResp struct {
+	ConfigID    uint64
+	Shard       int
+	Buckets     int
+	Ways        int
+	IndexWindow rmem.WindowID
+	IndexEpoch  uint64
+	DataWindows []rmem.WindowID
+}
+
+// Marshal encodes the handshake.
+func (h HelloResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Uint(1, h.ConfigID)
+	e.Int(2, int64(h.Shard))
+	e.Uint(3, uint64(h.Buckets))
+	e.Uint(4, uint64(h.Ways))
+	e.Uint(5, uint64(h.IndexWindow))
+	e.Uint(6, h.IndexEpoch)
+	for _, w := range h.DataWindows {
+		e.Uint(7, uint64(w))
+	}
+	return e.Encoded()
+}
+
+// UnmarshalHelloResp decodes the handshake.
+func UnmarshalHelloResp(b []byte) (HelloResp, error) {
+	var h HelloResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return h, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			h.ConfigID = d.Uint()
+		case 2:
+			h.Shard = int(d.Int())
+		case 3:
+			h.Buckets = int(d.Uint())
+		case 4:
+			h.Ways = int(d.Uint())
+		case 5:
+			h.IndexWindow = rmem.WindowID(d.Uint())
+		case 6:
+			h.IndexEpoch = d.Uint()
+		case 7:
+			h.DataWindows = append(h.DataWindows, rmem.WindowID(d.Uint()))
+		}
+	}
+	return h, d.Err()
+}
+
+// SetReq installs key=value at a client-nominated version (§5.2). Repair
+// marks repair-driven SETs (§5.4) for observability.
+type SetReq struct {
+	Key     []byte
+	Value   []byte
+	Version truetime.Version
+	Repair  bool
+}
+
+// Marshal encodes the request.
+func (r SetReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bytes(1, r.Key)
+	e.Bytes(2, r.Value)
+	encodeVersion(e, 3, r.Version)
+	e.Bool(6, r.Repair)
+	return e.Encoded()
+}
+
+// UnmarshalSetReq decodes the request.
+func UnmarshalSetReq(b []byte) (SetReq, error) {
+	var r SetReq
+	var v versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Key = append([]byte(nil), d.Bytes()...)
+		case 2:
+			r.Value = append([]byte(nil), d.Bytes()...)
+		case 3:
+			v.m = d.Uint()
+		case 4:
+			v.c = d.Uint()
+		case 5:
+			v.s = d.Uint()
+		case 6:
+			r.Repair = d.Bool()
+		}
+	}
+	r.Version = v.version()
+	return r, d.Err()
+}
+
+// MutateResp answers SET/ERASE/CAS: whether the mutation applied, the
+// version now stored, and how many evictions it forced (§4.2 instruments
+// eviction-to-SET ratios).
+type MutateResp struct {
+	Applied   bool
+	Stored    truetime.Version
+	Evictions int
+}
+
+// Marshal encodes the response.
+func (r MutateResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bool(1, r.Applied)
+	encodeVersion(e, 2, r.Stored)
+	e.Uint(5, uint64(r.Evictions))
+	return e.Encoded()
+}
+
+// UnmarshalMutateResp decodes the response.
+func UnmarshalMutateResp(b []byte) (MutateResp, error) {
+	var r MutateResp
+	var v versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Applied = d.Bool()
+		case 2:
+			v.m = d.Uint()
+		case 3:
+			v.c = d.Uint()
+		case 4:
+			v.s = d.Uint()
+		case 5:
+			r.Evictions = int(d.Uint())
+		}
+	}
+	r.Stored = v.version()
+	return r, d.Err()
+}
+
+// EraseReq removes key at a client-nominated version; the version is
+// retained in the tombstone cache so late SETs cannot resurrect the value
+// (§5.2).
+type EraseReq struct {
+	Key     []byte
+	Version truetime.Version
+}
+
+// Marshal encodes the request.
+func (r EraseReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bytes(1, r.Key)
+	encodeVersion(e, 2, r.Version)
+	return e.Encoded()
+}
+
+// UnmarshalEraseReq decodes the request.
+func UnmarshalEraseReq(b []byte) (EraseReq, error) {
+	var r EraseReq
+	var v versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Key = append([]byte(nil), d.Bytes()...)
+		case 2:
+			v.m = d.Uint()
+		case 3:
+			v.c = d.Uint()
+		case 4:
+			v.s = d.Uint()
+		}
+	}
+	r.Version = v.version()
+	return r, d.Err()
+}
+
+// CasReq installs Value only if the stored version equals Expected (§5.2).
+type CasReq struct {
+	Key      []byte
+	Value    []byte
+	Expected truetime.Version
+	Version  truetime.Version // new version on success
+}
+
+// Marshal encodes the request.
+func (r CasReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bytes(1, r.Key)
+	e.Bytes(2, r.Value)
+	encodeVersion(e, 3, r.Expected)
+	encodeVersion(e, 6, r.Version)
+	return e.Encoded()
+}
+
+// UnmarshalCasReq decodes the request.
+func UnmarshalCasReq(b []byte) (CasReq, error) {
+	var r CasReq
+	var exp, nv versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Key = append([]byte(nil), d.Bytes()...)
+		case 2:
+			r.Value = append([]byte(nil), d.Bytes()...)
+		case 3:
+			exp.m = d.Uint()
+		case 4:
+			exp.c = d.Uint()
+		case 5:
+			exp.s = d.Uint()
+		case 6:
+			nv.m = d.Uint()
+		case 7:
+			nv.c = d.Uint()
+		case 8:
+			nv.s = d.Uint()
+		}
+	}
+	r.Expected = exp.version()
+	r.Version = nv.version()
+	return r, d.Err()
+}
+
+// GetReq is the RPC lookup fallback (overflowed buckets, WAN access, MSG
+// strategy, and retries after RMA failures).
+type GetReq struct {
+	Key []byte
+}
+
+// Marshal encodes the request.
+func (r GetReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bytes(1, r.Key)
+	return e.Encoded()
+}
+
+// UnmarshalGetReq decodes the request.
+func UnmarshalGetReq(b []byte) (GetReq, error) {
+	var r GetReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		if d.Tag() == 1 {
+			r.Key = append([]byte(nil), d.Bytes()...)
+		}
+	}
+	return r, d.Err()
+}
+
+// GetResp carries the lookup result.
+type GetResp struct {
+	Found   bool
+	Value   []byte
+	Version truetime.Version
+}
+
+// Marshal encodes the response.
+func (r GetResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bool(1, r.Found)
+	e.Bytes(2, r.Value)
+	encodeVersion(e, 3, r.Version)
+	return e.Encoded()
+}
+
+// UnmarshalGetResp decodes the response.
+func UnmarshalGetResp(b []byte) (GetResp, error) {
+	var r GetResp
+	var v versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Found = d.Bool()
+		case 2:
+			r.Value = append([]byte(nil), d.Bytes()...)
+		case 3:
+			v.m = d.Uint()
+		case 4:
+			v.c = d.Uint()
+		case 5:
+			v.s = d.Uint()
+		}
+	}
+	r.Version = v.version()
+	return r, d.Err()
+}
+
+// TouchReq is the batched access-record report clients send so backends
+// can run recency-based eviction despite never seeing RMA GETs (§4.2).
+type TouchReq struct {
+	Keys [][]byte
+}
+
+// Marshal encodes the request.
+func (r TouchReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	for _, k := range r.Keys {
+		e.Bytes(1, k)
+	}
+	return e.Encoded()
+}
+
+// UnmarshalTouchReq decodes the request.
+func UnmarshalTouchReq(b []byte) (TouchReq, error) {
+	var r TouchReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		if d.Tag() == 1 {
+			r.Keys = append(r.Keys, append([]byte(nil), d.Bytes()...))
+		}
+	}
+	return r, d.Err()
+}
+
+// ScanItem is one KV summary in a cohort scan (§5.4): KeyHash + version,
+// plus the key itself so the scanner can repair without a second lookup.
+type ScanItem struct {
+	HashHi, HashLo uint64
+	Version        truetime.Version
+	Key            []byte
+}
+
+// ScanReq asks a cohort member for its view of a shard's keys, paged by
+// cursor.
+type ScanReq struct {
+	Shard  int
+	Cursor uint64
+	Limit  int
+}
+
+// Marshal encodes the request.
+func (r ScanReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Int(1, int64(r.Shard))
+	e.Uint(2, r.Cursor)
+	e.Uint(3, uint64(r.Limit))
+	return e.Encoded()
+}
+
+// UnmarshalScanReq decodes the request.
+func UnmarshalScanReq(b []byte) (ScanReq, error) {
+	var r ScanReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Shard = int(d.Int())
+		case 2:
+			r.Cursor = d.Uint()
+		case 3:
+			r.Limit = int(d.Uint())
+		}
+	}
+	return r, d.Err()
+}
+
+// ScanResp returns a page of summaries.
+type ScanResp struct {
+	Items      []ScanItem
+	NextCursor uint64
+	Done       bool
+}
+
+// Marshal encodes the response.
+func (r ScanResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	for _, it := range r.Items {
+		m := wire.NewRawEncoder()
+		m.Uint(1, it.HashHi)
+		m.Uint(2, it.HashLo)
+		encodeVersion(m, 3, it.Version)
+		m.Bytes(6, it.Key)
+		e.Message(1, m)
+	}
+	e.Uint(2, r.NextCursor)
+	e.Bool(3, r.Done)
+	return e.Encoded()
+}
+
+// UnmarshalScanResp decodes the response.
+func UnmarshalScanResp(b []byte) (ScanResp, error) {
+	var r ScanResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			nd := wire.NewRawDecoder(d.Bytes())
+			var it ScanItem
+			var v versionAcc
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					it.HashHi = nd.Uint()
+				case 2:
+					it.HashLo = nd.Uint()
+				case 3:
+					v.m = nd.Uint()
+				case 4:
+					v.c = nd.Uint()
+				case 5:
+					v.s = nd.Uint()
+				case 6:
+					it.Key = append([]byte(nil), nd.Bytes()...)
+				}
+			}
+			if err := nd.Err(); err != nil {
+				return r, fmt.Errorf("proto: scan item: %w", err)
+			}
+			it.Version = v.version()
+			r.Items = append(r.Items, it)
+		case 2:
+			r.NextCursor = d.Uint()
+		case 3:
+			r.Done = d.Bool()
+		}
+	}
+	return r, d.Err()
+}
+
+// UpdateVersionReq bumps the stored version of key to Version without
+// changing its value — step 2 of the §5.4 repair procedure, which settles
+// all three replicas on one VersionNumber.
+type UpdateVersionReq struct {
+	Key     []byte
+	Version truetime.Version
+}
+
+// Marshal encodes the request.
+func (r UpdateVersionReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bytes(1, r.Key)
+	encodeVersion(e, 2, r.Version)
+	return e.Encoded()
+}
+
+// UnmarshalUpdateVersionReq decodes the request.
+func UnmarshalUpdateVersionReq(b []byte) (UpdateVersionReq, error) {
+	var r UpdateVersionReq
+	var v versionAcc
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Key = append([]byte(nil), d.Bytes()...)
+		case 2:
+			v.m = d.Uint()
+		case 3:
+			v.c = d.Uint()
+		case 4:
+			v.s = d.Uint()
+		}
+	}
+	r.Version = v.version()
+	return r, d.Err()
+}
+
+// MigrateItem is one KV pair streamed during warm-spare migration (§6.1).
+type MigrateItem struct {
+	Key     []byte
+	Value   []byte
+	Version truetime.Version
+}
+
+// MigrateBatchReq streams a page of a shard's contents to a spare (or back
+// to a restarted primary).
+type MigrateBatchReq struct {
+	Shard int
+	Items []MigrateItem
+	Final bool
+}
+
+// Marshal encodes the request.
+func (r MigrateBatchReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Int(1, int64(r.Shard))
+	for _, it := range r.Items {
+		m := wire.NewRawEncoder()
+		m.Bytes(1, it.Key)
+		m.Bytes(2, it.Value)
+		encodeVersion(m, 3, it.Version)
+		e.Message(2, m)
+	}
+	e.Bool(3, r.Final)
+	return e.Encoded()
+}
+
+// UnmarshalMigrateBatchReq decodes the request.
+func UnmarshalMigrateBatchReq(b []byte) (MigrateBatchReq, error) {
+	var r MigrateBatchReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Shard = int(d.Int())
+		case 2:
+			nd := wire.NewRawDecoder(d.Bytes())
+			var it MigrateItem
+			var v versionAcc
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					it.Key = append([]byte(nil), nd.Bytes()...)
+				case 2:
+					it.Value = append([]byte(nil), nd.Bytes()...)
+				case 3:
+					v.m = nd.Uint()
+				case 4:
+					v.c = nd.Uint()
+				case 5:
+					v.s = nd.Uint()
+				}
+			}
+			if err := nd.Err(); err != nil {
+				return r, fmt.Errorf("proto: migrate item: %w", err)
+			}
+			it.Version = v.version()
+			r.Items = append(r.Items, it)
+		case 3:
+			r.Final = d.Bool()
+		}
+	}
+	return r, d.Err()
+}
+
+// AssumeShardReq tells a spare to assume (or a primary to resume) serving
+// a shard.
+type AssumeShardReq struct {
+	Shard int
+}
+
+// Marshal encodes the request.
+func (r AssumeShardReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Int(1, int64(r.Shard))
+	return e.Encoded()
+}
+
+// UnmarshalAssumeShardReq decodes the request.
+func UnmarshalAssumeShardReq(b []byte) (AssumeShardReq, error) {
+	var r AssumeShardReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		if d.Tag() == 1 {
+			r.Shard = int(d.Int())
+		}
+	}
+	return r, d.Err()
+}
+
+// ConfigResp describes the cell to external callers: the replication
+// mode's replica count and the address serving each shard.
+type ConfigResp struct {
+	ConfigID   uint64
+	Replicas   int
+	Quorum     int
+	ShardAddrs []string
+}
+
+// Marshal encodes the config snapshot.
+func (r ConfigResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Uint(1, r.ConfigID)
+	e.Uint(2, uint64(r.Replicas))
+	e.Uint(3, uint64(r.Quorum))
+	for _, a := range r.ShardAddrs {
+		e.String(4, a)
+	}
+	return e.Encoded()
+}
+
+// UnmarshalConfigResp decodes the config snapshot.
+func UnmarshalConfigResp(b []byte) (ConfigResp, error) {
+	var r ConfigResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.ConfigID = d.Uint()
+		case 2:
+			r.Replicas = int(d.Uint())
+		case 3:
+			r.Quorum = int(d.Uint())
+		case 4:
+			r.ShardAddrs = append(r.ShardAddrs, d.String())
+		}
+	}
+	return r, d.Err()
+}
+
+// StatsResp is a backend's introspection snapshot (a post-launch additive
+// method; see MethodStats).
+type StatsResp struct {
+	Shard          int
+	Sealed         bool
+	ResidentKeys   uint64
+	MemoryBytes    uint64
+	Sets, Gets     uint64
+	Evictions      uint64
+	IndexResizes   uint64
+	DataGrows      uint64
+	RepairsIssued  uint64
+	VersionRejects uint64
+}
+
+// Marshal encodes the stats snapshot.
+func (r StatsResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Int(1, int64(r.Shard))
+	e.Bool(2, r.Sealed)
+	e.Uint(3, r.ResidentKeys)
+	e.Uint(4, r.MemoryBytes)
+	e.Uint(5, r.Sets)
+	e.Uint(6, r.Gets)
+	e.Uint(7, r.Evictions)
+	e.Uint(8, r.IndexResizes)
+	e.Uint(9, r.DataGrows)
+	e.Uint(10, r.RepairsIssued)
+	e.Uint(11, r.VersionRejects)
+	return e.Encoded()
+}
+
+// UnmarshalStatsResp decodes the stats snapshot.
+func UnmarshalStatsResp(b []byte) (StatsResp, error) {
+	var r StatsResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.Shard = int(d.Int())
+		case 2:
+			r.Sealed = d.Bool()
+		case 3:
+			r.ResidentKeys = d.Uint()
+		case 4:
+			r.MemoryBytes = d.Uint()
+		case 5:
+			r.Sets = d.Uint()
+		case 6:
+			r.Gets = d.Uint()
+		case 7:
+			r.Evictions = d.Uint()
+		case 8:
+			r.IndexResizes = d.Uint()
+		case 9:
+			r.DataGrows = d.Uint()
+		case 10:
+			r.RepairsIssued = d.Uint()
+		case 11:
+			r.VersionRejects = d.Uint()
+		}
+	}
+	return r, d.Err()
+}
+
+// Ack is the empty success response.
+type Ack struct{}
+
+// Marshal encodes the ack.
+func (Ack) Marshal() []byte { return wire.NewEncoder().Encoded() }

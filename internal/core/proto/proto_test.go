@@ -1,0 +1,180 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/truetime"
+	"cliquemap/internal/wire"
+)
+
+func v(m int64, c, s uint64) truetime.Version {
+	return truetime.Version{Micros: m, ClientID: c, Seq: s}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := HelloResp{
+		ConfigID: 9, Shard: 3, Buckets: 128, Ways: 14,
+		IndexWindow: 5, IndexEpoch: 2, DataWindows: []rmem.WindowID{6, 7},
+	}
+	out, err := UnmarshalHelloResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ConfigID != 9 || out.Shard != 3 || out.Buckets != 128 || out.Ways != 14 ||
+		out.IndexWindow != 5 || out.IndexEpoch != 2 || len(out.DataWindows) != 2 || out.DataWindows[1] != 7 {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestSetReqRoundTrip(t *testing.T) {
+	in := SetReq{Key: []byte("k"), Value: []byte("value"), Version: v(5, 6, 7), Repair: true}
+	out, err := UnmarshalSetReq(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Key, in.Key) || !bytes.Equal(out.Value, in.Value) || out.Version != in.Version || !out.Repair {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestSetReqProperty(t *testing.T) {
+	f := func(key, val []byte, m int64, c, s uint64, repair bool) bool {
+		in := SetReq{Key: key, Value: val, Version: v(m, c, s), Repair: repair}
+		out, err := UnmarshalSetReq(in.Marshal())
+		return err == nil && bytes.Equal(out.Key, key) && bytes.Equal(out.Value, val) &&
+			out.Version == in.Version && out.Repair == repair
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMutateRespRoundTrip(t *testing.T) {
+	in := MutateResp{Applied: true, Stored: v(1, 2, 3), Evictions: 4}
+	out, err := UnmarshalMutateResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("%+v != %+v", out, in)
+	}
+}
+
+func TestEraseCasRoundTrip(t *testing.T) {
+	e := EraseReq{Key: []byte("k"), Version: v(9, 8, 7)}
+	eo, err := UnmarshalEraseReq(e.Marshal())
+	if err != nil || !bytes.Equal(eo.Key, e.Key) || eo.Version != e.Version {
+		t.Errorf("erase: %+v %v", eo, err)
+	}
+	c := CasReq{Key: []byte("k"), Value: []byte("nv"), Expected: v(1, 1, 1), Version: v(2, 2, 2)}
+	co, err := UnmarshalCasReq(c.Marshal())
+	if err != nil || !bytes.Equal(co.Value, c.Value) || co.Expected != c.Expected || co.Version != c.Version {
+		t.Errorf("cas: %+v %v", co, err)
+	}
+}
+
+func TestGetRoundTrip(t *testing.T) {
+	rq, err := UnmarshalGetReq(GetReq{Key: []byte("gk")}.Marshal())
+	if err != nil || string(rq.Key) != "gk" {
+		t.Errorf("get req: %+v %v", rq, err)
+	}
+	rs := GetResp{Found: true, Value: []byte("val"), Version: v(3, 2, 1)}
+	ro, err := UnmarshalGetResp(rs.Marshal())
+	if err != nil || !ro.Found || !bytes.Equal(ro.Value, rs.Value) || ro.Version != rs.Version {
+		t.Errorf("get resp: %+v %v", ro, err)
+	}
+}
+
+func TestTouchRoundTrip(t *testing.T) {
+	in := TouchReq{Keys: [][]byte{[]byte("a"), []byte("b"), []byte("c")}}
+	out, err := UnmarshalTouchReq(in.Marshal())
+	if err != nil || len(out.Keys) != 3 || string(out.Keys[2]) != "c" {
+		t.Errorf("touch: %+v %v", out, err)
+	}
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	req := ScanReq{Shard: 2, Cursor: 77, Limit: 100}
+	rq, err := UnmarshalScanReq(req.Marshal())
+	if err != nil || rq != req {
+		t.Errorf("scan req: %+v %v", rq, err)
+	}
+	resp := ScanResp{
+		Items: []ScanItem{
+			{HashHi: 1, HashLo: 2, Version: v(3, 4, 5), Key: []byte("x")},
+			{HashHi: 6, HashLo: 7, Version: v(8, 9, 10), Key: []byte("y")},
+		},
+		NextCursor: 200, Done: true,
+	}
+	ro, err := UnmarshalScanResp(resp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ro.Items) != 2 || ro.Items[1].HashHi != 6 || string(ro.Items[0].Key) != "x" ||
+		ro.Items[0].Version != v(3, 4, 5) || ro.NextCursor != 200 || !ro.Done {
+		t.Errorf("scan resp: %+v", ro)
+	}
+}
+
+func TestUpdateVersionRoundTrip(t *testing.T) {
+	in := UpdateVersionReq{Key: []byte("k"), Version: v(4, 5, 6)}
+	out, err := UnmarshalUpdateVersionReq(in.Marshal())
+	if err != nil || !bytes.Equal(out.Key, in.Key) || out.Version != in.Version {
+		t.Errorf("update version: %+v %v", out, err)
+	}
+}
+
+func TestMigrateBatchRoundTrip(t *testing.T) {
+	in := MigrateBatchReq{
+		Shard: 1,
+		Items: []MigrateItem{
+			{Key: []byte("a"), Value: []byte("1"), Version: v(1, 1, 1)},
+			{Key: []byte("b"), Value: []byte("2"), Version: v(2, 2, 2)},
+		},
+		Final: true,
+	}
+	out, err := UnmarshalMigrateBatchReq(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shard != 1 || len(out.Items) != 2 || string(out.Items[1].Value) != "2" || !out.Final {
+		t.Errorf("migrate: %+v", out)
+	}
+}
+
+func TestAssumeShardRoundTrip(t *testing.T) {
+	out, err := UnmarshalAssumeShardReq(AssumeShardReq{Shard: 5}.Marshal())
+	if err != nil || out.Shard != 5 {
+		t.Errorf("assume shard: %+v %v", out, err)
+	}
+}
+
+// TestForwardCompat simulates a newer peer adding fields: old decoders
+// must ignore them and still parse the known fields.
+func TestForwardCompat(t *testing.T) {
+	e := wire.NewEncoder()
+	e.Bytes(1, []byte("key"))
+	e.Bytes(2, []byte("val"))
+	e.Uint(3, 1)
+	e.Uint(4, 2)
+	e.Uint(5, 3)
+	e.Bool(6, false)
+	e.String(99, "future-field")
+	e.Uint(100, 12345)
+	out, err := UnmarshalSetReq(e.Encoded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Key) != "key" || string(out.Value) != "val" {
+		t.Errorf("forward compat parse: %+v", out)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	if _, err := UnmarshalSetReq([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage decoded as SetReq")
+	}
+}

@@ -1,0 +1,377 @@
+// Package eviction implements the configurable cache replacement policies
+// CliqueMap backends run (§4.2).
+//
+// Because GETs are RMAs, backends never see reads directly; clients report
+// touches in batched background RPCs and backends "ingest access records
+// en masse" into one of these policies. Every policy is plain single-node
+// code behind one interface — the paper's point about RPC-side mutations
+// keeping rich replacement logic easy to write.
+//
+// Provided policies: LRU, ARC (Megiddo & Modha), CLOCK, and SampledLFU.
+package eviction
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy tracks resident keys and nominates eviction victims.
+// Implementations are not goroutine-safe; the backend serializes access
+// under its own lock (all calls already happen inside RPC handlers).
+type Policy interface {
+	// Add registers a newly inserted key.
+	Add(key string)
+	// Touch records an access (from ingested client access records).
+	Touch(key string)
+	// Remove drops a key (erased or evicted by the caller).
+	Remove(key string)
+	// Victim nominates the next key to evict, without removing it.
+	Victim() (string, bool)
+	// Len returns the tracked key count.
+	Len() int
+	// Name identifies the policy.
+	Name() string
+}
+
+// New constructs a policy by name: "lru", "arc", "clock", "slfu".
+func New(name string, capacityHint int) (Policy, error) {
+	switch name {
+	case "lru", "":
+		return NewLRU(), nil
+	case "arc":
+		return NewARC(capacityHint), nil
+	case "clock":
+		return NewClock(), nil
+	case "slfu":
+		return NewSampledLFU(), nil
+	default:
+		return nil, fmt.Errorf("eviction: unknown policy %q", name)
+	}
+}
+
+// ---------------------------------------------------------------- LRU --
+
+// LRU evicts the least recently used key.
+type LRU struct {
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Len implements Policy.
+func (p *LRU) Len() int { return len(p.items) }
+
+// Add implements Policy.
+func (p *LRU) Add(key string) {
+	if el, ok := p.items[key]; ok {
+		p.ll.MoveToFront(el)
+		return
+	}
+	p.items[key] = p.ll.PushFront(key)
+}
+
+// Touch implements Policy.
+func (p *LRU) Touch(key string) {
+	if el, ok := p.items[key]; ok {
+		p.ll.MoveToFront(el)
+	}
+}
+
+// Remove implements Policy.
+func (p *LRU) Remove(key string) {
+	if el, ok := p.items[key]; ok {
+		p.ll.Remove(el)
+		delete(p.items, key)
+	}
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() (string, bool) {
+	el := p.ll.Back()
+	if el == nil {
+		return "", false
+	}
+	return el.Value.(string), true
+}
+
+// ---------------------------------------------------------------- ARC --
+
+// ARC is the self-tuning Adaptive Replacement Cache: two resident lists
+// (t1 recency, t2 frequency) plus two ghost lists (b1, b2) steering the
+// adaptation parameter.
+type ARC struct {
+	c          int // target resident capacity for adaptation
+	p          int // adaptation: target size of t1
+	t1, t2     *list.List
+	b1, b2     *list.List
+	where      map[string]*arcEntry
+	ghostLimit int
+}
+
+type arcEntry struct {
+	el   *list.Element
+	list *list.List
+}
+
+// NewARC returns an ARC policy adapting around capacityHint resident keys.
+func NewARC(capacityHint int) *ARC {
+	if capacityHint <= 0 {
+		capacityHint = 1024
+	}
+	return &ARC{
+		c: capacityHint, t1: list.New(), t2: list.New(), b1: list.New(), b2: list.New(),
+		where: make(map[string]*arcEntry), ghostLimit: capacityHint,
+	}
+}
+
+// Name implements Policy.
+func (p *ARC) Name() string { return "arc" }
+
+// Len implements Policy.
+func (p *ARC) Len() int { return p.t1.Len() + p.t2.Len() }
+
+func (p *ARC) trimGhost(l *list.List) {
+	for l.Len() > p.ghostLimit {
+		el := l.Back()
+		delete(p.where, el.Value.(string))
+		l.Remove(el)
+	}
+}
+
+// Add implements Policy.
+func (p *ARC) Add(key string) {
+	if e, ok := p.where[key]; ok {
+		switch e.list {
+		case p.t1, p.t2:
+			p.promote(key, e)
+			return
+		case p.b1:
+			// Ghost hit in recency list: grow p.
+			p.p = min(p.p+max(1, p.b2.Len()/max(1, p.b1.Len())), p.c)
+			p.b1.Remove(e.el)
+			p.where[key] = &arcEntry{el: p.t2.PushFront(key), list: p.t2}
+			return
+		case p.b2:
+			// Ghost hit in frequency list: shrink p.
+			p.p = max(p.p-max(1, p.b1.Len()/max(1, p.b2.Len())), 0)
+			p.b2.Remove(e.el)
+			p.where[key] = &arcEntry{el: p.t2.PushFront(key), list: p.t2}
+			return
+		}
+	}
+	p.where[key] = &arcEntry{el: p.t1.PushFront(key), list: p.t1}
+}
+
+func (p *ARC) promote(key string, e *arcEntry) {
+	e.list.Remove(e.el)
+	p.where[key] = &arcEntry{el: p.t2.PushFront(key), list: p.t2}
+}
+
+// Touch implements Policy.
+func (p *ARC) Touch(key string) {
+	if e, ok := p.where[key]; ok && (e.list == p.t1 || e.list == p.t2) {
+		p.promote(key, e)
+	}
+}
+
+// Remove implements Policy.
+func (p *ARC) Remove(key string) {
+	e, ok := p.where[key]
+	if !ok {
+		return
+	}
+	if e.list == p.t1 || e.list == p.t2 {
+		// Evicted/erased resident keys leave a ghost trace.
+		e.list.Remove(e.el)
+		var ghost *list.List
+		if e.list == p.t1 {
+			ghost = p.b1
+		} else {
+			ghost = p.b2
+		}
+		p.where[key] = &arcEntry{el: ghost.PushFront(key), list: ghost}
+		p.trimGhost(ghost)
+		return
+	}
+	e.list.Remove(e.el)
+	delete(p.where, key)
+}
+
+// Victim implements Policy: evict from t1 if it exceeds the adaptive
+// target p, else from t2.
+func (p *ARC) Victim() (string, bool) {
+	if p.t1.Len() > 0 && (p.t1.Len() >= p.p || p.t2.Len() == 0) {
+		return p.t1.Back().Value.(string), true
+	}
+	if p.t2.Len() > 0 {
+		return p.t2.Back().Value.(string), true
+	}
+	return "", false
+}
+
+// -------------------------------------------------------------- CLOCK --
+
+// Clock approximates LRU with a reference bit and a sweeping hand.
+type Clock struct {
+	ll    *list.List // ring order
+	items map[string]*clockEntry
+	hand  *list.Element
+}
+
+type clockEntry struct {
+	el  *list.Element
+	ref bool
+}
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	return &Clock{ll: list.New(), items: make(map[string]*clockEntry)}
+}
+
+// Name implements Policy.
+func (p *Clock) Name() string { return "clock" }
+
+// Len implements Policy.
+func (p *Clock) Len() int { return len(p.items) }
+
+// Add implements Policy.
+func (p *Clock) Add(key string) {
+	if e, ok := p.items[key]; ok {
+		e.ref = true
+		return
+	}
+	p.items[key] = &clockEntry{el: p.ll.PushBack(key)}
+}
+
+// Touch implements Policy.
+func (p *Clock) Touch(key string) {
+	if e, ok := p.items[key]; ok {
+		e.ref = true
+	}
+}
+
+// Remove implements Policy.
+func (p *Clock) Remove(key string) {
+	if e, ok := p.items[key]; ok {
+		if p.hand == e.el {
+			p.hand = e.el.Next()
+		}
+		p.ll.Remove(e.el)
+		delete(p.items, key)
+	}
+}
+
+// Victim implements Policy: sweep, clearing reference bits, until an
+// unreferenced key is found.
+func (p *Clock) Victim() (string, bool) {
+	if p.ll.Len() == 0 {
+		return "", false
+	}
+	for sweeps := 0; sweeps < 2*p.ll.Len()+1; sweeps++ {
+		if p.hand == nil {
+			p.hand = p.ll.Front()
+		}
+		key := p.hand.Value.(string)
+		e := p.items[key]
+		if !e.ref {
+			return key, true
+		}
+		e.ref = false
+		p.hand = p.hand.Next()
+	}
+	return p.ll.Front().Value.(string), true
+}
+
+// --------------------------------------------------------- SampledLFU --
+
+// SampledLFU keeps per-key access counts and nominates the
+// lowest-frequency key among a deterministic sample — the cheap LFU
+// approximation used by several production caches.
+type SampledLFU struct {
+	counts map[string]uint64
+	keys   []string
+	pos    map[string]int
+	cursor int
+	sample int
+}
+
+// NewSampledLFU returns an empty sampled-LFU policy.
+func NewSampledLFU() *SampledLFU {
+	return &SampledLFU{counts: make(map[string]uint64), pos: make(map[string]int), sample: 8}
+}
+
+// Name implements Policy.
+func (p *SampledLFU) Name() string { return "slfu" }
+
+// Len implements Policy.
+func (p *SampledLFU) Len() int { return len(p.keys) }
+
+// Add implements Policy.
+func (p *SampledLFU) Add(key string) {
+	if _, ok := p.pos[key]; !ok {
+		p.pos[key] = len(p.keys)
+		p.keys = append(p.keys, key)
+	}
+	p.counts[key]++
+}
+
+// Touch implements Policy.
+func (p *SampledLFU) Touch(key string) {
+	if _, ok := p.pos[key]; ok {
+		p.counts[key]++
+	}
+}
+
+// Remove implements Policy.
+func (p *SampledLFU) Remove(key string) {
+	i, ok := p.pos[key]
+	if !ok {
+		return
+	}
+	last := len(p.keys) - 1
+	p.keys[i] = p.keys[last]
+	p.pos[p.keys[i]] = i
+	p.keys = p.keys[:last]
+	delete(p.pos, key)
+	delete(p.counts, key)
+}
+
+// Victim implements Policy: scan a rotating sample window for the
+// lowest-count key.
+func (p *SampledLFU) Victim() (string, bool) {
+	n := len(p.keys)
+	if n == 0 {
+		return "", false
+	}
+	best := ""
+	var bestCount uint64
+	for i := 0; i < p.sample && i < n; i++ {
+		k := p.keys[(p.cursor+i)%n]
+		if best == "" || p.counts[k] < bestCount {
+			best, bestCount = k, p.counts[k]
+		}
+	}
+	p.cursor = (p.cursor + p.sample) % n
+	return best, true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultFormat(t *testing.T) {
+	r := Result{
+		Name: "figX", Title: "test",
+		Rows: []Row{
+			{Label: "a", Cols: []Col{{Name: "v", Value: 1.5, Unit: "us"}}},
+			{Label: "bbbb", Cols: []Col{{Name: "v", Value: 2000, Unit: "ops/s"}}},
+		},
+		Notes: "note",
+	}
+	out := r.Format()
+	for _, want := range []string{"figX", "test", "a", "bbbb", "note", "1.5us", "2.0Kops/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains((Result{Name: "e", Title: "t"}).Format(), "(no rows)") {
+		t.Error("empty result format")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"3", "fig3", "FIG11", "20"} {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("99"); ok {
+		t.Error("bogus figure resolved")
+	}
+	if len(All()) != 16 {
+		t.Errorf("All() = %d experiments", len(All()))
+	}
+}
+
+// TestFig10 runs the cheapest experiment end-to-end and checks Figure 10's
+// qualitative shape: CDFs are monotone, Geo skews smaller than Ads.
+func TestFig10(t *testing.T) {
+	r := Fig10SizeCDF()
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	prevAds, prevGeo := 0.0, 0.0
+	for _, row := range r.Rows {
+		ads, geo := row.Cols[0].Value, row.Cols[1].Value
+		if ads < prevAds || geo < prevGeo {
+			t.Errorf("CDF not monotone at %s", row.Label)
+		}
+		prevAds, prevGeo = ads, geo
+	}
+	// At 1KB Geo should be further along than Ads.
+	for _, row := range r.Rows {
+		if row.Label == "1024B" && row.Cols[1].Value <= row.Cols[0].Value {
+			t.Errorf("Geo CDF at 1KB (%v) should exceed Ads (%v)", row.Cols[1].Value, row.Cols[0].Value)
+		}
+	}
+}
+
+// TestFig7Shape checks Figure 7's ordering claims without running the full
+// harness elsewhere: SCAR is cheaper than 2×R on pony CPU; MSG is the most
+// expensive pony path.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig7LookupCPU()
+	vals := map[string]map[string]float64{}
+	for _, row := range r.Rows {
+		vals[row.Label] = map[string]float64{}
+		for _, c := range row.Cols {
+			vals[row.Label][c.Name] = c.Value
+		}
+	}
+	if !(vals["SCAR"]["pony"] < vals["2xR"]["pony"]) {
+		t.Errorf("SCAR pony CPU %v not below 2xR %v", vals["SCAR"]["pony"], vals["2xR"]["pony"])
+	}
+	if !(vals["MSG"]["pony"] > vals["SCAR"]["pony"]) {
+		t.Errorf("MSG pony CPU %v not above SCAR %v", vals["MSG"]["pony"], vals["SCAR"]["pony"])
+	}
+}
+
+// TestFig11Shape: R=3.2 stays near 1x under single-server load; R=1
+// inflates.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig11Preferred()
+	var r32, r1 float64
+	for _, row := range r.Rows {
+		if strings.HasPrefix(row.Label, "R=3.2 loaded") {
+			r32 = row.Cols[0].Value
+		}
+		if strings.HasPrefix(row.Label, "R=1 loaded") {
+			r1 = row.Cols[0].Value
+		}
+	}
+	if r32 == 0 || r1 == 0 {
+		t.Fatalf("missing rows: %+v", r.Rows)
+	}
+	if r1 <= r32 {
+		t.Errorf("R=1 loaded p50 (%.2fx) should exceed R=3.2 loaded (%.2fx)", r1, r32)
+	}
+	if r32 > 2.0 {
+		t.Errorf("R=3.2 loaded p50 = %.2fx; preferred backend should nearly hide the antagonist", r32)
+	}
+}
+
+// TestFig12Shape: with 64KB values SCAR loses its advantage (the incast
+// crossover).
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig12Incast()
+	vals := map[string]float64{}
+	for _, row := range r.Rows {
+		vals[row.Label] = row.Cols[0].Value
+	}
+	if !(vals["SCAR no-load"] > vals["2xR no-load"]) {
+		t.Errorf("64KB values: SCAR p50 (%v) should lag 2xR (%v)", vals["SCAR no-load"], vals["2xR no-load"])
+	}
+}
+
+// TestFig3Shape: reshaping saves memory at launch and tracks the corpus
+// shrink.
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig3Reshaping()
+	if len(r.Rows) != 13 {
+		t.Fatalf("weeks = %d", len(r.Rows))
+	}
+	week1 := r.Rows[0].Cols[0].Value
+	week5 := r.Rows[4].Cols[0].Value
+	week13 := r.Rows[12].Cols[0].Value
+	if !(week5 < week1) {
+		t.Errorf("reshaping launch did not save memory: %v -> %v", week1, week5)
+	}
+	if !(week13 < week5) {
+		t.Errorf("corpus shrink did not reduce memory: %v -> %v", week5, week13)
+	}
+	if week13 > 0.7*week1 {
+		t.Errorf("total savings too small: %v of %v", week13, week1)
+	}
+}
+
+// TestFig6Shape: the language ordering of Figure 6 — cpp dominates; python
+// is an order of magnitude behind go/java.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig6Languages()
+	rate := map[string]float64{}
+	cpu := map[string]float64{}
+	for _, row := range r.Rows {
+		for _, c := range row.Cols {
+			switch c.Name {
+			case "op_rate":
+				rate[row.Label] = c.Value
+			case "cpu/op":
+				cpu[row.Label] = c.Value
+			}
+		}
+	}
+	if !(rate["cpp"] > rate["go"] && rate["go"] > rate["py"]) {
+		t.Errorf("op rate ordering wrong: %v", rate)
+	}
+	if rate["cpp"] < 5*rate["go"] {
+		t.Errorf("cpp (%f) should be far ahead of go (%f)", rate["cpp"], rate["go"])
+	}
+	if cpu["py"] < 5*cpu["java"] {
+		t.Errorf("python CPU (%f) should dwarf java (%f)", cpu["py"], cpu["java"])
+	}
+}
+
+// TestFig15Shape: engines scale out as the ramp progresses.
+func TestFig15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig15PonyRamp()
+	first := r.Rows[0].Cols[len(r.Rows[0].Cols)-1].Value
+	last := r.Rows[len(r.Rows)-1].Cols[len(r.Rows[len(r.Rows)-1].Cols)-1].Value
+	if last <= first {
+		t.Errorf("engines did not scale out: %v -> %v", first, last)
+	}
+	if last < 2 {
+		t.Errorf("peak engines %v; expected multi-engine scale-out", last)
+	}
+}
+
+// TestFig16and17Shape: 1RMA hardware latency is load-insensitive while
+// end-to-end latency is worst at the idle rate (C-states).
+func TestFig16and17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	hw := Fig16OneRMAHW()
+	lo := hw.Rows[0].Cols[0].Value
+	hi := hw.Rows[len(hw.Rows)-1].Cols[0].Value
+	if hi > 2*lo {
+		t.Errorf("hw latency doubled across the ramp: %v -> %v", lo, hi)
+	}
+	get := Fig17OneRMAGet()
+	idle := get.Rows[0].Cols[0].Value
+	warm := get.Rows[len(get.Rows)-1].Cols[0].Value
+	if idle <= warm {
+		t.Errorf("C-state inversion missing: idle p50 %v <= warm p50 %v", idle, warm)
+	}
+}
+
+// TestFig19Shape: backend CPU falls as the GET fraction rises.
+func TestFig19Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig19MixCPU()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	a, b, c := r.Rows[0].Cols[0].Value, r.Rows[1].Cols[0].Value, r.Rows[2].Cols[0].Value
+	if !(a > b && b > c) {
+		t.Errorf("CPU not monotone in GET fraction: %v %v %v", a, b, c)
+	}
+	if a < 2*c {
+		t.Errorf("write-heavy CPU (%v) should far exceed read-heavy (%v)", a, c)
+	}
+}
+
+// TestFig20Shape: latency flat for small values, rising at 16KB.
+func TestFig20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := Fig20ValueSize()
+	p50 := func(i int) float64 { return r.Rows[i].Cols[0].Value }
+	if p50(2) > 1.5*p50(0) {
+		t.Errorf("small-value latency not flat: %v vs %v", p50(0), p50(2))
+	}
+	if p50(3) < 1.3*p50(0) {
+		t.Errorf("16KB latency (%v) should exceed 32B (%v)", p50(3), p50(0))
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/workload"
+)
+
+// produceWorkloadWeek drives a compressed "week" of traffic against a cell
+// and samples latency percentiles and op rates per synthetic day. Shared
+// by the Ads (Figure 8) and Geo (Figure 9) reproductions.
+func produceWorkloadWeek(name, title string, diurnal workload.Diurnal, setWave workload.Wave, sizes *workload.SizeDist, batches *workload.BatchDist, backfill bool) Result {
+	const (
+		days     = 7
+		dayWall  = 700 * time.Millisecond // one compressed day
+		keySpace = 600
+		baseGets = 220 // batched lookups per day at peak
+	)
+	c := std32()
+	cl := c.NewClient(client.Options{Strategy: client.StrategySCAR, TouchBatch: 64})
+	kg := workload.NewZipfKeys(keySpace, 1.1, 7)
+
+	// Backfill the corpus.
+	for i := uint64(0); i < keySpace; i++ {
+		cl.Set(ctx, []byte(workload.Key(i)), workload.ValueGen(i, sizes.Next()))
+	}
+
+	res := Result{Name: name, Title: title}
+	writer := c.NewClient(client.Options{})
+	start := time.Now()
+	for day := 0; day < days; day++ {
+		var getHist stats.Histogram
+		gets, sets, backfills := 0, 0, 0
+		dayStart := time.Now()
+		elapsedAtDay := time.Duration(day) * 24 * time.Hour
+		// Sample a different phase of the diurnal cycle each row so the
+		// 7 rows trace the swing the paper's week-long plot shows.
+		rate := diurnal.Rate(time.Duration(day) * 4 * time.Hour)
+		nBatches := int(float64(baseGets) * rate / diurnal.Base)
+		if nBatches < 10 {
+			nBatches = 10
+		}
+		for i := 0; i < nBatches; i++ {
+			// Batched GET (§7.1: fetches are highly batched).
+			bs := batches.Next()
+			keys := make([][]byte, 0, bs)
+			for j := 0; j < bs; j++ {
+				keys = append(keys, []byte(workload.Key(kg.Next())))
+			}
+			_, _, tr, err := cl.GetBatch(ctx, keys)
+			if err == nil {
+				getHist.Record(tr.Ns)
+				gets += bs
+			}
+			// Interleaved SETs per the wave (writes + backfill bursts).
+			w := setWave.Rate(elapsedAtDay)
+			nSets := int(w / setWave.Base)
+			if nSets < 1 {
+				nSets = 1
+			}
+			if i%4 == 0 {
+				for s := 0; s < nSets; s++ {
+					k := kg.Next()
+					writer.Set(ctx, []byte(workload.Key(k)), workload.ValueGen(k, sizes.Next()))
+					// During a backfill burst the steady write stream
+					// continues underneath (Figure 8 plots both).
+					if backfill && nSets > 1 && s > 0 {
+						backfills++
+					} else {
+						sets++
+					}
+				}
+			}
+		}
+		wall := time.Since(dayStart).Seconds()
+		row := Row{
+			Label: fmt.Sprintf("day%d", day+1),
+			Cols: append(latCols(&getHist, 50, 90, 99, 99.9),
+				Col{Name: "get_rate", Value: float64(gets) / wall, Unit: "ops/s"},
+				Col{Name: "set_rate", Value: float64(sets) / wall, Unit: "ops/s"},
+			),
+		}
+		if backfill {
+			row.Cols = append(row.Cols, Col{Name: "backfill", Value: float64(backfills) / wall, Unit: "ops/s"})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = fmt.Sprintf("7 compressed days in %.1fs wall; batch latencies include response incast", time.Since(start).Seconds())
+	return res
+}
+
+// Fig8Ads regenerates Figure 8: the Ads serving week — read-dominated,
+// heavily batched GETs with a steady write trickle plus backfill waves.
+func Fig8Ads() Result {
+	return produceWorkloadWeek(
+		"fig8",
+		"Ads workload: latency percentiles, GET rate, SET (writes) and SET (backfill) rates",
+		workload.Diurnal{Base: 1, PeakRatio: 1}, // Ads GETs are not strongly diurnal
+		workload.Wave{Base: 1, Burst: 5, Period: 48 * time.Hour, Duty: 0.25},
+		workload.AdsSizes(1),
+		workload.AdsBatches(2),
+		true,
+	)
+}
+
+// Fig9Geo regenerates Figure 9: the Geo week — strongly diurnal GETs (3×
+// swing) over a steady model-update SET stream.
+func Fig9Geo() Result {
+	return produceWorkloadWeek(
+		"fig9",
+		"Geo workload: diurnal GETs (3x swing) with steady update SETs",
+		workload.Diurnal{Base: 1.5, PeakRatio: 3, Day: 24 * time.Hour},
+		workload.Wave{Base: 1},
+		workload.GeoSizes(3),
+		workload.GeoBatches(4),
+		false,
+	)
+}
+
+// Fig10SizeCDF regenerates Figure 10: the Ads and Geo object-size CDFs.
+func Fig10SizeCDF() Result {
+	points := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	ads := workload.AdsSizes(11).CDF(points, 40000)
+	geo := workload.GeoSizes(12).CDF(points, 40000)
+	res := Result{
+		Name:  "fig10",
+		Title: "Ads and Geo object size CDF",
+		Notes: "objects are typically at most a few KB with a tail of larger objects (§7.1)",
+	}
+	for i, p := range points {
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("%dB", p),
+			Cols: []Col{
+				{Name: "ads_cdf", Value: ads[i]},
+				{Name: "geo_cdf", Value: geo[i]},
+			},
+		})
+	}
+	return res
+}

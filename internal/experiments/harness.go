@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cliquemap/internal/core/backend"
+	"cliquemap/internal/core/cell"
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/workload"
+)
+
+// ctx is the shared experiment context.
+var ctx = context.Background()
+
+// smallBackend is the common backend template for controlled experiments:
+// enough headroom that the workload, not allocator pressure, dominates.
+func smallBackend() backend.Options {
+	return backend.Options{
+		Geometry:       layout.Geometry{Buckets: 512, Ways: layout.DefaultWays},
+		DataBytes:      8 << 20,
+		DataMaxBytes:   64 << 20,
+		SlabBytes:      256 << 10,
+		ReshapeEnabled: true,
+	}
+}
+
+// mustCell builds a cell or panics (experiments are programs, not servers).
+func mustCell(opt cell.Options) *cell.Cell {
+	c, err := cell.New(opt)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building cell: %v", err))
+	}
+	return c
+}
+
+// std32 is the default controlled-experiment cell: 3 backends R=3.2 over
+// Pony Express.
+func std32() *cell.Cell {
+	return mustCell(cell.Options{
+		Shards: 3, Spares: 1, Mode: config.R32,
+		Transport: cell.TransportPony,
+		Backend:   smallBackend(),
+	})
+}
+
+// preload installs n keys of fixed value size and returns them.
+func preload(cl *client.Client, n, valSize int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(workload.Key(uint64(i)))
+		if err := cl.Set(ctx, keys[i], workload.ValueGen(uint64(i), valSize)); err != nil {
+			panic(fmt.Sprintf("experiments: preload set: %v", err))
+		}
+	}
+	return keys
+}
+
+// driveGets performs count lookups round-robin over keys, recording each
+// op's modelled latency. pace > 0 throttles the offered rate.
+func driveGets(cl *client.Client, keys [][]byte, count int, pace time.Duration, hist *stats.Histogram) {
+	next := time.Now()
+	for i := 0; i < count; i++ {
+		if pace > 0 {
+			next = next.Add(pace)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		_, _, tr, err := cl.GetTraced(ctx, keys[i%len(keys)])
+		if err != nil {
+			continue
+		}
+		if hist != nil {
+			hist.Record(tr.Ns)
+		}
+	}
+}
+
+// latCols renders the standard latency percentile columns in µs.
+func latCols(h *stats.Histogram, ps ...float64) []Col {
+	if len(ps) == 0 {
+		ps = []float64{50, 99}
+	}
+	cols := make([]Col, 0, len(ps))
+	for _, p := range ps {
+		cols = append(cols, Col{
+			Name:  fmt.Sprintf("p%g", p),
+			Value: float64(h.Percentile(p)) / 1000,
+			Unit:  "us",
+		})
+	}
+	return cols
+}

@@ -1,0 +1,309 @@
+// Package fabric models the datacenter network underneath CliqueMap.
+//
+// The paper's controlled experiments (§7.2) ran on a 950-host testbed with
+// 50 Gbps sustained / 100 Gbps burst per host. That hardware is substituted
+// by a virtual-time model: correctness traffic flows instantly between
+// goroutines, while every message is billed an analytically computed
+// delivery latency —
+//
+//	latency = propagation + serialization (bytes/bandwidth)
+//	        + downlink queueing (backlog + antagonist load) + jitter
+//
+// Per-host downlink backlog is tracked against a monotonic arrival clock,
+// which is what reproduces the incast effects of §6.3/§7.2.2: when SCAR
+// solicits three full copies of a 64KB value, the copies serialize on the
+// client's downlink and the op's critical path inflates. An "antagonist"
+// (§7.2.1) is modelled as a fractional reduction of a host's usable
+// bandwidth plus added queue residency.
+//
+// Latencies are virtual nanoseconds; callers accumulate them on an OpTrace
+// and record the critical-path sum. Absolute constants are calibrated to
+// the paper's reported magnitudes (Table/figure shapes, not silicon).
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Params configures the fabric. Zero fields take defaults from
+// DefaultParams.
+type Params struct {
+	// BaseRTTNs is the unloaded fabric round-trip (propagation + switch
+	// hops), ~4µs for an in-cluster RMA fabric.
+	BaseRTTNs uint64
+	// HostGbps is per-host sustained NIC bandwidth in Gbit/s.
+	HostGbps float64
+	// MTU is the maximum frame payload; CliqueMap's testbed used a 5KB MTU
+	// so a 4KB GET response fits in one frame (§7.2.4).
+	MTU int
+	// FrameOverhead is per-frame header bytes.
+	FrameOverhead int
+	// JitterFrac is the relative magnitude of per-message latency jitter.
+	JitterFrac float64
+	// Seed makes jitter reproducible.
+	Seed uint64
+}
+
+// DefaultParams matches the §7.2.4 testbed: 50 Gbps hosts, 5KB MTU, ~4µs
+// base RTT.
+func DefaultParams() Params {
+	return Params{
+		BaseRTTNs:     4000,
+		HostGbps:      50,
+		MTU:           5000,
+		FrameOverhead: 60,
+		JitterFrac:    0.15,
+		Seed:          1,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.BaseRTTNs == 0 {
+		p.BaseRTTNs = d.BaseRTTNs
+	}
+	if p.HostGbps == 0 {
+		p.HostGbps = d.HostGbps
+	}
+	if p.MTU == 0 {
+		p.MTU = d.MTU
+	}
+	if p.FrameOverhead == 0 {
+		p.FrameOverhead = d.FrameOverhead
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = d.JitterFrac
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Host is one machine on the fabric.
+type Host struct {
+	id int
+	f  *Fabric
+
+	mu       sync.Mutex
+	extLoad  float64 // antagonist: fraction of downlink consumed, 0..1
+	extraNs  uint64  // fixed extra one-way latency (WAN distance)
+	nextFree uint64  // virtual ns at which the downlink drains
+	rngState uint64
+}
+
+// Fabric is the set of hosts plus the shared latency model.
+type Fabric struct {
+	params Params
+	hosts  []*Host
+	start  time.Time
+}
+
+// New builds a fabric of n hosts.
+func New(n int, p Params) *Fabric {
+	if n <= 0 {
+		panic("fabric: need at least one host")
+	}
+	f := &Fabric{params: p.withDefaults(), start: time.Now()}
+	f.hosts = make([]*Host, n)
+	for i := range f.hosts {
+		f.hosts[i] = &Host{id: i, f: f, rngState: f.params.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1}
+	}
+	return f
+}
+
+// Params returns the effective parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// NumHosts returns the host count.
+func (f *Fabric) NumHosts() int { return len(f.hosts) }
+
+// Host returns host i.
+func (f *Fabric) Host(i int) *Host {
+	if i < 0 || i >= len(f.hosts) {
+		panic(fmt.Sprintf("fabric: host %d out of range [0,%d)", i, len(f.hosts)))
+	}
+	return f.hosts[i]
+}
+
+// nowNs is the arrival clock: monotonic real time doubles as virtual time
+// (1 real second ≡ 1 virtual second), so offered op rates translate
+// directly into modelled link utilization.
+func (f *Fabric) nowNs() uint64 {
+	return uint64(time.Since(f.start).Nanoseconds())
+}
+
+// NowNs exposes the arrival clock so op initiators can pin a common
+// virtual start instant across an op's parallel legs.
+func (f *Fabric) NowNs() uint64 { return f.nowNs() }
+
+// ID returns the host's index.
+func (h *Host) ID() int { return h.id }
+
+// SetExternalLoad installs an antagonist consuming frac (0..1) of the
+// host's downlink, as in §7.2.1's ~95Gbps competing demand.
+func (h *Host) SetExternalLoad(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.98 {
+		frac = 0.98
+	}
+	h.mu.Lock()
+	h.extLoad = frac
+	h.mu.Unlock()
+}
+
+// ExternalLoad returns the current antagonist fraction.
+func (h *Host) ExternalLoad() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.extLoad
+}
+
+// SetExtraLatency adds a fixed one-way latency to every delivery at this
+// host — the WAN distance of a remote-region client (Table 1: CliqueMap
+// "provides WAN access via RPC").
+func (h *Host) SetExtraLatency(ns uint64) {
+	h.mu.Lock()
+	h.extraNs = ns
+	h.mu.Unlock()
+}
+
+// ExtraLatency returns the host's fixed extra one-way latency.
+func (h *Host) ExtraLatency() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.extraNs
+}
+
+// xorshift for cheap reproducible jitter.
+func (h *Host) rand() float64 {
+	x := h.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h.rngState = x
+	return float64(x>>11) / float64(1<<53)
+}
+
+// bytesPerNs returns the host's usable downlink rate given antagonist load.
+// Caller holds h.mu.
+func (h *Host) bytesPerNs() float64 {
+	gbps := h.f.params.HostGbps * (1 - h.extLoad)
+	return gbps * 1e9 / 8 / 1e9 // Gbit/s → bytes/ns
+}
+
+// frameBytes returns on-wire bytes for a payload of sz, including per-MTU
+// framing.
+func (f *Fabric) frameBytes(sz int) int {
+	if sz <= 0 {
+		return f.params.FrameOverhead
+	}
+	frames := (sz + f.params.MTU - 1) / f.params.MTU
+	return sz + frames*f.params.FrameOverhead
+}
+
+// Deliver bills one message of sz payload bytes arriving at h and returns
+// its modelled one-way latency in virtual ns: half the base RTT, plus
+// serialization, plus any downlink queueing behind earlier arrivals and
+// the antagonist, plus jitter.
+func (h *Host) Deliver(sz int) uint64 { return h.DeliverAt(0, sz) }
+
+// DeliverAt is Deliver with an explicit virtual arrival instant. Parallel
+// legs of one operation pass the operation's start time so they queue
+// behind each other on the shared downlink — the incast effect of §6.3 —
+// even though the simulation executes them sequentially in real time.
+// at == 0 means "now".
+func (h *Host) DeliverAt(at uint64, sz int) uint64 {
+	wire := float64(h.f.frameBytes(sz))
+	now := h.f.nowNs()
+	if at != 0 && at < now {
+		now = at
+	}
+
+	h.mu.Lock()
+	rate := h.bytesPerNs()
+	ser := uint64(wire / rate)
+	start := h.nextFree
+	if start < now {
+		start = now
+	}
+	queue := start - now
+	h.nextFree = start + ser
+	// The antagonist also adds queue residency beyond pure bandwidth
+	// subtraction: competing frames interleave with ours.
+	var antQueue uint64
+	if h.extLoad > 0 {
+		antQueue = uint64(float64(ser) * h.extLoad / (1 - h.extLoad) * h.rand() * 2)
+	}
+	jit := uint64(float64(h.f.params.BaseRTTNs/2) * h.f.params.JitterFrac * h.rand())
+	extra := h.extraNs
+	h.mu.Unlock()
+
+	return h.f.params.BaseRTTNs/2 + ser + queue + antQueue + jit + extra
+}
+
+// RTT models a request of reqBytes to dst followed by a response of
+// respBytes back to src, returning the round-trip latency.
+func (f *Fabric) RTT(src, dst int, reqBytes, respBytes int) uint64 {
+	return f.Host(dst).Deliver(reqBytes) + f.Host(src).Deliver(respBytes)
+}
+
+// OpTrace accumulates an operation's critical-path virtual latency and
+// wire bytes. It is carried by value through transports; not safe for
+// concurrent mutation (each in-flight leg gets its own and the client
+// merges).
+type OpTrace struct {
+	Ns    uint64
+	Bytes uint64
+}
+
+// Add extends the critical path.
+func (t *OpTrace) Add(ns uint64) { t.Ns += ns }
+
+// AddBytes accounts payload bytes moved.
+func (t *OpTrace) AddBytes(b int) {
+	if b > 0 {
+		t.Bytes += uint64(b)
+	}
+}
+
+// Merge folds a parallel leg into the trace: latency is the max (the legs
+// overlapped), bytes sum.
+func (t *OpTrace) Merge(o OpTrace) {
+	if o.Ns > t.Ns {
+		t.Ns = o.Ns
+	}
+	t.Bytes += o.Bytes
+}
+
+// Sequence folds a dependent leg: latency adds, bytes sum.
+func (t *OpTrace) Sequence(o OpTrace) {
+	t.Ns += o.Ns
+	t.Bytes += o.Bytes
+}
+
+// Duration converts the trace to a time.Duration.
+func (t OpTrace) Duration() time.Duration { return time.Duration(t.Ns) * time.Nanosecond }
+
+// QueueModel exposes a utilization → waiting-time helper shared by the NIC
+// engine models: an M/M/1-flavoured wait of service×ρ/(1-ρ), clamped.
+func QueueModel(serviceNs float64, rho float64) uint64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho > 0.98 {
+		rho = 0.98
+	}
+	return uint64(serviceNs * rho / (1 - rho))
+}
+
+// Clamp01 clips v to [0,1]; exported for the NIC models sharing the
+// utilization convention.
+func Clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}

@@ -1,0 +1,245 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultsApplied(t *testing.T) {
+	f := New(2, Params{})
+	p := f.Params()
+	if p.BaseRTTNs == 0 || p.HostGbps == 0 || p.MTU == 0 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	if f.NumHosts() != 2 {
+		t.Errorf("NumHosts = %d", f.NumHosts())
+	}
+}
+
+func TestHostOutOfRangePanics(t *testing.T) {
+	f := New(1, Params{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Host(5) did not panic")
+		}
+	}()
+	f.Host(5)
+}
+
+func TestDeliverLatencyComponents(t *testing.T) {
+	f := New(2, Params{JitterFrac: 1e-9}) // effectively no jitter
+	h := f.Host(0)
+
+	small := h.Deliver(64)
+	if small < f.Params().BaseRTTNs/2 {
+		t.Errorf("latency %d below propagation floor", small)
+	}
+	// A 64KB transfer at 50Gbps ≈ 10.5µs serialization; must dominate.
+	big := f.Host(1).Deliver(64 * 1024)
+	if big < 10000 {
+		t.Errorf("64KB delivery only %dns; serialization missing", big)
+	}
+	if big <= small {
+		t.Error("larger transfer not slower")
+	}
+}
+
+func TestAntagonistInflatesLatency(t *testing.T) {
+	// Two fabrics, same seed: identical jitter streams, so the comparison
+	// isolates the antagonist term.
+	base, loaded := New(1, Params{}), New(1, Params{})
+	loaded.Host(0).SetExternalLoad(0.95)
+	var sumBase, sumLoaded uint64
+	for i := 0; i < 200; i++ {
+		sumBase += base.Host(0).Deliver(4096)
+		sumLoaded += loaded.Host(0).Deliver(4096)
+	}
+	if sumLoaded < sumBase*3 {
+		t.Errorf("95%% antagonist inflated latency only %dx/100", sumLoaded*100/sumBase)
+	}
+}
+
+func TestExternalLoadClamped(t *testing.T) {
+	f := New(1, Params{})
+	f.Host(0).SetExternalLoad(2.0)
+	if got := f.Host(0).ExternalLoad(); got > 0.99 {
+		t.Errorf("load not clamped: %v", got)
+	}
+	f.Host(0).SetExternalLoad(-1)
+	if got := f.Host(0).ExternalLoad(); got != 0 {
+		t.Errorf("negative load not clamped: %v", got)
+	}
+}
+
+// TestIncastQueueing reproduces the §6.3 incast mechanism: several large
+// responses arriving at one host back-to-back must queue behind each other,
+// so the last arrival sees much higher latency than the first.
+func TestIncastQueueing(t *testing.T) {
+	f := New(1, Params{JitterFrac: 1e-9})
+	h := f.Host(0)
+	const sz = 64 * 1024
+	first := h.Deliver(sz)
+	var last uint64
+	for i := 0; i < 9; i++ {
+		last = h.Deliver(sz)
+	}
+	if last < first*5 {
+		t.Errorf("10-way incast: first %dns, last %dns — queueing too weak", first, last)
+	}
+}
+
+func TestBacklogDrainsOverTime(t *testing.T) {
+	f := New(1, Params{JitterFrac: 1e-9})
+	h := f.Host(0)
+	for i := 0; i < 20; i++ {
+		h.Deliver(64 * 1024)
+	}
+	congested := h.Deliver(1024)
+	time.Sleep(5 * time.Millisecond) // real time drains virtual backlog
+	drained := h.Deliver(1024)
+	if drained >= congested {
+		t.Errorf("backlog did not drain: %d then %d", congested, drained)
+	}
+}
+
+func TestRTTSumsBothLegs(t *testing.T) {
+	f := New(2, Params{JitterFrac: 1e-9})
+	rtt := f.RTT(0, 1, 100, 4096)
+	if rtt < f.Params().BaseRTTNs {
+		t.Errorf("RTT %d below one base RTT", rtt)
+	}
+}
+
+func TestFrameOverheadPerMTU(t *testing.T) {
+	f := New(1, Params{MTU: 1000, FrameOverhead: 100})
+	if got := f.frameBytes(2500); got != 2500+3*100 {
+		t.Errorf("frameBytes(2500) = %d, want 2800", got)
+	}
+	if got := f.frameBytes(0); got != 100 {
+		t.Errorf("frameBytes(0) = %d, want 100", got)
+	}
+}
+
+func TestOpTrace(t *testing.T) {
+	var tr OpTrace
+	tr.Add(100)
+	tr.AddBytes(50)
+	tr.AddBytes(-5) // ignored
+	leg := OpTrace{Ns: 300, Bytes: 10}
+	tr.Merge(leg) // parallel: max latency
+	if tr.Ns != 300 || tr.Bytes != 60 {
+		t.Errorf("after merge: %+v", tr)
+	}
+	tr.Sequence(OpTrace{Ns: 50, Bytes: 1})
+	if tr.Ns != 350 || tr.Bytes != 61 {
+		t.Errorf("after sequence: %+v", tr)
+	}
+	if tr.Duration() != 350*time.Nanosecond {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+}
+
+func TestOpTraceMergeProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		t1 := OpTrace{Ns: a}
+		t1.Merge(OpTrace{Ns: b})
+		want := a
+		if b > a {
+			want = b
+		}
+		return t1.Ns == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueueModel(t *testing.T) {
+	if QueueModel(1000, 0) != 0 {
+		t.Error("zero utilization must not queue")
+	}
+	lo, hi := QueueModel(1000, 0.3), QueueModel(1000, 0.9)
+	if hi <= lo {
+		t.Error("queue wait must grow with utilization")
+	}
+	// Saturation is clamped, not infinite.
+	if QueueModel(1000, 5.0) == 0 || QueueModel(1000, 5.0) > 1000*100 {
+		t.Errorf("saturated queue = %d", QueueModel(1000, 5.0))
+	}
+}
+
+func TestJitterReproducible(t *testing.T) {
+	a, b := New(3, Params{Seed: 42}), New(3, Params{Seed: 42})
+	for i := 0; i < 100; i++ {
+		if a.Host(i%3).Deliver(1000) != b.Host(i%3).Deliver(1000) {
+			// Arrival clocks differ between fabrics, so exact equality can
+			// break only via the `now` term; with an empty queue both see
+			// queue=0, so latencies must match exactly.
+			t.Fatal("same seed produced different latencies")
+		}
+	}
+}
+
+func TestConcurrentDeliverSafe(t *testing.T) {
+	f := New(4, Params{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Host(g % 4).Deliver(1024)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	f := New(1, Params{})
+	h := f.Host(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Deliver(4096)
+	}
+}
+
+// TestDeliverAtPinsArrival is the incast mechanism: parallel legs of one op
+// pass a common virtual start instant so their responses queue behind each
+// other on the downlink even when the simulation issues them sequentially
+// in real time.
+func TestDeliverAtPinsArrival(t *testing.T) {
+	f := New(1, Params{JitterFrac: 1e-9})
+	h := f.Host(0)
+	at := f.NowNs()
+	const sz = 64 * 1024
+	first := h.DeliverAt(at, sz)
+	time.Sleep(2 * time.Millisecond) // real time passes; backlog would drain
+	second := h.DeliverAt(at, sz)    // but the pinned arrival still queues
+	if second < first+first/2 {
+		t.Errorf("pinned second leg %dns did not queue behind first %dns", second, first)
+	}
+	// An unpinned delivery after the sleep sees a drained queue.
+	time.Sleep(2 * time.Millisecond)
+	third := h.Deliver(sz)
+	if third >= second {
+		t.Errorf("unpinned delivery %dns should be faster than pinned-queued %dns", third, second)
+	}
+}
+
+func TestDeliverAtZeroMeansNow(t *testing.T) {
+	f := New(1, Params{JitterFrac: 1e-9})
+	a := f.Host(0).DeliverAt(0, 1024)
+	b := f.Host(0).Deliver(1024)
+	// Both are "now" deliveries of the same size on an idle link: within
+	// a serialization quantum of each other.
+	diff := int64(a) - int64(b)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int64(a) {
+		t.Errorf("DeliverAt(0) = %d vs Deliver = %d", a, b)
+	}
+}

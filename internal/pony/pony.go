@@ -1,0 +1,373 @@
+// Package pony models Pony Express, Google's software-defined NIC (Snap),
+// as CliqueMap uses it: single-threaded engines own registered memory and
+// serve one-sided ops without waking server application threads, and the
+// engine pool scales out with load (§7.2.4, Figure 15).
+//
+// Two properties drive the paper's results and are reproduced:
+//
+//   - SCAR (Scan-and-Read, §6.3): a custom RMA-like op that scans a Bucket
+//     server-side inside the NIC and returns Bucket + DataEntry in one
+//     round trip, halving both RTTs and per-op fixed CPU relative to 2×R.
+//
+//   - Engine scale-out: engines are single-threaded and either time-share
+//     a core or fan out to more cores as load rises. Scale-out reduces
+//     tail latency because receive parallelism grows (Figure 15's bands).
+//
+// CPU costs are billed to a stats.CPUAccount under the "pony" component,
+// with constants calibrated to Figure 7 (CPU-ns/op around 10²–10³).
+package pony
+
+import (
+	"sync"
+	"time"
+
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/nic"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/stats"
+)
+
+// CostModel carries the calibrated per-op CPU costs in nanoseconds.
+// Defaults approximate Figure 7: an individual SCAR costs about as much as
+// a normal RMA read, and two-sided messaging pays thread wakeups that
+// dwarf both.
+type CostModel struct {
+	EngineServiceNs uint64 // fixed engine cost to issue or serve one RMA op
+	ScanPerEntryNs  uint64 // SCAR's per-IndexEntry scan cost
+	PerKBNs         uint64 // payload handling cost per KB moved
+	MsgWakeupNs     uint64 // server thread wakeup for two-sided messaging
+}
+
+// DefaultCostModel returns the Figure 7 calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EngineServiceNs: 440,
+		ScanPerEntryNs:  18,
+		PerKBNs:         42,
+		MsgWakeupNs:     1500,
+	}
+}
+
+// EngineConfig controls the scale-out model.
+type EngineConfig struct {
+	MaxEngines int     // paper: four engines per task
+	ScaleOutAt float64 // per-engine utilization that triggers scale-out
+	ScaleInAt  float64 // utilization that releases an engine
+}
+
+// DefaultEngineConfig matches the §7.2.4 setup (four engines).
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{MaxEngines: 4, ScaleOutAt: 0.70, ScaleInAt: 0.25}
+}
+
+// NIC is one host's Pony Express instance. A backend host passes its
+// window registry so inbound one-sided ops can be served; a client-only
+// host passes nil.
+type NIC struct {
+	host *fabric.Host
+	reg  *rmem.Registry
+	cost CostModel
+	ecfg EngineConfig
+	acct *stats.CPUAccount
+
+	mu         sync.Mutex
+	engines    int
+	rateEWMA   float64 // ops/sec estimate
+	lastOp     time.Time
+	down       bool
+	opCounter  uint64
+	msgHandler MsgHandler
+}
+
+// New builds a NIC on host. reg may be nil for client-only hosts; acct may
+// be nil to skip CPU accounting.
+func New(host *fabric.Host, reg *rmem.Registry, cost CostModel, ecfg EngineConfig, acct *stats.CPUAccount) *NIC {
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	if ecfg == (EngineConfig{}) {
+		ecfg = DefaultEngineConfig()
+	}
+	return &NIC{host: host, reg: reg, cost: cost, ecfg: ecfg, acct: acct, engines: 1, lastOp: time.Now()}
+}
+
+// Host returns the fabric host this NIC is attached to.
+func (n *NIC) Host() *fabric.Host { return n.host }
+
+// Registry returns the window registry (nil on client-only hosts).
+func (n *NIC) Registry() *rmem.Registry { return n.reg }
+
+// SetDown simulates a host/NIC failure; subsequent inbound ops fail with
+// nic.ErrUnreachable until SetDown(false).
+func (n *NIC) SetDown(down bool) {
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+}
+
+// Engines returns the current engine count (the Figure 15 heatmap metric).
+func (n *NIC) Engines() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.engines
+}
+
+// OpsServed returns the cumulative op count.
+func (n *NIC) OpsServed() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.opCounter
+}
+
+// service accounts one engine visit: updates the load estimate, adapts the
+// engine count, and returns the modelled service + queue latency.
+func (n *NIC) service(opCost uint64) (uint64, error) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return 0, nic.ErrUnreachable
+	}
+	n.opCounter++
+	// EWMA op-rate estimate from inter-arrival gaps.
+	dt := now.Sub(n.lastOp).Seconds()
+	n.lastOp = now
+	if dt > 0 {
+		inst := 1.0 / dt
+		if dt > 1 {
+			inst = 0
+		}
+		n.rateEWMA = 0.98*n.rateEWMA + 0.02*inst
+	}
+	// Per-engine utilization: offered CPU-seconds per wall second.
+	rho := n.rateEWMA * float64(opCost) / 1e9 / float64(n.engines)
+	switch {
+	case rho > n.ecfg.ScaleOutAt && n.engines < n.ecfg.MaxEngines:
+		n.engines++
+	case rho < n.ecfg.ScaleInAt && n.engines > 1:
+		n.engines--
+	}
+	rho = n.rateEWMA * float64(opCost) / 1e9 / float64(n.engines)
+	return opCost + fabric.QueueModel(float64(opCost), fabric.Clamp01(rho)), nil
+}
+
+func (n *NIC) charge(ns uint64) {
+	if n.acct != nil {
+		n.acct.Charge("pony", ns)
+	}
+}
+
+func (n *NIC) chargeOnly(ns uint64) {
+	if n.acct != nil {
+		n.acct.ChargeOnly("pony", ns)
+	}
+}
+
+func (n *NIC) payloadCost(bytes int) uint64 {
+	return uint64(bytes) * n.cost.PerKBNs / 1024
+}
+
+// Conn is a client-side handle from an initiating NIC to a serving NIC —
+// the unit the CliqueMap client holds per backend. It implements nic.RMA.
+type Conn struct {
+	from *NIC
+	to   *NIC
+	f    *fabric.Fabric
+}
+
+// Dial connects an initiator NIC to a target NIC over fabric f.
+func Dial(f *fabric.Fabric, from, to *NIC) *Conn {
+	return &Conn{from: from, to: to, f: f}
+}
+
+// Target returns the serving-side NIC.
+func (c *Conn) Target() *NIC { return c.to }
+
+// SupportsScar reports true: SCAR is Pony Express's differentiator.
+func (c *Conn) SupportsScar() bool { return true }
+
+// deliverAt routes a delivery through the host's downlink model at the
+// op-relative virtual instant (at + latency so far), or "now" when the
+// caller did not pin an op start.
+func deliverAt(h *fabric.Host, at uint64, tr *fabric.OpTrace, sz int) uint64 {
+	var t uint64
+	if at != 0 {
+		t = at + tr.Ns
+	}
+	return h.DeliverAt(t, sz)
+}
+
+// Read performs a one-sided read: client engine issues, request crosses
+// the fabric, server engine reads registered memory, response returns.
+// No server application thread is involved — only NIC engine CPU is
+// billed. at is the op's virtual start instant (0 = now).
+func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabric.OpTrace, error) {
+	var tr fabric.OpTrace
+
+	issue, err := c.from.service(c.from.cost.EngineServiceNs)
+	if err != nil {
+		return nil, tr, err
+	}
+	c.from.charge(c.from.cost.EngineServiceNs)
+	tr.Add(issue)
+
+	const reqBytes = 64 // op descriptor
+	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
+	tr.AddBytes(reqBytes)
+
+	if c.to.reg == nil {
+		return nil, tr, nic.ErrUnreachable
+	}
+	serveCost := c.to.cost.EngineServiceNs + c.to.payloadCost(length)
+	serve, err := c.to.service(serveCost)
+	if err != nil {
+		return nil, tr, err
+	}
+	c.to.charge(serveCost)
+	tr.Add(serve)
+
+	data, rerr := c.to.reg.Read(win, off, length)
+	if rerr != nil {
+		// The error response still crosses the fabric back.
+		tr.Add(deliverAt(c.from.host, at, &tr, 64))
+		return nil, tr, rerr
+	}
+
+	tr.Add(deliverAt(c.from.host, at, &tr, length))
+	tr.AddBytes(length)
+	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(length)
+	c.from.chargeOnly(recvCost)
+	tr.Add(recvCost)
+	return data, tr, nil
+}
+
+// ScanAndRead executes SCAR (§6.3): one request, a server-NIC-side bucket
+// scan, and one response carrying bucket + matched DataEntry. Exactly one
+// fabric round trip.
+func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen int, hash hashring.KeyHash, ways int) (nic.ScarResult, fabric.OpTrace, error) {
+	var tr fabric.OpTrace
+	var res nic.ScarResult
+
+	issue, err := c.from.service(c.from.cost.EngineServiceNs)
+	if err != nil {
+		return res, tr, err
+	}
+	c.from.charge(c.from.cost.EngineServiceNs)
+	tr.Add(issue)
+
+	const reqBytes = 96 // descriptor + hash + geometry
+	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
+	tr.AddBytes(reqBytes)
+
+	if c.to.reg == nil {
+		return res, tr, nic.ErrUnreachable
+	}
+	// Server engine: read bucket, scan it, optionally follow the pointer.
+	scanCost := c.to.cost.EngineServiceNs + uint64(ways)*c.to.cost.ScanPerEntryNs
+	bucket, rerr := c.to.reg.Read(idxWin, bucketOff, bucketLen)
+	if rerr != nil {
+		serve, serr := c.to.service(scanCost)
+		if serr != nil {
+			return res, tr, serr
+		}
+		c.to.charge(scanCost)
+		tr.Add(serve)
+		tr.Add(deliverAt(c.from.host, at, &tr, 64))
+		return res, tr, rerr
+	}
+	res.Bucket = bucket
+
+	decoded, derr := layout.DecodeBucket(bucket, ways)
+	respBytes := bucketLen
+	if derr == nil {
+		if e, _, ok := decoded.Find(hash); ok && !e.Ptr.Nil() {
+			data, dataErr := c.to.reg.Read(e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
+			if dataErr == nil {
+				res.Data = data
+				res.Found = true
+				respBytes += len(data)
+				scanCost += c.to.payloadCost(len(data))
+			}
+			// A failed pointer chase (window revoked mid-op) returns just
+			// the bucket; the client validates and retries via RPC.
+		}
+	}
+	serve, serr := c.to.service(scanCost)
+	if serr != nil {
+		return nic.ScarResult{}, tr, serr
+	}
+	c.to.charge(scanCost)
+	tr.Add(serve)
+
+	tr.Add(deliverAt(c.from.host, at, &tr, respBytes))
+	tr.AddBytes(respBytes)
+	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(respBytes)
+	c.from.chargeOnly(recvCost)
+	tr.Add(recvCost)
+	return res, tr, nil
+}
+
+// MsgHandler serves two-sided messages delivered up to the application —
+// the MSG lookup strategy of Figure 7. Unlike Read/ScanAndRead, handling a
+// message requires waking a server application thread, which is exactly
+// the CPU cost SCAR avoids.
+type MsgHandler func(req []byte) ([]byte, error)
+
+// SetMsgHandler installs the application's message handler on this NIC.
+func (n *NIC) SetMsgHandler(h MsgHandler) {
+	n.mu.Lock()
+	n.msgHandler = h
+	n.mu.Unlock()
+}
+
+func (n *NIC) msgHandlerLocked() MsgHandler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgHandler
+}
+
+// Message performs a two-sided exchange: the request crosses the fabric,
+// the server NIC wakes an application thread to run the handler, and the
+// response returns. One round trip, but with the thread-wakeup CPU the
+// one-sided ops avoid.
+func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
+	var tr fabric.OpTrace
+
+	issue, err := c.from.service(c.from.cost.EngineServiceNs)
+	if err != nil {
+		return nil, tr, err
+	}
+	c.from.charge(c.from.cost.EngineServiceNs)
+	tr.Add(issue)
+
+	tr.Add(deliverAt(c.to.host, at, &tr, len(req)+64))
+	tr.AddBytes(len(req) + 64)
+
+	h := c.to.msgHandlerLocked()
+	if h == nil {
+		return nil, tr, nic.ErrUnreachable
+	}
+	// Server: engine receive + application thread wakeup + handler run.
+	serveCost := c.to.cost.EngineServiceNs + c.to.cost.MsgWakeupNs + c.to.payloadCost(len(req))
+	serve, err := c.to.service(serveCost)
+	if err != nil {
+		return nil, tr, err
+	}
+	c.to.charge(serveCost)
+	tr.Add(serve)
+
+	resp, herr := h(req)
+	if herr != nil {
+		tr.Add(deliverAt(c.from.host, at, &tr, 64))
+		return nil, tr, herr
+	}
+
+	tr.Add(deliverAt(c.from.host, at, &tr, len(resp)+64))
+	tr.AddBytes(len(resp) + 64)
+	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(len(resp))
+	c.from.chargeOnly(recvCost)
+	tr.Add(recvCost)
+	return resp, tr, nil
+}

@@ -1,0 +1,331 @@
+package pony
+
+import (
+	"testing"
+
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/nic"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/truetime"
+)
+
+// testRig wires a client NIC and a backend NIC with one bucket and one
+// stored KV pair.
+type testRig struct {
+	f       *fabric.Fabric
+	conn    *Conn
+	idxWin  *rmem.Window
+	dataWin *rmem.Window
+	geo     layout.Geometry
+	hash    hashring.KeyHash
+	acct    *stats.CPUAccount
+}
+
+func newRig(t *testing.T, key, value []byte) *testRig {
+	t.Helper()
+	f := fabric.New(2, fabric.Params{})
+	acct := stats.NewCPUAccount()
+	reg := rmem.NewRegistry()
+
+	geo := layout.Geometry{Buckets: 8, Ways: 4}
+	idx := rmem.NewRegion(geo.RegionBytes(), geo.RegionBytes())
+	data := rmem.NewRegion(1<<16, 1<<16)
+	idxWin := reg.Register(idx, 1)
+	dataWin := reg.Register(data, 1)
+
+	// Store the entry: DataEntry at offset 0, IndexEntry in its bucket.
+	v := truetime.Version{Micros: 1, ClientID: 1, Seq: 1}
+	entry := make([]byte, layout.DataEntrySize(len(key), len(value)))
+	layout.EncodeDataEntry(entry, key, value, v)
+	if err := data.Write(0, entry); err != nil {
+		t.Fatal(err)
+	}
+	h := hashring.DefaultHash(key)
+	b := int(h.Lo % uint64(geo.Buckets))
+	ie := make([]byte, layout.IndexEntrySize)
+	layout.EncodeIndexEntry(ie, layout.IndexEntry{
+		Hash:    h,
+		Version: v,
+		Ptr:     layout.Pointer{Window: dataWin.ID, Offset: 0, Size: uint64(len(entry))},
+	})
+	if err := idx.Write(geo.BucketOffset(b)+layout.BucketHeaderSize, ie); err != nil {
+		t.Fatal(err)
+	}
+
+	server := New(f.Host(1), reg, CostModel{}, EngineConfig{}, acct)
+	client := New(f.Host(0), nil, CostModel{}, EngineConfig{}, acct)
+	return &testRig{
+		f: f, conn: Dial(f, client, server),
+		idxWin: idxWin, dataWin: dataWin, geo: geo, hash: h, acct: acct,
+	}
+}
+
+func (r *testRig) bucketOff() int {
+	return r.geo.BucketOffset(int(r.hash.Lo % uint64(r.geo.Buckets)))
+}
+
+func TestReadReturnsRegisteredBytes(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("hello-pony"))
+	got, tr, err := rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("read %d bytes", len(got))
+	}
+	e, err := layout.DecodeDataEntry(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Value) != "hello-pony" {
+		t.Errorf("value = %q", e.Value)
+	}
+	if tr.Ns == 0 || tr.Bytes == 0 {
+		t.Error("trace not populated")
+	}
+}
+
+func TestReadRevokedWindow(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Target().Registry().Revoke(rig.dataWin.ID)
+	_, _, err := rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+	if err == nil {
+		t.Fatal("read of revoked window succeeded")
+	}
+}
+
+func TestScarHit(t *testing.T) {
+	rig := newRig(t, []byte("scar-key"), []byte("scar-value"))
+	res, tr, err := rig.conn.ScanAndRead(0, rig.idxWin.ID, rig.bucketOff(), rig.geo.BucketSize(), rig.hash, rig.geo.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("SCAR did not find the entry")
+	}
+	e, err := layout.DecodeDataEntry(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e.Value) != "scar-value" {
+		t.Errorf("value = %q", e.Value)
+	}
+	if len(res.Bucket) != rig.geo.BucketSize() {
+		t.Errorf("bucket %d bytes", len(res.Bucket))
+	}
+	if tr.Bytes < uint64(rig.geo.BucketSize()) {
+		t.Error("trace bytes must include bucket")
+	}
+}
+
+func TestScarMissReturnsBucketOnly(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	other := hashring.DefaultHash([]byte("absent"))
+	// Force same bucket but different hash so the scan runs and misses.
+	other.Lo = rig.hash.Lo
+	res, _, err := rig.conn.ScanAndRead(0, rig.idxWin.ID, rig.bucketOff(), rig.geo.BucketSize(), other, rig.geo.Ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Data != nil {
+		t.Error("miss returned data")
+	}
+	if res.Bucket == nil {
+		t.Error("miss must still return the bucket")
+	}
+}
+
+// TestScarSingleRoundTrip verifies SCAR's latency advantage: a SCAR is
+// materially faster than 2×R's two dependent round trips for small values.
+func TestScarSingleRoundTrip(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("small"))
+	var scar, twoR uint64
+	const n = 50
+	for i := 0; i < n; i++ {
+		_, tr, err := rig.conn.ScanAndRead(0, rig.idxWin.ID, rig.bucketOff(), rig.geo.BucketSize(), rig.hash, rig.geo.Ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scar += tr.Ns
+
+		_, tr1, err := rig.conn.Read(0, rig.idxWin.ID, rig.bucketOff(), rig.geo.BucketSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tr2, err := rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoR += tr1.Ns + tr2.Ns
+	}
+	if scar >= twoR {
+		t.Errorf("SCAR (%d) not faster than 2xR (%d) for small values", scar/n, twoR/n)
+	}
+}
+
+func TestCPUBilled(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+	if rig.acct.TotalNanos("pony") == 0 {
+		t.Error("no pony CPU billed")
+	}
+}
+
+// TestScarCheaperCPUThan2xR is Figure 7's core claim: SCAR halves the
+// per-GET pony CPU relative to 2×R because it removes a full second RMA op.
+func TestScarCheaperCPUThan2xR(t *testing.T) {
+	rigA := newRig(t, []byte("k"), []byte("v"))
+	for i := 0; i < 100; i++ {
+		rigA.conn.ScanAndRead(0, rigA.idxWin.ID, rigA.bucketOff(), rigA.geo.BucketSize(), rigA.hash, rigA.geo.Ways)
+	}
+	scarCPU := rigA.acct.TotalNanos("pony")
+
+	rigB := newRig(t, []byte("k"), []byte("v"))
+	for i := 0; i < 100; i++ {
+		rigB.conn.Read(0, rigB.idxWin.ID, rigB.bucketOff(), rigB.geo.BucketSize())
+		rigB.conn.Read(0, rigB.dataWin.ID, 0, 64)
+	}
+	twoRCPU := rigB.acct.TotalNanos("pony")
+	if scarCPU >= twoRCPU {
+		t.Errorf("SCAR CPU %d ≥ 2xR CPU %d", scarCPU, twoRCPU)
+	}
+}
+
+func TestDownNICUnreachable(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Target().SetDown(true)
+	if _, _, err := rig.conn.Read(0, rig.dataWin.ID, 0, 64); err != nic.ErrUnreachable {
+		t.Errorf("down NIC: got %v", err)
+	}
+	if _, _, err := rig.conn.ScanAndRead(0, rig.idxWin.ID, 0, rig.geo.BucketSize(), rig.hash, rig.geo.Ways); err != nic.ErrUnreachable {
+		t.Errorf("down NIC SCAR: got %v", err)
+	}
+	rig.conn.Target().SetDown(false)
+	if _, _, err := rig.conn.Read(0, rig.dataWin.ID, 0, 64); err != nil {
+		t.Errorf("after recovery: %v", err)
+	}
+}
+
+func TestClientOnlyNICCannotServe(t *testing.T) {
+	f := fabric.New(2, fabric.Params{})
+	a := New(f.Host(0), nil, CostModel{}, EngineConfig{}, nil)
+	b := New(f.Host(1), nil, CostModel{}, EngineConfig{}, nil)
+	conn := Dial(f, a, b)
+	if _, _, err := conn.Read(0, 1, 0, 16); err != nic.ErrUnreachable {
+		t.Errorf("client-only target: got %v", err)
+	}
+}
+
+func TestEngineScaleOutUnderLoad(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	server := rig.conn.Target()
+	if server.Engines() != 1 {
+		t.Fatalf("initial engines = %d", server.Engines())
+	}
+	// Hammer the server; the EWMA rate estimator should push utilization
+	// over the scale-out threshold.
+	for i := 0; i < 20000; i++ {
+		rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+	}
+	if server.Engines() < 2 {
+		t.Errorf("engines = %d after sustained load; scale-out broken", server.Engines())
+	}
+	if server.OpsServed() == 0 {
+		t.Error("ops not counted")
+	}
+}
+
+func TestSupportsScar(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	if !rig.conn.SupportsScar() {
+		t.Error("pony must support SCAR")
+	}
+}
+
+func BenchmarkPonyRead(b *testing.B) {
+	f := fabric.New(2, fabric.Params{})
+	reg := rmem.NewRegistry()
+	region := rmem.NewRegion(1<<16, 1<<16)
+	w := reg.Register(region, 1)
+	server := New(f.Host(1), reg, CostModel{}, EngineConfig{}, nil)
+	client := New(f.Host(0), nil, CostModel{}, EngineConfig{}, nil)
+	conn := Dial(f, client, server)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := conn.Read(0, w.ID, 0, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Target().SetMsgHandler(func(req []byte) ([]byte, error) {
+		return append([]byte("pong:"), req...), nil
+	})
+	resp, tr, err := rig.conn.Message(0, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pong:ping" {
+		t.Errorf("resp = %q", resp)
+	}
+	if tr.Ns == 0 || tr.Bytes == 0 {
+		t.Error("trace empty")
+	}
+}
+
+func TestMessageNoHandler(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	if _, _, err := rig.conn.Message(0, []byte("x")); err != nic.ErrUnreachable {
+		t.Errorf("no handler: %v", err)
+	}
+}
+
+func TestMessageHandlerError(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	boom := errSentinel("boom")
+	rig.conn.Target().SetMsgHandler(func([]byte) ([]byte, error) { return nil, boom })
+	if _, _, err := rig.conn.Message(0, nil); err != boom {
+		t.Errorf("handler error: %v", err)
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
+// TestMessageCostlierThanRead: a two-sided message pays the thread wakeup
+// a one-sided read avoids (the Figure 7 MSG premium).
+func TestMessageCostlierThanRead(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Target().SetMsgHandler(func(req []byte) ([]byte, error) { return req, nil })
+
+	acct := rig.acct
+	base := acct.TotalNanos("pony")
+	for i := 0; i < 50; i++ {
+		rig.conn.Read(0, rig.dataWin.ID, 0, 64)
+	}
+	readCPU := acct.TotalNanos("pony") - base
+
+	base = acct.TotalNanos("pony")
+	for i := 0; i < 50; i++ {
+		rig.conn.Message(0, make([]byte, 64))
+	}
+	msgCPU := acct.TotalNanos("pony") - base
+	if msgCPU <= readCPU {
+		t.Errorf("MSG CPU %d not above one-sided read CPU %d", msgCPU, readCPU)
+	}
+}
+
+func TestMessageDownNIC(t *testing.T) {
+	rig := newRig(t, []byte("k"), []byte("v"))
+	rig.conn.Target().SetMsgHandler(func(req []byte) ([]byte, error) { return req, nil })
+	rig.conn.Target().SetDown(true)
+	if _, _, err := rig.conn.Message(0, nil); err != nic.ErrUnreachable {
+		t.Errorf("down NIC message: %v", err)
+	}
+}

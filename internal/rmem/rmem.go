@@ -1,0 +1,242 @@
+// Package rmem models RMA-registered memory: the index and data regions a
+// CliqueMap backend exposes for one-sided reads (§3, §4.1).
+//
+// Two properties of real registered memory matter to CliqueMap's design and
+// are reproduced here:
+//
+//  1. RMA reads are not atomic with respect to CPU writes. A concurrent
+//     SET can tear a GET's view of a DataEntry. In hardware this happens
+//     because DMA and CPU stores interleave at cache-line granularity; here
+//     writers apply mutations in bounded-size chunks and drop the region
+//     lock between chunks, so concurrent readers observe genuinely torn
+//     states without any Go-level data race. Self-validating checksums
+//     (§3) are exercised for real.
+//
+//  2. Remote access is mediated by windows that can be revoked. Index
+//     resizing (§4.1) revokes the old index window; in-flight client RMAs
+//     then fail with a window error and the client retries via RPC,
+//     learning the new geometry. Data-region growth registers a second,
+//     larger window overlapping the first, and clients converge to it.
+package rmem
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+var (
+	// ErrRevoked reports an RMA against a revoked (or never-registered)
+	// window. Clients respond by retrying over RPC (§4.1).
+	ErrRevoked = errors.New("rmem: window revoked")
+	// ErrOutOfBounds reports an RMA beyond the window's populated extent.
+	ErrOutOfBounds = errors.New("rmem: access out of bounds")
+)
+
+// WriteChunk is the granularity at which writers publish bytes. Reads can
+// interleave at chunk boundaries — this is the tearing window.
+const WriteChunk = 256
+
+// Region is a registered memory area. The backing array is reserved at
+// maximum capacity up front (the paper's mmap(PROT_NONE) of a very large
+// virtual range) but only `populated` bytes are usable; Grow populates
+// more on demand.
+type Region struct {
+	mu        sync.Mutex
+	buf       []byte
+	populated int
+}
+
+// NewRegion reserves maxCap bytes and populates the first populated bytes.
+func NewRegion(populated, maxCap int) *Region {
+	if populated < 0 || maxCap < populated {
+		panic(fmt.Sprintf("rmem: invalid region geometry %d/%d", populated, maxCap))
+	}
+	return &Region{buf: make([]byte, maxCap), populated: populated}
+}
+
+// Populated returns the usable extent.
+func (r *Region) Populated() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.populated
+}
+
+// Capacity returns the reserved maximum.
+func (r *Region) Capacity() int { return len(r.buf) }
+
+// Grow populates additional bytes, up to capacity, returning the new
+// populated extent. Growth is what data-region reshaping performs off the
+// critical path (§4.1).
+func (r *Region) Grow(additional int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.populated += additional
+	if r.populated > len(r.buf) {
+		r.populated = len(r.buf)
+	}
+	return r.populated
+}
+
+// Shrink reduces the populated extent (non-disruptive restart downsizing).
+func (r *Region) Shrink(to int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if to < 0 {
+		to = 0
+	}
+	if to < r.populated {
+		r.populated = to
+	}
+}
+
+// Read copies length bytes at off into a fresh slice. The read is atomic
+// at chunk granularity only — matching DMA semantics — but since it holds
+// the lock for the whole copy, a single Read is internally consistent
+// *per call*. Tearing arises between a writer's chunks, i.e. a Read that
+// lands between two WriteChunked sections of one logical entry.
+func (r *Region) Read(off, length int) ([]byte, error) {
+	if length < 0 || off < 0 {
+		return nil, ErrOutOfBounds
+	}
+	out := make([]byte, length)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off+length > r.populated {
+		return nil, ErrOutOfBounds
+	}
+	copy(out, r.buf[off:off+length])
+	return out, nil
+}
+
+// ReadInto copies into caller storage, avoiding allocation on hot paths.
+func (r *Region) ReadInto(off int, dst []byte) error {
+	if off < 0 {
+		return ErrOutOfBounds
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off+len(dst) > r.populated {
+		return ErrOutOfBounds
+	}
+	copy(dst, r.buf[off:off+len(dst)])
+	return nil
+}
+
+// Write stores data at off while holding the lock across the whole copy.
+// Use for small metadata (an IndexEntry) whose publication must be
+// single-chunk-atomic.
+func (r *Region) Write(off int, data []byte) error {
+	if off < 0 {
+		return ErrOutOfBounds
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off+len(data) > r.populated {
+		return ErrOutOfBounds
+	}
+	copy(r.buf[off:], data)
+	return nil
+}
+
+// WriteChunked stores data at off in WriteChunk-sized sections, dropping
+// the lock between sections. Concurrent readers may observe a prefix of
+// the new bytes and a suffix of the old — a torn entry. This is how all
+// DataEntry bodies are written.
+func (r *Region) WriteChunked(off int, data []byte) error {
+	if off < 0 {
+		return ErrOutOfBounds
+	}
+	r.mu.Lock()
+	if off+len(data) > r.populated {
+		r.mu.Unlock()
+		return ErrOutOfBounds
+	}
+	r.mu.Unlock()
+	for i := 0; i < len(data); i += WriteChunk {
+		end := i + WriteChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if i > 0 {
+			// Yield so concurrent RMA reads can land between chunks even on
+			// a single-CPU scheduler — this is the DMA/CPU-store interleave
+			// that makes tearing physically possible.
+			runtime.Gosched()
+		}
+		r.mu.Lock()
+		// Re-check: a concurrent Shrink could have raced us.
+		if off+end > r.populated {
+			r.mu.Unlock()
+			return ErrOutOfBounds
+		}
+		copy(r.buf[off+i:], data[i:end])
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// WindowID names a registered RMA window. IDs are never reused within a
+// Registry, so a stale ID always fails closed.
+type WindowID uint64
+
+// Window describes one registered window: a view over a region.
+type Window struct {
+	ID     WindowID
+	Region *Region
+	// Epoch counts registrations for the same logical role (e.g. "index").
+	// Clients compare epochs to detect that their cached window is old.
+	Epoch uint64
+}
+
+// Registry is a backend's table of registered windows — what its NIC
+// consults to serve inbound RMA.
+type Registry struct {
+	mu      sync.Mutex
+	nextID  WindowID
+	windows map[WindowID]*Window
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{nextID: 1, windows: make(map[WindowID]*Window)}
+}
+
+// Register exposes region under a fresh window ID at the given epoch.
+func (g *Registry) Register(region *Region, epoch uint64) *Window {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w := &Window{ID: g.nextID, Region: region, Epoch: epoch}
+	g.nextID++
+	g.windows[w.ID] = w
+	return w
+}
+
+// Revoke invalidates a window. Subsequent RMAs with its ID fail with
+// ErrRevoked.
+func (g *Registry) Revoke(id WindowID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.windows, id)
+}
+
+// Lookup resolves a window ID, failing if revoked.
+func (g *Registry) Lookup(id WindowID) (*Window, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.windows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrRevoked, id)
+	}
+	return w, nil
+}
+
+// Read serves a one-sided read against window id.
+func (g *Registry) Read(id WindowID, off, length int) ([]byte, error) {
+	w, err := g.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return w.Region.Read(off, length)
+}

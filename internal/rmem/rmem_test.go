@@ -1,0 +1,295 @@
+package rmem
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	r := NewRegion(1024, 4096)
+	data := []byte("hello registered memory")
+	if err := r.Write(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Read(100, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	r := NewRegion(128, 256)
+	if _, err := r.Read(100, 100); err != ErrOutOfBounds {
+		t.Errorf("read past populated: %v", err)
+	}
+	if err := r.Write(120, make([]byte, 20)); err != ErrOutOfBounds {
+		t.Errorf("write past populated: %v", err)
+	}
+	if _, err := r.Read(-1, 4); err != ErrOutOfBounds {
+		t.Errorf("negative offset: %v", err)
+	}
+	if _, err := r.Read(0, -1); err != ErrOutOfBounds {
+		t.Errorf("negative length: %v", err)
+	}
+	if err := r.WriteChunked(200, make([]byte, 100)); err != ErrOutOfBounds {
+		t.Errorf("chunked write past populated: %v", err)
+	}
+}
+
+func TestGrowPopulatesReservedRange(t *testing.T) {
+	r := NewRegion(128, 1024)
+	if err := r.Write(500, []byte{1}); err != ErrOutOfBounds {
+		t.Fatal("write beyond populated should fail before grow")
+	}
+	if got := r.Grow(512); got != 640 {
+		t.Errorf("Grow -> %d, want 640", got)
+	}
+	if err := r.Write(500, []byte{1}); err != nil {
+		t.Errorf("write after grow: %v", err)
+	}
+	// Growth clamps at capacity.
+	if got := r.Grow(1 << 20); got != 1024 {
+		t.Errorf("over-grow -> %d, want 1024", got)
+	}
+	if r.Capacity() != 1024 {
+		t.Errorf("capacity changed: %d", r.Capacity())
+	}
+}
+
+func TestShrink(t *testing.T) {
+	r := NewRegion(1024, 1024)
+	r.Shrink(100)
+	if r.Populated() != 100 {
+		t.Errorf("populated = %d", r.Populated())
+	}
+	if _, err := r.Read(50, 100); err != ErrOutOfBounds {
+		t.Error("read past shrunk extent should fail")
+	}
+	r.Shrink(-5)
+	if r.Populated() != 0 {
+		t.Errorf("negative shrink -> %d", r.Populated())
+	}
+}
+
+// TestTornReadObservable proves the tearing model: a reader that races a
+// chunked writer can observe a mix of old and new bytes, while a reader
+// that races a plain Write never does.
+func TestTornReadObservable(t *testing.T) {
+	const size = 4 * WriteChunk
+	r := NewRegion(size, size)
+	old := bytes.Repeat([]byte{0xAA}, size)
+	newv := bytes.Repeat([]byte{0xBB}, size)
+	r.Write(0, old)
+
+	stop := make(chan struct{})
+	torn := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sawTorn := false
+		for {
+			select {
+			case <-stop:
+				torn <- sawTorn
+				return
+			default:
+			}
+			got, err := r.Read(0, size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hasOld := bytes.Contains(got, []byte{0xAA})
+			hasNew := bytes.Contains(got, []byte{0xBB})
+			if hasOld && hasNew {
+				sawTorn = true
+			}
+			runtime.Gosched() // single-CPU schedulers need explicit interleave
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			r.WriteChunked(0, newv)
+		} else {
+			r.WriteChunked(0, old)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !<-torn {
+		t.Error("chunked writes never produced an observable torn read; tearing model broken")
+	}
+}
+
+func TestAtomicWriteNeverTears(t *testing.T) {
+	const size = 64 // single chunk: must be atomic
+	r := NewRegion(size, size)
+	old := bytes.Repeat([]byte{0xAA}, size)
+	newv := bytes.Repeat([]byte{0xBB}, size)
+	r.Write(0, old)
+
+	stop := make(chan struct{})
+	var fail bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			got, _ := r.Read(0, size)
+			if bytes.Contains(got, []byte{0xAA}) && bytes.Contains(got, []byte{0xBB}) {
+				fail = true
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if i%2 == 0 {
+			r.Write(0, newv)
+		} else {
+			r.Write(0, old)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if fail {
+		t.Error("single-chunk Write tore")
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	r := NewRegion(128, 128)
+	r.Write(10, []byte{1, 2, 3})
+	buf := make([]byte, 3)
+	if err := r.ReadInto(10, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3}) {
+		t.Errorf("ReadInto = %v", buf)
+	}
+	if err := r.ReadInto(127, make([]byte, 2)); err != ErrOutOfBounds {
+		t.Error("ReadInto past extent should fail")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	g := NewRegistry()
+	region := NewRegion(256, 256)
+	region.Write(0, []byte("window data"))
+
+	w := g.Register(region, 1)
+	if w.ID == 0 {
+		t.Fatal("window ID should be nonzero")
+	}
+	got, err := g.Read(w.ID, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "window data" {
+		t.Errorf("read %q", got)
+	}
+
+	g.Revoke(w.ID)
+	if _, err := g.Read(w.ID, 0, 11); err == nil {
+		t.Error("read after revoke should fail")
+	}
+	if _, err := g.Lookup(w.ID); err == nil {
+		t.Error("lookup after revoke should fail")
+	}
+}
+
+func TestRegistryIDsNeverReused(t *testing.T) {
+	g := NewRegistry()
+	region := NewRegion(16, 16)
+	seen := map[WindowID]bool{}
+	for i := 0; i < 100; i++ {
+		w := g.Register(region, uint64(i))
+		if seen[w.ID] {
+			t.Fatalf("window ID %d reused", w.ID)
+		}
+		seen[w.ID] = true
+		g.Revoke(w.ID)
+	}
+}
+
+// TestOverlappingWindows models data-region growth (§4.1): a second,
+// larger window over the same region serves reads the old window cannot,
+// while the old window keeps working during the transition.
+func TestOverlappingWindows(t *testing.T) {
+	g := NewRegistry()
+	region := NewRegion(128, 1024)
+	oldW := g.Register(region, 1)
+	region.Grow(512)
+	newW := g.Register(region, 2)
+
+	region.Write(300, []byte{42})
+	if _, err := g.Read(oldW.ID, 300, 1); err != nil {
+		t.Errorf("old window should still serve in-bounds reads: %v", err)
+	}
+	got, err := g.Read(newW.ID, 300, 1)
+	if err != nil || got[0] != 42 {
+		t.Errorf("new window read = %v, %v", got, err)
+	}
+	if newW.Epoch <= oldW.Epoch {
+		t.Error("new window must carry a later epoch")
+	}
+
+	g.Revoke(oldW.ID)
+	if _, err := g.Read(oldW.ID, 0, 1); err == nil {
+		t.Error("old window must fail after revocation")
+	}
+	if _, err := g.Read(newW.ID, 0, 1); err != nil {
+		t.Errorf("new window unaffected by old revocation: %v", err)
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	g := NewRegistry()
+	region := NewRegion(1024, 1024)
+	w := g.Register(region, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if _, err := g.Read(w.ID, 0, 64); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkRegionRead4KB(b *testing.B) {
+	r := NewRegion(1<<20, 1<<20)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Read(0, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteChunked4KB(b *testing.B) {
+	r := NewRegion(1<<20, 1<<20)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		r.WriteChunked(0, data)
+	}
+}

@@ -1,0 +1,224 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTCPRig(t *testing.T) (*Network, *TCPGateway, *TCPClient) {
+	t.Helper()
+	n := newNet(nil)
+	s := n.Serve("b", 1)
+	s.Handle("Echo", func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	s.Handle("Who", func(_ context.Context, principal string, _ []byte) ([]byte, error) {
+		return []byte(principal), nil
+	})
+	g, err := ServeTCP(n, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	c, err := DialTCP(g.Addr(), "remote-user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return n, g, c
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	_, _, c := newTCPRig(t)
+	resp, tr, err := c.Call(context.Background(), "b", "Echo", []byte("over-the-wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "over-the-wire" {
+		t.Errorf("resp = %q", resp)
+	}
+	if tr.Ns == 0 {
+		t.Error("modelled trace not propagated across the socket")
+	}
+}
+
+func TestTCPPrincipalPropagates(t *testing.T) {
+	_, _, c := newTCPRig(t)
+	resp, _, err := c.Call(context.Background(), "b", "Who", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "remote-user" {
+		t.Errorf("principal = %q", resp)
+	}
+}
+
+func TestTCPErrorClassesCrossTheWire(t *testing.T) {
+	_, _, c := newTCPRig(t)
+	_, _, err := c.Call(context.Background(), "b", "Nope", nil)
+	if !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing method over tcp: %v", err)
+	}
+	_, _, err = c.Call(context.Background(), "absent", "Echo", nil)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("missing addr over tcp: %v", err)
+	}
+}
+
+func TestTCPConcurrentMultiplexing(t *testing.T) {
+	_, _, c := newTCPRig(t)
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				req := []byte(fmt.Sprintf("%d-%d", g, i))
+				resp, _, err := c.Call(context.Background(), "b", "Echo", req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if string(resp) != string(req) {
+					errs <- fmt.Errorf("cross-talk: sent %q got %q", req, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPAuthOverWire(t *testing.T) {
+	n := newNet(nil)
+	s := n.Serve("b", 1)
+	s.Handle("M", func(context.Context, string, []byte) ([]byte, error) { return nil, nil })
+	s.SetAuthenticator(func(principal, method string) error {
+		if principal != "alice" {
+			return fmt.Errorf("no")
+		}
+		return nil
+	})
+	g, err := ServeTCP(n, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	mallory, err := DialTCP(g.Addr(), "mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mallory.Close()
+	if _, _, err := mallory.Call(context.Background(), "b", "M", nil); !errors.Is(err, ErrUnauthenticated) {
+		t.Errorf("mallory over tcp: %v", err)
+	}
+	alice, err := DialTCP(g.Addr(), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alice.Close()
+	if _, _, err := alice.Call(context.Background(), "b", "M", nil); err != nil {
+		t.Errorf("alice over tcp: %v", err)
+	}
+}
+
+func TestTCPGatewayCloseFailsInflight(t *testing.T) {
+	n := newNet(nil)
+	s := n.Serve("b", 1)
+	block := make(chan struct{})
+	s.Handle("Slow", func(context.Context, string, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	g, err := ServeTCP(n, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(g.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Call(context.Background(), "b", "Slow", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the call reach the handler
+	c.Close()                         // client-side teardown
+	close(block)                      // unblock the handler so Close can reap
+	g.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("in-flight call survived teardown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung after teardown")
+	}
+}
+
+func TestTCPContextCancel(t *testing.T) {
+	n := newNet(nil)
+	s := n.Serve("b", 1)
+	block := make(chan struct{})
+	s.Handle("Slow", func(context.Context, string, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	g, err := ServeTCP(n, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialTCP(g.Addr(), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Call(ctx, "b", "Slow", nil); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("cancelled call: %v", err)
+	}
+	// Unblock the abandoned handler before Close, which waits for it.
+	close(block)
+	g.Close()
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	n := newNet(nil)
+	s := n.Serve("b", 1)
+	s.Handle("Echo", func(_ context.Context, _ string, req []byte) ([]byte, error) { return req, nil })
+	g, err := ServeTCP(n, "127.0.0.1:0", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	c, err := DialTCP(g.Addr(), "p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	req := make([]byte, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Call(ctx, "b", "Echo", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package shim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Frames arrive from another process; both directions must parse or fail
+// cleanly.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("seed"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ReadFrame(bytes.NewReader(data)) // must not panic
+	})
+}
+
+func FuzzUnmarshalRequest(f *testing.F) {
+	f.Add(Request{ID: 1, Op: OpGet, Key: []byte("k")}.Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		UnmarshalRequest(data) // must not panic
+	})
+}

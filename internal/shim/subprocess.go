@@ -1,0 +1,95 @@
+package shim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"cliquemap/internal/stats"
+)
+
+// Subprocess is a launched shim host process (the paper's "CliqueMap C++
+// client in a subprocess") connected over a pipe pair.
+type Subprocess struct {
+	cmd    *exec.Cmd
+	Client *Client
+	stdin  io.WriteCloser
+}
+
+// Launch starts exe with args, wiring its stdin/stdout as the shim pipe
+// pair and attaching a Client with the given language profile.
+func Launch(ctx context.Context, profile Profile, exe string, args ...string) (*Subprocess, error) {
+	cmd := exec.CommandContext(ctx, exe, args...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shim: launching %s: %w", exe, err)
+	}
+	return &Subprocess{
+		cmd:    cmd,
+		stdin:  stdin,
+		Client: NewClient(stdout, stdin, profile, nil),
+	}, nil
+}
+
+// Close shuts the pipe down and reaps the subprocess.
+func (s *Subprocess) Close() error {
+	s.stdin.Close()
+	return s.cmd.Wait()
+}
+
+// InProcess runs a shim host on OS pipes inside this process: the frame
+// and syscall path is the real one (os.Pipe file descriptors), without a
+// separate binary. Used by tests and the Figure 6 harness.
+type InProcess struct {
+	Client *Client
+	done   chan error
+	closeW *os.File
+	files  []*os.File
+}
+
+// NewInProcess starts a host goroutine serving store over real OS pipes
+// and returns the connected shim client. acct may be nil.
+func NewInProcess(ctx context.Context, store Store, profile Profile, acct *stats.CPUAccount) (*InProcess, error) {
+	// client→host pipe and host→client pipe.
+	hostR, clientW, err := os.Pipe()
+	if err != nil {
+		return nil, err
+	}
+	clientR, hostW, err := os.Pipe()
+	if err != nil {
+		hostR.Close()
+		clientW.Close()
+		return nil, err
+	}
+	ip := &InProcess{
+		Client: NewClient(clientR, clientW, profile, acct),
+		done:   make(chan error, 1),
+		closeW: clientW,
+		files:  []*os.File{hostR, clientW, clientR, hostW},
+	}
+	go func() {
+		ip.done <- Serve(ctx, hostR, hostW, store)
+		hostW.Close()
+	}()
+	return ip, nil
+}
+
+// Close tears the pipes down and waits for the host loop.
+func (ip *InProcess) Close() error {
+	ip.closeW.Close()
+	err := <-ip.done
+	for _, f := range ip.files {
+		f.Close()
+	}
+	return err
+}

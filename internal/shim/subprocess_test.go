@@ -1,0 +1,74 @@
+package shim
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildShimHost compiles cmd/cmshimhost into a temp dir. Skips when the
+// Go toolchain can't build (e.g. sandboxed environments).
+func buildShimHost(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cmshimhost")
+	cmd := exec.Command("go", "build", "-o", bin, "cliquemap/cmd/cmshimhost")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Skipf("cannot build cmshimhost: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Skipf("go env: %v", err)
+	}
+	dir := filepath.Dir(string(out[:len(out)-1]))
+	if dir == "." || dir == "/" {
+		t.Skip("module root not found")
+	}
+	return dir
+}
+
+// TestSubprocessShimEndToEnd launches the real shim host binary — a
+// separate OS process embedding a full CliqueMap cell — and drives it over
+// the pipe protocol, exactly as the production Java/Go/Python shims drive
+// the C++ client subprocess (§6.2).
+func TestSubprocessShimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildShimHost(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	prof, _ := ProfileFor("py")
+	sp, err := Launch(ctx, prof, bin, "-shards", "3", "-mode", "r32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	if err := sp.Client.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := sp.Client.Set([]byte("cross-process"), []byte("works")); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	v, found, shimNs, err := sp.Client.Get([]byte("cross-process"))
+	if err != nil || !found || string(v) != "works" {
+		t.Fatalf("get: %q %v %v", v, found, err)
+	}
+	if shimNs == 0 {
+		t.Error("py profile should bill shim latency")
+	}
+	if err := sp.Client.Erase([]byte("cross-process")); err != nil {
+		t.Fatalf("erase: %v", err)
+	}
+	if _, found, _, _ := sp.Client.Get([]byte("cross-process")); found {
+		t.Error("erased key visible across the pipe")
+	}
+}

@@ -1,0 +1,267 @@
+// Package slab implements the slab-based allocator governing CliqueMap's
+// data region (§4.1): "the memory pool for DataEntries is governed by a
+// slab-based allocator and tuned to the deployment's workload. Slabs can be
+// repurposed to different size classes as values come and go."
+//
+// The allocator carves a contiguous byte pool into fixed-size slabs; each
+// slab is assigned to one size class and split into equal chunks. Because
+// all allocation happens inside backend RPC handlers, the allocator is
+// plain mutex-guarded code — exactly the "familiar programming abstraction"
+// the paper credits RPC-side allocation for.
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoCapacity reports that no chunk could be carved out; the caller (the
+// backend's SET handler) responds by evicting (§4.2, capacity conflict) or
+// by growing the data region (§4.1, reshaping).
+var ErrNoCapacity = errors.New("slab: no capacity")
+
+// Ref locates an allocated chunk inside the pool: the RMA-friendly pointer
+// of §3 is built from this (region id, offset, size).
+type Ref struct {
+	Offset int // byte offset into the pool
+	Size   int // chunk size (size class), ≥ requested length
+}
+
+// DefaultSizeClasses spans 64B to 128KB in powers of two, covering the
+// object-size CDF of Figure 10 (most values ≤ a few KB, tail to ~100KB).
+func DefaultSizeClasses() []int {
+	var cs []int
+	for c := 64; c <= 128*1024; c *= 2 {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+type slabState struct {
+	classIdx int   // -1 if unassigned
+	free     []int // free chunk offsets within this slab
+	used     int   // allocated chunk count
+}
+
+// Allocator manages a pool of poolSize bytes divided into slabSize slabs.
+type Allocator struct {
+	mu         sync.Mutex
+	slabSize   int
+	classes    []int
+	slabs      []slabState
+	poolSize   int
+	freeSlabs  []int   // indices of unassigned slabs
+	classSlabs [][]int // per-class slab indices with free chunks (may be stale)
+
+	allocated int // bytes in allocated chunks (by size class)
+	requested int // bytes actually requested by callers
+}
+
+// New returns an allocator over poolSize bytes with the given slab size and
+// size classes (DefaultSizeClasses if nil). poolSize is rounded down to a
+// multiple of slabSize. Classes larger than slabSize are rejected.
+func New(poolSize, slabSize int, classes []int) (*Allocator, error) {
+	if slabSize <= 0 || poolSize < slabSize {
+		return nil, fmt.Errorf("slab: pool %d / slab %d invalid", poolSize, slabSize)
+	}
+	if classes == nil {
+		for _, c := range DefaultSizeClasses() {
+			if c <= slabSize {
+				classes = append(classes, c)
+			}
+		}
+	}
+	for i, c := range classes {
+		if c <= 0 || c > slabSize {
+			return nil, fmt.Errorf("slab: class %d (%dB) exceeds slab size %d", i, c, slabSize)
+		}
+		if i > 0 && classes[i] <= classes[i-1] {
+			return nil, errors.New("slab: classes must be strictly increasing")
+		}
+	}
+	n := poolSize / slabSize
+	a := &Allocator{
+		slabSize:   slabSize,
+		classes:    classes,
+		slabs:      make([]slabState, n),
+		poolSize:   n * slabSize,
+		classSlabs: make([][]int, len(classes)),
+	}
+	for i := range a.slabs {
+		a.slabs[i].classIdx = -1
+		a.freeSlabs = append(a.freeSlabs, i)
+	}
+	return a, nil
+}
+
+// classFor returns the smallest class index fitting size, or -1.
+func (a *Allocator) classFor(size int) int {
+	for i, c := range a.classes {
+		if c >= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc carves a chunk of at least size bytes. On success the returned Ref
+// is stable until Free.
+func (a *Allocator) Alloc(size int) (Ref, error) {
+	if size <= 0 {
+		return Ref{}, fmt.Errorf("slab: invalid size %d", size)
+	}
+	ci := a.classFor(size)
+	if ci < 0 {
+		return Ref{}, fmt.Errorf("slab: size %d exceeds largest class %d", size, a.classes[len(a.classes)-1])
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	// Fast path: a slab of this class with free chunks.
+	list := a.classSlabs[ci]
+	for len(list) > 0 {
+		si := list[len(list)-1]
+		s := &a.slabs[si]
+		if s.classIdx == ci && len(s.free) > 0 {
+			return a.take(si, ci, size), nil
+		}
+		// Stale entry (slab repurposed or exhausted): drop it.
+		list = list[:len(list)-1]
+		a.classSlabs[ci] = list
+	}
+	// Assign a fresh slab to this class.
+	if si, ok := a.takeFreeSlab(); ok {
+		a.assign(si, ci)
+		return a.take(si, ci, size), nil
+	}
+	return Ref{}, ErrNoCapacity
+}
+
+func (a *Allocator) takeFreeSlab() (int, bool) {
+	// Reclaim any fully-empty assigned slabs first (repurposing, §4.1).
+	if len(a.freeSlabs) == 0 {
+		for si := range a.slabs {
+			s := &a.slabs[si]
+			if s.classIdx >= 0 && s.used == 0 {
+				s.classIdx = -1
+				s.free = nil
+				a.freeSlabs = append(a.freeSlabs, si)
+			}
+		}
+	}
+	if len(a.freeSlabs) == 0 {
+		return 0, false
+	}
+	si := a.freeSlabs[len(a.freeSlabs)-1]
+	a.freeSlabs = a.freeSlabs[:len(a.freeSlabs)-1]
+	return si, true
+}
+
+func (a *Allocator) assign(si, ci int) {
+	s := &a.slabs[si]
+	chunk := a.classes[ci]
+	s.classIdx = ci
+	s.used = 0
+	n := a.slabSize / chunk
+	s.free = make([]int, 0, n)
+	base := si * a.slabSize
+	for k := n - 1; k >= 0; k-- {
+		s.free = append(s.free, base+k*chunk)
+	}
+	a.classSlabs[ci] = append(a.classSlabs[ci], si)
+}
+
+func (a *Allocator) take(si, ci, reqSize int) Ref {
+	s := &a.slabs[si]
+	off := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.used++
+	a.allocated += a.classes[ci]
+	a.requested += reqSize
+	return Ref{Offset: off, Size: a.classes[ci]}
+}
+
+// Free returns a chunk to its slab. The ref must have come from Alloc and
+// reqSize must be the size originally requested.
+func (a *Allocator) Free(r Ref, reqSize int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	si := r.Offset / a.slabSize
+	if si < 0 || si >= len(a.slabs) {
+		return fmt.Errorf("slab: ref offset %d out of pool", r.Offset)
+	}
+	s := &a.slabs[si]
+	if s.classIdx < 0 || a.classes[s.classIdx] != r.Size {
+		return fmt.Errorf("slab: ref size %d does not match slab class", r.Size)
+	}
+	if (r.Offset-si*a.slabSize)%r.Size != 0 {
+		return fmt.Errorf("slab: ref offset %d misaligned for class %d", r.Offset, r.Size)
+	}
+	s.free = append(s.free, r.Offset)
+	s.used--
+	a.allocated -= r.Size
+	a.requested -= reqSize
+	if s.used > 0 {
+		a.classSlabs[s.classIdx] = append(a.classSlabs[s.classIdx], si)
+	}
+	return nil
+}
+
+// Stats describes allocator occupancy.
+type Stats struct {
+	PoolBytes      int     // total pool capacity
+	AllocatedBytes int     // bytes held in allocated chunks (class-rounded)
+	RequestedBytes int     // bytes the callers actually asked for
+	FreeSlabs      int     // unassigned slabs
+	Utilization    float64 // allocated / pool
+	InternalFrag   float64 // 1 - requested/allocated
+}
+
+// Stats returns a snapshot.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	free := len(a.freeSlabs)
+	for si := range a.slabs {
+		s := &a.slabs[si]
+		if s.classIdx >= 0 && s.used == 0 {
+			free++
+		}
+	}
+	st := Stats{
+		PoolBytes:      a.poolSize,
+		AllocatedBytes: a.allocated,
+		RequestedBytes: a.requested,
+		FreeSlabs:      free,
+	}
+	if a.poolSize > 0 {
+		st.Utilization = float64(a.allocated) / float64(a.poolSize)
+	}
+	if a.allocated > 0 {
+		st.InternalFrag = 1 - float64(a.requested)/float64(a.allocated)
+	}
+	return st
+}
+
+// Grow extends the pool by additional bytes (rounded down to whole slabs),
+// modelling data-region reshaping (§4.1): the address range was reserved up
+// front, and Grow populates more of it.
+func (a *Allocator) Grow(additional int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := additional / a.slabSize
+	for i := 0; i < n; i++ {
+		a.slabs = append(a.slabs, slabState{classIdx: -1})
+		a.freeSlabs = append(a.freeSlabs, len(a.slabs)-1)
+	}
+	a.poolSize += n * a.slabSize
+	return n * a.slabSize
+}
+
+// PoolBytes returns the current pool capacity.
+func (a *Allocator) PoolBytes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.poolSize
+}

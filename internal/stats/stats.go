@@ -1,0 +1,299 @@
+// Package stats provides the measurement machinery behind every figure in
+// the evaluation: log-bucketed latency histograms with percentile
+// extraction, monotonic counters and rates, CPU-cost accounting (the paper
+// reports CPU-µs/op and CPU-ns/op extensively), and a time-series recorder
+// for the longitudinal plots (Figures 8, 9, 13–17).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrent log-linear histogram of non-negative values
+// (typically nanoseconds). Each power-of-two range is split into 16 linear
+// sub-buckets, giving ≤6.25% relative error on percentile reads — plenty
+// for latency distributions spanning 1µs to 10s.
+type Histogram struct {
+	counts [64 * 16]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+func bucketOf(v uint64) int {
+	if v < 16 {
+		return int(v) // first 16 values are exact
+	}
+	exp := 63 - leadingZeros(v)
+	frac := (v >> (uint(exp) - 4)) & 0xf
+	return exp*16 + int(frac)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func bucketLower(b int) uint64 {
+	if b < 16 {
+		return uint64(b)
+	}
+	exp := b / 16
+	frac := uint64(b % 16)
+	return (1 << uint(exp)) | (frac << (uint(exp) - 4))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds one latency observation.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(uint64(max64(0, d.Nanoseconds()))) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the mean observation, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Percentile returns the approximate p-th percentile (0 < p ≤ 100).
+func (h *Histogram) Percentile(p float64) uint64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b := range h.counts {
+		cum += h.counts[b].Load()
+		if cum >= rank {
+			return bucketLower(b)
+		}
+	}
+	return h.max.Load()
+}
+
+// Quantiles returns several percentiles at once.
+func (h *Histogram) Quantiles(ps ...float64) []uint64 {
+	out := make([]uint64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Percentile(p)
+	}
+	return out
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot returns a point-in-time copy for consistent multi-percentile
+// reads.
+func (h *Histogram) Snapshot() *Histogram {
+	s := &Histogram{}
+	var tot, sum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i].Store(c)
+		tot += c
+		sum += c * bucketLower(i)
+	}
+	s.total.Store(tot)
+	s.sum.Store(h.sum.Load())
+	s.max.Store(h.max.Load())
+	return s
+}
+
+// Counter is a monotonic event counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CPUAccount accumulates simulated CPU time per named component, matching
+// the paper's CPU-cost reporting (e.g. Figure 7's per-component CPU-ns/op
+// and Figure 19's backend CPU*s/s).
+type CPUAccount struct {
+	mu    sync.Mutex
+	nanos map[string]uint64
+	ops   map[string]uint64
+}
+
+// NewCPUAccount returns an empty account.
+func NewCPUAccount() *CPUAccount {
+	return &CPUAccount{nanos: make(map[string]uint64), ops: make(map[string]uint64)}
+}
+
+// Charge bills ns nanoseconds of CPU to component for one op.
+func (a *CPUAccount) Charge(component string, ns uint64) {
+	a.mu.Lock()
+	a.nanos[component] += ns
+	a.ops[component]++
+	a.mu.Unlock()
+}
+
+// ChargeOnly bills CPU without counting an op (for per-byte costs folded
+// into an op already counted).
+func (a *CPUAccount) ChargeOnly(component string, ns uint64) {
+	a.mu.Lock()
+	a.nanos[component] += ns
+	a.mu.Unlock()
+}
+
+// TotalNanos returns total CPU-ns billed to component.
+func (a *CPUAccount) TotalNanos(component string) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nanos[component]
+}
+
+// PerOpNanos returns mean CPU-ns per op for component.
+func (a *CPUAccount) PerOpNanos(component string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ops[component] == 0 {
+		return 0
+	}
+	return float64(a.nanos[component]) / float64(a.ops[component])
+}
+
+// Components lists billed components in sorted order.
+func (a *CPUAccount) Components() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.nanos))
+	for k := range a.nanos {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GrandTotalNanos sums CPU across all components.
+func (a *CPUAccount) GrandTotalNanos() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t uint64
+	for _, v := range a.nanos {
+		t += v
+	}
+	return t
+}
+
+// Point is one sample in a time series.
+type Point struct {
+	T time.Duration // offset from series start (simulated)
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// TimeSeries records multiple named series, used to regenerate the
+// longitudinal figures.
+type TimeSeries struct {
+	mu     sync.Mutex
+	series map[string]*Series
+	order  []string
+}
+
+// NewTimeSeries returns an empty recorder.
+func NewTimeSeries() *TimeSeries {
+	return &TimeSeries{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the named series.
+func (ts *TimeSeries) Record(name string, t time.Duration, v float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	s, ok := ts.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		ts.series[name] = s
+		ts.order = append(ts.order, name)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Get returns the named series, or nil.
+func (ts *TimeSeries) Get(name string) *Series {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.series[name]
+}
+
+// Names returns series names in insertion order.
+func (ts *TimeSeries) Names() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]string(nil), ts.order...)
+}
+
+// FormatNanos renders a nanosecond quantity the way the paper labels its
+// axes (µs for latencies).
+func FormatNanos(ns uint64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := uint64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 16 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Percentile(100); got != 15 {
+		t.Errorf("p100 = %d, want 15", got)
+	}
+	if got := h.Percentile(1); got != 0 {
+		t.Errorf("p1 = %d, want 0", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]uint64, 100000)
+	for i := range vals {
+		v := uint64(rng.ExpFloat64() * 50000) // exponential latencies ~50µs
+		vals[i] = v
+		h.Record(v)
+	}
+	// Compare against exact percentiles.
+	sorted := append([]uint64(nil), vals...)
+	sortU64(sorted)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		exact := sorted[idx]
+		got := h.Percentile(p)
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got)-float64(exact)) / float64(exact)
+		if rel > 0.10 {
+			t.Errorf("p%g = %d, exact %d (rel err %.1f%%)", p, got, exact, rel*100)
+		}
+	}
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		var h Histogram
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			h.Record(uint64(rng.Intn(1 << 20)))
+		}
+		prev := uint64(0)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const g, per = 8, 10000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Record(uint64(i*per + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != g*per {
+		t.Errorf("count = %d, want %d", h.Count(), g*per)
+	}
+	if h.Max() != g*per-1 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 30} {
+		h.Record(v)
+	}
+	if got := h.Mean(); got != 20 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramResetAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	snap := h.Snapshot()
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("reset did not clear")
+	}
+	if snap.Count() != 1 {
+		t.Error("snapshot affected by reset")
+	}
+	if snap.Percentile(50) == 0 {
+		t.Error("snapshot lost data")
+	}
+}
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must read 0")
+	}
+}
+
+func TestRecordDurationNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(-5 * time.Second)
+	if h.Max() != 0 {
+		t.Error("negative duration not clamped")
+	}
+}
+
+func TestBucketBoundsProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := bucketOf(v)
+		lo := bucketLower(b)
+		if v < 16 {
+			return lo == v
+		}
+		// Bucket lower bound must not exceed v, and must be within 6.25%.
+		return lo <= v && float64(v-lo)/float64(v) <= 0.0625+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if c.Value() != 4005 {
+		t.Errorf("counter = %d", c.Value())
+	}
+}
+
+func TestCPUAccount(t *testing.T) {
+	a := NewCPUAccount()
+	a.Charge("client", 1000)
+	a.Charge("client", 3000)
+	a.Charge("pony", 500)
+	a.ChargeOnly("pony", 100)
+	if got := a.PerOpNanos("client"); got != 2000 {
+		t.Errorf("client per-op = %v", got)
+	}
+	if got := a.TotalNanos("pony"); got != 600 {
+		t.Errorf("pony total = %v", got)
+	}
+	if got := a.PerOpNanos("pony"); got != 600 {
+		t.Errorf("pony per-op = %v (ChargeOnly must not add an op)", got)
+	}
+	comps := a.Components()
+	if len(comps) != 2 || comps[0] != "client" || comps[1] != "pony" {
+		t.Errorf("components = %v", comps)
+	}
+	if a.GrandTotalNanos() != 4600 {
+		t.Errorf("grand total = %d", a.GrandTotalNanos())
+	}
+	if a.PerOpNanos("absent") != 0 {
+		t.Error("absent component should read 0")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Record("p50", time.Second, 10)
+	ts.Record("p99", time.Second, 50)
+	ts.Record("p50", 2*time.Second, 12)
+	if names := ts.Names(); len(names) != 2 || names[0] != "p50" {
+		t.Errorf("names = %v", names)
+	}
+	s := ts.Get("p50")
+	if len(s.Points) != 2 || s.Points[1].V != 12 {
+		t.Errorf("p50 series = %+v", s)
+	}
+	if ts.Get("nope") != nil {
+		t.Error("missing series should be nil")
+	}
+}
+
+func TestFormatNanos(t *testing.T) {
+	cases := map[uint64]string{
+		500:        "500ns",
+		1500:       "1.5us",
+		2500000:    "2.5ms",
+		3000000000: "3.00s",
+	}
+	for in, want := range cases {
+		if got := FormatNanos(in); got != want {
+			t.Errorf("FormatNanos(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		v := uint64(12345)
+		for pb.Next() {
+			h.Record(v)
+			v = v*1103515245 + 12345
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package truetime
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSystemClockMonotonic(t *testing.T) {
+	c := NewSystemClock()
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		cur := c.Now()
+		if cur.Latest <= prev.Latest {
+			t.Fatalf("clock went backwards: %d after %d", cur.Latest, prev.Latest)
+		}
+		if cur.Earliest > cur.Latest {
+			t.Fatalf("interval inverted: [%d,%d]", cur.Earliest, cur.Latest)
+		}
+		prev = cur
+	}
+}
+
+func TestSystemClockConcurrentMonotonic(t *testing.T) {
+	c := NewSystemClock()
+	const g, n = 8, 2000
+	results := make([][]int64, g)
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := make([]int64, n)
+			for j := 0; j < n; j++ {
+				out[j] = c.Now().Latest
+			}
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for _, r := range results {
+		for j := 1; j < len(r); j++ {
+			if r[j] <= r[j-1] {
+				t.Fatal("per-goroutine sequence not strictly increasing")
+			}
+		}
+		for _, v := range r {
+			if seen[v] {
+				t.Fatal("duplicate timestamp across goroutines")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	var c FakeClock
+	c.Set(100)
+	if got := c.Now().Latest; got != 100 {
+		t.Errorf("Now = %d, want 100", got)
+	}
+	c.Advance(3 * time.Millisecond)
+	if got := c.Now().Latest; got != 3100 {
+		t.Errorf("after Advance, Now = %d, want 3100", got)
+	}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	vs := []Version{
+		{},
+		{Micros: 1, ClientID: 0, Seq: 0},
+		{Micros: 1, ClientID: 0, Seq: 5},
+		{Micros: 1, ClientID: 2, Seq: 0},
+		{Micros: 2, ClientID: 0, Seq: 0},
+	}
+	for i := range vs {
+		for j := range vs {
+			want := i < j
+			if got := vs[i].Less(vs[j]); got != want {
+				t.Errorf("vs[%d].Less(vs[%d]) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestVersionZeroIsLowest(t *testing.T) {
+	f := func(m int64, c, s uint64) bool {
+		v := Version{Micros: m, ClientID: c, Seq: s}
+		if v.Zero() {
+			return true
+		}
+		// Zero must be less than any non-zero version with non-negative time.
+		if m < 0 {
+			return true
+		}
+		return (Version{}).Less(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionLessIsStrictTotalOrder(t *testing.T) {
+	f := func(a, b Version) bool {
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorMonotonicPerClient(t *testing.T) {
+	var fc FakeClock
+	g := NewGenerator(&fc, 7)
+	prev := g.Next()
+	for i := 0; i < 1000; i++ {
+		// Clock deliberately never advances: Seq must carry monotonicity.
+		cur := g.Next()
+		if !prev.Less(cur) {
+			t.Fatalf("generator not monotonic: %v then %v", prev, cur)
+		}
+		if cur.ClientID != 7 {
+			t.Fatalf("ClientID = %d", cur.ClientID)
+		}
+		prev = cur
+	}
+}
+
+func TestGeneratorClockRegression(t *testing.T) {
+	var fc FakeClock
+	fc.Set(1000)
+	g := NewGenerator(&fc, 1)
+	v1 := g.Next()
+	fc.Set(500) // wall clock steps backwards
+	v2 := g.Next()
+	if !v1.Less(v2) {
+		t.Errorf("version regressed with clock: %v then %v", v1, v2)
+	}
+	if v2.Micros < v1.Micros {
+		t.Errorf("Micros regressed: %d -> %d", v1.Micros, v2.Micros)
+	}
+}
+
+func TestGeneratorsGloballyUnique(t *testing.T) {
+	clock := NewSystemClock()
+	const clients, per = 16, 500
+	var mu sync.Mutex
+	all := make([]Version, 0, clients*per)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			g := NewGenerator(clock, uint64(c))
+			local := make([]Version, per)
+			for i := range local {
+				local[i] = g.Next()
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate version %v", all[i])
+		}
+	}
+}
+
+// TestRetryNominatesHigher models the paper's forward-progress argument: a
+// client that retries a mutation after real time passes nominates a version
+// that exceeds any version nominated earlier by any client.
+func TestRetryNominatesHigher(t *testing.T) {
+	var fc FakeClock
+	fc.Set(1000)
+	a := NewGenerator(&fc, 1)
+	b := NewGenerator(&fc, 2)
+	first := b.Next()
+	fc.Advance(time.Millisecond)
+	retry := a.Next()
+	if !first.Less(retry) {
+		t.Errorf("retry after time advance must dominate: %v vs %v", first, retry)
+	}
+}

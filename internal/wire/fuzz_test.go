@@ -1,0 +1,31 @@
+package wire
+
+import "testing"
+
+// The decoder faces bytes from the network; it must never panic or loop,
+// regardless of input.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder()
+	e.Uint(1, 42)
+	e.Bytes(2, []byte("payload"))
+	e.Fixed64(3, 7)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(data)
+		if err != nil {
+			return
+		}
+		fields := 0
+		for d.Next() {
+			_ = d.Tag()
+			_ = d.Uint()
+			_ = d.Bytes()
+			fields++
+			if fields > len(data)+2 {
+				t.Fatal("decoder yielded more fields than input bytes; loop suspected")
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package wire implements a compact, self-describing tag-length-value
+// encoding used by every CliqueMap protocol message.
+//
+// The encoding is deliberately protobuf-like: each field is identified by a
+// numeric tag and a wire type, and decoders skip fields they do not know.
+// That unknown-field tolerance is what lets clients and backends be upgraded
+// independently (§6 of the paper: "over a hundred changes to CliqueMap's
+// protocol definitions" were shipped against live traffic). Messages are
+// always prefixed by a format version; decoders accept any version whose
+// major component matches and surface the rest to the caller so responses
+// can self-validate.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire types. A field header is (tag<<3 | type) encoded as a uvarint.
+const (
+	typeVarint  = 0 // uint64, bool, enums
+	typeFixed64 = 1 // uint64 little-endian, float64
+	typeBytes   = 2 // length-delimited: bytes, string, nested message
+)
+
+// Format versions carried on every message. Bump Minor for additive changes
+// (old decoders skip the new fields); bump Major only for incompatible
+// layout changes, which force clients onto the RPC fallback path until they
+// refresh (§3, self-validating responses).
+const (
+	FormatMajor = 1
+	FormatMinor = 4
+)
+
+var (
+	// ErrTruncated reports a message that ended mid-field.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrVersion reports a major-version mismatch.
+	ErrVersion = errors.New("wire: incompatible format version")
+	// ErrOverflow reports a varint wider than 64 bits.
+	ErrOverflow = errors.New("wire: varint overflows uint64")
+)
+
+// AppendUvarint appends v in LEB128 form.
+func AppendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// Uvarint decodes a LEB128 value, returning it and the bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, 0, ErrOverflow
+		}
+		if c < 0x80 {
+			if i == 9 && c > 1 {
+				return 0, 0, ErrOverflow
+			}
+			return v | uint64(c)<<shift, i + 1, nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// Encoder builds a message. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder whose output begins with the current format
+// version header.
+func NewEncoder() *Encoder {
+	e := &Encoder{buf: make([]byte, 0, 128)}
+	e.buf = AppendUvarint(e.buf, FormatMajor)
+	e.buf = AppendUvarint(e.buf, FormatMinor)
+	return e
+}
+
+// NewRawEncoder returns an encoder with no version header, for nested
+// messages.
+func NewRawEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 64)} }
+
+func (e *Encoder) header(tag uint64, wt byte) {
+	e.buf = AppendUvarint(e.buf, tag<<3|uint64(wt))
+}
+
+// Uint encodes an unsigned field.
+func (e *Encoder) Uint(tag uint64, v uint64) {
+	e.header(tag, typeVarint)
+	e.buf = AppendUvarint(e.buf, v)
+}
+
+// Int encodes a signed field with zigzag.
+func (e *Encoder) Int(tag uint64, v int64) {
+	e.Uint(tag, uint64(v<<1)^uint64(v>>63))
+}
+
+// Bool encodes a boolean field.
+func (e *Encoder) Bool(tag uint64, v bool) {
+	var u uint64
+	if v {
+		u = 1
+	}
+	e.Uint(tag, u)
+}
+
+// Fixed64 encodes a fixed-width 64-bit field.
+func (e *Encoder) Fixed64(tag uint64, v uint64) {
+	e.header(tag, typeFixed64)
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// Float encodes a float64 field.
+func (e *Encoder) Float(tag uint64, v float64) { e.Fixed64(tag, math.Float64bits(v)) }
+
+// Bytes encodes a length-delimited field.
+func (e *Encoder) Bytes(tag uint64, v []byte) {
+	e.header(tag, typeBytes)
+	e.buf = AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String encodes a string field.
+func (e *Encoder) String(tag uint64, v string) {
+	e.header(tag, typeBytes)
+	e.buf = AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Message encodes a nested raw-encoded message.
+func (e *Encoder) Message(tag uint64, m *Encoder) { e.Bytes(tag, m.buf) }
+
+// Encoded returns the encoded message. The slice aliases internal storage.
+func (e *Encoder) Encoded() []byte { return e.buf }
+
+// Len returns the current encoded length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse, re-emitting the version header if the
+// encoder was created with one.
+func (e *Encoder) Reset(withHeader bool) {
+	e.buf = e.buf[:0]
+	if withHeader {
+		e.buf = AppendUvarint(e.buf, FormatMajor)
+		e.buf = AppendUvarint(e.buf, FormatMinor)
+	}
+}
+
+// Decoder iterates fields of an encoded message.
+type Decoder struct {
+	buf   []byte
+	pos   int
+	major uint64
+	minor uint64
+
+	tag uint64
+	wt  byte
+	err error
+
+	uval  uint64
+	bval  []byte
+	isVal bool
+}
+
+// NewDecoder parses the version header and positions the decoder at the
+// first field. It fails with ErrVersion if the major version differs.
+func NewDecoder(b []byte) (*Decoder, error) {
+	d := &Decoder{buf: b}
+	maj, n, err := Uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	d.pos += n
+	min, n, err := Uvarint(b[d.pos:])
+	if err != nil {
+		return nil, err
+	}
+	d.pos += n
+	d.major, d.minor = maj, min
+	if maj != FormatMajor {
+		return nil, fmt.Errorf("%w: got %d.%d, want major %d", ErrVersion, maj, min, FormatMajor)
+	}
+	return d, nil
+}
+
+// NewRawDecoder decodes a nested message (no version header).
+func NewRawDecoder(b []byte) *Decoder {
+	return &Decoder{buf: b, major: FormatMajor, minor: FormatMinor}
+}
+
+// Version reports the message's format version.
+func (d *Decoder) Version() (major, minor uint64) { return d.major, d.minor }
+
+// Next advances to the next field, returning false at end of message or on
+// error; check Err afterwards.
+func (d *Decoder) Next() bool {
+	d.isVal = false
+	if d.err != nil || d.pos >= len(d.buf) {
+		return false
+	}
+	h, n, err := Uvarint(d.buf[d.pos:])
+	if err != nil {
+		d.err = err
+		return false
+	}
+	d.pos += n
+	d.tag = h >> 3
+	d.wt = byte(h & 7)
+	switch d.wt {
+	case typeVarint:
+		v, n, err := Uvarint(d.buf[d.pos:])
+		if err != nil {
+			d.err = err
+			return false
+		}
+		d.pos += n
+		d.uval = v
+	case typeFixed64:
+		if d.pos+8 > len(d.buf) {
+			d.err = ErrTruncated
+			return false
+		}
+		b := d.buf[d.pos:]
+		d.uval = uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		d.pos += 8
+	case typeBytes:
+		l, n, err := Uvarint(d.buf[d.pos:])
+		if err != nil {
+			d.err = err
+			return false
+		}
+		d.pos += n
+		if uint64(len(d.buf)-d.pos) < l {
+			d.err = ErrTruncated
+			return false
+		}
+		d.bval = d.buf[d.pos : d.pos+int(l)]
+		d.pos += int(l)
+	default:
+		d.err = fmt.Errorf("wire: unknown wire type %d for tag %d", d.wt, d.tag)
+		return false
+	}
+	d.isVal = true
+	return true
+}
+
+// Err returns the first decoding error encountered.
+func (d *Decoder) Err() error { return d.err }
+
+// Tag returns the current field's tag.
+func (d *Decoder) Tag() uint64 { return d.tag }
+
+// Uint returns the current field as an unsigned integer.
+func (d *Decoder) Uint() uint64 {
+	if !d.isVal || d.wt == typeBytes {
+		return 0
+	}
+	return d.uval
+}
+
+// Int returns the current field zigzag-decoded.
+func (d *Decoder) Int() int64 {
+	u := d.Uint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// Bool returns the current field as a boolean.
+func (d *Decoder) Bool() bool { return d.Uint() != 0 }
+
+// Float returns the current field as a float64.
+func (d *Decoder) Float() float64 { return math.Float64frombits(d.Uint()) }
+
+// Bytes returns the current length-delimited field. The slice aliases the
+// input buffer.
+func (d *Decoder) Bytes() []byte {
+	if !d.isVal || d.wt != typeBytes {
+		return nil
+	}
+	return d.bval
+}
+
+// String returns the current field as a string (copies).
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Skip is a no-op provided for readability at call sites that intentionally
+// ignore a field; Next already consumed the value.
+func (d *Decoder) Skip() {}
