@@ -61,7 +61,7 @@ func printOnce(ctx context.Context, client *rpc.TCPClient) error {
 		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSEALED")
+	fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSTRIPES\tSKEW\tSEALED")
 	for shard, addr := range cfg.ShardAddrs {
 		raw, _, err := client.Call(ctx, addr, proto.MethodStats, nil)
 		if err != nil {
@@ -73,12 +73,25 @@ func printOnce(ctx context.Context, client *rpc.TCPClient) error {
 			fmt.Fprintf(w, "%d\t%s\t(bad stats: %v)\n", shard, addr, err)
 			continue
 		}
-		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
 			shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
 			st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
-			st.RepairsIssued, st.VersionRejects, st.Sealed)
+			st.RepairsIssued, st.VersionRejects, st.Stripes,
+			fmtSkew(st), st.Sealed)
 	}
 	return w.Flush()
+}
+
+// fmtSkew renders the busiest stripe's op count relative to the mean
+// stripe (1.00 = perfectly even load; nStripes = everything on one
+// stripe). High skew means the bucket-stripe locks are degenerating
+// toward a global lock for this workload.
+func fmtSkew(st proto.StatsResp) string {
+	if st.Stripes == 0 || st.StripeTotalOps == 0 {
+		return "-"
+	}
+	mean := float64(st.StripeTotalOps) / float64(st.Stripes)
+	return fmt.Sprintf("%.2f", float64(st.StripeMaxOps)/mean)
 }
 
 func fmtBytes(n uint64) string {

@@ -7,15 +7,40 @@
 //
 // The division of labour is the paper's core idea: GETs never run backend
 // code (they are served by the NIC out of registered memory), so
-// everything here can be straightforward locked Go — and the self-
-// validating formats in internal/core/layout make it safe for this code to
-// rearrange memory underneath in-flight RMAs, because any client that
-// observes an intermediate state fails validation and retries.
+// everything here is straightforward locked Go — and the self-validating
+// formats in internal/core/layout make it safe for this code to rearrange
+// memory underneath in-flight RMAs, because any client that observes an
+// intermediate state fails validation and retries.
+//
+// # Concurrency model
+//
+// Mutations are synchronized by bucket-stripe locks rather than one global
+// mutex. A key hashes to stripe h.Lo % nStripes, where nStripes divides
+// the bucket count (and keeps dividing it across doubling resizes), so a
+// stripe owns a fixed set of buckets, that set's side-table shard, a
+// per-stripe eviction policy, and a per-stripe counter shard. Mutations on
+// different stripes proceed fully in parallel.
+//
+// Lock-ordering rules (violations deadlock; see DESIGN.md):
+//
+//  1. Stripe locks are acquired in ascending index order. Single-key ops
+//     take exactly one; cell-wide ops (resize, restamp, compact-restart,
+//     scan, Items) take all of them, holding none on entry.
+//  2. Leaf locks (tombMu, stateMu, the data region's wmu, the rmem region
+//     stripes, the slab allocator's internal locks, a stripe's policy —
+//     guarded by that stripe's own mutex) may be taken under stripe locks
+//     but never the reverse.
+//  3. Allocation that can evict (allocWithEviction) must be entered with
+//     NO stripe lock held: eviction locks a victim's stripe. SET-style
+//     paths therefore run as pre-check → unlock → allocate+write →
+//     relock → re-validate → publish.
 package backend
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cliquemap/internal/core/config"
 	"cliquemap/internal/core/layout"
@@ -28,6 +53,11 @@ import (
 	"cliquemap/internal/stats"
 	"cliquemap/internal/truetime"
 )
+
+// maxStripes bounds the stripe count; the actual count is the largest
+// power of two ≤ maxStripes that divides the initial bucket count, so a
+// bucket's stripe is stable across doubling resizes.
+const maxStripes = 16
 
 // Options configures one backend task.
 type Options struct {
@@ -107,28 +137,90 @@ type Counters struct {
 	RepairsIssued         uint64
 }
 
+// counterShard is one stripe's share of the counters, updated lock-free so
+// stats reads never contend with serving.
+type counterShard struct {
+	sets, setsApplied     atomic.Uint64
+	erases, erasesApplied atomic.Uint64
+	casOps, casApplied    atomic.Uint64
+	gets                  atomic.Uint64
+	versionRejects        atomic.Uint64
+	capacityEvictions     atomic.Uint64
+	assocEvictions        atomic.Uint64
+	overflows             atomic.Uint64
+	touches               atomic.Uint64
+	indexResizes          atomic.Uint64
+	dataGrows             atomic.Uint64
+	repairsIssued         atomic.Uint64
+}
+
+// ops returns the stripe's total op count (for skew reporting).
+func (c *counterShard) ops() uint64 {
+	return c.sets.Load() + c.erases.Load() + c.casOps.Load() + c.gets.Load() + c.touches.Load()
+}
+
+func (c *counterShard) addTo(out *Counters) {
+	out.Sets += c.sets.Load()
+	out.SetsApplied += c.setsApplied.Load()
+	out.Erases += c.erases.Load()
+	out.ErasesApplied += c.erasesApplied.Load()
+	out.CasOps += c.casOps.Load()
+	out.CasApplied += c.casApplied.Load()
+	out.Gets += c.gets.Load()
+	out.VersionRejects += c.versionRejects.Load()
+	out.CapacityEvictions += c.capacityEvictions.Load()
+	out.AssocEvictions += c.assocEvictions.Load()
+	out.Overflows += c.overflows.Load()
+	out.Touches += c.touches.Load()
+	out.IndexResizes += c.indexResizes.Load()
+	out.DataGrows += c.dataGrows.Load()
+	out.RepairsIssued += c.repairsIssued.Load()
+}
+
 // indexRegion is the current RMA-accessible index.
 type indexRegion struct {
 	geo    layout.Geometry
 	region *rmem.Region
 	win    *rmem.Window
 	epoch  uint64
-	used   int // occupied IndexEntries
+	used   atomic.Int64 // occupied IndexEntries
 }
 
 // dataRegion is the slab-managed DataEntry pool.
 type dataRegion struct {
-	region  *rmem.Region
-	windows []*rmem.Window // all live windows, oldest first
-	alloc   *slab.Allocator
+	region *rmem.Region
+	alloc  *slab.Allocator
+
+	cur     atomic.Pointer[rmem.Window] // newest window; lock-free hot-path reads
+	wmu     sync.Mutex                  // windows slice + growth serialization
+	windows []*rmem.Window              // all live windows, oldest first
 }
 
-func (d *dataRegion) current() *rmem.Window { return d.windows[len(d.windows)-1] }
+func (d *dataRegion) current() *rmem.Window { return d.cur.Load() }
+
+func (d *dataRegion) windowIDs() []rmem.WindowID {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	out := make([]rmem.WindowID, len(d.windows))
+	for i, w := range d.windows {
+		out[i] = w.ID
+	}
+	return out
+}
 
 // sideEntry is an overflowed KV pair reachable only via RPC (§4.2).
 type sideEntry struct {
 	value   []byte
 	version truetime.Version
+}
+
+// stripe owns an equivalence class of buckets (bucket % nStripes), that
+// class's side-table shard, eviction-policy slots, and counter shard.
+type stripe struct {
+	mu     sync.Mutex
+	policy eviction.Policy
+	side   map[string]sideEntry
+	ctr    counterShard
 }
 
 // Backend is one CliqueMap backend task.
@@ -141,19 +233,59 @@ type Backend struct {
 	srv   *rpc.Server
 	acct  *stats.CPUAccount
 
-	mu       sync.Mutex
-	shard    int
-	spare    bool
-	sealed   bool
-	configID uint64
-	idx      *indexRegion
-	data     *dataRegion
-	policy   eviction.Policy
-	tomb     *tombstoneCache
-	side     map[string]sideEntry
-	scratch  []byte
-	ctr      Counters
+	stripes  []stripe
+	nStripes uint64
+
+	idx  atomic.Pointer[indexRegion] // swapped only under all stripe locks
+	data atomic.Pointer[dataRegion]  // swapped only under all stripe locks
+
+	tombMu sync.Mutex
+	tomb   *tombstoneCache
+	// tombLive and tombSummarySet shadow the cache's state so the hot
+	// mutation path can skip tombMu entirely while the cache is empty (the
+	// steady state: no recent ERASEs). Per-key correctness holds because a
+	// key's tombstone insert and its later drop/bound are both serialized
+	// by that key's stripe lock, which orders the shadow updates too.
+	tombLive       atomic.Int64
+	tombSummarySet atomic.Bool
+
+	stateMu sync.Mutex // shard, spare
+	shard   int
+	spare   bool
+
+	sealed   atomic.Bool
+	configID atomic.Uint64
+
+	evictCursor atomic.Uint64 // round-robin start stripe for capacity eviction
 }
+
+// opBufs is per-call scratch: a bucket read buffer, an IndexEntry encode
+// buffer, and a DataEntry encode buffer, pooled to keep the mutation path
+// allocation-free.
+type opBufs struct {
+	bucket []byte
+	entry  [layout.IndexEntrySize]byte
+	data   []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return &opBufs{} }}
+
+func (o *opBufs) bucketBuf(n int) []byte {
+	if cap(o.bucket) < n {
+		o.bucket = make([]byte, n)
+	}
+	return o.bucket[:n]
+}
+
+func (o *opBufs) dataBuf(n int) []byte {
+	if cap(o.data) < n {
+		o.data = make([]byte, n+n/2)
+	}
+	return o.data[:n]
+}
+
+// zeroEntry is the wire form of an empty IndexEntry slot (read-only).
+var zeroEntry = make([]byte, layout.IndexEntrySize)
 
 // New builds and registers a backend task: its memory regions, RMA
 // windows, and RPC service. The same registry must be attached to the
@@ -172,19 +304,35 @@ func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network,
 		acct:  acct,
 		shard: opt.Shard,
 		spare: opt.Shard < 0,
-		side:  make(map[string]sideEntry),
 		tomb:  newTombstoneCache(opt.TombstoneCap),
 	}
-	pol, err := eviction.New(opt.Policy, opt.Geometry.Buckets*opt.Geometry.Ways)
-	if err != nil {
-		return nil, err
+
+	// Stripe count: largest power of two ≤ maxStripes dividing the initial
+	// bucket count. Resizes double the bucket count, preserving
+	// divisibility, so a bucket's stripe never changes.
+	n := maxStripes
+	for opt.Geometry.Buckets%n != 0 {
+		n /= 2
 	}
-	b.policy = pol
+	b.nStripes = uint64(n)
+	b.stripes = make([]stripe, n)
+	perStripe := opt.Geometry.Buckets * opt.Geometry.Ways / n
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	for i := range b.stripes {
+		pol, err := eviction.New(opt.Policy, perStripe)
+		if err != nil {
+			return nil, err
+		}
+		b.stripes[i].policy = pol
+		b.stripes[i].side = make(map[string]sideEntry)
+	}
 	if store != nil {
-		b.configID = store.Get().ID
+		b.configID.Store(store.Get().ID)
 	}
 
-	b.idx = b.newIndex(opt.Geometry, 1)
+	b.idx.Store(b.newIndex(opt.Geometry, 1))
 
 	dataBytes := opt.DataBytes
 	if !opt.ReshapeEnabled {
@@ -195,8 +343,10 @@ func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network,
 	if err != nil {
 		return nil, fmt.Errorf("backend: data allocator: %w", err)
 	}
-	b.data = &dataRegion{region: region, alloc: alloc}
-	b.data.windows = []*rmem.Window{reg.Register(region, 1)}
+	dr := &dataRegion{region: region, alloc: alloc}
+	dr.windows = []*rmem.Window{reg.Register(region, 1)}
+	dr.cur.Store(dr.windows[0])
+	b.data.Store(dr)
 
 	b.srv = net.Serve(opt.Addr, opt.HostID)
 	b.registerHandlers()
@@ -208,10 +358,29 @@ func (b *Backend) newIndex(geo layout.Geometry, epoch uint64) *indexRegion {
 	region := rmem.NewRegion(geo.RegionBytes(), geo.RegionBytes())
 	hdr := make([]byte, layout.BucketHeaderSize)
 	for i := 0; i < geo.Buckets; i++ {
-		layout.EncodeBucketHeader(hdr, b.configID, 0)
+		layout.EncodeBucketHeader(hdr, b.configID.Load(), 0)
 		region.Write(geo.BucketOffset(i), hdr)
 	}
 	return &indexRegion{geo: geo, region: region, win: b.reg.Register(region, epoch), epoch: epoch}
+}
+
+// stripeOf returns the stripe owning h's bucket. Because nStripes divides
+// the bucket count, h.Lo % buckets % nStripes == h.Lo % nStripes.
+func (b *Backend) stripeOf(h hashring.KeyHash) *stripe {
+	return &b.stripes[h.Lo%b.nStripes]
+}
+
+// lockAll acquires every stripe in ascending order (cell-wide ops).
+func (b *Backend) lockAll() {
+	for i := range b.stripes {
+		b.stripes[i].mu.Lock()
+	}
+}
+
+func (b *Backend) unlockAll() {
+	for i := len(b.stripes) - 1; i >= 0; i-- {
+		b.stripes[i].mu.Unlock()
+	}
 }
 
 // Addr returns the RPC address.
@@ -222,34 +391,42 @@ func (b *Backend) HostID() int { return b.opt.HostID }
 
 // Shard returns the currently served shard (-1 for idle spare).
 func (b *Backend) Shard() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stateMu.Lock()
+	defer b.stateMu.Unlock()
 	return b.shard
 }
 
 // Server exposes the RPC server (for Stop/Start fault injection).
 func (b *Backend) Server() *rpc.Server { return b.srv }
 
-// CountersSnapshot returns a copy of the counters.
+// CountersSnapshot merges the per-stripe counter shards.
 func (b *Backend) CountersSnapshot() Counters {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.ctr
+	var out Counters
+	for i := range b.stripes {
+		b.stripes[i].ctr.addTo(&out)
+	}
+	return out
+}
+
+// StripeOps returns each stripe's total op count — the raw data behind the
+// Stats RPC's stripe-skew fields.
+func (b *Backend) StripeOps() []uint64 {
+	out := make([]uint64, len(b.stripes))
+	for i := range b.stripes {
+		out[i] = b.stripes[i].ctr.ops()
+	}
+	return out
 }
 
 // MemoryBytes reports the backend's populated DRAM footprint: index region
 // plus populated data region — the Figure 3 metric.
 func (b *Backend) MemoryBytes() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.idx.geo.RegionBytes() + b.data.region.Populated()
+	return b.idx.Load().geo.RegionBytes() + b.data.Load().region.Populated()
 }
 
 // DataUtilization returns allocated/populated for the data region.
 func (b *Backend) DataUtilization() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.data.alloc.Stats()
+	st := b.data.Load().alloc.Stats()
 	if st.PoolBytes == 0 {
 		return 0
 	}
@@ -260,72 +437,139 @@ func (b *Backend) DataUtilization() float64 {
 // Clients holding the old ID fail validation on their next GET and refresh
 // (§6.1).
 func (b *Backend) SetConfigID(id uint64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.configID = id
+	b.configID.Store(id)
+	b.lockAll()
+	defer b.unlockAll()
 	b.restampLocked()
 }
 
+// restampLocked rewrites every bucket header; all stripe locks held.
 func (b *Backend) restampLocked() {
+	idx := b.idx.Load()
 	hdr := make([]byte, layout.BucketHeaderSize)
-	for i := 0; i < b.idx.geo.Buckets; i++ {
-		off := b.idx.geo.BucketOffset(i)
-		cur, err := b.idx.region.Read(off, layout.BucketHeaderSize)
+	for i := 0; i < idx.geo.Buckets; i++ {
+		off := idx.geo.BucketOffset(i)
+		cur, err := idx.region.Read(off, layout.BucketHeaderSize)
 		if err != nil {
 			continue
 		}
 		flags := uint64(0)
 		if len(cur) >= layout.BucketHeaderSize {
-			dec, derr := layout.DecodeBucket(append(cur, make([]byte, b.idx.geo.BucketSize()-layout.BucketHeaderSize)...), b.idx.geo.Ways)
+			dec, derr := layout.DecodeBucket(append(cur, make([]byte, idx.geo.BucketSize()-layout.BucketHeaderSize)...), idx.geo.Ways)
 			if derr == nil {
 				flags = dec.Flags
 			}
 		}
-		layout.EncodeBucketHeader(hdr, b.configID, flags)
-		b.idx.region.Write(off, hdr)
+		layout.EncodeBucketHeader(hdr, b.configID.Load(), flags)
+		idx.region.Write(off, hdr)
 	}
 }
 
 // hello describes the backend's current RMA geometry for the client
 // handshake.
 func (b *Backend) hello() proto.HelloResp {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	wins := make([]rmem.WindowID, len(b.data.windows))
-	for i, w := range b.data.windows {
-		wins[i] = w.ID
-	}
+	idx := b.idx.Load()
 	return proto.HelloResp{
-		ConfigID:    b.configID,
-		Shard:       b.shard,
-		Buckets:     b.idx.geo.Buckets,
-		Ways:        b.idx.geo.Ways,
-		IndexWindow: b.idx.win.ID,
-		IndexEpoch:  b.idx.epoch,
-		DataWindows: wins,
+		ConfigID:    b.configID.Load(),
+		Shard:       b.Shard(),
+		Buckets:     idx.geo.Buckets,
+		Ways:        idx.geo.Ways,
+		IndexWindow: idx.win.ID,
+		IndexEpoch:  idx.epoch,
+		DataWindows: b.data.Load().windowIDs(),
 	}
 }
 
 // --------------------------------------------------------------- lookup --
 
-// findEntryLocked locates key's IndexEntry, returning its bucket, slot and
-// decoded form.
-func (b *Backend) findEntryLocked(h hashring.KeyHash) (bucket int, slot int, e layout.IndexEntry, ok bool) {
-	bucket = int(h.Lo % uint64(b.idx.geo.Buckets))
-	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+// readBucketInto returns a zero-copy view of bucket's raw bytes, nil on
+// any region error (treated as an empty bucket by callers). Aliasing is
+// safe under the bucket's stripe lock: every writer of the bucket holds
+// the same lock, and the index region's backing array is immutable for the
+// region's lifetime (resizes build a whole new region).
+func readBucketInto(idx *indexRegion, bucket int, _ *opBufs) []byte {
+	raw, err := idx.region.View(idx.geo.BucketOffset(bucket), idx.geo.BucketSize())
 	if err != nil {
-		return bucket, -1, layout.IndexEntry{}, false
+		return nil
 	}
-	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+	return raw
+}
+
+// rawFind scans a raw bucket for h without decoding every slot.
+func rawFind(raw []byte, ways int, h hashring.KeyHash) (layout.IndexEntry, int, bool) {
+	if raw == nil {
+		return layout.IndexEntry{}, -1, false
+	}
+	for i := 0; i < ways; i++ {
+		off := layout.BucketHeaderSize + i*layout.IndexEntrySize
+		hi := binary.LittleEndian.Uint64(raw[off:])
+		lo := binary.LittleEndian.Uint64(raw[off+8:])
+		if hi == h.Hi && lo == h.Lo {
+			e, err := layout.DecodeIndexEntry(raw[off:])
+			if err != nil {
+				return layout.IndexEntry{}, -1, false
+			}
+			return e, i, true
+		}
+	}
+	return layout.IndexEntry{}, -1, false
+}
+
+// rawEmptySlot returns the first empty slot in a raw bucket.
+func rawEmptySlot(raw []byte, ways int) (int, bool) {
+	if raw == nil {
+		return -1, false
+	}
+	for i := 0; i < ways; i++ {
+		off := layout.BucketHeaderSize + i*layout.IndexEntrySize
+		if binary.LittleEndian.Uint64(raw[off:]) == 0 && binary.LittleEndian.Uint64(raw[off+8:]) == 0 {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// rawVictimSlot picks the occupied slot with the lowest VersionNumber.
+func rawVictimSlot(raw []byte, ways int) (layout.IndexEntry, int, bool) {
+	if raw == nil {
+		return layout.IndexEntry{}, -1, false
+	}
+	best, found := -1, false
+	var bestV truetime.Version
+	for i := 0; i < ways; i++ {
+		off := layout.BucketHeaderSize + i*layout.IndexEntrySize
+		if binary.LittleEndian.Uint64(raw[off:]) == 0 && binary.LittleEndian.Uint64(raw[off+8:]) == 0 {
+			continue
+		}
+		v := truetime.Version{
+			Micros:   int64(binary.LittleEndian.Uint64(raw[off+16:])),
+			ClientID: binary.LittleEndian.Uint64(raw[off+24:]),
+			Seq:      binary.LittleEndian.Uint64(raw[off+32:]),
+		}
+		if !found || v.Less(bestV) {
+			best, bestV, found = i, v, true
+		}
+	}
+	if !found {
+		return layout.IndexEntry{}, -1, false
+	}
+	e, err := layout.DecodeIndexEntry(raw[layout.BucketHeaderSize+best*layout.IndexEntrySize:])
 	if err != nil {
-		return bucket, -1, layout.IndexEntry{}, false
+		return layout.IndexEntry{}, -1, false
 	}
-	e, slot, ok = dec.Find(h)
+	return e, best, true
+}
+
+// findEntry locates key's IndexEntry; the key's stripe lock must be held.
+func (b *Backend) findEntry(idx *indexRegion, h hashring.KeyHash, bufs *opBufs) (bucket int, slot int, e layout.IndexEntry, ok bool) {
+	bucket = int(h.Lo % uint64(idx.geo.Buckets))
+	raw := readBucketInto(idx, bucket, bufs)
+	e, slot, ok = rawFind(raw, idx.geo.Ways, h)
 	return bucket, slot, e, ok
 }
 
-// readEntryLocked materializes the DataEntry behind e.
-func (b *Backend) readEntryLocked(e layout.IndexEntry) (layout.DataEntry, error) {
+// readEntry materializes the DataEntry behind e.
+func (b *Backend) readEntry(e layout.IndexEntry) (layout.DataEntry, error) {
 	raw, err := b.reg.Read(e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
 	if err != nil {
 		return layout.DataEntry{}, err
@@ -336,115 +580,168 @@ func (b *Backend) readEntryLocked(e layout.IndexEntry) (layout.DataEntry, error)
 // localGet serves the RPC/MSG lookup path and repair reads.
 func (b *Backend) localGet(key []byte) (value []byte, ver truetime.Version, found bool) {
 	h := b.opt.Hash(key)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.ctr.Gets++
-	if _, _, e, ok := b.findEntryLocked(h); ok {
-		de, err := b.readEntryLocked(e)
+	s := b.stripeOf(h)
+	s.ctr.gets.Add(1)
+	bufs := bufPool.Get().(*opBufs)
+	defer bufPool.Put(bufs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, _, e, ok := b.findEntry(b.idx.Load(), h, bufs); ok {
+		de, err := b.readEntry(e)
 		if err == nil && string(de.Key) == string(key) {
 			if val, merr := de.MaterializeValue(); merr == nil {
 				return val, de.Version, true
 			}
 		}
 	}
-	if se, ok := b.side[string(key)]; ok {
+	if se, ok := s.side[string(key)]; ok {
 		return append([]byte(nil), se.value...), se.version, true
 	}
 	return nil, truetime.Version{}, false
 }
 
-// ------------------------------------------------------------- mutation --
+// ----------------------------------------------------------- tombstones --
 
-// versionBoundLocked returns the threshold a mutation's version must
-// exceed: the stored version when the key is resident, else its tombstone
-// bound (§5.2).
-func (b *Backend) versionBoundLocked(key []byte, h hashring.KeyHash) truetime.Version {
-	if _, _, e, ok := b.findEntryLocked(h); ok {
-		return e.Version
+// The tombstone cache stays global — its coarse summary bound (§5.2) is a
+// whole-backend property (and TestTombstoneSummaryCoarseButConsistent pins
+// that) — behind its own leaf mutex. Reads and drops first consult the
+// atomic shadow state so that with no live tombstones (the common case)
+// SETs never touch tombMu.
+
+func (b *Backend) tombBound(key []byte) truetime.Version {
+	if b.tombLive.Load() == 0 && !b.tombSummarySet.Load() {
+		return truetime.Version{}
 	}
-	if se, ok := b.side[string(key)]; ok {
-		return se.version
-	}
-	return b.tomb.bound(string(key))
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	return b.tomb.bound(key)
 }
 
-// writeEntryLocked encodes and stores a DataEntry, compressing the value
-// when configured and worthwhile, returning its pointer. The body is
-// written in chunks — the §5.3 tearing window is real.
-func (b *Backend) writeEntryLocked(key, value []byte, v truetime.Version) (layout.Pointer, slab.Ref, error) {
+func (b *Backend) tombInsert(key []byte, v truetime.Version) {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	b.tomb.insert(string(key), v)
+	b.tombLive.Store(int64(b.tomb.len()))
+	if !b.tomb.summary.Zero() {
+		b.tombSummarySet.Store(true)
+	}
+}
+
+func (b *Backend) tombDrop(key []byte) {
+	if b.tombLive.Load() == 0 {
+		return
+	}
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	b.tomb.drop(key)
+	b.tombLive.Store(int64(b.tomb.len()))
+}
+
+// tombLen returns the cached tombstone count (tests).
+func (b *Backend) tombLen() int {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	return b.tomb.len()
+}
+
+// ------------------------------------------------------------- mutation --
+
+// versionBoundRaw returns the threshold a mutation's version must exceed:
+// the stored version when the key is resident (in raw's bucket or the side
+// shard), else its tombstone bound (§5.2). The stripe lock is held.
+func (b *Backend) versionBoundRaw(s *stripe, raw []byte, ways int, key []byte, h hashring.KeyHash) truetime.Version {
+	if e, _, ok := rawFind(raw, ways, h); ok {
+		return e.Version
+	}
+	if se, ok := s.side[string(key)]; ok {
+		return se.version
+	}
+	return b.tombBound(key)
+}
+
+// writeEntry encodes and stores a DataEntry, compressing the value when
+// configured and worthwhile, returning its pointer. Must be called with NO
+// stripe lock held: allocation may evict, which locks a victim's stripe.
+// The body is written in chunks — the §5.3 tearing window is real.
+func (b *Backend) writeEntry(dr *dataRegion, bufs *opBufs, key, value []byte, v truetime.Version) (layout.Pointer, slab.Ref, int, int, error) {
 	stored, compressed := value, false
 	if b.opt.CompressThreshold > 0 && len(value) >= b.opt.CompressThreshold {
 		stored, compressed = layout.CompressValue(value)
 	}
-	return b.writeStoredLocked(key, stored, compressed, v)
+	return b.writeStored(dr, bufs, key, stored, compressed, v)
 }
 
-// writeStoredLocked stores already-materialized entry bytes (used directly
-// when relocating an entry whose stored form must be preserved).
-func (b *Backend) writeStoredLocked(key, stored []byte, compressed bool, v truetime.Version) (layout.Pointer, slab.Ref, error) {
+// writeStored stores already-materialized entry bytes (used directly when
+// relocating an entry whose stored form must be preserved). Returns the
+// pointer, the slab ref, the encoded size, and the number of evictions the
+// allocation performed.
+func (b *Backend) writeStored(dr *dataRegion, bufs *opBufs, key, stored []byte, compressed bool, v truetime.Version) (layout.Pointer, slab.Ref, int, int, error) {
 	need := layout.DataEntrySize(len(key), len(stored))
-	ref, err := b.allocLocked(need)
+	ref, evictions, err := b.allocWithEviction(dr, need)
 	if err != nil {
-		return layout.Pointer{}, slab.Ref{}, err
+		return layout.Pointer{}, slab.Ref{}, need, evictions, err
 	}
-	if cap(b.scratch) < need {
-		b.scratch = make([]byte, need*2)
-	}
-	buf := b.scratch[:need]
+	buf := bufs.dataBuf(need)
 	layout.EncodeDataEntryFlagged(buf, key, stored, v, compressed)
-	if err := b.data.region.WriteChunked(ref.Offset, buf); err != nil {
-		b.data.alloc.Free(ref, need)
-		return layout.Pointer{}, slab.Ref{}, err
+	if werr := dr.region.WriteChunked(ref.Offset, buf); werr != nil {
+		dr.alloc.Free(ref, need)
+		return layout.Pointer{}, slab.Ref{}, need, evictions, werr
 	}
 	return layout.Pointer{
-		Window: b.data.current().ID,
+		Window: dr.current().ID,
 		Offset: uint64(ref.Offset),
 		Size:   uint64(need),
-	}, ref, nil
+	}, ref, need, evictions, nil
 }
 
-// allocLocked carves space, evicting under capacity conflicts and growing
-// the data region at the §4.1 high watermark.
-func (b *Backend) allocLocked(need int) (slab.Ref, error) {
+// allocWithEviction carves space, evicting under capacity conflicts and
+// growing the data region at the §4.1 high watermark. No stripe lock may
+// be held by the caller.
+func (b *Backend) allocWithEviction(dr *dataRegion, need int) (slab.Ref, int, error) {
+	evictions := 0
 	for {
-		ref, err := b.data.alloc.Alloc(need)
+		ref, err := dr.alloc.Alloc(need)
 		if err == nil {
-			b.maybeGrowLocked()
-			return ref, nil
+			b.maybeGrow(dr)
+			return ref, evictions, nil
 		}
 		if err != slab.ErrNoCapacity {
-			return slab.Ref{}, err
+			return slab.Ref{}, evictions, err
 		}
 		// Prefer growth over eviction when reshaping is on and headroom
 		// remains.
-		if b.growLocked() {
+		if b.grow(dr) {
 			continue
 		}
-		if !b.evictOneLocked(false) {
-			return slab.Ref{}, slab.ErrNoCapacity
+		if !b.evictOne(false) {
+			return slab.Ref{}, evictions, slab.ErrNoCapacity
 		}
+		evictions++
 	}
 }
 
-// maybeGrowLocked grows ahead of demand at the high watermark.
-func (b *Backend) maybeGrowLocked() {
+// maybeGrow grows ahead of demand at the high watermark. Lock-free check;
+// growth itself is serialized by the region's wmu.
+func (b *Backend) maybeGrow(dr *dataRegion) {
 	if !b.opt.ReshapeEnabled {
 		return
 	}
-	st := b.data.alloc.Stats()
-	if st.PoolBytes > 0 && float64(st.AllocatedBytes)/float64(st.PoolBytes) >= b.opt.GrowWatermark {
-		b.growLocked()
+	pool := dr.alloc.PoolBytes()
+	if pool > 0 && float64(dr.alloc.AllocatedBytes())/float64(pool) >= b.opt.GrowWatermark {
+		b.grow(dr)
 	}
 }
 
-// growLocked populates more of the reserved range and registers a new
+// grow populates more of the reserved range and registers a new
 // overlapping window (§4.1). Returns false at the ceiling or with
 // reshaping disabled.
-func (b *Backend) growLocked() bool {
+func (b *Backend) grow(dr *dataRegion) bool {
 	if !b.opt.ReshapeEnabled {
 		return false
 	}
-	cur := b.data.region.Populated()
+	dr.wmu.Lock()
+	defer dr.wmu.Unlock()
+	cur := dr.region.Populated()
 	if cur >= b.opt.DataMaxBytes {
 		return false
 	}
@@ -455,55 +752,69 @@ func (b *Backend) growLocked() bool {
 	if cur+step > b.opt.DataMaxBytes {
 		step = b.opt.DataMaxBytes - cur
 	}
-	newPop := b.data.region.Grow(step)
-	grew := b.data.alloc.Grow(newPop - cur)
+	newPop := dr.region.Grow(step)
+	grew := dr.alloc.Grow(newPop - cur)
 	if grew <= 0 {
 		return false
 	}
 	// Advertise a second, larger overlapping window; clients converge to
 	// it over time. Old windows stay valid for existing pointers.
-	w := b.reg.Register(b.data.region, b.data.current().Epoch+1)
-	b.data.windows = append(b.data.windows, w)
-	b.ctr.DataGrows++
+	w := b.reg.Register(dr.region, dr.windows[len(dr.windows)-1].Epoch+1)
+	dr.windows = append(dr.windows, w)
+	dr.cur.Store(w)
+	b.stripes[0].ctr.dataGrows.Add(1)
 	return true
 }
 
-// evictOneLocked removes one policy-chosen victim anywhere in the pool
-// (capacity conflict) or, with assoc=true, the caller handles bucket
-// choice itself. Returns false if nothing is evictable.
-func (b *Backend) evictOneLocked(assoc bool) bool {
-	key, ok := b.policy.Victim()
-	if !ok {
-		return false
+// evictOne removes one policy-chosen victim (capacity conflict), trying
+// stripes round-robin. Must be called with NO stripe lock held. Returns
+// false if nothing is evictable.
+func (b *Backend) evictOne(assoc bool) bool {
+	start := b.evictCursor.Add(1)
+	n := uint64(len(b.stripes))
+	for i := uint64(0); i < n; i++ {
+		s := &b.stripes[(start+i)%n]
+		s.mu.Lock()
+		key, ok := s.policy.Victim()
+		if ok {
+			b.removeKeyLocked(s, []byte(key))
+			if assoc {
+				s.ctr.assocEvictions.Add(1)
+			} else {
+				s.ctr.capacityEvictions.Add(1)
+			}
+			s.mu.Unlock()
+			return true
+		}
+		s.mu.Unlock()
 	}
-	b.removeKeyLocked([]byte(key))
-	if assoc {
-		b.ctr.AssocEvictions++
-	} else {
-		b.ctr.CapacityEvictions++
-	}
-	return true
+	return false
 }
 
-// removeKeyLocked nullifies key's IndexEntry and frees its DataEntry.
-// In-flight 2×R GETs may still complete against the old bytes; they are
-// ordered-before the eviction (§4.2).
-func (b *Backend) removeKeyLocked(key []byte) {
+// removeKeyLocked nullifies key's IndexEntry and frees its DataEntry; the
+// key's stripe lock (s) is held. In-flight 2×R GETs may still complete
+// against the old bytes; they are ordered-before the eviction (§4.2).
+func (b *Backend) removeKeyLocked(s *stripe, key []byte) {
 	h := b.opt.Hash(key)
-	bucket, slot, e, ok := b.findEntryLocked(h)
+	bufs := bufPool.Get().(*opBufs)
+	idx := b.idx.Load()
+	bucket, slot, e, ok := b.findEntry(idx, h, bufs)
 	if ok {
-		empty := make([]byte, layout.IndexEntrySize)
-		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, empty)
-		b.idx.used--
-		b.data.alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+		idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, zeroEntry)
+		idx.used.Add(-1)
+		b.data.Load().alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
 	}
-	delete(b.side, string(key))
-	b.policy.Remove(string(key))
+	delete(s.side, string(key))
+	s.policy.RemoveBytes(key)
+	bufPool.Put(bufs)
 }
+
+// defaultClasses is cached: sizeClassOf runs on every free/publish.
+var defaultClasses = slab.DefaultSizeClasses()
 
 // sizeClassOf recovers the slab class for an entry of encoded size n.
 func sizeClassOf(n int) int {
-	for _, c := range slab.DefaultSizeClasses() {
+	for _, c := range defaultClasses {
 		if c >= n {
 			return c
 		}
@@ -517,188 +828,207 @@ func (b *Backend) ApplySet(key, value []byte, v truetime.Version) (applied bool,
 	return b.applySet(key, value, v)
 }
 
-// applySet is the SET RPC's core (§3, §5.2): version-gated install with
-// eviction under capacity and associativity conflicts.
-func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
-	h := b.opt.Hash(key)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.ctr.Sets++
-
-	bound := b.versionBoundLocked(key, h)
-	if !bound.Less(v) {
-		b.ctr.VersionRejects++
-		return false, bound, 0
-	}
-
-	before := b.ctr.CapacityEvictions + b.ctr.AssocEvictions
-
-	ptr, ref, err := b.writeEntryLocked(key, value, v)
-	if err != nil {
-		return false, bound, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
-	}
-
-	bucket, slot, old, exists := b.findEntryLocked(h)
-	entryBuf := make([]byte, layout.IndexEntrySize)
-	layout.EncodeIndexEntry(entryBuf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
-
-	overflowed := false
-	if exists {
-		// Overwrite in place: the new pointer's publication is the
-		// ordering point; then reclaim the old DataEntry.
-		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
-		b.data.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
-	} else if s, ok := b.emptySlotLocked(bucket); ok {
-		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+s*layout.IndexEntrySize, entryBuf)
-		b.idx.used++
-	} else if b.opt.OverflowFallback {
-		// Associativity conflict with RPC fallback: park in the side
-		// table and mark the bucket overflowed (§4.2).
-		b.data.alloc.Free(ref, layout.DataEntrySize(len(key), len(value)))
-		b.side[string(key)] = sideEntry{value: append([]byte(nil), value...), version: v}
-		b.setOverflowLocked(bucket)
-		b.ctr.Overflows++
-		overflowed = true
-	} else {
-		// Associativity conflict: evict the oldest-versioned entry in
-		// this bucket to admit the new one.
-		if vs, vok := b.bucketVictimLocked(bucket); vok {
-			b.evictSlotLocked(bucket, vs)
-			b.ctr.AssocEvictions++
-			b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+vs*layout.IndexEntrySize, entryBuf)
-			b.idx.used++
-		} else {
-			b.data.alloc.Free(ref, layout.DataEntrySize(len(key), len(value)))
-			return false, bound, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
-		}
-	}
-
-	b.policy.Add(string(key))
-	b.tomb.drop(string(key))
-	if !overflowed {
-		delete(b.side, string(key))
-	}
-	b.ctr.SetsApplied++
-	b.maybeResizeIndexLocked()
-	return true, v, int(b.ctr.CapacityEvictions + b.ctr.AssocEvictions - before)
-}
-
-func (b *Backend) emptySlotLocked(bucket int) (int, bool) {
-	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
-	if err != nil {
-		return -1, false
-	}
-	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
-	if err != nil {
-		return -1, false
-	}
-	for i, e := range dec.Entries {
-		if e.Empty() {
-			return i, true
-		}
-	}
-	return -1, false
-}
-
-// bucketVictimLocked picks the slot with the lowest VersionNumber.
-func (b *Backend) bucketVictimLocked(bucket int) (int, bool) {
-	raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
-	if err != nil {
-		return -1, false
-	}
-	dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
-	if err != nil {
-		return -1, false
-	}
-	best, found := -1, false
-	var bestV truetime.Version
-	for i, e := range dec.Entries {
-		if e.Empty() {
-			continue
-		}
-		if !found || e.Version.Less(bestV) {
-			best, bestV, found = i, e.Version, true
-		}
-	}
-	return best, found
-}
-
-// evictSlotLocked removes the entry at (bucket, slot).
-func (b *Backend) evictSlotLocked(bucket, slot int) {
-	off := b.idx.geo.BucketOffset(bucket) + layout.BucketHeaderSize + slot*layout.IndexEntrySize
-	raw, err := b.idx.region.Read(off, layout.IndexEntrySize)
-	if err != nil {
-		return
-	}
-	e, err := layout.DecodeIndexEntry(raw)
-	if err != nil || e.Empty() {
-		return
-	}
-	if de, derr := b.readEntryLocked(e); derr == nil {
-		b.policy.Remove(string(de.Key))
-	}
-	empty := make([]byte, layout.IndexEntrySize)
-	b.idx.region.Write(off, empty)
-	b.idx.used--
-	b.data.alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
-}
-
-func (b *Backend) setOverflowLocked(bucket int) {
-	off := b.idx.geo.BucketOffset(bucket)
-	hdr := make([]byte, layout.BucketHeaderSize)
-	layout.EncodeBucketHeader(hdr, b.configID, layout.OverflowFlag)
-	b.idx.region.Write(off, hdr)
-}
-
 // ApplyErase erases a key directly (model checking and tests); normal
 // traffic arrives via the ERASE RPC handler.
 func (b *Backend) ApplyErase(key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
 	return b.applyErase(key, v)
 }
 
+// ApplyCas compare-and-swaps directly (stress tests); normal traffic
+// arrives via the CAS RPC handler.
+func (b *Backend) ApplyCas(key, value []byte, expected, v truetime.Version) (applied bool, stored truetime.Version) {
+	return b.applyCas(key, value, expected, v)
+}
+
+// applySet is the SET RPC's core (§3, §5.2): version-gated install with
+// eviction under capacity and associativity conflicts.
+//
+// The striped flow is pre-check → unlock → allocate+write → relock →
+// re-validate → publish: allocation can evict (locking other stripes) and
+// performs the chunked body write, so it must not run under this key's
+// stripe lock. The re-validation after relocking restores atomicity: if a
+// concurrent mutation moved the version bound past v, the prepared entry
+// is discarded exactly as if the first check had failed.
+func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
+	h := b.opt.Hash(key)
+	s := b.stripeOf(h)
+	s.ctr.sets.Add(1)
+	bufs := bufPool.Get().(*opBufs)
+	defer bufPool.Put(bufs)
+
+	for {
+		s.mu.Lock()
+		idx := b.idx.Load()
+		ways := idx.geo.Ways
+		bucket := int(h.Lo % uint64(idx.geo.Buckets))
+		raw := readBucketInto(idx, bucket, bufs)
+		bound := b.versionBoundRaw(s, raw, ways, key, h)
+		if !bound.Less(v) {
+			s.ctr.versionRejects.Add(1)
+			s.mu.Unlock()
+			return false, bound, evictions
+		}
+		dr := b.data.Load()
+		s.mu.Unlock()
+
+		// Allocate and write the DataEntry body with no stripe lock held.
+		ptr, ref, need, ev, err := b.writeEntry(dr, bufs, key, value, v)
+		evictions += ev
+		if err != nil {
+			return false, bound, evictions
+		}
+
+		s.mu.Lock()
+		if b.data.Load() != dr {
+			// A compact-restart swapped the data region underneath the
+			// allocation; discard and redo against the new region.
+			s.mu.Unlock()
+			dr.alloc.Free(ref, need)
+			continue
+		}
+		idx = b.idx.Load() // may have resized while unlocked
+		ways = idx.geo.Ways
+		bucket = int(h.Lo % uint64(idx.geo.Buckets))
+		raw = readBucketInto(idx, bucket, bufs)
+
+		// Re-validate: a concurrent mutation may have advanced the bound.
+		bound2 := b.versionBoundRaw(s, raw, ways, key, h)
+		if !bound2.Less(v) {
+			s.mu.Unlock()
+			dr.alloc.Free(ref, need)
+			s.ctr.versionRejects.Add(1)
+			return false, bound2, evictions
+		}
+
+		entryBuf := bufs.entry[:]
+		layout.EncodeIndexEntry(entryBuf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
+		slotOff := func(slot int) int {
+			return idx.geo.BucketOffset(bucket) + layout.BucketHeaderSize + slot*layout.IndexEntrySize
+		}
+
+		overflowed := false
+		if old, slot, exists := rawFind(raw, ways, h); exists {
+			// Overwrite in place: the new pointer's publication is the
+			// ordering point; then reclaim the old DataEntry.
+			idx.region.Write(slotOff(slot), entryBuf)
+			dr.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
+		} else if es, ok := rawEmptySlot(raw, ways); ok {
+			idx.region.Write(slotOff(es), entryBuf)
+			idx.used.Add(1)
+		} else if b.opt.OverflowFallback {
+			// Associativity conflict with RPC fallback: park in the side
+			// shard and mark the bucket overflowed (§4.2).
+			dr.alloc.Free(ref, need)
+			s.side[string(key)] = sideEntry{value: append([]byte(nil), value...), version: v}
+			b.setOverflowLocked(idx, bucket)
+			s.ctr.overflows.Add(1)
+			overflowed = true
+		} else if victim, vs, vok := rawVictimSlot(raw, ways); vok {
+			// Associativity conflict: evict the oldest-versioned entry in
+			// this bucket (same stripe by construction) to admit the new.
+			b.evictSlotLocked(s, idx, victim, bucket, vs)
+			s.ctr.assocEvictions.Add(1)
+			idx.region.Write(slotOff(vs), entryBuf)
+			idx.used.Add(1)
+		} else {
+			s.mu.Unlock()
+			dr.alloc.Free(ref, need)
+			return false, bound2, evictions
+		}
+
+		s.policy.AddBytes(key)
+		b.tombDrop(key)
+		if !overflowed {
+			delete(s.side, string(key))
+		}
+		s.ctr.setsApplied.Add(1)
+		s.mu.Unlock()
+		b.maybeResizeIndex()
+		return true, v, evictions
+	}
+}
+
+// evictSlotLocked removes the already-decoded entry at (bucket, slot); the
+// bucket's stripe lock (s) is held.
+func (b *Backend) evictSlotLocked(s *stripe, idx *indexRegion, e layout.IndexEntry, bucket, slot int) {
+	if de, derr := b.readEntry(e); derr == nil {
+		s.policy.RemoveBytes(de.Key)
+	}
+	idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, zeroEntry)
+	idx.used.Add(-1)
+	b.data.Load().alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+}
+
+// setOverflowLocked marks bucket's header with the overflow flag; the
+// bucket's stripe lock is held.
+func (b *Backend) setOverflowLocked(idx *indexRegion, bucket int) {
+	hdr := make([]byte, layout.BucketHeaderSize)
+	layout.EncodeBucketHeader(hdr, b.configID.Load(), layout.OverflowFlag)
+	idx.region.Write(idx.geo.BucketOffset(bucket), hdr)
+}
+
 // applyErase is the ERASE RPC's core (§5.2).
 func (b *Backend) applyErase(key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
 	h := b.opt.Hash(key)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.ctr.Erases++
-	bound := b.versionBoundLocked(key, h)
+	s := b.stripeOf(h)
+	s.ctr.erases.Add(1)
+	bufs := bufPool.Get().(*opBufs)
+	defer bufPool.Put(bufs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := b.idx.Load()
+	bucket := int(h.Lo % uint64(idx.geo.Buckets))
+	raw := readBucketInto(idx, bucket, bufs)
+	bound := b.versionBoundRaw(s, raw, idx.geo.Ways, key, h)
 	if !bound.Less(v) {
-		b.ctr.VersionRejects++
+		s.ctr.versionRejects.Add(1)
 		return false, bound
 	}
-	b.removeKeyLocked(key)
-	b.tomb.insert(string(key), v)
-	b.ctr.ErasesApplied++
+	if e, slot, ok := rawFind(raw, idx.geo.Ways, h); ok {
+		idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, zeroEntry)
+		idx.used.Add(-1)
+		b.data.Load().alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+	}
+	delete(s.side, string(key))
+	s.policy.RemoveBytes(key)
+	b.tombInsert(key, v)
+	s.ctr.erasesApplied.Add(1)
 	return true, v
 }
 
 // applyCas is the CAS RPC's core (§5.2): install only when the stored
-// version matches the expectation.
+// version matches the expectation. The expectation is read under the
+// stripe lock; applySet then re-gates on version monotonicity, so a racing
+// mutation between the two phases can only cause a spurious CAS failure,
+// never a lost update.
 func (b *Backend) applyCas(key, value []byte, expected, v truetime.Version) (applied bool, stored truetime.Version) {
 	h := b.opt.Hash(key)
-	b.mu.Lock()
-	cur := b.versionBoundLocked(key, h)
-	if _, _, _, ok := b.findEntryLocked(h); !ok {
-		if _, sideOK := b.side[string(key)]; !sideOK {
+	s := b.stripeOf(h)
+	s.ctr.casOps.Add(1)
+	bufs := bufPool.Get().(*opBufs)
+	s.mu.Lock()
+	idx := b.idx.Load()
+	bucket := int(h.Lo % uint64(idx.geo.Buckets))
+	raw := readBucketInto(idx, bucket, bufs)
+	cur := b.versionBoundRaw(s, raw, idx.geo.Ways, key, h)
+	if _, _, ok := rawFind(raw, idx.geo.Ways, h); !ok {
+		if _, sideOK := s.side[string(key)]; !sideOK {
 			// Key absent: CAS succeeds only against the zero version.
 			cur = truetime.Version{}
-			if t := b.tomb.bound(string(key)); !t.Zero() {
+			if t := b.tombBound(key); !t.Zero() {
 				cur = t
 			}
 		}
 	}
-	b.ctr.CasOps++
-	b.mu.Unlock()
+	s.mu.Unlock()
+	bufPool.Put(bufs)
 
 	if cur != expected {
 		return false, cur
 	}
 	applied, stored, _ = b.applySet(key, value, v)
 	if applied {
-		b.mu.Lock()
-		b.ctr.CasApplied++
-		b.mu.Unlock()
+		s.ctr.casApplied.Add(1)
 	}
 	return applied, stored
 }
@@ -706,48 +1036,81 @@ func (b *Backend) applyCas(key, value []byte, expected, v truetime.Version) (app
 // applyUpdateVersion rewrites key's stored version (repair step 2, §5.4).
 func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 	h := b.opt.Hash(key)
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, _, e, ok := b.findEntryLocked(h); ok {
-		de, err := b.readEntryLocked(e)
-		if err != nil || string(de.Key) != string(key) {
-			return false
+	s := b.stripeOf(h)
+	bufs := bufPool.Get().(*opBufs)
+	defer bufPool.Put(bufs)
+
+	s.mu.Lock()
+	idx := b.idx.Load()
+	_, _, e, ok := b.findEntry(idx, h, bufs)
+	if !ok {
+		if se, sok := s.side[string(key)]; sok && se.version.Less(v) {
+			se.version = v
+			s.side[string(key)] = se
+			s.mu.Unlock()
+			return true
 		}
-		if !e.Version.Less(v) {
-			return false
-		}
-		stored := append([]byte(nil), de.Value...)
-		ptr, _, werr := b.writeStoredLocked(key, stored, de.Compressed, v)
-		if werr != nil {
-			return false
-		}
-		bucket, slot, old, _ := b.findEntryLocked(h)
-		buf := make([]byte, layout.IndexEntrySize)
-		layout.EncodeIndexEntry(buf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
-		b.idx.region.Write(b.idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, buf)
-		b.data.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
-		return true
+		s.mu.Unlock()
+		return false
 	}
-	if se, ok := b.side[string(key)]; ok && se.version.Less(v) {
-		se.version = v
-		b.side[string(key)] = se
-		return true
+	de, err := b.readEntry(e)
+	if err != nil || string(de.Key) != string(key) || !e.Version.Less(v) {
+		s.mu.Unlock()
+		return false
 	}
-	return false
+	stored := append([]byte(nil), de.Value...)
+	compressed := de.Compressed
+	dr := b.data.Load()
+	s.mu.Unlock()
+
+	// Re-encode at the new version with no stripe lock held (allocation
+	// may evict), then re-validate and publish.
+	ptr, ref, need, _, werr := b.writeStored(dr, bufs, key, stored, compressed, v)
+	if werr != nil {
+		return false
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.data.Load() != dr {
+		dr.alloc.Free(ref, need)
+		return false
+	}
+	idx = b.idx.Load()
+	bucket, slot, old, ok := b.findEntry(idx, h, bufs)
+	if !ok || !old.Version.Less(v) {
+		// Concurrently erased, evicted, or superseded; discard.
+		dr.alloc.Free(ref, need)
+		return false
+	}
+	entryBuf := bufs.entry[:]
+	layout.EncodeIndexEntry(entryBuf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
+	idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
+	dr.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
+	return true
 }
 
 // ------------------------------------------------------------ reshaping --
 
-// maybeResizeIndexLocked upsizes the index past the target load factor
-// (§4.1): build a new, larger index, repopulate it, revoke remote access
-// to the original. Mutations stall (we hold the lock); client RMAs against
+// maybeResizeIndex upsizes the index past the target load factor (§4.1):
+// build a new, larger index, repopulate it, revoke remote access to the
+// original. All stripes are taken (mutations stall); client RMAs against
 // the old window fail and retry via RPC, learning the new geometry.
-func (b *Backend) maybeResizeIndexLocked() {
-	capEntries := b.idx.geo.Buckets * b.idx.geo.Ways
-	if float64(b.idx.used)/float64(capEntries) < b.opt.MaxLoadFactor {
+func (b *Backend) maybeResizeIndex() {
+	idx := b.idx.Load()
+	capEntries := idx.geo.Buckets * idx.geo.Ways
+	if float64(idx.used.Load())/float64(capEntries) < b.opt.MaxLoadFactor {
 		return
 	}
-	oldIdx := b.idx
+	b.lockAll()
+	defer b.unlockAll()
+
+	// Re-check under the locks: a concurrent mutation may have resized.
+	oldIdx := b.idx.Load()
+	capEntries = oldIdx.geo.Buckets * oldIdx.geo.Ways
+	if float64(oldIdx.used.Load())/float64(capEntries) < b.opt.MaxLoadFactor {
+		return
+	}
 
 	// Collect live entries once; rehash into progressively larger
 	// geometries until every entry places (a target bucket can overflow
@@ -778,13 +1141,13 @@ func (b *Backend) maybeResizeIndexLocked() {
 		ok := true
 		for _, e := range live {
 			nb := int(e.Hash.Lo % uint64(newGeo.Buckets))
-			s, found := emptySlotIn(candidate, nb)
+			slot, found := emptySlotIn(candidate, nb)
 			if !found {
 				ok = false
 				break
 			}
 			layout.EncodeIndexEntry(entryBuf, e)
-			candidate.region.Write(newGeo.BucketOffset(nb)+layout.BucketHeaderSize+s*layout.IndexEntrySize, entryBuf)
+			candidate.region.Write(newGeo.BucketOffset(nb)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
 		}
 		if ok {
 			next = candidate
@@ -796,10 +1159,10 @@ func (b *Backend) maybeResizeIndexLocked() {
 	if next == nil {
 		return // pathological; keep the old index rather than lose data
 	}
-	next.used = len(live)
-	b.idx = next
+	next.used.Store(int64(len(live)))
+	b.idx.Store(next)
 	b.reg.Revoke(oldIdx.win.ID)
-	b.ctr.IndexResizes++
+	b.stripes[0].ctr.indexResizes.Add(1)
 }
 
 func emptySlotIn(idx *indexRegion, bucket int) (int, bool) {
@@ -827,14 +1190,15 @@ func (b *Backend) CompactRestart(slack float64) {
 		key, value []byte
 		v          truetime.Version
 	}
-	b.mu.Lock()
+	b.lockAll()
+	idx := b.idx.Load()
 	var items []kv
-	for i := 0; i < b.idx.geo.Buckets; i++ {
-		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(i), b.idx.geo.BucketSize())
+	for i := 0; i < idx.geo.Buckets; i++ {
+		raw, err := idx.region.Read(idx.geo.BucketOffset(i), idx.geo.BucketSize())
 		if err != nil {
 			continue
 		}
-		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		dec, err := layout.DecodeBucket(raw, idx.geo.Ways)
 		if err != nil {
 			continue
 		}
@@ -842,7 +1206,7 @@ func (b *Backend) CompactRestart(slack float64) {
 			if e.Empty() {
 				continue
 			}
-			de, derr := b.readEntryLocked(e)
+			de, derr := b.readEntry(e)
 			if derr != nil {
 				continue
 			}
@@ -866,23 +1230,25 @@ func (b *Backend) CompactRestart(slack float64) {
 	if newBytes > b.opt.DataMaxBytes {
 		newBytes = b.opt.DataMaxBytes
 	}
-	for _, w := range b.data.windows {
-		b.reg.Revoke(w.ID)
+	oldData := b.data.Load()
+	for _, w := range oldData.windowIDs() {
+		b.reg.Revoke(w)
 	}
 	region := rmem.NewRegion(newBytes, b.opt.DataMaxBytes)
 	alloc, err := slab.New(newBytes, b.opt.SlabBytes, nil)
 	if err != nil {
-		b.mu.Unlock()
+		b.unlockAll()
 		return
 	}
-	b.data = &dataRegion{region: region, alloc: alloc}
-	b.data.windows = []*rmem.Window{b.reg.Register(region, 1)}
+	dr := &dataRegion{region: region, alloc: alloc}
+	dr.windows = []*rmem.Window{b.reg.Register(region, 1)}
+	dr.cur.Store(dr.windows[0])
+	b.data.Store(dr)
 
 	// Rebuild a fresh index at the same geometry and reinstall entries.
-	oldGeoEpoch := b.idx.epoch + 1
-	b.reg.Revoke(b.idx.win.ID)
-	b.idx = b.newIndex(b.idx.geo, oldGeoEpoch)
-	b.mu.Unlock()
+	b.reg.Revoke(idx.win.ID)
+	b.idx.Store(b.newIndex(idx.geo, idx.epoch+1))
+	b.unlockAll()
 
 	for _, it := range items {
 		b.applySet(it.key, it.value, it.v)
@@ -892,15 +1258,16 @@ func (b *Backend) CompactRestart(slack float64) {
 // Items snapshots all resident KV pairs of a shard (or every shard with
 // shard < 0) — the migration and cohort-scan source.
 func (b *Backend) Items(shard, shards int) []proto.MigrateItem {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.lockAll()
+	defer b.unlockAll()
+	idx := b.idx.Load()
 	var out []proto.MigrateItem
-	for i := 0; i < b.idx.geo.Buckets; i++ {
-		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(i), b.idx.geo.BucketSize())
+	for i := 0; i < idx.geo.Buckets; i++ {
+		raw, err := idx.region.Read(idx.geo.BucketOffset(i), idx.geo.BucketSize())
 		if err != nil {
 			continue
 		}
-		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		dec, err := layout.DecodeBucket(raw, idx.geo.Ways)
 		if err != nil {
 			continue
 		}
@@ -911,7 +1278,7 @@ func (b *Backend) Items(shard, shards int) []proto.MigrateItem {
 			if shard >= 0 && shards > 0 && int(e.Hash.Hi%uint64(shards)) != shard {
 				continue
 			}
-			de, derr := b.readEntryLocked(e)
+			de, derr := b.readEntry(e)
 			if derr != nil {
 				continue
 			}
@@ -926,47 +1293,47 @@ func (b *Backend) Items(shard, shards int) []proto.MigrateItem {
 			})
 		}
 	}
-	for k, se := range b.side {
-		h := b.opt.Hash([]byte(k))
-		if shard >= 0 && shards > 0 && int(h.Hi%uint64(shards)) != shard {
-			continue
+	for i := range b.stripes {
+		for k, se := range b.stripes[i].side {
+			h := b.opt.Hash([]byte(k))
+			if shard >= 0 && shards > 0 && int(h.Hi%uint64(shards)) != shard {
+				continue
+			}
+			out = append(out, proto.MigrateItem{Key: []byte(k), Value: append([]byte(nil), se.value...), Version: se.version})
 		}
-		out = append(out, proto.MigrateItem{Key: []byte(k), Value: append([]byte(nil), se.value...), Version: se.version})
 	}
 	return out
 }
 
 // Len returns the resident entry count.
 func (b *Backend) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.idx.used + len(b.side)
+	n := int(b.idx.Load().used.Load())
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		n += len(s.side)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Seal marks the corpus immutable (§6.4, R=2/Immutable): client-facing
 // mutations are rejected from now on. Repair and migration paths remain
 // open — they preserve, rather than change, the corpus.
-func (b *Backend) Seal() {
-	b.mu.Lock()
-	b.sealed = true
-	b.mu.Unlock()
-}
+func (b *Backend) Seal() { b.sealed.Store(true) }
 
 // Sealed reports whether client mutations are rejected.
-func (b *Backend) Sealed() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.sealed
-}
+func (b *Backend) Sealed() bool { return b.sealed.Load() }
 
 // IngestTouches feeds batched access records to the eviction policy
-// (§4.2).
+// (§4.2). Each key is routed to its stripe's policy.
 func (b *Backend) IngestTouches(keys [][]byte) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	for _, k := range keys {
-		b.policy.Touch(string(k))
-		b.ctr.Touches++
+		s := b.stripeOf(b.opt.Hash(k))
+		s.mu.Lock()
+		s.policy.TouchBytes(k)
+		s.mu.Unlock()
+		s.ctr.touches.Add(1)
 	}
 }
 

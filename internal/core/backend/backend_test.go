@@ -350,7 +350,7 @@ func TestOverflowSideTable(t *testing.T) {
 		}
 	}
 	// The bucket must carry the overflow bit for clients.
-	raw, err := r.b.idx.region.Read(0, r.b.idx.geo.BucketSize())
+	raw, err := r.b.idx.Load().region.Read(0, r.b.idx.Load().geo.BucketSize())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestSetConfigIDRestampsBuckets(t *testing.T) {
 	r.b.applySet([]byte("k"), []byte("v"), r.v())
 	r.b.SetConfigID(42)
 	for i := 0; i < 4; i++ {
-		raw, err := r.b.idx.region.Read(r.b.idx.geo.BucketOffset(i), r.b.idx.geo.BucketSize())
+		raw, err := r.b.idx.Load().region.Read(r.b.idx.Load().geo.BucketOffset(i), r.b.idx.Load().geo.BucketSize())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -126,10 +126,10 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		b.mu.Lock()
+		b.stateMu.Lock()
 		b.shard = r.Shard
 		b.spare = r.Shard < 0
-		b.mu.Unlock()
+		b.stateMu.Unlock()
 		return proto.Ack{}.Marshal(), nil
 	})
 
@@ -145,14 +145,18 @@ func (b *Backend) registerHandlers() {
 
 	s.Handle(proto.MethodStats, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
 		c := b.CountersSnapshot()
-		b.mu.Lock()
-		shard, sealed := b.shard, b.sealed
-		resident := uint64(b.idx.used + len(b.side))
-		b.mu.Unlock()
+		stripeOps := b.StripeOps()
+		var maxOps, totalOps uint64
+		for _, ops := range stripeOps {
+			totalOps += ops
+			if ops > maxOps {
+				maxOps = ops
+			}
+		}
 		return proto.StatsResp{
-			Shard:          shard,
-			Sealed:         sealed,
-			ResidentKeys:   resident,
+			Shard:          b.Shard(),
+			Sealed:         b.Sealed(),
+			ResidentKeys:   uint64(b.Len()),
 			MemoryBytes:    uint64(b.MemoryBytes()),
 			Sets:           c.Sets,
 			Gets:           c.Gets,
@@ -161,6 +165,9 @@ func (b *Backend) registerHandlers() {
 			DataGrows:      c.DataGrows,
 			RepairsIssued:  c.RepairsIssued,
 			VersionRejects: c.VersionRejects,
+			Stripes:        uint64(len(stripeOps)),
+			StripeMaxOps:   maxOps,
+			StripeTotalOps: totalOps,
 		}.Marshal(), nil
 	})
 
@@ -197,20 +204,21 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 		limit = 1024
 	}
 
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.lockAll()
+	defer b.unlockAll()
+	idx := b.idx.Load()
 	var resp proto.ScanResp
 	bucket := int(r.Cursor)
-	for ; bucket < b.idx.geo.Buckets; bucket++ {
+	for ; bucket < idx.geo.Buckets; bucket++ {
 		if len(resp.Items) >= limit {
 			resp.NextCursor = uint64(bucket)
 			return resp
 		}
-		raw, err := b.idx.region.Read(b.idx.geo.BucketOffset(bucket), b.idx.geo.BucketSize())
+		raw, err := idx.region.Read(idx.geo.BucketOffset(bucket), idx.geo.BucketSize())
 		if err != nil {
 			continue
 		}
-		dec, err := layout.DecodeBucket(raw, b.idx.geo.Ways)
+		dec, err := layout.DecodeBucket(raw, idx.geo.Ways)
 		if err != nil {
 			continue
 		}
@@ -221,7 +229,7 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 			if shards > 0 && int(e.Hash.Hi%uint64(shards)) != r.Shard {
 				continue
 			}
-			de, derr := b.readEntryLocked(e)
+			de, derr := b.readEntry(e)
 			if derr != nil {
 				continue
 			}
@@ -233,14 +241,16 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 		}
 	}
 	// Side-table entries are scanned too.
-	for k, se := range b.side {
-		h := b.opt.Hash([]byte(k))
-		if shards > 0 && int(h.Hi%uint64(shards)) != r.Shard {
-			continue
+	for i := range b.stripes {
+		for k, se := range b.stripes[i].side {
+			h := b.opt.Hash([]byte(k))
+			if shards > 0 && int(h.Hi%uint64(shards)) != r.Shard {
+				continue
+			}
+			resp.Items = append(resp.Items, proto.ScanItem{
+				HashHi: h.Hi, HashLo: h.Lo, Version: se.version, Key: []byte(k),
+			})
 		}
-		resp.Items = append(resp.Items, proto.ScanItem{
-			HashHi: h.Hi, HashLo: h.Lo, Version: se.version, Key: []byte(k),
-		})
 	}
 	resp.Done = true
 	return resp
@@ -381,9 +391,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 		repaired++
 	}
 
-	b.mu.Lock()
-	b.ctr.RepairsIssued += uint64(repaired)
-	b.mu.Unlock()
+	b.stripes[0].ctr.repairsIssued.Add(uint64(repaired))
 	return repaired, nil
 }
 
@@ -392,9 +400,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 // orchestration) is responsible for the config update that points the
 // shard at the target.
 func (b *Backend) MigrateTo(ctx context.Context, targetAddr string) error {
-	b.mu.Lock()
-	shard := b.shard
-	b.mu.Unlock()
+	shard := b.Shard()
 	if shard < 0 {
 		return fmt.Errorf("backend %s: no shard to migrate", b.opt.Addr)
 	}
@@ -416,9 +422,9 @@ func (b *Backend) MigrateTo(ctx context.Context, targetAddr string) error {
 	if _, _, err := client.Call(ctx, targetAddr, proto.MethodAssumeShard, proto.AssumeShardReq{Shard: shard}.Marshal()); err != nil {
 		return err
 	}
-	b.mu.Lock()
+	b.stateMu.Lock()
 	b.shard = -1
 	b.spare = true
-	b.mu.Unlock()
+	b.stateMu.Unlock()
 	return nil
 }

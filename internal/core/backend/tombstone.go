@@ -48,15 +48,18 @@ func (t *tombstoneCache) insert(key string, v truetime.Version) {
 }
 
 // drop removes key's tombstone (a newer SET superseded it). The summary is
-// untouched — it only ever grows.
-func (t *tombstoneCache) drop(key string) {
-	delete(t.entries, key)
+// untouched — it only ever grows. Takes the raw key bytes so the hot SET
+// path avoids a string conversion (delete with an inline string(k) compiles
+// allocation-free).
+func (t *tombstoneCache) drop(key []byte) {
+	delete(t.entries, string(key))
 }
 
 // bound returns the highest version that could have erased key: the exact
-// tombstone when cached, else the summary upper bound.
-func (t *tombstoneCache) bound(key string) truetime.Version {
-	if v, ok := t.entries[key]; ok {
+// tombstone when cached, else the summary upper bound. Byte-keyed for the
+// same reason as drop.
+func (t *tombstoneCache) bound(key []byte) truetime.Version {
+	if v, ok := t.entries[string(key)]; ok {
 		return v
 	}
 	return t.summary

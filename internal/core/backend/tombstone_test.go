@@ -12,10 +12,10 @@ func ver(n int64) truetime.Version { return truetime.Version{Micros: n, ClientID
 func TestTombstoneExactLookup(t *testing.T) {
 	tc := newTombstoneCache(4)
 	tc.insert("a", ver(10))
-	if got := tc.bound("a"); got != ver(10) {
+	if got := tc.bound([]byte("a")); got != ver(10) {
 		t.Errorf("bound(a) = %v", got)
 	}
-	if got := tc.bound("absent"); !got.Zero() {
+	if got := tc.bound([]byte("absent")); !got.Zero() {
 		t.Errorf("bound(absent) = %v, want zero (empty summary)", got)
 	}
 }
@@ -24,11 +24,11 @@ func TestTombstoneNewerWins(t *testing.T) {
 	tc := newTombstoneCache(4)
 	tc.insert("a", ver(10))
 	tc.insert("a", ver(5)) // older: ignored
-	if got := tc.bound("a"); got != ver(10) {
+	if got := tc.bound([]byte("a")); got != ver(10) {
 		t.Errorf("bound = %v, want v10", got)
 	}
 	tc.insert("a", ver(20))
-	if got := tc.bound("a"); got != ver(20) {
+	if got := tc.bound([]byte("a")); got != ver(20) {
 		t.Errorf("bound = %v, want v20", got)
 	}
 	if tc.len() != 1 {
@@ -48,11 +48,11 @@ func TestTombstoneSummaryUpperBound(t *testing.T) {
 		t.Fatalf("len = %d, want 2", tc.len())
 	}
 	// "a" is gone from the cache; its bound must still be >= v10.
-	if got := tc.bound("a"); got.Less(ver(10)) {
+	if got := tc.bound([]byte("a")); got.Less(ver(10)) {
 		t.Errorf("bound(a) = %v < evicted version", got)
 	}
 	// The summary also bounds never-erased keys (documented coarseness).
-	if got := tc.bound("never-seen"); got.Less(ver(10)) {
+	if got := tc.bound([]byte("never-seen")); got.Less(ver(10)) {
 		t.Errorf("summary bound = %v", got)
 	}
 }
@@ -62,31 +62,31 @@ func TestTombstoneSummaryMonotone(t *testing.T) {
 	var last truetime.Version
 	for i := 1; i <= 50; i++ {
 		tc.insert(fmt.Sprintf("k%d", i), ver(int64(i)))
-		b := tc.bound("probe")
+		b := tc.bound([]byte("probe"))
 		if b.Less(last) {
 			t.Fatalf("summary regressed: %v after %v", b, last)
 		}
 		last = b
 	}
 	// With capacity 1, the 49 oldest were evicted: summary >= v49.
-	if tc.bound("probe").Less(ver(49)) {
-		t.Errorf("summary = %v, want >= v49", tc.bound("probe"))
+	if tc.bound([]byte("probe")).Less(ver(49)) {
+		t.Errorf("summary = %v, want >= v49", tc.bound([]byte("probe")))
 	}
 }
 
 func TestTombstoneDrop(t *testing.T) {
 	tc := newTombstoneCache(4)
 	tc.insert("a", ver(10))
-	tc.drop("a")
-	if got := tc.bound("a"); !got.Zero() {
+	tc.drop([]byte("a"))
+	if got := tc.bound([]byte("a")); !got.Zero() {
 		t.Errorf("after drop, bound = %v", got)
 	}
 	// Dropping must not shrink the summary.
 	tc2 := newTombstoneCache(1)
 	tc2.insert("x", ver(10))
 	tc2.insert("y", ver(20)) // x evicted → summary v10
-	tc2.drop("y")
-	if tc2.bound("anything").Less(ver(10)) {
+	tc2.drop([]byte("y"))
+	if tc2.bound([]byte("anything")).Less(ver(10)) {
 		t.Error("drop shrank the summary")
 	}
 }

@@ -118,28 +118,31 @@ type SetReq struct {
 
 // Marshal encodes the request.
 func (r SetReq) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Key) + len(r.Value) + 48)
 	e.Bytes(1, r.Key)
 	e.Bytes(2, r.Value)
-	encodeVersion(e, 3, r.Version)
+	encodeVersion(&e, 3, r.Version)
 	e.Bool(6, r.Repair)
 	return e.Encoded()
 }
 
-// UnmarshalSetReq decodes the request.
+// UnmarshalSetReq decodes the request. Key and Value alias b: they are
+// valid only while b is — fine for RPC handlers, which finish with the
+// request before returning and copy anything they keep.
 func UnmarshalSetReq(b []byte) (SetReq, error) {
 	var r SetReq
 	var v versionAcc
-	d, err := wire.NewDecoder(b)
-	if err != nil {
+	var d wire.Decoder
+	if err := d.Init(b); err != nil {
 		return r, err
 	}
 	for d.Next() {
 		switch d.Tag() {
 		case 1:
-			r.Key = append([]byte(nil), d.Bytes()...)
+			r.Key = d.Bytes()
 		case 2:
-			r.Value = append([]byte(nil), d.Bytes()...)
+			r.Value = d.Bytes()
 		case 3:
 			v.m = d.Uint()
 		case 4:
@@ -165,9 +168,10 @@ type MutateResp struct {
 
 // Marshal encodes the response.
 func (r MutateResp) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(48)
 	e.Bool(1, r.Applied)
-	encodeVersion(e, 2, r.Stored)
+	encodeVersion(&e, 2, r.Stored)
 	e.Uint(5, uint64(r.Evictions))
 	return e.Encoded()
 }
@@ -176,8 +180,8 @@ func (r MutateResp) Marshal() []byte {
 func UnmarshalMutateResp(b []byte) (MutateResp, error) {
 	var r MutateResp
 	var v versionAcc
-	d, err := wire.NewDecoder(b)
-	if err != nil {
+	var d wire.Decoder
+	if err := d.Init(b); err != nil {
 		return r, err
 	}
 	for d.Next() {
@@ -208,24 +212,26 @@ type EraseReq struct {
 
 // Marshal encodes the request.
 func (r EraseReq) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Key) + 48)
 	e.Bytes(1, r.Key)
-	encodeVersion(e, 2, r.Version)
+	encodeVersion(&e, 2, r.Version)
 	return e.Encoded()
 }
 
-// UnmarshalEraseReq decodes the request.
+// UnmarshalEraseReq decodes the request. Key aliases b (see
+// UnmarshalSetReq).
 func UnmarshalEraseReq(b []byte) (EraseReq, error) {
 	var r EraseReq
 	var v versionAcc
-	d, err := wire.NewDecoder(b)
-	if err != nil {
+	var d wire.Decoder
+	if err := d.Init(b); err != nil {
 		return r, err
 	}
 	for d.Next() {
 		switch d.Tag() {
 		case 1:
-			r.Key = append([]byte(nil), d.Bytes()...)
+			r.Key = d.Bytes()
 		case 2:
 			v.m = d.Uint()
 		case 3:
@@ -248,28 +254,30 @@ type CasReq struct {
 
 // Marshal encodes the request.
 func (r CasReq) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Key) + len(r.Value) + 80)
 	e.Bytes(1, r.Key)
 	e.Bytes(2, r.Value)
-	encodeVersion(e, 3, r.Expected)
-	encodeVersion(e, 6, r.Version)
+	encodeVersion(&e, 3, r.Expected)
+	encodeVersion(&e, 6, r.Version)
 	return e.Encoded()
 }
 
-// UnmarshalCasReq decodes the request.
+// UnmarshalCasReq decodes the request. Key and Value alias b (see
+// UnmarshalSetReq).
 func UnmarshalCasReq(b []byte) (CasReq, error) {
 	var r CasReq
 	var exp, nv versionAcc
-	d, err := wire.NewDecoder(b)
-	if err != nil {
+	var d wire.Decoder
+	if err := d.Init(b); err != nil {
 		return r, err
 	}
 	for d.Next() {
 		switch d.Tag() {
 		case 1:
-			r.Key = append([]byte(nil), d.Bytes()...)
+			r.Key = d.Bytes()
 		case 2:
-			r.Value = append([]byte(nil), d.Bytes()...)
+			r.Value = d.Bytes()
 		case 3:
 			exp.m = d.Uint()
 		case 4:
@@ -297,21 +305,23 @@ type GetReq struct {
 
 // Marshal encodes the request.
 func (r GetReq) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Key) + 24)
 	e.Bytes(1, r.Key)
 	return e.Encoded()
 }
 
-// UnmarshalGetReq decodes the request.
+// UnmarshalGetReq decodes the request. Key aliases b (see
+// UnmarshalSetReq).
 func UnmarshalGetReq(b []byte) (GetReq, error) {
 	var r GetReq
-	d, err := wire.NewDecoder(b)
-	if err != nil {
+	var d wire.Decoder
+	if err := d.Init(b); err != nil {
 		return r, err
 	}
 	for d.Next() {
 		if d.Tag() == 1 {
-			r.Key = append([]byte(nil), d.Bytes()...)
+			r.Key = d.Bytes()
 		}
 	}
 	return r, d.Err()
@@ -326,10 +336,11 @@ type GetResp struct {
 
 // Marshal encodes the response.
 func (r GetResp) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Value) + 48)
 	e.Bool(1, r.Found)
 	e.Bytes(2, r.Value)
-	encodeVersion(e, 3, r.Version)
+	encodeVersion(&e, 3, r.Version)
 	return e.Encoded()
 }
 
@@ -510,9 +521,10 @@ type UpdateVersionReq struct {
 
 // Marshal encodes the request.
 func (r UpdateVersionReq) Marshal() []byte {
-	e := wire.NewEncoder()
+	var e wire.Encoder
+	e.InitSized(len(r.Key) + 48)
 	e.Bytes(1, r.Key)
-	encodeVersion(e, 2, r.Version)
+	encodeVersion(&e, 2, r.Version)
 	return e.Encoded()
 }
 
@@ -695,6 +707,12 @@ type StatsResp struct {
 	DataGrows      uint64
 	RepairsIssued  uint64
 	VersionRejects uint64
+	// Stripes is the backend's lock-stripe count; StripeMaxOps is the op
+	// count of the busiest stripe and StripeTotalOps the sum across
+	// stripes, so dashboards can report max/mean stripe skew.
+	Stripes        uint64
+	StripeMaxOps   uint64
+	StripeTotalOps uint64
 }
 
 // Marshal encodes the stats snapshot.
@@ -711,6 +729,9 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(9, r.DataGrows)
 	e.Uint(10, r.RepairsIssued)
 	e.Uint(11, r.VersionRejects)
+	e.Uint(12, r.Stripes)
+	e.Uint(13, r.StripeMaxOps)
+	e.Uint(14, r.StripeTotalOps)
 	return e.Encoded()
 }
 
@@ -745,6 +766,12 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.RepairsIssued = d.Uint()
 		case 11:
 			r.VersionRejects = d.Uint()
+		case 12:
+			r.Stripes = d.Uint()
+		case 13:
+			r.StripeMaxOps = d.Uint()
+		case 14:
+			r.StripeTotalOps = d.Uint()
 		}
 	}
 	return r, d.Err()

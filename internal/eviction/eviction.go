@@ -25,6 +25,14 @@ type Policy interface {
 	Touch(key string)
 	// Remove drops a key (erased or evicted by the caller).
 	Remove(key string)
+	// AddBytes, TouchBytes and RemoveBytes are the byte-keyed forms of
+	// Add/Touch/Remove. The backend's hot mutation path holds keys as
+	// []byte; these variants let implementations use the allocation-free
+	// m[string(b)] map-access form so the already-resident case (the
+	// common one under a steady working set) costs no string conversion.
+	AddBytes(key []byte)
+	TouchBytes(key []byte)
+	RemoveBytes(key []byte)
 	// Victim nominates the next key to evict, without removing it.
 	Victim() (string, bool)
 	// Len returns the tracked key count.
@@ -89,6 +97,31 @@ func (p *LRU) Remove(key string) {
 	if el, ok := p.items[key]; ok {
 		p.ll.Remove(el)
 		delete(p.items, key)
+	}
+}
+
+// AddBytes implements Policy; resident keys re-rank without allocating.
+func (p *LRU) AddBytes(key []byte) {
+	if el, ok := p.items[string(key)]; ok {
+		p.ll.MoveToFront(el)
+		return
+	}
+	k := string(key)
+	p.items[k] = p.ll.PushFront(k)
+}
+
+// TouchBytes implements Policy.
+func (p *LRU) TouchBytes(key []byte) {
+	if el, ok := p.items[string(key)]; ok {
+		p.ll.MoveToFront(el)
+	}
+}
+
+// RemoveBytes implements Policy.
+func (p *LRU) RemoveBytes(key []byte) {
+	if el, ok := p.items[string(key)]; ok {
+		p.ll.Remove(el)
+		delete(p.items, string(key))
 	}
 }
 
@@ -204,6 +237,24 @@ func (p *ARC) Remove(key string) {
 	delete(p.where, key)
 }
 
+// AddBytes implements Policy. Every ARC add path re-links the key into a
+// list, which stores a string, so this cannot avoid the conversion.
+func (p *ARC) AddBytes(key []byte) { p.Add(string(key)) }
+
+// TouchBytes implements Policy.
+func (p *ARC) TouchBytes(key []byte) {
+	if e, ok := p.where[string(key)]; ok && (e.list == p.t1 || e.list == p.t2) {
+		p.promote(string(key), e)
+	}
+}
+
+// RemoveBytes implements Policy.
+func (p *ARC) RemoveBytes(key []byte) {
+	if _, ok := p.where[string(key)]; ok {
+		p.Remove(string(key))
+	}
+}
+
 // Victim implements Policy: evict from t1 if it exceeds the adaptive
 // target p, else from t2.
 func (p *ARC) Victim() (string, bool) {
@@ -265,6 +316,34 @@ func (p *Clock) Remove(key string) {
 		}
 		p.ll.Remove(e.el)
 		delete(p.items, key)
+	}
+}
+
+// AddBytes implements Policy; resident keys just set the reference bit.
+func (p *Clock) AddBytes(key []byte) {
+	if e, ok := p.items[string(key)]; ok {
+		e.ref = true
+		return
+	}
+	k := string(key)
+	p.items[k] = &clockEntry{el: p.ll.PushBack(k)}
+}
+
+// TouchBytes implements Policy.
+func (p *Clock) TouchBytes(key []byte) {
+	if e, ok := p.items[string(key)]; ok {
+		e.ref = true
+	}
+}
+
+// RemoveBytes implements Policy.
+func (p *Clock) RemoveBytes(key []byte) {
+	if e, ok := p.items[string(key)]; ok {
+		if p.hand == e.el {
+			p.hand = e.el.Next()
+		}
+		p.ll.Remove(e.el)
+		delete(p.items, string(key))
 	}
 }
 
@@ -341,6 +420,32 @@ func (p *SampledLFU) Remove(key string) {
 	p.keys = p.keys[:last]
 	delete(p.pos, key)
 	delete(p.counts, key)
+}
+
+// AddBytes implements Policy; known keys bump their count allocation-free.
+func (p *SampledLFU) AddBytes(key []byte) {
+	if i, ok := p.pos[string(key)]; ok {
+		p.counts[p.keys[i]]++
+		return
+	}
+	k := string(key)
+	p.pos[k] = len(p.keys)
+	p.keys = append(p.keys, k)
+	p.counts[k]++
+}
+
+// TouchBytes implements Policy.
+func (p *SampledLFU) TouchBytes(key []byte) {
+	if i, ok := p.pos[string(key)]; ok {
+		p.counts[p.keys[i]]++
+	}
+}
+
+// RemoveBytes implements Policy.
+func (p *SampledLFU) RemoveBytes(key []byte) {
+	if _, ok := p.pos[string(key)]; ok {
+		p.Remove(string(key))
+	}
 }
 
 // Victim implements Policy: scan a rotating sample window for the

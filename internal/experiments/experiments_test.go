@@ -187,6 +187,13 @@ func TestFig15Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-figure run")
 	}
+	if raceEnabled {
+		// The ramp's "max" step relies on real wall-clock op rates crossing
+		// the engine scale-out threshold; the race detector's slowdown keeps
+		// even the max step below it. Scale-out mechanics are covered by
+		// internal/pony under -race.
+		t.Skip("load ramp is calibrated to wall-clock rates")
+	}
 	r := Fig15PonyRamp()
 	first := r.Rows[0].Cols[len(r.Rows[0].Cols)-1].Value
 	last := r.Rows[len(r.Rows)-1].Cols[len(r.Rows[len(r.Rows)-1].Cols)-1].Value

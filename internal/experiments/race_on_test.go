@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Figure harnesses that calibrate load against wall-clock op
+// rates can't hit their targets under the detector's ~10x slowdown.
+const raceEnabled = true

@@ -24,7 +24,7 @@ package fabric
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -83,16 +83,18 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Host is one machine on the fabric.
+// Host is one machine on the fabric. Its downlink-queue state is all
+// atomic: Deliver sits on the critical path of every RPC and RMA in the
+// cell, so concurrent arrivals advance the drain clock with a CAS rather
+// than serializing on a lock.
 type Host struct {
 	id int
 	f  *Fabric
 
-	mu       sync.Mutex
-	extLoad  float64 // antagonist: fraction of downlink consumed, 0..1
-	extraNs  uint64  // fixed extra one-way latency (WAN distance)
-	nextFree uint64  // virtual ns at which the downlink drains
-	rngState uint64
+	extLoad  atomic.Uint64 // antagonist downlink fraction 0..1, as Float64bits
+	extraNs  atomic.Uint64 // fixed extra one-way latency (WAN distance)
+	nextFree atomic.Uint64 // virtual ns at which the downlink drains
+	rngState atomic.Uint64
 }
 
 // Fabric is the set of hosts plus the shared latency model.
@@ -110,7 +112,9 @@ func New(n int, p Params) *Fabric {
 	f := &Fabric{params: p.withDefaults(), start: time.Now()}
 	f.hosts = make([]*Host, n)
 	for i := range f.hosts {
-		f.hosts[i] = &Host{id: i, f: f, rngState: f.params.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1}
+		h := &Host{id: i, f: f}
+		h.rngState.Store(f.params.Seed*0x9e3779b97f4a7c15 + uint64(i) + 1)
+		f.hosts[i] = h
 	}
 	return f
 }
@@ -152,48 +156,44 @@ func (h *Host) SetExternalLoad(frac float64) {
 	if frac > 0.98 {
 		frac = 0.98
 	}
-	h.mu.Lock()
-	h.extLoad = frac
-	h.mu.Unlock()
+	h.extLoad.Store(math.Float64bits(frac))
 }
 
 // ExternalLoad returns the current antagonist fraction.
 func (h *Host) ExternalLoad() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.extLoad
+	return math.Float64frombits(h.extLoad.Load())
 }
 
 // SetExtraLatency adds a fixed one-way latency to every delivery at this
 // host — the WAN distance of a remote-region client (Table 1: CliqueMap
 // "provides WAN access via RPC").
 func (h *Host) SetExtraLatency(ns uint64) {
-	h.mu.Lock()
-	h.extraNs = ns
-	h.mu.Unlock()
+	h.extraNs.Store(ns)
 }
 
 // ExtraLatency returns the host's fixed extra one-way latency.
 func (h *Host) ExtraLatency() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.extraNs
+	return h.extraNs.Load()
 }
 
-// xorshift for cheap reproducible jitter.
+// xorshift for cheap reproducible jitter. The CAS keeps the sequence a
+// permutation under concurrency (no two arrivals consume the same state).
 func (h *Host) rand() float64 {
-	x := h.rngState
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	h.rngState = x
-	return float64(x>>11) / float64(1<<53)
+	for {
+		x := h.rngState.Load()
+		n := x
+		n ^= n << 13
+		n ^= n >> 7
+		n ^= n << 17
+		if h.rngState.CompareAndSwap(x, n) {
+			return float64(n>>11) / float64(1<<53)
+		}
+	}
 }
 
 // bytesPerNs returns the host's usable downlink rate given antagonist load.
-// Caller holds h.mu.
 func (h *Host) bytesPerNs() float64 {
-	gbps := h.f.params.HostGbps * (1 - h.extLoad)
+	gbps := h.f.params.HostGbps * (1 - h.ExternalLoad())
 	return gbps * 1e9 / 8 / 1e9 // Gbit/s → bytes/ns
 }
 
@@ -225,26 +225,33 @@ func (h *Host) DeliverAt(at uint64, sz int) uint64 {
 		now = at
 	}
 
-	h.mu.Lock()
-	rate := h.bytesPerNs()
+	extLoad := h.ExternalLoad()
+	rate := h.f.params.HostGbps * (1 - extLoad) * 1e9 / 8 / 1e9
 	ser := uint64(wire / rate)
-	start := h.nextFree
-	if start < now {
-		start = now
+	// Advance the drain clock with a CAS loop: backlog must accumulate
+	// monotonically across concurrent arrivals, and each arrival must
+	// observe the queue exactly once.
+	var queue uint64
+	for {
+		nf := h.nextFree.Load()
+		start := nf
+		if start < now {
+			start = now
+		}
+		if h.nextFree.CompareAndSwap(nf, start+ser) {
+			queue = start - now
+			break
+		}
 	}
-	queue := start - now
-	h.nextFree = start + ser
 	// The antagonist also adds queue residency beyond pure bandwidth
 	// subtraction: competing frames interleave with ours.
 	var antQueue uint64
-	if h.extLoad > 0 {
-		antQueue = uint64(float64(ser) * h.extLoad / (1 - h.extLoad) * h.rand() * 2)
+	if extLoad > 0 {
+		antQueue = uint64(float64(ser) * extLoad / (1 - extLoad) * h.rand() * 2)
 	}
 	jit := uint64(float64(h.f.params.BaseRTTNs/2) * h.f.params.JitterFrac * h.rand())
-	extra := h.extraNs
-	h.mu.Unlock()
 
-	return h.f.params.BaseRTTNs/2 + ser + queue + antQueue + jit + extra
+	return h.f.params.BaseRTTNs/2 + ser + queue + antQueue + jit + h.extraNs.Load()
 }
 
 // RTT models a request of reqBytes to dst followed by a response of

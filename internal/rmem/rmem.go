@@ -8,7 +8,7 @@
 //     SET can tear a GET's view of a DataEntry. In hardware this happens
 //     because DMA and CPU stores interleave at cache-line granularity; here
 //     writers apply mutations in bounded-size chunks and drop the region
-//     lock between chunks, so concurrent readers observe genuinely torn
+//     locks between chunks, so concurrent readers observe genuinely torn
 //     states without any Go-level data race. Self-validating checksums
 //     (§3) are exercised for real.
 //
@@ -17,6 +17,15 @@
 //     then fail with a window error and the client retries via RPC,
 //     learning the new geometry. Data-region growth registers a second,
 //     larger window overlapping the first, and clients converge to it.
+//
+// Regions are internally synchronized with an offset-striped lock: the
+// byte range is divided into lockBlock-sized blocks, each guarded by its
+// own mutex, and an access locks the blocks it covers in ascending order.
+// Accesses to disjoint blocks — concurrent SET handlers writing different
+// DataEntries, or RMA GETs against different buckets — do not contend.
+// A single Read still locks its whole span at once, so each Read is
+// internally consistent per call; tearing arises only between a writer's
+// chunks, exactly as before.
 package rmem
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 var (
@@ -38,14 +48,20 @@ var (
 // interleave at chunk boundaries — this is the tearing window.
 const WriteChunk = 256
 
+// lockBlock is the granularity of the region lock stripes. Large enough
+// that a typical access (a bucket, a DataEntry chunk) covers one or two
+// blocks; small enough that concurrent accesses to different entries
+// rarely share one.
+const lockBlock = 64 << 10
+
 // Region is a registered memory area. The backing array is reserved at
 // maximum capacity up front (the paper's mmap(PROT_NONE) of a very large
 // virtual range) but only `populated` bytes are usable; Grow populates
 // more on demand.
 type Region struct {
-	mu        sync.Mutex
+	locks     []sync.Mutex // one per lockBlock of reserved capacity
 	buf       []byte
-	populated int
+	populated atomic.Int64
 }
 
 // NewRegion reserves maxCap bytes and populates the first populated bytes.
@@ -53,15 +69,35 @@ func NewRegion(populated, maxCap int) *Region {
 	if populated < 0 || maxCap < populated {
 		panic(fmt.Sprintf("rmem: invalid region geometry %d/%d", populated, maxCap))
 	}
-	return &Region{buf: make([]byte, maxCap), populated: populated}
+	r := &Region{
+		locks: make([]sync.Mutex, (maxCap+lockBlock-1)/lockBlock+1),
+		buf:   make([]byte, maxCap),
+	}
+	r.populated.Store(int64(populated))
+	return r
+}
+
+// lockRange locks the stripes covering [off, off+n) in ascending order.
+func (r *Region) lockRange(off, n int) (lo, hi int) {
+	lo = off / lockBlock
+	hi = lo
+	if n > 0 {
+		hi = (off + n - 1) / lockBlock
+	}
+	for i := lo; i <= hi; i++ {
+		r.locks[i].Lock()
+	}
+	return lo, hi
+}
+
+func (r *Region) unlockRange(lo, hi int) {
+	for i := hi; i >= lo; i-- {
+		r.locks[i].Unlock()
+	}
 }
 
 // Populated returns the usable extent.
-func (r *Region) Populated() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.populated
-}
+func (r *Region) Populated() int { return int(r.populated.Load()) }
 
 // Capacity returns the reserved maximum.
 func (r *Region) Capacity() int { return len(r.buf) }
@@ -70,44 +106,61 @@ func (r *Region) Capacity() int { return len(r.buf) }
 // populated extent. Growth is what data-region reshaping performs off the
 // critical path (§4.1).
 func (r *Region) Grow(additional int) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.populated += additional
-	if r.populated > len(r.buf) {
-		r.populated = len(r.buf)
+	for {
+		cur := r.populated.Load()
+		next := cur + int64(additional)
+		if next > int64(len(r.buf)) {
+			next = int64(len(r.buf))
+		}
+		if r.populated.CompareAndSwap(cur, next) {
+			return int(next)
+		}
 	}
-	return r.populated
 }
 
 // Shrink reduces the populated extent (non-disruptive restart downsizing).
 func (r *Region) Shrink(to int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if to < 0 {
 		to = 0
 	}
-	if to < r.populated {
-		r.populated = to
+	for {
+		cur := r.populated.Load()
+		if int64(to) >= cur {
+			return
+		}
+		if r.populated.CompareAndSwap(cur, int64(to)) {
+			return
+		}
 	}
 }
 
 // Read copies length bytes at off into a fresh slice. The read is atomic
 // at chunk granularity only — matching DMA semantics — but since it holds
-// the lock for the whole copy, a single Read is internally consistent
-// *per call*. Tearing arises between a writer's chunks, i.e. a Read that
-// lands between two WriteChunked sections of one logical entry.
+// its span's locks for the whole copy, a single Read is internally
+// consistent *per call*. Tearing arises between a writer's chunks, i.e. a
+// Read that lands between two WriteChunked sections of one logical entry.
 func (r *Region) Read(off, length int) ([]byte, error) {
 	if length < 0 || off < 0 {
 		return nil, ErrOutOfBounds
 	}
 	out := make([]byte, length)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if off+length > r.populated {
+	if err := r.ReadInto(off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// View returns a zero-copy aliasing slice of [off, off+length). It takes
+// no locks: the caller must order the view against writers of the same
+// byte range externally (the backend reads its own index bucket this way
+// under the bucket's stripe lock, which also serializes that bucket's
+// writers). The slice stays valid while the region does — Grow never
+// reallocates the backing array — but is invalidated by Shrink.
+func (r *Region) View(off, length int) ([]byte, error) {
+	if length < 0 || off < 0 || int64(off+length) > r.populated.Load() {
 		return nil, ErrOutOfBounds
 	}
-	copy(out, r.buf[off:off+length])
-	return out, nil
+	return r.buf[off : off+length : off+length], nil
 }
 
 // ReadInto copies into caller storage, avoiding allocation on hot paths.
@@ -115,45 +168,42 @@ func (r *Region) ReadInto(off int, dst []byte) error {
 	if off < 0 {
 		return ErrOutOfBounds
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if off+len(dst) > r.populated {
+	if int64(off+len(dst)) > r.populated.Load() {
 		return ErrOutOfBounds
 	}
+	lo, hi := r.lockRange(off, len(dst))
 	copy(dst, r.buf[off:off+len(dst)])
+	r.unlockRange(lo, hi)
 	return nil
 }
 
-// Write stores data at off while holding the lock across the whole copy.
-// Use for small metadata (an IndexEntry) whose publication must be
+// Write stores data at off while holding its span's locks across the whole
+// copy. Use for small metadata (an IndexEntry) whose publication must be
 // single-chunk-atomic.
 func (r *Region) Write(off int, data []byte) error {
 	if off < 0 {
 		return ErrOutOfBounds
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if off+len(data) > r.populated {
+	if int64(off+len(data)) > r.populated.Load() {
 		return ErrOutOfBounds
 	}
+	lo, hi := r.lockRange(off, len(data))
 	copy(r.buf[off:], data)
+	r.unlockRange(lo, hi)
 	return nil
 }
 
 // WriteChunked stores data at off in WriteChunk-sized sections, dropping
-// the lock between sections. Concurrent readers may observe a prefix of
+// the locks between sections. Concurrent readers may observe a prefix of
 // the new bytes and a suffix of the old — a torn entry. This is how all
 // DataEntry bodies are written.
 func (r *Region) WriteChunked(off int, data []byte) error {
 	if off < 0 {
 		return ErrOutOfBounds
 	}
-	r.mu.Lock()
-	if off+len(data) > r.populated {
-		r.mu.Unlock()
+	if int64(off+len(data)) > r.populated.Load() {
 		return ErrOutOfBounds
 	}
-	r.mu.Unlock()
 	for i := 0; i < len(data); i += WriteChunk {
 		end := i + WriteChunk
 		if end > len(data) {
@@ -165,14 +215,13 @@ func (r *Region) WriteChunked(off int, data []byte) error {
 			// that makes tearing physically possible.
 			runtime.Gosched()
 		}
-		r.mu.Lock()
 		// Re-check: a concurrent Shrink could have raced us.
-		if off+end > r.populated {
-			r.mu.Unlock()
+		if int64(off+end) > r.populated.Load() {
 			return ErrOutOfBounds
 		}
+		lo, hi := r.lockRange(off+i, end-i)
 		copy(r.buf[off+i:], data[i:end])
-		r.mu.Unlock()
+		r.unlockRange(lo, hi)
 	}
 	return nil
 }
@@ -191,45 +240,38 @@ type Window struct {
 }
 
 // Registry is a backend's table of registered windows — what its NIC
-// consults to serve inbound RMA.
+// consults to serve inbound RMA. Lookups are lock-free: every one-sided
+// read resolves a window, so the table must never contend with serving.
 type Registry struct {
-	mu      sync.Mutex
-	nextID  WindowID
-	windows map[WindowID]*Window
+	nextID  atomic.Uint64
+	windows sync.Map // WindowID -> *Window
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{nextID: 1, windows: make(map[WindowID]*Window)}
+	return &Registry{}
 }
 
 // Register exposes region under a fresh window ID at the given epoch.
 func (g *Registry) Register(region *Region, epoch uint64) *Window {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	w := &Window{ID: g.nextID, Region: region, Epoch: epoch}
-	g.nextID++
-	g.windows[w.ID] = w
+	w := &Window{ID: WindowID(g.nextID.Add(1)), Region: region, Epoch: epoch}
+	g.windows.Store(w.ID, w)
 	return w
 }
 
 // Revoke invalidates a window. Subsequent RMAs with its ID fail with
 // ErrRevoked.
 func (g *Registry) Revoke(id WindowID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.windows, id)
+	g.windows.Delete(id)
 }
 
 // Lookup resolves a window ID, failing if revoked.
 func (g *Registry) Lookup(id WindowID) (*Window, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	w, ok := g.windows[id]
+	w, ok := g.windows.Load(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrRevoked, id)
 	}
-	return w, nil
+	return w.(*Window), nil
 }
 
 // Read serves a one-sided read against window id.

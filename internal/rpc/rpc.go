@@ -18,10 +18,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/stats"
 )
+
+// DefaultWorkerLimit bounds concurrent handler executions per server — the
+// modelled size of a production server's request-processing thread pool.
+const DefaultWorkerLimit = 64
 
 var (
 	// ErrUnavailable reports a stopped/crashed server.
@@ -62,6 +67,12 @@ type Network struct {
 	cost CostModel
 	acct *stats.CPUAccount
 
+	// Pre-resolved charging handles: Call bills these on every RPC, and
+	// the zero Meter discards, so no nil-account branch on the hot path.
+	clientMeter  stats.Meter
+	serverMeter  stats.Meter
+	handlerMeter stats.Meter
+
 	mu      sync.Mutex
 	servers map[string]*Server
 
@@ -74,7 +85,13 @@ func NewNetwork(f *fabric.Fabric, cost CostModel, acct *stats.CPUAccount) *Netwo
 	if cost == (CostModel{}) {
 		cost = DefaultCostModel()
 	}
-	return &Network{f: f, cost: cost, acct: acct, servers: make(map[string]*Server)}
+	n := &Network{f: f, cost: cost, acct: acct, servers: make(map[string]*Server)}
+	if acct != nil {
+		n.clientMeter = acct.Meter("rpc-client")
+		n.serverMeter = acct.Meter("rpc-server")
+		n.handlerMeter = acct.Meter("handler")
+	}
+	return n
 }
 
 // BytesSent returns cumulative RPC payload bytes (request + response) —
@@ -97,12 +114,92 @@ type Server struct {
 	stopped  bool
 	failRate float64
 	failRng  *rand.Rand
+	pool     *workerPool // bounded handler-execution pool
+}
+
+// workerPool runs handlers on a bounded set of persistent worker
+// goroutines — the request-processing thread pool of a production server.
+// Workers are spawned lazily up to limit and then parked between requests,
+// so steady-state dispatch costs two channel handoffs and no goroutine
+// creation (a fresh goroutine per call would re-grow its stack on every
+// request — measurably dominant on the mutation hot path).
+type workerPool struct {
+	tasks   chan task
+	limit   int32
+	running atomic.Int32
+}
+
+type task struct {
+	ctx       context.Context
+	h         Handler
+	principal string
+	req       []byte
+	done      chan taskResult
+}
+
+type taskResult struct {
+	resp []byte
+	err  error
+}
+
+func newWorkerPool(limit int) *workerPool {
+	if limit < 1 {
+		limit = 1
+	}
+	return &workerPool{tasks: make(chan task), limit: int32(limit)}
+}
+
+// doneChans recycles single-use result channels across submits: a worker
+// sends exactly one result and submit always receives it, so a channel is
+// provably empty when returned to the pool.
+var doneChans = sync.Pool{New: func() any { return make(chan taskResult, 1) }}
+
+// submit hands t to a worker and waits for the result. When every worker
+// is busy and the pool is at its limit, submit blocks — the worker pool is
+// the server's admission semaphore. A context that expires while queued
+// fails without running the handler; once admitted, handlers run to
+// completion (a server does not abandon work mid-mutation).
+func (p *workerPool) submit(ctx context.Context, h Handler, principal string, req []byte) ([]byte, error) {
+	done := doneChans.Get().(chan taskResult)
+	t := task{ctx: ctx, h: h, principal: principal, req: req, done: done}
+	select {
+	case p.tasks <- t: // an idle worker took it
+	default:
+		if n := p.running.Add(1); n <= p.limit {
+			go p.worker()
+		} else {
+			p.running.Add(-1)
+		}
+		select {
+		case p.tasks <- t:
+		case <-ctx.Done():
+			doneChans.Put(done)
+			return nil, ErrDeadlineExceeded
+		}
+	}
+	r := <-done
+	doneChans.Put(done)
+	return r.resp, r.err
+}
+
+// worker serves tasks for the life of the pool, keeping its grown stack
+// warm across requests.
+func (p *workerPool) worker() {
+	for t := range p.tasks {
+		resp, err := t.h(t.ctx, t.principal, t.req)
+		t.done <- taskResult{resp: resp, err: err}
+	}
 }
 
 // Serve registers a server at addr on host hostID. Re-serving an address
 // replaces the previous server (a restarted task).
 func (n *Network) Serve(addr string, hostID int) *Server {
-	s := &Server{n: n, addr: addr, hostID: hostID, handlers: make(map[string]Handler), costs: make(map[string]uint64)}
+	s := &Server{
+		n: n, addr: addr, hostID: hostID,
+		handlers: make(map[string]Handler),
+		costs:    make(map[string]uint64),
+		pool:     newWorkerPool(DefaultWorkerLimit),
+	}
 	n.mu.Lock()
 	n.servers[addr] = s
 	n.mu.Unlock()
@@ -129,6 +226,15 @@ func (s *Server) Handle(method string, h Handler) {
 func (s *Server) SetMethodCost(method string, ns uint64) {
 	s.mu.Lock()
 	s.costs[method] = ns
+	s.mu.Unlock()
+}
+
+// SetWorkerLimit resizes the server's handler-concurrency bound by
+// installing a fresh worker pool. Calls in flight under the old pool drain
+// independently; new calls use the new one.
+func (s *Server) SetWorkerLimit(limit int) {
+	s.mu.Lock()
+	s.pool = newWorkerPool(limit)
 	s.mu.Unlock()
 }
 
@@ -207,9 +313,7 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	}
 
 	// Client-side framework CPU.
-	if n.acct != nil {
-		n.acct.Charge("rpc-client", n.cost.ClientCPUNs)
-	}
+	n.clientMeter.Charge(n.cost.ClientCPUNs)
 	tr.Add(n.cost.ClientCPUNs + n.cost.LatencyNs/2)
 
 	s, ok := n.lookup(addr)
@@ -223,6 +327,7 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	extra := s.costs[method]
 	auth := s.auth
 	hostID := s.hostID
+	pool := s.pool
 	dropped := s.failRate > 0 && s.failRng != nil && s.failRng.Float64() < s.failRate
 	s.mu.Unlock()
 
@@ -248,15 +353,17 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	}
 
 	// Server-side framework + handler CPU.
-	if n.acct != nil {
-		n.acct.Charge("rpc-server", n.cost.ServerCPUNs)
-		if extra > 0 {
-			n.acct.ChargeOnly("handler", extra)
-		}
+	n.serverMeter.Charge(n.cost.ServerCPUNs)
+	if extra > 0 {
+		n.handlerMeter.ChargeOnly(extra)
 	}
 	tr.Add(n.cost.ServerCPUNs + n.cost.LatencyNs/2 + extra)
 
-	resp, err := h(ctx, c.principal, req)
+	// Dispatch the handler to the server's bounded worker pool. The caller
+	// blocks for the response (RPCs are synchronous) but handlers for
+	// different calls run on distinct worker goroutines, so mutations
+	// against different lock stripes overlap inside one backend.
+	resp, err := pool.submit(ctx, h, c.principal, req)
 	if err != nil {
 		tr.Add(n.f.Host(c.hostID).Deliver(128))
 		n.bytesSent.Add(128)

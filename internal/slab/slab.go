@@ -4,16 +4,24 @@
 // repurposed to different size classes as values come and go."
 //
 // The allocator carves a contiguous byte pool into fixed-size slabs; each
-// slab is assigned to one size class and split into equal chunks. Because
-// all allocation happens inside backend RPC handlers, the allocator is
-// plain mutex-guarded code — exactly the "familiar programming abstraction"
-// the paper credits RPC-side allocation for.
+// slab is assigned to one size class and split into equal chunks. All
+// allocation happens inside backend RPC handlers; with those handlers now
+// dispatched concurrently, the fast path is synchronized per size class so
+// SETs of different sizes never contend, and a central mutex serializes
+// only the slow path (slab assignment, repurposing, pool growth).
+//
+// Lock ordering: central mu → class mu. The fast path takes a single class
+// mutex and nothing else; the slow path takes the central mutex first and
+// then individual class mutexes one at a time. A slab's classIdx can only
+// change under both the central mutex and its current class's mutex, so
+// holding a class mutex pins every slab of that class.
 package slab
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNoCapacity reports that no chunk could be carved out; the caller (the
@@ -39,23 +47,30 @@ func DefaultSizeClasses() []int {
 }
 
 type slabState struct {
-	classIdx int   // -1 if unassigned
-	free     []int // free chunk offsets within this slab
-	used     int   // allocated chunk count
+	classIdx atomic.Int32 // -1 if unassigned; changes only under central mu + old class mu
+	used     atomic.Int32 // allocated chunk count; mutated under class mu
+	free     []int        // free chunk offsets within this slab; guarded by class mu
+}
+
+type classState struct {
+	mu    sync.Mutex
+	slabs []int // slab indices assigned to this class with free chunks (may be stale)
 }
 
 // Allocator manages a pool of poolSize bytes divided into slabSize slabs.
 type Allocator struct {
-	mu         sync.Mutex
-	slabSize   int
-	classes    []int
-	slabs      []slabState
-	poolSize   int
-	freeSlabs  []int   // indices of unassigned slabs
-	classSlabs [][]int // per-class slab indices with free chunks (may be stale)
+	slabSize int
+	classes  []int         // immutable after New
+	states   []*classState // one per class, immutable slice
 
-	allocated int // bytes in allocated chunks (by size class)
-	requested int // bytes actually requested by callers
+	mu        sync.Mutex // central: freeSlabs, slab assignment, growth
+	freeSlabs []int      // indices of unassigned slabs
+
+	slabs atomic.Pointer[[]*slabState] // grows under central mu; elements stable
+
+	poolSize  atomic.Int64 // bytes in the pool
+	allocated atomic.Int64 // bytes in allocated chunks (by size class)
+	requested atomic.Int64 // bytes actually requested by callers
 }
 
 // New returns an allocator over poolSize bytes with the given slab size and
@@ -82,16 +97,21 @@ func New(poolSize, slabSize int, classes []int) (*Allocator, error) {
 	}
 	n := poolSize / slabSize
 	a := &Allocator{
-		slabSize:   slabSize,
-		classes:    classes,
-		slabs:      make([]slabState, n),
-		poolSize:   n * slabSize,
-		classSlabs: make([][]int, len(classes)),
+		slabSize: slabSize,
+		classes:  classes,
+		states:   make([]*classState, len(classes)),
 	}
-	for i := range a.slabs {
-		a.slabs[i].classIdx = -1
+	for i := range a.states {
+		a.states[i] = &classState{}
+	}
+	slabs := make([]*slabState, n)
+	for i := range slabs {
+		slabs[i] = &slabState{}
+		slabs[i].classIdx.Store(-1)
 		a.freeSlabs = append(a.freeSlabs, i)
 	}
+	a.slabs.Store(&slabs)
+	a.poolSize.Store(int64(n * slabSize))
 	return a, nil
 }
 
@@ -115,39 +135,70 @@ func (a *Allocator) Alloc(size int) (Ref, error) {
 	if ci < 0 {
 		return Ref{}, fmt.Errorf("slab: size %d exceeds largest class %d", size, a.classes[len(a.classes)-1])
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
 
-	// Fast path: a slab of this class with free chunks.
-	list := a.classSlabs[ci]
-	for len(list) > 0 {
-		si := list[len(list)-1]
-		s := &a.slabs[si]
-		if s.classIdx == ci && len(s.free) > 0 {
-			return a.take(si, ci, size), nil
+	// Fast path: a slab of this class with free chunks, under the class
+	// mutex only.
+	cs := a.states[ci]
+	slabs := *a.slabs.Load()
+	cs.mu.Lock()
+	for len(cs.slabs) > 0 {
+		si := cs.slabs[len(cs.slabs)-1]
+		s := slabs[si]
+		if int(s.classIdx.Load()) == ci && len(s.free) > 0 {
+			r := a.take(s, ci, size)
+			cs.mu.Unlock()
+			return r, nil
 		}
 		// Stale entry (slab repurposed or exhausted): drop it.
-		list = list[:len(list)-1]
-		a.classSlabs[ci] = list
+		cs.slabs = cs.slabs[:len(cs.slabs)-1]
 	}
-	// Assign a fresh slab to this class.
-	if si, ok := a.takeFreeSlab(); ok {
-		a.assign(si, ci)
-		return a.take(si, ci, size), nil
+	cs.mu.Unlock()
+
+	// Slow path: assign a fresh slab to this class under the central mutex.
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	si, ok := a.takeFreeSlabLocked()
+	if !ok {
+		return Ref{}, ErrNoCapacity
 	}
-	return Ref{}, ErrNoCapacity
+	slabs = *a.slabs.Load()
+	s := slabs[si]
+	// The slab is off every list, so no one else can touch it until it is
+	// published into the class list below.
+	chunk := a.classes[ci]
+	n := a.slabSize / chunk
+	s.free = make([]int, 0, n)
+	base := si * a.slabSize
+	for k := n - 1; k >= 0; k-- {
+		s.free = append(s.free, base+k*chunk)
+	}
+	s.used.Store(0)
+	s.classIdx.Store(int32(ci))
+	cs.mu.Lock()
+	cs.slabs = append(cs.slabs, si)
+	r := a.take(s, ci, size)
+	cs.mu.Unlock()
+	return r, nil
 }
 
-func (a *Allocator) takeFreeSlab() (int, bool) {
+// takeFreeSlabLocked pops an unassigned slab; central mu held.
+func (a *Allocator) takeFreeSlabLocked() (int, bool) {
 	// Reclaim any fully-empty assigned slabs first (repurposing, §4.1).
 	if len(a.freeSlabs) == 0 {
-		for si := range a.slabs {
-			s := &a.slabs[si]
-			if s.classIdx >= 0 && s.used == 0 {
-				s.classIdx = -1
+		slabs := *a.slabs.Load()
+		for si, s := range slabs {
+			ci := int(s.classIdx.Load())
+			if ci < 0 {
+				continue
+			}
+			cs := a.states[ci]
+			cs.mu.Lock()
+			if int(s.classIdx.Load()) == ci && s.used.Load() == 0 {
+				s.classIdx.Store(-1)
 				s.free = nil
 				a.freeSlabs = append(a.freeSlabs, si)
 			}
+			cs.mu.Unlock()
 		}
 	}
 	if len(a.freeSlabs) == 0 {
@@ -158,54 +209,52 @@ func (a *Allocator) takeFreeSlab() (int, bool) {
 	return si, true
 }
 
-func (a *Allocator) assign(si, ci int) {
-	s := &a.slabs[si]
-	chunk := a.classes[ci]
-	s.classIdx = ci
-	s.used = 0
-	n := a.slabSize / chunk
-	s.free = make([]int, 0, n)
-	base := si * a.slabSize
-	for k := n - 1; k >= 0; k-- {
-		s.free = append(s.free, base+k*chunk)
-	}
-	a.classSlabs[ci] = append(a.classSlabs[ci], si)
-}
-
-func (a *Allocator) take(si, ci, reqSize int) Ref {
-	s := &a.slabs[si]
+// take pops a chunk from s; the class mutex for ci is held.
+func (a *Allocator) take(s *slabState, ci, reqSize int) Ref {
 	off := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
-	s.used++
-	a.allocated += a.classes[ci]
-	a.requested += reqSize
+	s.used.Add(1)
+	a.allocated.Add(int64(a.classes[ci]))
+	a.requested.Add(int64(reqSize))
 	return Ref{Offset: off, Size: a.classes[ci]}
 }
 
 // Free returns a chunk to its slab. The ref must have come from Alloc and
 // reqSize must be the size originally requested.
 func (a *Allocator) Free(r Ref, reqSize int) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	slabs := *a.slabs.Load()
 	si := r.Offset / a.slabSize
-	if si < 0 || si >= len(a.slabs) {
+	if si < 0 || si >= len(slabs) {
 		return fmt.Errorf("slab: ref offset %d out of pool", r.Offset)
 	}
-	s := &a.slabs[si]
-	if s.classIdx < 0 || a.classes[s.classIdx] != r.Size {
-		return fmt.Errorf("slab: ref size %d does not match slab class", r.Size)
+	s := slabs[si]
+	for {
+		ci := int(s.classIdx.Load())
+		if ci < 0 || a.classes[ci] != r.Size {
+			return fmt.Errorf("slab: ref size %d does not match slab class", r.Size)
+		}
+		cs := a.states[ci]
+		cs.mu.Lock()
+		if int(s.classIdx.Load()) != ci {
+			// Repurposed between the load and the lock (only possible on a
+			// bad ref — a live chunk pins its slab's class); retry.
+			cs.mu.Unlock()
+			continue
+		}
+		if (r.Offset-si*a.slabSize)%r.Size != 0 {
+			cs.mu.Unlock()
+			return fmt.Errorf("slab: ref offset %d misaligned for class %d", r.Offset, r.Size)
+		}
+		s.free = append(s.free, r.Offset)
+		s.used.Add(-1)
+		a.allocated.Add(-int64(r.Size))
+		a.requested.Add(-int64(reqSize))
+		if s.used.Load() > 0 {
+			cs.slabs = append(cs.slabs, si)
+		}
+		cs.mu.Unlock()
+		return nil
 	}
-	if (r.Offset-si*a.slabSize)%r.Size != 0 {
-		return fmt.Errorf("slab: ref offset %d misaligned for class %d", r.Offset, r.Size)
-	}
-	s.free = append(s.free, r.Offset)
-	s.used--
-	a.allocated -= r.Size
-	a.requested -= reqSize
-	if s.used > 0 {
-		a.classSlabs[s.classIdx] = append(a.classSlabs[s.classIdx], si)
-	}
-	return nil
 }
 
 // Stats describes allocator occupancy.
@@ -221,28 +270,34 @@ type Stats struct {
 // Stats returns a snapshot.
 func (a *Allocator) Stats() Stats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	free := len(a.freeSlabs)
-	for si := range a.slabs {
-		s := &a.slabs[si]
-		if s.classIdx >= 0 && s.used == 0 {
+	a.mu.Unlock()
+	slabs := *a.slabs.Load()
+	for _, s := range slabs {
+		if s.classIdx.Load() >= 0 && s.used.Load() == 0 {
 			free++
 		}
 	}
+	pool := int(a.poolSize.Load())
+	alloc := int(a.allocated.Load())
 	st := Stats{
-		PoolBytes:      a.poolSize,
-		AllocatedBytes: a.allocated,
-		RequestedBytes: a.requested,
+		PoolBytes:      pool,
+		AllocatedBytes: alloc,
+		RequestedBytes: int(a.requested.Load()),
 		FreeSlabs:      free,
 	}
-	if a.poolSize > 0 {
-		st.Utilization = float64(a.allocated) / float64(a.poolSize)
+	if pool > 0 {
+		st.Utilization = float64(alloc) / float64(pool)
 	}
-	if a.allocated > 0 {
-		st.InternalFrag = 1 - float64(a.requested)/float64(a.allocated)
+	if alloc > 0 {
+		st.InternalFrag = 1 - float64(st.RequestedBytes)/float64(alloc)
 	}
 	return st
 }
+
+// AllocatedBytes returns bytes held in allocated chunks, lock-free. Hot
+// paths (the backend's per-alloc growth check) use this instead of Stats.
+func (a *Allocator) AllocatedBytes() int { return int(a.allocated.Load()) }
 
 // Grow extends the pool by additional bytes (rounded down to whole slabs),
 // modelling data-region reshaping (§4.1): the address range was reserved up
@@ -251,17 +306,22 @@ func (a *Allocator) Grow(additional int) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	n := additional / a.slabSize
-	for i := 0; i < n; i++ {
-		a.slabs = append(a.slabs, slabState{classIdx: -1})
-		a.freeSlabs = append(a.freeSlabs, len(a.slabs)-1)
+	if n <= 0 {
+		return 0
 	}
-	a.poolSize += n * a.slabSize
+	old := *a.slabs.Load()
+	slabs := make([]*slabState, len(old)+n)
+	copy(slabs, old)
+	for i := 0; i < n; i++ {
+		s := &slabState{}
+		s.classIdx.Store(-1)
+		slabs[len(old)+i] = s
+		a.freeSlabs = append(a.freeSlabs, len(old)+i)
+	}
+	a.slabs.Store(&slabs)
+	a.poolSize.Add(int64(n * a.slabSize))
 	return n * a.slabSize
 }
 
 // PoolBytes returns the current pool capacity.
-func (a *Allocator) PoolBytes() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.poolSize
-}
+func (a *Allocator) PoolBytes() int { return int(a.poolSize.Load()) }

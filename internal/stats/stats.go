@@ -163,71 +163,112 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // CPUAccount accumulates simulated CPU time per named component, matching
 // the paper's CPU-cost reporting (e.g. Figure 7's per-component CPU-ns/op
-// and Figure 19's backend CPU*s/s).
+// and Figure 19's backend CPU*s/s). Charging is lock-free: every RPC
+// handler bills CPU here, so a mutex would re-serialize the concurrent
+// dispatch path.
 type CPUAccount struct {
-	mu    sync.Mutex
-	nanos map[string]uint64
-	ops   map[string]uint64
+	accounts sync.Map // component name -> *cpuBucket
+}
+
+type cpuBucket struct {
+	nanos atomic.Uint64
+	ops   atomic.Uint64
 }
 
 // NewCPUAccount returns an empty account.
 func NewCPUAccount() *CPUAccount {
-	return &CPUAccount{nanos: make(map[string]uint64), ops: make(map[string]uint64)}
+	return &CPUAccount{}
+}
+
+func (a *CPUAccount) bucket(component string) *cpuBucket {
+	if b, ok := a.accounts.Load(component); ok {
+		return b.(*cpuBucket)
+	}
+	b, _ := a.accounts.LoadOrStore(component, &cpuBucket{})
+	return b.(*cpuBucket)
 }
 
 // Charge bills ns nanoseconds of CPU to component for one op.
 func (a *CPUAccount) Charge(component string, ns uint64) {
-	a.mu.Lock()
-	a.nanos[component] += ns
-	a.ops[component]++
-	a.mu.Unlock()
+	b := a.bucket(component)
+	b.nanos.Add(ns)
+	b.ops.Add(1)
 }
 
 // ChargeOnly bills CPU without counting an op (for per-byte costs folded
 // into an op already counted).
 func (a *CPUAccount) ChargeOnly(component string, ns uint64) {
-	a.mu.Lock()
-	a.nanos[component] += ns
-	a.mu.Unlock()
+	a.bucket(component).nanos.Add(ns)
+}
+
+// Meter is a pre-resolved charging handle for one component. The RPC
+// framework bills two components on every call; holding a Meter skips the
+// per-call name lookup. The zero Meter discards charges, so callers with an
+// optional account can charge unconditionally.
+type Meter struct {
+	b *cpuBucket
+}
+
+// Meter returns a charging handle for component.
+func (a *CPUAccount) Meter(component string) Meter {
+	return Meter{b: a.bucket(component)}
+}
+
+// Charge bills ns nanoseconds of CPU for one op.
+func (m Meter) Charge(ns uint64) {
+	if m.b != nil {
+		m.b.nanos.Add(ns)
+		m.b.ops.Add(1)
+	}
+}
+
+// ChargeOnly bills CPU without counting an op.
+func (m Meter) ChargeOnly(ns uint64) {
+	if m.b != nil {
+		m.b.nanos.Add(ns)
+	}
 }
 
 // TotalNanos returns total CPU-ns billed to component.
 func (a *CPUAccount) TotalNanos(component string) uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.nanos[component]
+	if b, ok := a.accounts.Load(component); ok {
+		return b.(*cpuBucket).nanos.Load()
+	}
+	return 0
 }
 
 // PerOpNanos returns mean CPU-ns per op for component.
 func (a *CPUAccount) PerOpNanos(component string) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.ops[component] == 0 {
+	b, ok := a.accounts.Load(component)
+	if !ok {
 		return 0
 	}
-	return float64(a.nanos[component]) / float64(a.ops[component])
+	cb := b.(*cpuBucket)
+	ops := cb.ops.Load()
+	if ops == 0 {
+		return 0
+	}
+	return float64(cb.nanos.Load()) / float64(ops)
 }
 
 // Components lists billed components in sorted order.
 func (a *CPUAccount) Components() []string {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]string, 0, len(a.nanos))
-	for k := range a.nanos {
-		out = append(out, k)
-	}
+	var out []string
+	a.accounts.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
 
 // GrandTotalNanos sums CPU across all components.
 func (a *CPUAccount) GrandTotalNanos() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var t uint64
-	for _, v := range a.nanos {
-		t += v
-	}
+	a.accounts.Range(func(_, v any) bool {
+		t += v.(*cpuBucket).nanos.Load()
+		return true
+	})
 	return t
 }
 

@@ -85,6 +85,27 @@ func NewEncoder() *Encoder {
 	return e
 }
 
+// NewEncoderSized is NewEncoder with a capacity hint, so hot-path
+// marshalers holding payloads larger than the default 128 bytes encode
+// without re-growing the buffer.
+func NewEncoderSized(capacity int) *Encoder {
+	e := &Encoder{}
+	e.InitSized(capacity)
+	return e
+}
+
+// InitSized readies a (typically stack-allocated) encoder with a sized
+// buffer and the version header. Hot-path marshalers use a value Encoder
+// with InitSized so only the returned buffer escapes to the heap.
+func (e *Encoder) InitSized(capacity int) {
+	if capacity < 16 {
+		capacity = 16
+	}
+	e.buf = make([]byte, 0, capacity)
+	e.buf = AppendUvarint(e.buf, FormatMajor)
+	e.buf = AppendUvarint(e.buf, FormatMinor)
+}
+
 // NewRawEncoder returns an encoder with no version header, for nested
 // messages.
 func NewRawEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 64)} }
@@ -176,22 +197,33 @@ type Decoder struct {
 // NewDecoder parses the version header and positions the decoder at the
 // first field. It fails with ErrVersion if the major version differs.
 func NewDecoder(b []byte) (*Decoder, error) {
-	d := &Decoder{buf: b}
+	d := &Decoder{}
+	if err := d.Init(b); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Init readies a (typically stack-allocated) decoder over b, parsing the
+// version header. Hot paths use a value Decoder with Init to keep message
+// decoding allocation-free.
+func (d *Decoder) Init(b []byte) error {
+	*d = Decoder{buf: b}
 	maj, n, err := Uvarint(b)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	d.pos += n
 	min, n, err := Uvarint(b[d.pos:])
 	if err != nil {
-		return nil, err
+		return err
 	}
 	d.pos += n
 	d.major, d.minor = maj, min
 	if maj != FormatMajor {
-		return nil, fmt.Errorf("%w: got %d.%d, want major %d", ErrVersion, maj, min, FormatMajor)
+		return fmt.Errorf("%w: got %d.%d, want major %d", ErrVersion, maj, min, FormatMajor)
 	}
-	return d, nil
+	return nil
 }
 
 // NewRawDecoder decodes a nested message (no version header).

@@ -1,0 +1,265 @@
+package cliquemap
+
+// Concurrency stress test for the striped backend: many writers issue
+// SET/ERASE/CAS over a small overlapping key space against one R=3.2
+// cohort while readers run, all under the race detector. It asserts the
+// two invariants the stripe refactor must preserve:
+//
+//   - monotone versions: a replica never serves a key at a version lower
+//     than one it served before (version bounds only grow, §5.2);
+//   - no lost updates: after the storm settles, every key's surviving
+//     version is at least the newest mutation that reached a write quorum,
+//     and whatever version survives is one that was actually issued, with
+//     its exact payload.
+//
+// Run with `go test -race -run ConcurrentMutationStress`.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/truetime"
+)
+
+const (
+	stressWriters      = 4
+	stressQuorumReader = 2
+	stressKeys         = 12
+	stressOpsPerWriter = 250
+	stressQuorum       = 2 // R=3.2: replication 3, quorum 2
+)
+
+type stressMut struct {
+	kind    byte // 's', 'c', 'e'
+	v       truetime.Version
+	payload string
+	applied int // replicas that reported Applied
+}
+
+func stressKey(i int) []byte { return []byte(fmt.Sprintf("stress-%d", i)) }
+
+func TestConcurrentMutationStress(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+	cfg := cc.Store.Get()
+	addrs := make([]string, 3)
+	for i := range addrs {
+		addrs[i] = cfg.AddrFor(i)
+	}
+	clientHost := cc.Fabric.NumHosts() - 1
+
+	var recMu sync.Mutex
+	recs := make(map[string][]stressMut)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Per-replica readers: found versions for a key must never regress.
+	readerErrs := make(chan error, stressQuorumReader+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rpcc := cc.Net.Client(clientHost, "stress-reader")
+		last := make(map[string]truetime.Version, 3*stressKeys)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := stressKey(i % stressKeys)
+			for r, addr := range addrs {
+				resp, _, err := rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+				if err != nil {
+					continue
+				}
+				gr, gerr := proto.UnmarshalGetResp(resp)
+				if gerr != nil || !gr.Found {
+					continue
+				}
+				id := fmt.Sprintf("%d/%s", r, key)
+				if gr.Version.Less(last[id]) {
+					readerErrs <- fmt.Errorf("replica %d key %s: version regressed %v -> %v", r, key, last[id], gr.Version)
+					return
+				}
+				last[id] = gr.Version
+			}
+		}
+	}()
+
+	// Quorum-GET readers exercise the client's RMA read path (including
+	// torn-read detection and retry) against live mutation.
+	for qr := 0; qr < stressQuorumReader; qr++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				val, found, err := cl.Get(ctx, stressKey((i+id)%stressKeys))
+				if err != nil {
+					readerErrs <- fmt.Errorf("quorum get: %v", err)
+					return
+				}
+				if found && (len(val) == 0 || val[0] != 'w') {
+					readerErrs <- fmt.Errorf("quorum get returned foreign value %q", val)
+					return
+				}
+			}
+		}(qr)
+	}
+
+	// Writers: versioned mutations to the full cohort, overlapping keys.
+	var writerWg sync.WaitGroup
+	for w := 0; w < stressWriters; w++ {
+		writerWg.Add(1)
+		go func(id int) {
+			defer writerWg.Done()
+			gen := truetime.NewGenerator(cc.Clock, uint64(7000+id))
+			rpcc := cc.Net.Client(clientHost, fmt.Sprintf("stress-writer-%d", id))
+			rng := rand.New(rand.NewSource(int64(id)))
+			lastApplied := make(map[string]truetime.Version, stressKeys)
+
+			send := func(method string, req []byte) (acked, applied int) {
+				for _, addr := range addrs {
+					resp, _, err := rpcc.Call(ctx, addr, method, req)
+					if err != nil {
+						continue
+					}
+					mr, merr := proto.UnmarshalMutateResp(resp)
+					if merr != nil {
+						continue
+					}
+					acked++
+					if mr.Applied {
+						applied++
+					}
+				}
+				return acked, applied
+			}
+
+			for i := 0; i < stressOpsPerWriter; i++ {
+				key := stressKey(rng.Intn(stressKeys))
+				v := gen.Next()
+				m := stressMut{v: v}
+				var acked int
+				switch op := rng.Intn(10); {
+				case op < 6:
+					m.kind = 's'
+					m.payload = fmt.Sprintf("w%d-%d", id, i)
+					req := proto.SetReq{Key: key, Value: []byte(m.payload), Version: v}.Marshal()
+					acked, m.applied = send(proto.MethodSet, req)
+				case op < 8 && !lastApplied[string(key)].Zero():
+					m.kind = 'c'
+					m.payload = fmt.Sprintf("w%d-%d", id, i)
+					req := proto.CasReq{Key: key, Value: []byte(m.payload), Expected: lastApplied[string(key)], Version: v}.Marshal()
+					acked, m.applied = send(proto.MethodCas, req)
+				default:
+					m.kind = 'e'
+					req := proto.EraseReq{Key: key, Version: v}.Marshal()
+					acked, m.applied = send(proto.MethodErase, req)
+				}
+				if acked != len(addrs) {
+					readerErrs <- fmt.Errorf("writer %d: only %d/%d replicas acked", id, acked, len(addrs))
+					return
+				}
+				if m.applied >= stressQuorum && m.kind != 'e' {
+					lastApplied[string(key)] = v
+				}
+				recMu.Lock()
+				recs[string(key)] = append(recs[string(key)], m)
+				recMu.Unlock()
+			}
+		}(w)
+	}
+
+	writerWg.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-readerErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Converge: quorum repair propagates any minority-applied winners.
+	if _, err := c.RepairAll(ctx); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+
+	// No lost updates: per key, reconcile the final state against the
+	// mutation record.
+	rpcc := cc.Net.Client(clientHost, "stress-verify")
+	for k := 0; k < stressKeys; k++ {
+		key := stressKey(k)
+		muts := recs[string(key)]
+		byVersion := make(map[truetime.Version]stressMut, len(muts))
+		var vSet, vErase truetime.Version // newest quorum-applied mutation per kind
+		for _, m := range muts {
+			byVersion[m.v] = m
+			if m.applied < stressQuorum {
+				continue
+			}
+			if m.kind == 'e' {
+				if vErase.Less(m.v) {
+					vErase = m.v
+				}
+			} else if vSet.Less(m.v) {
+				vSet = m.v
+			}
+		}
+
+		// best = newest found version across replicas.
+		var best truetime.Version
+		var bestVal []byte
+		found := false
+		for _, addr := range addrs {
+			resp, _, err := rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+			if err != nil {
+				t.Fatalf("verify get: %v", err)
+			}
+			gr, gerr := proto.UnmarshalGetResp(resp)
+			if gerr != nil {
+				t.Fatalf("verify decode: %v", gerr)
+			}
+			if gr.Found && (best.Less(gr.Version) || !found) {
+				best, bestVal, found = gr.Version, append([]byte(nil), gr.Value...), true
+			}
+		}
+
+		if found {
+			m, issued := byVersion[best]
+			if !issued {
+				t.Fatalf("key %s: surviving version %v was never issued", key, best)
+			}
+			if m.kind == 'e' {
+				t.Fatalf("key %s: surviving version %v belongs to an erase", key, best)
+			}
+			if string(bestVal) != m.payload {
+				t.Fatalf("key %s: payload %q does not match mutation %v (%q)", key, bestVal, best, m.payload)
+			}
+		}
+		if vErase.Less(vSet) {
+			// Newest quorum-applied mutation stored a value: it (or
+			// something newer) must have survived.
+			if !found || best.Less(vSet) {
+				t.Fatalf("key %s: lost update — quorum-applied set %v, surviving %v (found=%v)", key, vSet, best, found)
+			}
+		} else if !vErase.Zero() && vSet.Less(vErase) {
+			// Newest quorum-applied mutation erased: only something even
+			// newer (a minority-applied CAS promoted by repair) may survive.
+			if found && best.Less(vErase) {
+				t.Fatalf("key %s: erased at %v but older version %v survived", key, vErase, best)
+			}
+		}
+	}
+}
