@@ -36,6 +36,7 @@ import (
 	"cliquemap/internal/core/layout"
 	"cliquemap/internal/hashring"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
 
@@ -302,6 +303,17 @@ func (c *Cell) Stats() Stats {
 		RepairsIssued: agg.RepairsIssued,
 		MemoryBytes:   c.c.TotalMemoryBytes(),
 	}
+}
+
+// Tracer exposes the cell-wide op tracer: per-kind/per-transport latency
+// histograms, recent-op ring, exemplars, and the retained slow-op log.
+// Remote tools read the same data over the Debug RPC (cmstat -trace).
+func (c *Cell) Tracer() *trace.Tracer { return c.c.Tracer }
+
+// SetEngineDelay injects extra per-command service time into the NIC
+// serving a shard — fault injection for the slow-op tracing plane.
+func (c *Cell) SetEngineDelay(shard int, delay time.Duration) {
+	c.c.SetEngineDelay(shard, uint64(delay.Nanoseconds()))
 }
 
 // Internal exposes the underlying cell for the benchmark harness. It is

@@ -2,18 +2,34 @@
 // client- and backend-side statistics — a quick operational smoke test of
 // the whole stack.
 //
+// Telemetry flags:
+//
+//	-listen addr   serve the cell's RPC surface on a TCP socket, so
+//	               cmstat (and any rpc.DialTCP caller) can inspect it
+//	-http addr     serve HTTP observability: GET /metrics returns
+//	               Prometheus text exposition of the cell's op-tracing
+//	               plane (latency quantiles per kind/transport, slow-op
+//	               counters, CPU accounts) and /debug/pprof/* exposes the
+//	               standard Go profiling endpoints
+//
+// When either is set, cmcell keeps serving after the workload finishes
+// until interrupted.
+//
 // Usage:
 //
 //	cmcell -shards 5 -spares 1 -mode r32 -strategy scar \
 //	       -keys 2000 -ops 20000 -getfrac 0.95 -valsize 1024 \
-//	       -maintain -crash
+//	       -maintain -crash -listen 127.0.0.1:7070 -http 127.0.0.1:7071
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"time"
 
 	"cliquemap"
@@ -35,6 +51,7 @@ func main() {
 	maintain := flag.Bool("maintain", false, "inject a planned maintenance mid-run")
 	crash := flag.Bool("crash", false, "inject a crash + restart mid-run")
 	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 	flag.Parse()
 
 	opt := cliquemap.Options{Shards: *shards, Spares: *spares, Eviction: *evict}
@@ -88,6 +105,25 @@ func main() {
 		}
 		defer gw.Close()
 		fmt.Printf("RPC surface on tcp://%s (rpc.DialTCP + proto schemas)\n", *listen)
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			cell.Tracer().WriteProm(w, cell.Internal().Acct)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if herr := http.ListenAndServe(*httpAddr, mux); herr != nil {
+				fmt.Fprintf(os.Stderr, "cmcell: http: %v\n", herr)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics, profiles on /debug/pprof\n", *httpAddr)
 	}
 
 	// Preload.
@@ -146,6 +182,16 @@ func main() {
 		cs.Gets, cs.Hits, cs.Misses, cs.Sets, cs.Retries, cs.RPCFallbacks)
 	fmt.Printf("modelled GET latency: p50=%v p99=%v\n", cs.GetP50, cs.GetP99)
 	fmt.Printf("cell: %v\n", cell.Stats())
+	tr := cell.Tracer()
+	fmt.Printf("tracing: ops=%d slow=%d threshold=%v\n",
+		tr.Ops(), tr.SlowOpsSeen(), time.Duration(tr.SlowThreshold()))
+
+	if *listen != "" || *httpAddr != "" {
+		fmt.Println("serving until interrupt (ctrl-c)...")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,12 +1,24 @@
 // Command cmstat inspects a running CliqueMap cell from outside its
 // process: it dials the cell's TCP gateway (cmcell -listen, or
 // Cell.ServeTCP), discovers the shard map with the Config method, and
-// prints each backend's Stats snapshot — the operational dashboard view.
+// prints each backend's Stats snapshot plus the cell's op-tracing plane
+// (Debug method) — the operational dashboard view.
+//
+// Flags:
+//
+//	-gateway addr   cell TCP gateway address (default 127.0.0.1:7070)
+//	-as name        principal to authenticate as
+//	-watch d        refresh every d; successive snapshots print
+//	                per-interval rates (ops/s, CPU-ns/op) rather than
+//	                cumulative counters
+//	-trace          also print the retained slow-op log with per-layer
+//	                span breakdowns, and the per-kind exemplar traces
+//	-slow n         cap the slow ops requested per snapshot (default 8)
 //
 // Usage:
 //
 //	cmcell -ops 100000 -listen 127.0.0.1:7070 &   # a cell with a gateway
-//	cmstat -gateway 127.0.0.1:7070
+//	cmstat -gateway 127.0.0.1:7070 -watch 2s -trace
 package main
 
 import (
@@ -19,12 +31,15 @@ import (
 
 	"cliquemap/internal/core/proto"
 	"cliquemap/internal/rpc"
+	"cliquemap/internal/trace"
 )
 
 func main() {
 	gateway := flag.String("gateway", "127.0.0.1:7070", "cell TCP gateway address")
 	principal := flag.String("as", "cmstat", "principal to authenticate as")
 	watch := flag.Duration("watch", 0, "refresh interval (0 = print once)")
+	showTrace := flag.Bool("trace", false, "print slow-op traces and exemplars")
+	maxSlow := flag.Int("slow", 8, "slow ops to request per snapshot")
 	flag.Parse()
 
 	client, err := rpc.DialTCP(*gateway, *principal)
@@ -34,34 +49,53 @@ func main() {
 	defer client.Close()
 	ctx := context.Background()
 
+	var prev *snapshot
 	for {
-		if err := printOnce(ctx, client); err != nil {
+		cur, err := printOnce(ctx, client, prev, *showTrace, *maxSlow)
+		if err != nil {
 			fatal("%v", err)
 		}
 		if *watch <= 0 {
 			return
 		}
+		prev = cur
 		time.Sleep(*watch)
 		fmt.Println()
 	}
 }
 
-func printOnce(ctx context.Context, client *rpc.TCPClient) error {
+// snapshot retains one round of remote state so the next -watch round can
+// print per-interval rates instead of cumulative counters.
+type snapshot struct {
+	at    time.Time
+	stats map[string]proto.StatsResp
+	debug proto.DebugResp
+	dbgOK bool
+}
+
+func printOnce(ctx context.Context, client *rpc.TCPClient, prev *snapshot, showTrace bool, maxSlow int) (*snapshot, error) {
 	// Discover the shard map. Any backend answers; shard addresses are
 	// conventional, so probe the first.
 	raw, _, err := client.Call(ctx, "backend-0", proto.MethodConfig, nil)
 	if err != nil {
-		return fmt.Errorf("config discovery: %w", err)
+		return nil, fmt.Errorf("config discovery: %w", err)
 	}
 	cfg, err := proto.UnmarshalConfigResp(raw)
 	if err != nil {
-		return fmt.Errorf("config decode: %w", err)
+		return nil, fmt.Errorf("config decode: %w", err)
 	}
 	fmt.Printf("cell config id=%d replicas=%d quorum=%d shards=%d\n",
 		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
 
+	cur := &snapshot{at: time.Now(), stats: make(map[string]proto.StatsResp)}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSTRIPES\tSKEW\tSEALED")
+	delta := prev != nil
+	if delta {
+		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tGETS/s\tSETS/s\tEVICT\tREPAIRS\tREJECTS\tSKEW\tSEALED")
+	} else {
+		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSTRIPES\tSKEW\tSEALED")
+	}
 	for shard, addr := range cfg.ShardAddrs {
 		raw, _, err := client.Call(ctx, addr, proto.MethodStats, nil)
 		if err != nil {
@@ -73,13 +107,147 @@ func printOnce(ctx context.Context, client *rpc.TCPClient) error {
 			fmt.Fprintf(w, "%d\t%s\t(bad stats: %v)\n", shard, addr, err)
 			continue
 		}
-		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
-			shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
-			st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
-			st.RepairsIssued, st.VersionRejects, st.Stripes,
-			fmtSkew(st), st.Sealed)
+		cur.stats[addr] = st
+		if delta {
+			elapsed := cur.at.Sub(prev.at).Seconds()
+			p := prev.stats[addr]
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%v\n",
+				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
+				fmtRate(st.Gets-p.Gets, elapsed), fmtRate(st.Sets-p.Sets, elapsed),
+				st.Evictions-p.Evictions, st.RepairsIssued-p.RepairsIssued,
+				st.VersionRejects-p.VersionRejects, fmtSkew(st), st.Sealed)
+		} else {
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
+				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
+				st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
+				st.RepairsIssued, st.VersionRejects, st.Stripes,
+				fmtSkew(st), st.Sealed)
+		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+
+	// The tracing plane is cell-wide: any reachable backend serves the
+	// shared tracer over Debug. Older cells answer ErrNoSuchMethod; skip.
+	for _, addr := range cfg.ShardAddrs {
+		raw, _, err := client.Call(ctx, addr, proto.MethodDebug, proto.DebugReq{MaxSlow: maxSlow}.Marshal())
+		if err != nil {
+			continue
+		}
+		dbg, derr := proto.UnmarshalDebugResp(raw)
+		if derr != nil {
+			return nil, fmt.Errorf("debug decode: %w", derr)
+		}
+		cur.debug, cur.dbgOK = dbg, true
+		break
+	}
+	if !cur.dbgOK {
+		return cur, nil
+	}
+	printDebug(cur, prev, showTrace)
+	return cur, nil
+}
+
+func printDebug(cur, prev *snapshot, showTrace bool) {
+	dbg := cur.debug
+	fmt.Printf("\ntracing: ops=%d slow=%d slow_threshold=%v\n",
+		dbg.OpsTotal, dbg.SlowTotal, time.Duration(dbg.SlowThresholdNs))
+	if prev != nil && prev.dbgOK {
+		elapsed := cur.at.Sub(prev.at).Seconds()
+		fmt.Printf("interval: %s ops/s, %d slow promoted\n",
+			fmtRate(dbg.OpsTotal-prev.debug.OpsTotal, elapsed),
+			dbg.SlowTotal-prev.debug.SlowTotal)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "KIND\tVIA\tCOUNT\tMEAN\tP50\tP90\tP99\tP99.9\tMAX")
+	for _, h := range dbg.Hists {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+			h.Kind, h.Transport, h.Count,
+			time.Duration(h.MeanNs), time.Duration(h.P50Ns), time.Duration(h.P90Ns),
+			time.Duration(h.P99Ns), time.Duration(h.P999Ns), time.Duration(h.MaxNs))
+	}
+	w.Flush()
+
+	if len(dbg.CPU) > 0 {
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		if prev != nil && prev.dbgOK {
+			// Per-interval attribution: CPU-ns spent per op completed in
+			// the window, per component.
+			elapsed := cur.at.Sub(prev.at).Seconds()
+			fmt.Fprintln(w, "\nCPU COMPONENT\tOPS/s\tCPU-ns/op")
+			prevCPU := make(map[string]proto.DebugCPU, len(prev.debug.CPU))
+			for _, c := range prev.debug.CPU {
+				prevCPU[c.Component] = c
+			}
+			for _, c := range dbg.CPU {
+				p := prevCPU[c.Component]
+				dOps := c.Ops - p.Ops
+				if dOps == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s\t%s\t%d\n", c.Component,
+					fmtRate(dOps, elapsed), (c.TotalNs-p.TotalNs)/dOps)
+			}
+		} else {
+			fmt.Fprintln(w, "\nCPU COMPONENT\tOPS\tTOTAL CPU\tCPU-ns/op")
+			for _, c := range dbg.CPU {
+				perOp := uint64(0)
+				if c.Ops > 0 {
+					perOp = c.TotalNs / c.Ops
+				}
+				fmt.Fprintf(w, "%s\t%d\t%v\t%d\n", c.Component, c.Ops,
+					time.Duration(c.TotalNs), perOp)
+			}
+		}
+		w.Flush()
+	}
+
+	if !showTrace {
+		return
+	}
+	if len(dbg.SlowOps) > 0 {
+		fmt.Printf("\nslow ops (newest first):\n")
+		for _, op := range dbg.SlowOps {
+			printOp(op)
+		}
+	}
+	if len(dbg.Exemplars) > 0 {
+		fmt.Printf("\nexemplars:\n")
+		for _, op := range dbg.Exemplars {
+			printOp(op)
+		}
+	}
+}
+
+// printOp renders one retained op and its span timeline, indented under
+// the op header, each span as [start +dur] name(arg).
+func printOp(op proto.DebugOp) {
+	when := ""
+	if op.WallNs != 0 {
+		when = " at " + time.Unix(0, op.WallNs).Format("15:04:05.000")
+	}
+	fmt.Printf("  op=%d %s/%s attempts=%d latency=%v bytes=%d%s\n",
+		op.ID, op.Kind, op.Transport, op.Attempts, time.Duration(op.Ns), op.Bytes, when)
+	for _, sp := range op.Spans {
+		fmt.Printf("    [%8v +%8v] %s(%d)\n",
+			time.Duration(sp.Start), time.Duration(sp.Dur), trace.CodeName(sp.Code), sp.Arg)
+	}
+}
+
+func fmtRate(n uint64, seconds float64) string {
+	if seconds <= 0 {
+		return "-"
+	}
+	r := float64(n) / seconds
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
 }
 
 // fmtSkew renders the busiest stripe's op count relative to the mean

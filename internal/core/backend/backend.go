@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cliquemap/internal/core/config"
 	"cliquemap/internal/core/layout"
@@ -51,8 +52,33 @@ import (
 	"cliquemap/internal/rpc"
 	"cliquemap/internal/slab"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
+
+// SetTracer attaches the cell's op tracer so MethodDebug can serve
+// snapshots. Safe to leave unset: the handler degrades to CPU accounts
+// only.
+func (b *Backend) SetTracer(t *trace.Tracer) { b.tracer.Store(t) }
+
+// Tracer returns the attached op tracer, or nil.
+func (b *Backend) Tracer() *trace.Tracer { return b.tracer.Load() }
+
+// lockStripe acquires s.mu, attributing contended waits to the op's span
+// sink. The uncontended path is a single TryLock CAS — no clock read —
+// so untraced and uncontended ops pay nothing over a plain Lock.
+func lockStripe(s *stripe, sink *trace.SpanSink) {
+	if sink == nil {
+		s.mu.Lock()
+		return
+	}
+	if s.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	sink.Annotate(trace.SpanStripeWait, 0, uint64(time.Since(t0)))
+}
 
 // maxStripes bounds the stripe count; the actual count is the largest
 // power of two ≤ maxStripes that divides the initial bucket count, so a
@@ -232,6 +258,10 @@ type Backend struct {
 	net   *rpc.Network
 	srv   *rpc.Server
 	acct  *stats.CPUAccount
+
+	// tracer, when set, serves Debug RPC snapshots; the cell attaches the
+	// shared per-host tracer after construction.
+	tracer atomic.Pointer[trace.Tracer]
 
 	stripes  []stripe
 	nStripes uint64
@@ -579,12 +609,16 @@ func (b *Backend) readEntry(e layout.IndexEntry) (layout.DataEntry, error) {
 
 // localGet serves the RPC/MSG lookup path and repair reads.
 func (b *Backend) localGet(key []byte) (value []byte, ver truetime.Version, found bool) {
+	return b.localGetTraced(nil, key)
+}
+
+func (b *Backend) localGetTraced(sink *trace.SpanSink, key []byte) (value []byte, ver truetime.Version, found bool) {
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.gets.Add(1)
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
-	s.mu.Lock()
+	lockStripe(s, sink)
 	defer s.mu.Unlock()
 	if _, _, e, ok := b.findEntry(b.idx.Load(), h, bufs); ok {
 		de, err := b.readEntry(e)
@@ -850,6 +884,10 @@ func (b *Backend) ApplyCas(key, value []byte, expected, v truetime.Version) (app
 // concurrent mutation moved the version bound past v, the prepared entry
 // is discarded exactly as if the first check had failed.
 func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
+	return b.applySetTraced(nil, key, value, v)
+}
+
+func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v truetime.Version) (applied bool, stored truetime.Version, evictions int) {
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.sets.Add(1)
@@ -857,7 +895,7 @@ func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool,
 	defer bufPool.Put(bufs)
 
 	for {
-		s.mu.Lock()
+		lockStripe(s, sink)
 		idx := b.idx.Load()
 		ways := idx.geo.Ways
 		bucket := int(h.Lo % uint64(idx.geo.Buckets))
@@ -878,7 +916,7 @@ func (b *Backend) applySet(key, value []byte, v truetime.Version) (applied bool,
 			return false, bound, evictions
 		}
 
-		s.mu.Lock()
+		lockStripe(s, sink)
 		if b.data.Load() != dr {
 			// A compact-restart swapped the data region underneath the
 			// allocation; discard and redo against the new region.
@@ -969,12 +1007,16 @@ func (b *Backend) setOverflowLocked(idx *indexRegion, bucket int) {
 
 // applyErase is the ERASE RPC's core (§5.2).
 func (b *Backend) applyErase(key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
+	return b.applyEraseTraced(nil, key, v)
+}
+
+func (b *Backend) applyEraseTraced(sink *trace.SpanSink, key []byte, v truetime.Version) (applied bool, stored truetime.Version) {
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.erases.Add(1)
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
-	s.mu.Lock()
+	lockStripe(s, sink)
 	defer s.mu.Unlock()
 	idx := b.idx.Load()
 	bucket := int(h.Lo % uint64(idx.geo.Buckets))
@@ -1002,11 +1044,15 @@ func (b *Backend) applyErase(key []byte, v truetime.Version) (applied bool, stor
 // mutation between the two phases can only cause a spurious CAS failure,
 // never a lost update.
 func (b *Backend) applyCas(key, value []byte, expected, v truetime.Version) (applied bool, stored truetime.Version) {
+	return b.applyCasTraced(nil, key, value, expected, v)
+}
+
+func (b *Backend) applyCasTraced(sink *trace.SpanSink, key, value []byte, expected, v truetime.Version) (applied bool, stored truetime.Version) {
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.casOps.Add(1)
 	bufs := bufPool.Get().(*opBufs)
-	s.mu.Lock()
+	lockStripe(s, sink)
 	idx := b.idx.Load()
 	bucket := int(h.Lo % uint64(idx.geo.Buckets))
 	raw := readBucketInto(idx, bucket, bufs)
@@ -1026,7 +1072,7 @@ func (b *Backend) applyCas(key, value []byte, expected, v truetime.Version) (app
 	if cur != expected {
 		return false, cur
 	}
-	applied, stored, _ = b.applySet(key, value, v)
+	applied, stored, _ = b.applySetTraced(sink, key, value, v)
 	if applied {
 		s.ctr.casApplied.Add(1)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"cliquemap/internal/core/layout"
 	"cliquemap/internal/core/proto"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
 
@@ -31,17 +32,17 @@ func (b *Backend) registerHandlers() {
 		return b.hello().Marshal(), nil
 	})
 
-	s.Handle(proto.MethodGet, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+	s.Handle(proto.MethodGet, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalGetReq(req)
 		if err != nil {
 			return nil, err
 		}
-		value, ver, found := b.localGet(r.Key)
+		value, ver, found := b.localGetTraced(trace.SinkFrom(ctx), r.Key)
 		return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodGet, getHandlerCPU)
 
-	s.Handle(proto.MethodSet, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+	s.Handle(proto.MethodSet, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalSetReq(req)
 		if err != nil {
 			return nil, err
@@ -49,12 +50,12 @@ func (b *Backend) registerHandlers() {
 		if b.Sealed() && !r.Repair {
 			return nil, ErrSealed
 		}
-		applied, stored, ev := b.applySet(r.Key, r.Value, r.Version)
+		applied, stored, ev := b.applySetTraced(trace.SinkFrom(ctx), r.Key, r.Value, r.Version)
 		return proto.MutateResp{Applied: applied, Stored: stored, Evictions: ev}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodSet, setHandlerCPU)
 
-	s.Handle(proto.MethodErase, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+	s.Handle(proto.MethodErase, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		if b.Sealed() {
 			return nil, ErrSealed
 		}
@@ -62,12 +63,12 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		applied, stored := b.applyErase(r.Key, r.Version)
+		applied, stored := b.applyEraseTraced(trace.SinkFrom(ctx), r.Key, r.Version)
 		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodErase, eraseHandlerCPU)
 
-	s.Handle(proto.MethodCas, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+	s.Handle(proto.MethodCas, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		if b.Sealed() {
 			return nil, ErrSealed
 		}
@@ -75,7 +76,7 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		applied, stored := b.applyCas(r.Key, r.Value, r.Expected, r.Version)
+		applied, stored := b.applyCasTraced(trace.SinkFrom(ctx), r.Key, r.Value, r.Expected, r.Version)
 		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodCas, setHandlerCPU)
@@ -171,6 +172,40 @@ func (b *Backend) registerHandlers() {
 		}.Marshal(), nil
 	})
 
+	s.Handle(proto.MethodDebug, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalDebugReq(req)
+		if err != nil {
+			return nil, err
+		}
+		var resp proto.DebugResp
+		if t := b.tracer.Load(); t != nil {
+			snap := t.Snapshot(r.MaxSlow)
+			resp.OpsTotal = snap.Ops
+			resp.SlowTotal = snap.SlowTotal
+			resp.SlowThresholdNs = snap.SlowThresholdNs
+			for _, h := range snap.Hists {
+				resp.Hists = append(resp.Hists, proto.DebugHist{
+					Kind: h.Kind.String(), Transport: h.Transport.String(),
+					Count: h.Count, MeanNs: h.MeanNs,
+					P50Ns: h.P50Ns, P90Ns: h.P90Ns,
+					P99Ns: h.P99Ns, P999Ns: h.P999Ns, MaxNs: h.MaxNs,
+				})
+			}
+			resp.SlowOps = debugOps(snap.Slow)
+			resp.Exemplars = debugOps(snap.Exemplars)
+		}
+		if b.acct != nil {
+			for _, comp := range b.acct.Components() {
+				resp.CPU = append(resp.CPU, proto.DebugCPU{
+					Component: comp,
+					TotalNs:   b.acct.TotalNanos(comp),
+					Ops:       b.acct.OpCount(comp),
+				})
+			}
+		}
+		return resp.Marshal(), nil
+	})
+
 	s.Handle(proto.MethodRequestRepair, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalAssumeShardReq(req) // carries just the shard
 		if err != nil {
@@ -181,6 +216,19 @@ func (b *Backend) registerHandlers() {
 		}
 		return proto.Ack{}.Marshal(), nil
 	})
+}
+
+// debugOps converts tracer records to their wire form.
+func debugOps(recs []trace.OpRecord) []proto.DebugOp {
+	out := make([]proto.DebugOp, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, proto.DebugOp{
+			ID: r.ID, Kind: r.Kind.String(), Transport: r.Transport.String(),
+			Attempts: r.Attempts, Ns: r.Ns, Bytes: r.Bytes, WallNs: r.WallNs,
+			Spans: r.Spans,
+		})
+	}
+	return out
 }
 
 // HandleMsg serves the two-sided MSG lookup strategy (Figure 7) delivered

@@ -17,6 +17,7 @@ import (
 	"cliquemap/internal/core/backend"
 	"cliquemap/internal/core/client"
 	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/proto"
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/hashring"
 	"cliquemap/internal/nic"
@@ -25,6 +26,7 @@ import (
 	"cliquemap/internal/rmem"
 	"cliquemap/internal/rpc"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
 
@@ -88,6 +90,10 @@ type Cell struct {
 	Clock  *truetime.SystemClock
 	// HWHist collects 1RMA hardware timestamps (Figure 16).
 	HWHist *stats.Histogram
+	// Tracer is the cell-wide op tracer: every client built by NewClient
+	// records into it, backends serve it over MethodDebug, and the TCP
+	// gateway records remote ops into it.
+	Tracer *trace.Tracer
 
 	mu          sync.Mutex
 	nodes       []*node // shards first, then spares
@@ -108,10 +114,12 @@ func New(opt Options) (*Cell, error) {
 		Acct:       stats.NewCPUAccount(),
 		Clock:      truetime.NewSystemClock(),
 		HWHist:     &stats.Histogram{},
+		Tracer:     trace.NewTracer(),
 		byAddr:     make(map[string]*node),
 		clientNICs: make(map[int]interface{}),
 	}
 	c.Net = rpc.NewNetwork(c.Fabric, opt.RPCCost, c.Acct)
+	c.Net.SetTracer(c.Tracer)
 
 	// Initial configuration: shard i on host i; spares idle after.
 	cfg := config.CellConfig{Mode: opt.Mode, Shards: opt.Shards}
@@ -155,6 +163,7 @@ func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
 	if c.opt.ACL != nil {
 		b.Server().SetAuthenticator(c.opt.ACL)
 	}
+	b.SetTracer(c.Tracer)
 	n := &node{info: info, b: b}
 	switch c.opt.Transport {
 	case TransportPony:
@@ -301,6 +310,9 @@ func (c *Cell) NewClient(copt client.Options) *client.Client {
 	if c.opt.Hash != nil && copt.Hash == nil {
 		copt.Hash = c.opt.Hash
 	}
+	if copt.Tracer == nil {
+		copt.Tracer = c.Tracer
+	}
 	rpcc := c.Net.Client(copt.HostID, fmt.Sprintf("client-%d", copt.ID))
 	return client.New(copt, c.Store, rpcc, c.Clock, dial, msg, c.Fabric.NowNs, c.Acct)
 }
@@ -353,6 +365,29 @@ func (c *Cell) bumpConfig(mutate func(*config.CellConfig)) config.CellConfig {
 		}
 	}
 	return next
+}
+
+// SetEngineDelay injects extra per-command service time into the node
+// serving shard s — a fault-injection hook for exercising the slow-op
+// tracing plane (an overloaded or misbehaving serving engine). The delay
+// covers both the one-sided path (Pony Express engine visits) and the
+// two-sided data RPCs, so GETs and mutation quorum legs both see it.
+func (c *Cell) SetEngineDelay(shard int, ns uint64) {
+	host := c.Store.Get().HostFor(shard)
+	if host < 0 {
+		return
+	}
+	n := c.servingNIC(host)
+	if n == nil {
+		return
+	}
+	if n.ponyNIC != nil {
+		n.ponyNIC.SetServiceDelay(ns)
+	}
+	srv := n.b.Server()
+	for _, m := range []string{proto.MethodGet, proto.MethodSet, proto.MethodErase, proto.MethodCas} {
+		srv.SetMethodCost(m, ns)
+	}
 }
 
 // SetAntagonist places external load on the host serving shard s

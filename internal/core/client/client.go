@@ -32,6 +32,7 @@ import (
 	"cliquemap/internal/nic"
 	"cliquemap/internal/rpc"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
 
@@ -102,6 +103,9 @@ type Options struct {
 	TouchBatch int  // flush threshold for access records; 0 disables (§4.2)
 	NoFallback bool // disable the final RPC lookup fallback
 	Hash       hashring.HashFunc
+	// Tracer, when set, records every completed op (kind, transport,
+	// attempts, per-layer spans) into the cell's telemetry plane.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +191,30 @@ func (c *Client) chargeCPU(ns uint64) {
 	if c.acct != nil {
 		c.acct.Charge("client", ns)
 	}
+}
+
+// transport maps the configured lookup strategy to its trace label.
+func (c *Client) transport() trace.Transport {
+	switch c.opt.Strategy {
+	case StrategySCAR:
+		return trace.TransportSCAR
+	case StrategyMSG:
+		return trace.TransportMSG
+	case StrategyRPC:
+		return trace.TransportRPC
+	}
+	return trace.Transport2xR
+}
+
+// traceOp opens a span context for one op, attaching it to ctx so every
+// layer below (RPC framework, backend handlers, TCP gateway) attributes
+// work to it. Returns (nil, ctx) when tracing is not wired.
+func (c *Client) traceOp(ctx context.Context, k trace.Kind) (*trace.SpanContext, context.Context) {
+	if c.opt.Tracer == nil {
+		return nil, ctx
+	}
+	sc := &trace.SpanContext{OpID: c.opt.Tracer.NextID(), Kind: k}
+	return sc, trace.NewContext(ctx, sc)
 }
 
 // refreshConfig re-reads the HA store and drops cached handshakes, the
@@ -277,10 +305,20 @@ func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found bool, tr fabric.OpTrace, err error) {
 	c.M.Gets.Inc()
 	var total fabric.OpTrace
+	sc, ctx := c.traceOp(ctx, trace.KindGet)
+	if sc != nil {
+		// One right-sized allocation up front; per-leg merges then append
+		// without growth on the hot path.
+		total.Spans = make([]fabric.Span, 0, 8)
+	}
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if ctx.Err() != nil {
 			return nil, false, total, ErrExhausted
 		}
+		if sc != nil {
+			sc.Attempt = uint32(attempt)
+		}
+		attemptStart := total.Ns
 		val, ok, atr, aerr := c.attemptGet(ctx, key)
 		total.Sequence(atr)
 		if aerr == nil {
@@ -291,7 +329,13 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 				c.M.Misses.Inc()
 			}
 			c.M.GetLatency.Record(total.Ns)
+			if sc != nil {
+				c.opt.Tracer.Record(sc.OpID, trace.KindGet, c.transport(), uint32(attempt+1), total)
+			}
 			return val, ok, total, nil
+		}
+		if sc != nil {
+			total.Annotate(trace.SpanRetry, uint32(attempt), attemptStart, atr.Ns)
 		}
 		c.classifyAndRepair(ctx, key, aerr)
 	}
@@ -307,6 +351,9 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 				c.M.Misses.Inc()
 			}
 			c.M.GetLatency.Record(total.Ns)
+			if sc != nil {
+				c.opt.Tracer.Record(sc.OpID, trace.KindGet, trace.TransportRPC, uint32(c.opt.Retries+2), total)
+			}
 			return val, ok, total, nil
 		}
 	}
@@ -383,14 +430,32 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 		return c.attemptGetMSG(ctx, key, cfg, cohort)
 	}
 
+	// Resolve replicas — first use pays a Hello RPC — before pinning the
+	// op's virtual start. Connection setup is control-plane work; were it
+	// inside the pinned window, the wall time it consumes would read as
+	// downlink backlog for the op's own data-plane legs.
+	var repArr [8]replica
+	var errArr [8]error
+	reps := repArr[:0]
+	errs := errArr[:0]
+	for _, shard := range cohort {
+		rep, err := c.resolveReplica(ctx, shard)
+		reps = append(reps, rep)
+		errs = append(errs, err)
+	}
+
 	at := c.opStart()
 
 	// R=2/Immutable consults a single replica for most operations; the
 	// second serves only when the first fails (§6.4).
 	if cfg.Mode == config.R2Immutable {
 		var lastErr error
-		for _, shard := range cohort {
-			v := c.fetchIndex(ctx, at, key, h, shard)
+		for i := range cohort {
+			if errs[i] != nil {
+				lastErr = errs[i]
+				continue
+			}
+			v := c.fetchIndex(at, key, h, reps[i])
 			if v.err != nil {
 				lastErr = v.err
 				continue
@@ -407,8 +472,12 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 	// pinned to one virtual op-start instant so their responses contend
 	// for this client's downlink in the latency model.
 	views := make([]indexView, 0, len(cohort))
-	for _, shard := range cohort {
-		views = append(views, c.fetchIndex(ctx, at, key, h, shard))
+	for i := range cohort {
+		if errs[i] != nil {
+			views = append(views, indexView{err: errs[i]})
+			continue
+		}
+		views = append(views, c.fetchIndex(at, key, h, reps[i]))
 	}
 	return c.assembleGet(ctx, at, key, h, cfg, views)
 }
@@ -421,12 +490,10 @@ func (c *Client) opStart() uint64 {
 	return c.now()
 }
 
-// fetchIndex reads one replica's bucket (and, under SCAR, data).
-func (c *Client) fetchIndex(ctx context.Context, at uint64, key []byte, h hashring.KeyHash, shard int) indexView {
-	rep, err := c.resolveReplica(ctx, shard)
-	if err != nil {
-		return indexView{err: err}
-	}
+// fetchIndex reads one replica's bucket (and, under SCAR, data). The
+// replica must already be resolved: Hello traffic ahead of the pinned op
+// start must not masquerade as data-plane queueing.
+func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep replica) indexView {
 	v := indexView{rep: rep}
 	geo := layout.Geometry{Buckets: rep.hello.Buckets, Ways: rep.hello.Ways}
 	bucket := int(h.Lo % uint64(geo.Buckets))
@@ -491,13 +558,17 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 
 	// Index-phase latency: the op can proceed once `quorumNeed` replicas
 	// have responded, so the phase costs the k-th fastest leg.
-	var legNs []uint64
+	var legArr [8]uint64
+	legNs := legArr[:0]
 	var tr fabric.OpTrace
+	tr.Spans = make([]fabric.Span, 0, 16)
 	okViews := 0
 	for _, v := range views {
 		if v.err == nil {
 			legNs = append(legNs, v.trace.Ns)
 			tr.AddBytes(int(v.trace.Bytes))
+			// Leg spans share the phase origin: the legs ran in parallel.
+			tr.Spans = append(tr.Spans, v.trace.Spans...)
 			okViews++
 		}
 	}
@@ -510,16 +581,33 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		}
 		return nil, false, tr, ErrUnavailable
 	}
-	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
-	tr.Add(legNs[min(quorumNeed, len(legNs))-1])
+	// Cohorts are tiny (≤ replication factor): insertion sort keeps the
+	// leg latencies on the stack, off the reflection-based sort path.
+	for i := 1; i < len(legNs); i++ {
+		for j := i; j > 0 && legNs[j] < legNs[j-1]; j-- {
+			legNs[j], legNs[j-1] = legNs[j-1], legNs[j]
+		}
+	}
+	k := min(quorumNeed, len(legNs))
+	phase := tr.Ns
+	tr.Annotate(trace.SpanIndexFetch, uint32(len(legNs)), phase, legNs[0])
+	if legNs[k-1] > legNs[0] {
+		// The op sat waiting for the k-th quorum vote after the first
+		// replica had already answered — the paper's tail story (§5.1).
+		tr.Annotate(trace.SpanQuorumWait, uint32(k), phase+legNs[0], legNs[k-1]-legNs[0])
+	}
+	tr.Add(legNs[k-1])
 
 	// Vote per §5.1: replicas vote their IndexEntry's (VersionNumber,
 	// KeyHash); an absent entry votes the zero version (an agreed miss).
+	// At most one distinct version per live view, so a fixed array holds
+	// the full tally without a map.
 	type vote struct {
 		ver   truetime.Version
 		count int
 	}
-	votes := map[truetime.Version]*vote{}
+	var voteArr [8]vote
+	votes := voteArr[:0]
 	for _, v := range views {
 		if v.err != nil {
 			continue
@@ -528,15 +616,22 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		if v.present {
 			ver = v.entry.Version
 		}
-		if votes[ver] == nil {
-			votes[ver] = &vote{ver: ver}
+		found := false
+		for i := range votes {
+			if votes[i].ver == ver {
+				votes[i].count++
+				found = true
+				break
+			}
 		}
-		votes[ver].count++
+		if !found && len(votes) < cap(votes) {
+			votes = append(votes, vote{ver: ver, count: 1})
+		}
 	}
 	var winner *vote
-	for _, v := range votes {
-		if v.count >= quorumNeed && (winner == nil || winner.ver.Less(v.ver)) {
-			winner = v
+	for i := range votes {
+		if votes[i].count >= quorumNeed && (winner == nil || winner.ver.Less(votes[i].ver)) {
+			winner = &votes[i]
 		}
 	}
 	if winner == nil {
@@ -560,17 +655,19 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 
 	// Preferred backend: the fastest replica that is a quorum member
 	// (§5.1 — speculate on the first responder).
-	var members []indexView
+	var preferred indexView
+	havePreferred := false
 	for _, v := range views {
 		if v.err == nil && v.present && v.entry.Version == winner.ver {
-			members = append(members, v)
+			if !havePreferred || v.trace.Ns < preferred.trace.Ns {
+				preferred = v
+				havePreferred = true
+			}
 		}
 	}
-	if len(members) == 0 {
+	if !havePreferred {
 		return nil, false, tr, ErrInquorate
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i].trace.Ns < members[j].trace.Ns })
-	preferred := members[0]
 
 	// SCAR already carried the data from every member; use the preferred
 	// copy. 2×R issues the second, dependent read now.
@@ -587,8 +684,10 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		if at != 0 {
 			dataAt = at + tr.Ns // the data fetch follows the index phase
 		}
+		dataStart := tr.Ns
 		data, dtr, derr := preferred.rep.conn.Read(dataAt, e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
 		tr.Sequence(dtr)
+		tr.Annotate(trace.SpanDataRead, uint32(preferred.rep.shard), dataStart, dtr.Ns)
 		if derr != nil {
 			return nil, false, tr, c.wrapTransportErr(preferred.rep, derr)
 		}
@@ -669,11 +768,17 @@ func (c *Client) twoSidedQuorum(cfg config.CellConfig, cohort []int, fetch func(
 		results = append(results, result{resp: resp, ok: true, ns: ltr.Ns})
 		legNs = append(legNs, ltr.Ns)
 		tr.AddBytes(int(ltr.Bytes))
+		tr.Spans = append(tr.Spans, ltr.Spans...)
 	}
 	if len(results) < need {
 		return nil, false, tr, ErrUnavailable
 	}
 	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
+	phase := tr.Ns
+	tr.Annotate(trace.SpanIndexFetch, uint32(len(legNs)), phase, legNs[0])
+	if legNs[need-1] > legNs[0] {
+		tr.Annotate(trace.SpanQuorumWait, uint32(need), phase+legNs[0], legNs[need-1]-legNs[0])
+	}
 	tr.Add(legNs[need-1])
 
 	votes := map[truetime.Version]int{}
@@ -790,8 +895,12 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 	c.M.Sets.Inc()
 	v := c.gen.Next()
 	req := proto.SetReq{Key: key, Value: value, Version: v}.Marshal()
+	sc, ctx := c.traceOp(ctx, trace.KindSet)
 	tr, err := c.mutateAll(ctx, key, proto.MethodSet, req)
 	c.M.SetLatency.Record(tr.Ns)
+	if sc != nil && err == nil {
+		c.opt.Tracer.Record(sc.OpID, trace.KindSet, trace.TransportRPC, 1, tr)
+	}
 	return v, err
 }
 
@@ -800,8 +909,12 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 	c.M.Erases.Inc()
 	v := c.gen.Next()
 	req := proto.EraseReq{Key: key, Version: v}.Marshal()
+	sc, ctx := c.traceOp(ctx, trace.KindErase)
 	tr, err := c.mutateAll(ctx, key, proto.MethodErase, req)
 	c.M.SetLatency.Record(tr.Ns)
+	if sc != nil && err == nil {
+		c.opt.Tracer.Record(sc.OpID, trace.KindErase, trace.TransportRPC, 1, tr)
+	}
 	return err
 }
 
@@ -818,13 +931,15 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 	h := c.opt.Hash(key)
 	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
 
+	sc, ctx := c.traceOp(ctx, trace.KindCas)
+	var tr fabric.OpTrace
 	applied, acked := 0, 0
 	for _, shard := range cohort {
 		addr := cfg.AddrFor(shard)
 		if addr == "" {
 			continue
 		}
-		resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodCas, req)
+		resp, ltr, err := c.rpcc.Call(ctx, addr, proto.MethodCas, req)
 		if err != nil {
 			continue
 		}
@@ -832,6 +947,7 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 		if merr != nil {
 			continue
 		}
+		tr.Merge(ltr)
 		acked++
 		if mr.Applied {
 			applied++
@@ -839,6 +955,9 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 	}
 	if acked < cfg.Mode.Quorum() {
 		return false, ErrUnavailable
+	}
+	if sc != nil {
+		c.opt.Tracer.Record(sc.OpID, trace.KindCas, trace.TransportRPC, 1, tr)
 	}
 	return applied >= cfg.Mode.Quorum(), nil
 }
@@ -874,6 +993,9 @@ func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req [
 			acks++
 			legNs = append(legNs, ltr.Ns)
 			tr.AddBytes(int(ltr.Bytes))
+			// Replica legs fan out from the op start; spans keep the
+			// common origin.
+			tr.Spans = append(tr.Spans, ltr.Spans...)
 		}
 		if acks >= cfg.Mode.Quorum() {
 			break
@@ -890,7 +1012,11 @@ func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req [
 	}
 	// A mutation completes when the write quorum has acked: k-th fastest.
 	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
-	tr.Add(legNs[cfg.Mode.Quorum()-1])
+	q := cfg.Mode.Quorum()
+	if legNs[q-1] > legNs[0] {
+		tr.Annotate(trace.SpanQuorumWait, uint32(q), tr.Ns+legNs[0], legNs[q-1]-legNs[0])
+	}
+	tr.Add(legNs[q-1])
 	return tr, nil
 }
 

@@ -1,0 +1,235 @@
+package proto
+
+import (
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/trace"
+	"cliquemap/internal/wire"
+)
+
+// The Debug method ships a backend's tracer snapshot — per-kind ×
+// per-transport latency summaries, CPU accounts, retained slow-op traces,
+// and reservoir exemplars — to remote tooling (cmstat -trace). Like
+// MethodStats it is additive: old servers answer ErrNoSuchMethod.
+//
+// Kinds and transports travel as their display strings rather than the
+// in-process enum values, so the wire contract survives enum renumbering
+// and unknown values degrade to readable text.
+
+// DebugReq bounds the reply.
+type DebugReq struct {
+	// MaxSlow caps the slow-op traces returned; 0 means all retained.
+	MaxSlow int
+}
+
+// Marshal encodes the request.
+func (r DebugReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Uint(1, uint64(r.MaxSlow))
+	return e.Encoded()
+}
+
+// UnmarshalDebugReq decodes the request.
+func UnmarshalDebugReq(b []byte) (DebugReq, error) {
+	var r DebugReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		if d.Tag() == 1 {
+			r.MaxSlow = int(d.Uint())
+		}
+	}
+	return r, d.Err()
+}
+
+// DebugHist summarizes one kind/transport latency histogram.
+type DebugHist struct {
+	Kind      string
+	Transport string
+	Count     uint64
+	MeanNs    uint64
+	P50Ns     uint64
+	P90Ns     uint64
+	P99Ns     uint64
+	P999Ns    uint64
+	MaxNs     uint64
+}
+
+// DebugCPU is one component's CPU account.
+type DebugCPU struct {
+	Component string
+	TotalNs   uint64
+	Ops       uint64
+}
+
+// DebugOp is one retained op trace.
+type DebugOp struct {
+	ID        uint64
+	Kind      string
+	Transport string
+	Attempts  uint32
+	Ns        uint64
+	Bytes     uint64
+	WallNs    int64
+	Spans     []fabric.Span
+}
+
+// DebugResp is the tracer snapshot.
+type DebugResp struct {
+	OpsTotal        uint64
+	SlowTotal       uint64
+	SlowThresholdNs uint64
+	Hists           []DebugHist
+	CPU             []DebugCPU
+	SlowOps         []DebugOp
+	Exemplars       []DebugOp
+}
+
+func encodeDebugHist(e *wire.Encoder, tag uint64, h DebugHist) {
+	m := wire.NewRawEncoder()
+	m.String(1, h.Kind)
+	m.String(2, h.Transport)
+	m.Uint(3, h.Count)
+	m.Uint(4, h.MeanNs)
+	m.Uint(5, h.P50Ns)
+	m.Uint(6, h.P90Ns)
+	m.Uint(7, h.P99Ns)
+	m.Uint(8, h.P999Ns)
+	m.Uint(9, h.MaxNs)
+	e.Message(tag, m)
+}
+
+func decodeDebugHist(b []byte) DebugHist {
+	var h DebugHist
+	d := wire.NewRawDecoder(b)
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			h.Kind = d.String()
+		case 2:
+			h.Transport = d.String()
+		case 3:
+			h.Count = d.Uint()
+		case 4:
+			h.MeanNs = d.Uint()
+		case 5:
+			h.P50Ns = d.Uint()
+		case 6:
+			h.P90Ns = d.Uint()
+		case 7:
+			h.P99Ns = d.Uint()
+		case 8:
+			h.P999Ns = d.Uint()
+		case 9:
+			h.MaxNs = d.Uint()
+		}
+	}
+	return h
+}
+
+func encodeDebugOp(e *wire.Encoder, tag uint64, o DebugOp) {
+	m := wire.NewRawEncoder()
+	m.Uint(1, o.ID)
+	m.String(2, o.Kind)
+	m.String(3, o.Transport)
+	m.Uint(4, uint64(o.Attempts))
+	m.Uint(5, o.Ns)
+	m.Uint(6, o.Bytes)
+	m.Int(7, o.WallNs)
+	trace.EncodeSpans(m, 8, o.Spans)
+	e.Message(tag, m)
+}
+
+func decodeDebugOp(b []byte) DebugOp {
+	var o DebugOp
+	d := wire.NewRawDecoder(b)
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			o.ID = d.Uint()
+		case 2:
+			o.Kind = d.String()
+		case 3:
+			o.Transport = d.String()
+		case 4:
+			o.Attempts = uint32(d.Uint())
+		case 5:
+			o.Ns = d.Uint()
+		case 6:
+			o.Bytes = d.Uint()
+		case 7:
+			o.WallNs = d.Int()
+		case 8:
+			if len(o.Spans) < trace.MaxWireSpans {
+				o.Spans = append(o.Spans, trace.DecodeSpan(d.Bytes()))
+			}
+		}
+	}
+	return o
+}
+
+// Marshal encodes the snapshot.
+func (r DebugResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Uint(1, r.OpsTotal)
+	e.Uint(2, r.SlowTotal)
+	e.Uint(3, r.SlowThresholdNs)
+	for _, h := range r.Hists {
+		encodeDebugHist(e, 4, h)
+	}
+	for _, c := range r.CPU {
+		m := wire.NewRawEncoder()
+		m.String(1, c.Component)
+		m.Uint(2, c.TotalNs)
+		m.Uint(3, c.Ops)
+		e.Message(5, m)
+	}
+	for _, o := range r.SlowOps {
+		encodeDebugOp(e, 6, o)
+	}
+	for _, o := range r.Exemplars {
+		encodeDebugOp(e, 7, o)
+	}
+	return e.Encoded()
+}
+
+// UnmarshalDebugResp decodes the snapshot.
+func UnmarshalDebugResp(b []byte) (DebugResp, error) {
+	var r DebugResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.OpsTotal = d.Uint()
+		case 2:
+			r.SlowTotal = d.Uint()
+		case 3:
+			r.SlowThresholdNs = d.Uint()
+		case 4:
+			r.Hists = append(r.Hists, decodeDebugHist(d.Bytes()))
+		case 5:
+			var c DebugCPU
+			nd := wire.NewRawDecoder(d.Bytes())
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					c.Component = nd.String()
+				case 2:
+					c.TotalNs = nd.Uint()
+				case 3:
+					c.Ops = nd.Uint()
+				}
+			}
+			r.CPU = append(r.CPU, c)
+		case 6:
+			r.SlowOps = append(r.SlowOps, decodeDebugOp(d.Bytes()))
+		case 7:
+			r.Exemplars = append(r.Exemplars, decodeDebugOp(d.Bytes()))
+		}
+	}
+	return r, d.Err()
+}

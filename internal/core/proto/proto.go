@@ -36,6 +36,10 @@ const (
 	// MethodConfig lets external (TCP/WAN) callers discover the cell's
 	// shard map without access to the in-process config store.
 	MethodConfig = "CliqueMap.Config"
+	// MethodDebug ships the cell's op-tracing snapshot: latency
+	// percentiles per kind/transport, CPU accounts, and retained slow-op
+	// traces. Additive like MethodStats.
+	MethodDebug = "CliqueMap.Debug"
 )
 
 // Version field tags, shared by every message embedding a VersionNumber.

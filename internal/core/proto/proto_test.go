@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"cliquemap/internal/fabric"
 	"cliquemap/internal/rmem"
 	"cliquemap/internal/truetime"
 	"cliquemap/internal/wire"
@@ -176,5 +177,57 @@ func TestForwardCompat(t *testing.T) {
 func TestGarbageRejected(t *testing.T) {
 	if _, err := UnmarshalSetReq([]byte{0xff, 0xff, 0xff}); err == nil {
 		t.Error("garbage decoded as SetReq")
+	}
+}
+
+func TestDebugRoundTrip(t *testing.T) {
+	in := DebugResp{
+		OpsTotal: 100, SlowTotal: 3, SlowThresholdNs: 2_000_000,
+		Hists: []DebugHist{
+			{Kind: "GET", Transport: "SCAR", Count: 90, MeanNs: 7000,
+				P50Ns: 6000, P90Ns: 9000, P99Ns: 12000, P999Ns: 15000, MaxNs: 20000},
+			{Kind: "SET", Transport: "RPC", Count: 10, MeanNs: 90000},
+		},
+		CPU: []DebugCPU{{Component: "client", TotalNs: 5_000_000, Ops: 100}},
+		SlowOps: []DebugOp{{
+			ID: 42, Kind: "GET", Transport: "2xR", Attempts: 2,
+			Ns: 3_000_000, Bytes: 1024, WallNs: 1_700_000_000_000_000_000,
+			Spans: []fabric.Span{
+				{Code: 1, Arg: 3, Start: 0, Dur: 4200},
+				{Code: 5, Arg: 0, Start: 4200, Dur: 900},
+			},
+		}},
+		Exemplars: []DebugOp{{ID: 7, Kind: "CAS", Transport: "RPC", Attempts: 1, Ns: 50_000}},
+	}
+	out, err := UnmarshalDebugResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OpsTotal != in.OpsTotal || out.SlowTotal != in.SlowTotal || out.SlowThresholdNs != in.SlowThresholdNs {
+		t.Errorf("counters: %+v", out)
+	}
+	if len(out.Hists) != 2 || out.Hists[0] != in.Hists[0] || out.Hists[1] != in.Hists[1] {
+		t.Errorf("hists: %+v", out.Hists)
+	}
+	if len(out.CPU) != 1 || out.CPU[0] != in.CPU[0] {
+		t.Errorf("cpu: %+v", out.CPU)
+	}
+	if len(out.SlowOps) != 1 {
+		t.Fatalf("slow ops: %+v", out.SlowOps)
+	}
+	got, want := out.SlowOps[0], in.SlowOps[0]
+	if got.ID != want.ID || got.Kind != want.Kind || got.Transport != want.Transport ||
+		got.Attempts != want.Attempts || got.Ns != want.Ns || got.Bytes != want.Bytes ||
+		got.WallNs != want.WallNs || len(got.Spans) != 2 ||
+		got.Spans[0] != want.Spans[0] || got.Spans[1] != want.Spans[1] {
+		t.Errorf("slow op: %+v", got)
+	}
+	if len(out.Exemplars) != 1 || out.Exemplars[0].ID != 7 || out.Exemplars[0].Kind != "CAS" {
+		t.Errorf("exemplars: %+v", out.Exemplars)
+	}
+
+	req, err := UnmarshalDebugReq(DebugReq{MaxSlow: 16}.Marshal())
+	if err != nil || req.MaxSlow != 16 {
+		t.Errorf("req round trip: %+v err=%v", req, err)
 	}
 }

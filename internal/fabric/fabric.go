@@ -260,17 +260,46 @@ func (f *Fabric) RTT(src, dst int, reqBytes, respBytes int) uint64 {
 	return f.Host(dst).Deliver(reqBytes) + f.Host(src).Deliver(respBytes)
 }
 
-// OpTrace accumulates an operation's critical-path virtual latency and
-// wire bytes. It is carried by value through transports; not safe for
-// concurrent mutation (each in-flight leg gets its own and the client
-// merges).
+// Span is one attributed slice of an operation's timeline: which layer
+// the time went to (engine service, quorum wait, stripe lock, …) and how
+// long it took. Start is the ns offset from the owning trace's origin.
+// Codes are plain integers here so every transport can record spans
+// without importing the tracing package; the code namespace and names
+// live in internal/trace.
+type Span struct {
+	Code  uint16
+	Arg   uint32 // code-specific detail: shard, attempt #, byte count…
+	Start uint64
+	Dur   uint64
+}
+
+// OpTrace accumulates an operation's critical-path virtual latency, wire
+// bytes, and the spans attributing that latency to layers. It is carried
+// by value through transports; not safe for concurrent mutation (each
+// in-flight leg gets its own and the client merges).
 type OpTrace struct {
 	Ns    uint64
 	Bytes uint64
+	Spans []Span
 }
 
 // Add extends the critical path.
 func (t *OpTrace) Add(ns uint64) { t.Ns += ns }
+
+// AddSpan extends the critical path by ns and records a span attributing
+// that slice of the timeline to code.
+func (t *OpTrace) AddSpan(code uint16, arg uint32, ns uint64) {
+	t.Spans = append(t.Spans, Span{Code: code, Arg: arg, Start: t.Ns, Dur: ns})
+	t.Ns += ns
+}
+
+// Annotate records a span without extending the critical path — used for
+// derived attributions (quorum wait, retries) and measured wall-clock
+// costs (stripe lock contention) that are not part of the modeled
+// latency.
+func (t *OpTrace) Annotate(code uint16, arg uint32, start, dur uint64) {
+	t.Spans = append(t.Spans, Span{Code: code, Arg: arg, Start: start, Dur: dur})
+}
 
 // AddBytes accounts payload bytes moved.
 func (t *OpTrace) AddBytes(b int) {
@@ -280,16 +309,27 @@ func (t *OpTrace) AddBytes(b int) {
 }
 
 // Merge folds a parallel leg into the trace: latency is the max (the legs
-// overlapped), bytes sum.
+// overlapped), bytes sum. The legs are assumed to share this trace's
+// origin, so spans carry over with their offsets unchanged.
 func (t *OpTrace) Merge(o OpTrace) {
 	if o.Ns > t.Ns {
 		t.Ns = o.Ns
 	}
 	t.Bytes += o.Bytes
+	t.Spans = append(t.Spans, o.Spans...)
 }
 
-// Sequence folds a dependent leg: latency adds, bytes sum.
+// Sequence folds a dependent leg: latency adds, bytes sum. The leg began
+// where this trace currently ends, so its spans shift by the current
+// critical-path length.
 func (t *OpTrace) Sequence(o OpTrace) {
+	if len(o.Spans) > 0 {
+		base := t.Ns
+		for _, s := range o.Spans {
+			s.Start += base
+			t.Spans = append(t.Spans, s)
+		}
+	}
 	t.Ns += o.Ns
 	t.Bytes += o.Bytes
 }

@@ -28,6 +28,7 @@ import (
 	"cliquemap/internal/nic"
 	"cliquemap/internal/rmem"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 )
 
 // CostModel calibrates the hardware path.
@@ -143,15 +144,18 @@ func (c *Conn) ScanAndRead(uint64, rmem.WindowID, int, int, hashring.KeyHash, in
 // histogram; client CPU is added on top for the end-to-end trace.
 func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabric.OpTrace, error) {
 	var tr fabric.OpTrace
+	tr.Spans = make([]fabric.Span, 0, 4)
 
 	wake, up := c.from.cstatePenalty()
 	if !up {
 		return nil, tr, nic.ErrUnreachable
 	}
-	tr.Add(wake)
+	if wake > 0 {
+		tr.AddSpan(trace.SpanCStateWake, 0, wake)
+	}
 
 	// Client CPU: issuing through the 1RMA command queue.
-	tr.Add(c.from.cost.ClientCPUNs)
+	tr.AddSpan(trace.SpanEngineIssue, 0, c.from.cost.ClientCPUNs)
 	if c.from.acct != nil {
 		c.from.acct.Charge("client-1rma", c.from.cost.ClientCPUNs)
 	}
@@ -187,7 +191,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 		if c.from.hwHist != nil {
 			c.from.hwHist.Record(hw)
 		}
-		tr.Add(hw)
+		tr.AddSpan(trace.SpanHWService, uint32(length), hw)
 		return nil, tr, rerr
 	}
 
@@ -195,7 +199,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 	if c.from.hwHist != nil {
 		c.from.hwHist.Record(hw)
 	}
-	tr.Add(hw)
+	tr.AddSpan(trace.SpanHWService, uint32(length), hw)
 	tr.AddBytes(reqBytes + length)
 	return data, tr, nil
 }

@@ -27,6 +27,7 @@ import (
 	"cliquemap/internal/nic"
 	"cliquemap/internal/rmem"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 )
 
 // CostModel carries the calibrated per-op CPU costs in nanoseconds.
@@ -78,6 +79,7 @@ type NIC struct {
 	lastOp     time.Time
 	down       bool
 	opCounter  uint64
+	extraNs    uint64 // injected per-visit engine delay (fault injection)
 	msgHandler MsgHandler
 }
 
@@ -104,6 +106,15 @@ func (n *NIC) Registry() *rmem.Registry { return n.reg }
 func (n *NIC) SetDown(down bool) {
 	n.mu.Lock()
 	n.down = down
+	n.mu.Unlock()
+}
+
+// SetServiceDelay injects ns of extra engine latency into every service
+// visit on this NIC — a degraded engine (overloaded core, antagonist VM)
+// for fault-injection tests. 0 restores normal service.
+func (n *NIC) SetServiceDelay(ns uint64) {
+	n.mu.Lock()
+	n.extraNs = ns
 	n.mu.Unlock()
 }
 
@@ -150,7 +161,7 @@ func (n *NIC) service(opCost uint64) (uint64, error) {
 		n.engines--
 	}
 	rho = n.rateEWMA * float64(opCost) / 1e9 / float64(n.engines)
-	return opCost + fabric.QueueModel(float64(opCost), fabric.Clamp01(rho)), nil
+	return opCost + fabric.QueueModel(float64(opCost), fabric.Clamp01(rho)) + n.extraNs, nil
 }
 
 func (n *NIC) charge(ns uint64) {
@@ -205,13 +216,14 @@ func deliverAt(h *fabric.Host, at uint64, tr *fabric.OpTrace, sz int) uint64 {
 // billed. at is the op's virtual start instant (0 = now).
 func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabric.OpTrace, error) {
 	var tr fabric.OpTrace
+	tr.Spans = make([]fabric.Span, 0, 4)
 
 	issue, err := c.from.service(c.from.cost.EngineServiceNs)
 	if err != nil {
 		return nil, tr, err
 	}
 	c.from.charge(c.from.cost.EngineServiceNs)
-	tr.Add(issue)
+	tr.AddSpan(trace.SpanEngineIssue, 0, issue)
 
 	const reqBytes = 64 // op descriptor
 	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
@@ -226,7 +238,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 		return nil, tr, err
 	}
 	c.to.charge(serveCost)
-	tr.Add(serve)
+	tr.AddSpan(trace.SpanEngineService, uint32(length), serve)
 
 	data, rerr := c.to.reg.Read(win, off, length)
 	if rerr != nil {
@@ -239,7 +251,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 	tr.AddBytes(length)
 	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(length)
 	c.from.chargeOnly(recvCost)
-	tr.Add(recvCost)
+	tr.AddSpan(trace.SpanEngineRecv, 0, recvCost)
 	return data, tr, nil
 }
 
@@ -248,6 +260,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 // fabric round trip.
 func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen int, hash hashring.KeyHash, ways int) (nic.ScarResult, fabric.OpTrace, error) {
 	var tr fabric.OpTrace
+	tr.Spans = make([]fabric.Span, 0, 4)
 	var res nic.ScarResult
 
 	issue, err := c.from.service(c.from.cost.EngineServiceNs)
@@ -255,7 +268,7 @@ func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen
 		return res, tr, err
 	}
 	c.from.charge(c.from.cost.EngineServiceNs)
-	tr.Add(issue)
+	tr.AddSpan(trace.SpanEngineIssue, 0, issue)
 
 	const reqBytes = 96 // descriptor + hash + geometry
 	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
@@ -299,13 +312,13 @@ func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen
 		return nic.ScarResult{}, tr, serr
 	}
 	c.to.charge(scanCost)
-	tr.Add(serve)
+	tr.AddSpan(trace.SpanEngineService, uint32(respBytes), serve)
 
 	tr.Add(deliverAt(c.from.host, at, &tr, respBytes))
 	tr.AddBytes(respBytes)
 	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(respBytes)
 	c.from.chargeOnly(recvCost)
-	tr.Add(recvCost)
+	tr.AddSpan(trace.SpanEngineRecv, 0, recvCost)
 	return res, tr, nil
 }
 
@@ -334,13 +347,14 @@ func (n *NIC) msgHandlerLocked() MsgHandler {
 // one-sided ops avoid.
 func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
 	var tr fabric.OpTrace
+	tr.Spans = make([]fabric.Span, 0, 4)
 
 	issue, err := c.from.service(c.from.cost.EngineServiceNs)
 	if err != nil {
 		return nil, tr, err
 	}
 	c.from.charge(c.from.cost.EngineServiceNs)
-	tr.Add(issue)
+	tr.AddSpan(trace.SpanEngineIssue, 0, issue)
 
 	tr.Add(deliverAt(c.to.host, at, &tr, len(req)+64))
 	tr.AddBytes(len(req) + 64)
@@ -356,7 +370,7 @@ func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
 		return nil, tr, err
 	}
 	c.to.charge(serveCost)
-	tr.Add(serve)
+	tr.AddSpan(trace.SpanMsgWakeup, uint32(len(req)), serve)
 
 	resp, herr := h(req)
 	if herr != nil {
@@ -368,6 +382,6 @@ func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
 	tr.AddBytes(len(resp) + 64)
 	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(len(resp))
 	c.from.chargeOnly(recvCost)
-	tr.Add(recvCost)
+	tr.AddSpan(trace.SpanEngineRecv, 0, recvCost)
 	return resp, tr, nil
 }

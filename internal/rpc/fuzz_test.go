@@ -1,0 +1,62 @@
+package rpc
+
+import (
+	"testing"
+
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/wire"
+)
+
+// The TCP gateway decodes frames straight off the socket; malformed trace
+// context — bogus span ids, truncated span messages, absurd lengths —
+// must never panic the decoder, only degrade to zero values or an error.
+func FuzzTCPRequestFrame(f *testing.F) {
+	f.Add(tcpRequest{ID: 1, Addr: "backend-0", Method: "CliqueMap.Get",
+		Principal: "p", Payload: []byte("x")}.marshal())
+	f.Add(tcpRequest{ID: 2, Addr: "backend-1", Method: "CliqueMap.Set",
+		Principal: "p", TraceID: 99, Kind: "SET", Attempt: 3}.marshal())
+	// Trace context with a garbage kind string and overflowing attempt.
+	e := wire.NewEncoder()
+	e.Uint(1, ^uint64(0))
+	e.Uint(6, ^uint64(0))
+	e.String(7, "\xff\xfe not-a-kind")
+	e.Uint(8, ^uint64(0))
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := unmarshalTCPRequest(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-marshal without panicking.
+		_ = r.marshal()
+	})
+}
+
+func FuzzTCPResponseFrame(f *testing.F) {
+	f.Add(tcpResponse{ID: 1, OK: true, Payload: []byte("v"), TraceNs: 5000,
+		Spans: []fabric.Span{{Code: 3, Arg: 1, Start: 0, Dur: 4000}}}.marshal())
+	f.Add(tcpResponse{ID: 2, Err: "no such key"}.marshal())
+	// Span list where one entry is a truncated varint and another has a
+	// code wider than 16 bits.
+	e := wire.NewEncoder()
+	e.Uint(1, 3)
+	e.Bytes(6, []byte{0x08})
+	bad := wire.NewRawEncoder()
+	bad.Uint(1, 0xFFFFF)
+	bad.Uint(4, 12)
+	e.Message(6, bad)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := unmarshalTCPResponse(data)
+		if err != nil {
+			return
+		}
+		if len(r.Spans) > 1<<20 {
+			t.Fatalf("decoder fabricated %d spans from %d input bytes", len(r.Spans), len(data))
+		}
+		_ = r.marshal()
+	})
+}

@@ -22,6 +22,7 @@ import (
 
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 )
 
 // DefaultWorkerLimit bounds concurrent handler executions per server — the
@@ -76,9 +77,20 @@ type Network struct {
 	mu      sync.Mutex
 	servers map[string]*Server
 
+	// tracer, when set, records ops that enter this network from outside
+	// the cell (the TCP gateway) so remote traffic shows up in the cell's
+	// telemetry plane alongside in-process clients.
+	tracer atomic.Pointer[trace.Tracer]
+
 	bytesSent stats.Counter
 	calls     stats.Counter
 }
+
+// SetTracer installs the cell tracer used for remotely originated calls.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the installed cell tracer, or nil.
+func (n *Network) Tracer() *trace.Tracer { return n.tracer.Load() }
 
 // NewNetwork creates an RPC network over f. acct may be nil.
 func NewNetwork(f *fabric.Fabric, cost CostModel, acct *stats.CPUAccount) *Network {
@@ -312,9 +324,15 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 		return nil, tr, ErrDeadlineExceeded
 	}
 
+	// Span capture is armed only when the caller carries an op identity;
+	// internal traffic (repairs, handshakes, touch batches) records no
+	// spans and allocates nothing. Armed calls buffer spans on the stack
+	// and materialize them in one exact-size allocation at exit.
+	sb := spanBuf{on: trace.FromContext(ctx) != nil}
+
 	// Client-side framework CPU.
 	n.clientMeter.Charge(n.cost.ClientCPUNs)
-	tr.Add(n.cost.ClientCPUNs + n.cost.LatencyNs/2)
+	sb.add(&tr, trace.SpanRPCClient, 0, n.cost.ClientCPUNs+n.cost.LatencyNs/2)
 
 	s, ok := n.lookup(addr)
 	if !ok {
@@ -332,7 +350,7 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	s.mu.Unlock()
 
 	// Request crosses the fabric.
-	tr.Add(n.f.Host(hostID).Deliver(len(req) + 128))
+	sb.add(&tr, trace.SpanFabric, uint32(len(req)+128), n.f.Host(hostID).Deliver(len(req)+128))
 	tr.AddBytes(len(req) + 128)
 	n.bytesSent.Add(uint64(len(req) + 128))
 	n.calls.Inc()
@@ -357,26 +375,79 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	if extra > 0 {
 		n.handlerMeter.ChargeOnly(extra)
 	}
-	tr.Add(n.cost.ServerCPUNs + n.cost.LatencyNs/2 + extra)
+	sb.add(&tr, trace.SpanRPCServer, uint32(extra), n.cost.ServerCPUNs+n.cost.LatencyNs/2+extra)
+
+	// Traced calls get a span sink so the handler can deposit measured
+	// costs (stripe lock waits) back into this call's trace. Untraced
+	// callers skip the context allocation entirely.
+	hctx := ctx
+	var sink *trace.SpanSink
+	if sb.on {
+		sink = trace.GetSink()
+		hctx = trace.WithSink(ctx, sink)
+	}
 
 	// Dispatch the handler to the server's bounded worker pool. The caller
 	// blocks for the response (RPCs are synchronous) but handlers for
 	// different calls run on distinct worker goroutines, so mutations
 	// against different lock stripes overlap inside one backend.
-	resp, err := pool.submit(ctx, h, c.principal, req)
+	resp, err := pool.submit(hctx, h, c.principal, req)
+	var deposited []fabric.Span
+	depositedAt := tr.Ns
+	if sink != nil {
+		deposited = sink.Take()
+	}
 	if err != nil {
 		tr.Add(n.f.Host(c.hostID).Deliver(128))
 		n.bytesSent.Add(128)
+		sb.attach(&tr, deposited, depositedAt)
+		if sink != nil {
+			trace.PutSink(sink)
+		}
 		return nil, tr, err
 	}
 
 	// Response returns.
-	tr.Add(n.f.Host(c.hostID).Deliver(len(resp) + 128))
+	sb.add(&tr, trace.SpanFabric, uint32(len(resp)+128), n.f.Host(c.hostID).Deliver(len(resp)+128))
 	tr.AddBytes(len(resp) + 128)
 	n.bytesSent.Add(uint64(len(resp) + 128))
+	sb.attach(&tr, deposited, depositedAt)
+	if sink != nil {
+		trace.PutSink(sink)
+	}
 
 	if ctx.Err() != nil {
 		return nil, tr, ErrDeadlineExceeded
 	}
 	return resp, tr, nil
+}
+
+// spanBuf stages a Call's framework spans on the stack so an armed call
+// pays a single exact-size allocation and an unarmed call pays none.
+type spanBuf struct {
+	on  bool
+	n   int
+	buf [4]fabric.Span
+}
+
+func (b *spanBuf) add(tr *fabric.OpTrace, code uint16, arg uint32, ns uint64) {
+	if b.on && b.n < len(b.buf) {
+		b.buf[b.n] = fabric.Span{Code: code, Arg: arg, Start: tr.Ns, Dur: ns}
+		b.n++
+	}
+	tr.Add(ns)
+}
+
+// attach materializes the staged spans plus any handler-deposited spans
+// (which annotate at the dispatch point rather than extending the path).
+func (b *spanBuf) attach(tr *fabric.OpTrace, deposited []fabric.Span, at uint64) {
+	if !b.on || b.n+len(deposited) == 0 {
+		return
+	}
+	s := make([]fabric.Span, b.n, b.n+len(deposited))
+	copy(s, b.buf[:b.n])
+	for _, sp := range deposited {
+		s = append(s, fabric.Span{Code: sp.Code, Arg: sp.Arg, Start: at, Dur: sp.Dur})
+	}
+	tr.Spans = s
 }

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"cliquemap/internal/fabric"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/wire"
 )
 
@@ -35,6 +37,12 @@ type tcpRequest struct {
 	Method    string
 	Principal string
 	Payload   []byte
+	// Trace context (tags 6-8, additive): lets a remote caller's op
+	// identity cross the socket so spans recorded inside the cell
+	// attribute to it.
+	TraceID uint64
+	Kind    string
+	Attempt uint64
 }
 
 func (r tcpRequest) marshal() []byte {
@@ -44,6 +52,11 @@ func (r tcpRequest) marshal() []byte {
 	e.String(3, r.Method)
 	e.String(4, r.Principal)
 	e.Bytes(5, r.Payload)
+	if r.TraceID != 0 {
+		e.Uint(6, r.TraceID)
+		e.String(7, r.Kind)
+		e.Uint(8, r.Attempt)
+	}
 	return e.Encoded()
 }
 
@@ -65,6 +78,12 @@ func unmarshalTCPRequest(b []byte) (tcpRequest, error) {
 			r.Principal = d.String()
 		case 5:
 			r.Payload = append([]byte(nil), d.Bytes()...)
+		case 6:
+			r.TraceID = d.Uint()
+		case 7:
+			r.Kind = d.String()
+		case 8:
+			r.Attempt = d.Uint()
 		}
 	}
 	return r, d.Err()
@@ -76,6 +95,9 @@ type tcpResponse struct {
 	Payload []byte
 	Err     string
 	TraceNs uint64
+	// Spans (tag 6, additive) carry the call's per-layer attribution back
+	// to the remote caller.
+	Spans []fabric.Span
 }
 
 func (r tcpResponse) marshal() []byte {
@@ -85,6 +107,7 @@ func (r tcpResponse) marshal() []byte {
 	e.Bytes(3, r.Payload)
 	e.String(4, r.Err)
 	e.Uint(5, r.TraceNs)
+	trace.EncodeSpans(e, 6, r.Spans)
 	return e.Encoded()
 }
 
@@ -106,6 +129,10 @@ func unmarshalTCPResponse(b []byte) (tcpResponse, error) {
 			r.Err = d.String()
 		case 5:
 			r.TraceNs = d.Uint()
+		case 6:
+			if len(r.Spans) < trace.MaxWireSpans {
+				r.Spans = append(r.Spans, trace.DecodeSpan(d.Bytes()))
+			}
 		}
 	}
 	return r, d.Err()
@@ -230,13 +257,32 @@ func (g *TCPGateway) serveConn(conn net.Conn) {
 			defer g.wg.Done()
 			caller := g.n.Client(g.hostID, req.Principal)
 			resp := tcpResponse{ID: req.ID}
-			payload, tr, cerr := caller.Call(context.Background(), req.Addr, req.Method, req.Payload)
+			ctx := context.Background()
+			var sc *trace.SpanContext
+			if req.TraceID != 0 {
+				// The remote caller's op identity crosses into the cell, so
+				// in-cell layers (stripe locks, handlers) deposit spans
+				// against it and the cell tracer sees remote traffic.
+				sc = &trace.SpanContext{
+					OpID:    req.TraceID,
+					Kind:    trace.KindOf(req.Kind),
+					Attempt: uint32(req.Attempt),
+				}
+				ctx = trace.NewContext(ctx, sc)
+			}
+			payload, tr, cerr := caller.Call(ctx, req.Addr, req.Method, req.Payload)
 			resp.TraceNs = tr.Ns
+			resp.Spans = tr.Spans
 			if cerr != nil {
 				resp.Err = cerr.Error()
 			} else {
 				resp.OK = true
 				resp.Payload = payload
+			}
+			if sc != nil && cerr == nil {
+				if t := g.n.Tracer(); t != nil {
+					t.Record(sc.OpID, sc.Kind, trace.TransportRPC, sc.Attempt+1, tr)
+				}
 			}
 			wmu.Lock()
 			defer wmu.Unlock()
@@ -327,6 +373,16 @@ func (c *TCPClient) Call(ctx context.Context, addr, method string, req []byte) (
 	c.mu.Unlock()
 
 	r := tcpRequest{ID: id, Addr: addr, Method: method, Principal: c.principal, Payload: req}
+	if sc := trace.FromContext(ctx); sc != nil {
+		r.TraceID = sc.OpID
+		r.Kind = sc.Kind.String()
+		r.Attempt = uint64(sc.Attempt)
+	} else {
+		// Every frame carries a trace identity so ad-hoc remote calls
+		// (cmstat, scripts) are attributable inside the cell too.
+		r.TraceID = id
+		r.Kind = methodKind(method).String()
+	}
 	c.wmu.Lock()
 	err := writeTCPFrame(c.bw, r.marshal())
 	if err == nil {
@@ -342,7 +398,7 @@ func (c *TCPClient) Call(ctx context.Context, addr, method string, req []byte) (
 
 	select {
 	case resp := <-ch:
-		tr := fabric.OpTrace{Ns: resp.TraceNs}
+		tr := fabric.OpTrace{Ns: resp.TraceNs, Spans: resp.Spans}
 		if !resp.OK {
 			return nil, tr, mapTCPError(resp.Err)
 		}
@@ -353,6 +409,25 @@ func (c *TCPClient) Call(ctx context.Context, addr, method string, req []byte) (
 		c.mu.Unlock()
 		return nil, fabric.OpTrace{}, ErrDeadlineExceeded
 	}
+}
+
+// methodKind maps an RPC method name ("CliqueMap.Get") onto an op kind
+// for trace attribution of ad-hoc remote calls.
+func methodKind(method string) trace.Kind {
+	if i := strings.LastIndexByte(method, '.'); i >= 0 {
+		method = method[i+1:]
+	}
+	switch method {
+	case "Get", "GetBatch":
+		return trace.KindGet
+	case "Set":
+		return trace.KindSet
+	case "Erase":
+		return trace.KindErase
+	case "Cas":
+		return trace.KindCas
+	}
+	return trace.KindOther
 }
 
 // mapTCPError restores the framework error classes that crossed the wire

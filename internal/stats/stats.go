@@ -8,6 +8,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,21 +30,9 @@ func bucketOf(v uint64) int {
 	if v < 16 {
 		return int(v) // first 16 values are exact
 	}
-	exp := 63 - leadingZeros(v)
+	exp := 63 - bits.LeadingZeros64(v)
 	frac := (v >> (uint(exp) - 4)) & 0xf
 	return exp*16 + int(frac)
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	if v == 0 {
-		return 64
-	}
-	for v&(1<<63) == 0 {
-		v <<= 1
-		n++
-	}
-	return n
 }
 
 func bucketLower(b int) uint64 {
@@ -149,6 +138,30 @@ func (h *Histogram) Snapshot() *Histogram {
 	return s
 }
 
+// Merge adds every observation in o into h. Percentile reads of the
+// merged histogram equal those over the union of both observation sets
+// (within bucket resolution). o should be a quiescent snapshot; h may be
+// live.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(o.total.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		m := h.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			break
+		}
+	}
+}
+
 // Counter is a monotonic event counter.
 type Counter struct{ v atomic.Uint64 }
 
@@ -233,6 +246,14 @@ func (m Meter) ChargeOnly(ns uint64) {
 func (a *CPUAccount) TotalNanos(component string) uint64 {
 	if b, ok := a.accounts.Load(component); ok {
 		return b.(*cpuBucket).nanos.Load()
+	}
+	return 0
+}
+
+// OpCount returns the ops billed to component via Charge.
+func (a *CPUAccount) OpCount(component string) uint64 {
+	if b, ok := a.accounts.Load(component); ok {
+		return b.(*cpuBucket).ops.Load()
 	}
 	return 0
 }

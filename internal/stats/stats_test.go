@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -245,4 +247,150 @@ func BenchmarkHistogramRecord(b *testing.B) {
 			v = v*1103515245 + 12345
 		}
 	})
+}
+
+// The histogram's contract: ≤6.25% relative error on percentile reads
+// (16 linear sub-buckets per octave), over the full latency range the
+// system produces — sub-µs RMA legs to multi-second stalls.
+func TestHistogramPercentileErrorBoundOverLatencyRange(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) uint64{
+		"exp-10us":  func(r *rand.Rand) uint64 { return uint64(r.ExpFloat64() * 10_000) },
+		"exp-100ms": func(r *rand.Rand) uint64 { return uint64(r.ExpFloat64() * 100_000_000) },
+		"log-uniform-1us-10s": func(r *rand.Rand) uint64 {
+			// 10^3 .. 10^10 ns, uniform in log space.
+			return uint64(math.Pow(10, 3+7*r.Float64()))
+		},
+		"bimodal-1us-10s": func(r *rand.Rand) uint64 {
+			if r.Intn(100) < 99 {
+				return 1_000 + uint64(r.Intn(500))
+			}
+			return 10_000_000_000 + uint64(r.Intn(1_000_000))
+		},
+	}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			rng := rand.New(rand.NewSource(42))
+			vals := make([]uint64, 50_000)
+			for i := range vals {
+				vals[i] = gen(rng)
+				h.Record(vals[i])
+			}
+			sorted := append([]uint64(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, p := range []float64{10, 50, 90, 99, 99.9, 100} {
+				idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+				exact := sorted[idx]
+				got := h.Percentile(p)
+				if exact == 0 {
+					continue
+				}
+				if got > exact {
+					t.Errorf("p%g = %d > exact %d: bucket lower bound must not exceed the value", p, got, exact)
+				}
+				rel := (float64(exact) - float64(got)) / float64(exact)
+				if rel > 0.0625+1e-9 {
+					t.Errorf("p%g = %d, exact %d: rel err %.2f%% > 6.25%%", p, got, exact, rel*100)
+				}
+			}
+		})
+	}
+}
+
+// Sharded histograms merged into one must read identically to a single
+// histogram fed the same observations — the Debug RPC aggregates per-cell
+// histograms this way.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ref Histogram
+	shards := make([]Histogram, 4)
+	for i := 0; i < 20_000; i++ {
+		v := uint64(rng.ExpFloat64() * 75_000)
+		ref.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+	var merged Histogram
+	for i := range shards {
+		merged.Merge(shards[i].Snapshot())
+	}
+	if merged.Count() != ref.Count() {
+		t.Fatalf("merged count = %d, ref %d", merged.Count(), ref.Count())
+	}
+	if merged.Max() != ref.Max() {
+		t.Fatalf("merged max = %d, ref %d", merged.Max(), ref.Max())
+	}
+	for _, p := range []float64{1, 25, 50, 75, 90, 99, 99.9, 100} {
+		if m, r := merged.Percentile(p), ref.Percentile(p); m != r {
+			t.Errorf("p%g: merged %d != ref %d", p, m, r)
+		}
+	}
+}
+
+// Snapshot and Merge against a live, concurrently-written histogram must
+// stay internally consistent: monotone non-decreasing counts, percentiles
+// within observed bounds, and no torn totals.
+func TestHistogramSnapshotMergeUnderConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const writers, per = 4, 50_000
+	const maxVal = 1 << 30
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < per; j++ {
+				h.Record(uint64(rng.Intn(maxVal)))
+			}
+		}(int64(i))
+	}
+
+	readerErrs := make(chan error, 1)
+	go func() {
+		defer close(readerErrs)
+		var prevCount uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			// Snapshot totals are recomputed from bucket counts, so the
+			// snapshot is self-consistent even while writers race.
+			var sum uint64
+			for b := range snap.counts {
+				sum += snap.counts[b].Load()
+			}
+			if sum != snap.Count() {
+				readerErrs <- fmt.Errorf("torn snapshot: bucket sum %d != count %d", sum, snap.Count())
+				return
+			}
+			if snap.Count() < prevCount {
+				readerErrs <- fmt.Errorf("count went backwards: %d -> %d", prevCount, snap.Count())
+				return
+			}
+			prevCount = snap.Count()
+			var agg Histogram
+			agg.Merge(snap)
+			if agg.Count() != snap.Count() {
+				readerErrs <- fmt.Errorf("merge changed count: %d != %d", agg.Count(), snap.Count())
+				return
+			}
+			if p := agg.Percentile(99); p > maxVal {
+				readerErrs <- fmt.Errorf("p99 %d beyond any recorded value", p)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err := <-readerErrs; err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != writers*per {
+		t.Fatalf("final count = %d, want %d", h.Count(), writers*per)
+	}
 }

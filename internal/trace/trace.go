@@ -1,0 +1,495 @@
+// Package trace is CliqueMap's always-on, low-overhead operation tracing
+// plane. Every client op carries a span context (op id, kind, transport,
+// attempt #) through context.Context and the RPC wire frames; each layer
+// it crosses — client quorum assembly, the RPC framework, backend stripe
+// locks, the Pony Express / 1RMA NIC models — attributes its share of the
+// latency as fabric.Spans riding on the op's fabric.OpTrace. Completed
+// ops are recorded into a per-cell Tracer: per-kind × per-transport
+// latency histograms, a fixed-size ring of recent ops, reservoir-sampled
+// exemplars per kind, and a retained log of slow ops (latency above a
+// rolling p99-derived threshold). The proto.MethodDebug RPC serializes a
+// Tracer snapshot for remote inspection (cmstat -trace), and WriteProm
+// renders it as Prometheus text exposition (cmcell -http).
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
+)
+
+// Span codes: the layer/event namespace for fabric.Span.Code. Codes are
+// append-only; remote tooling receives them numerically and names them
+// via CodeName.
+const (
+	SpanIndexFetch    uint16 = 1  // client: index-lookup phase (fastest leg); Arg = live legs
+	SpanQuorumWait    uint16 = 2  // client: extra wait for the k-th quorum leg; Arg = k
+	SpanDataRead      uint16 = 3  // client: dependent data fetch; Arg = shard
+	SpanRetry         uint16 = 4  // client: a failed attempt; Arg = attempt #
+	SpanRPCClient     uint16 = 5  // rpc: client-side framework CPU + fixed latency
+	SpanRPCServer     uint16 = 6  // rpc: server-side framework + handler CPU
+	SpanFabric        uint16 = 7  // fabric delivery leg; Arg = bytes
+	SpanStripeWait    uint16 = 8  // backend: measured wall-ns wait on a contended stripe lock
+	SpanEngineIssue   uint16 = 9  // NIC: initiating engine issue (service + queue)
+	SpanEngineService uint16 = 10 // NIC: serving engine service (scan/read/payload); Arg = bytes
+	SpanEngineRecv    uint16 = 11 // NIC: initiating engine receive
+	SpanMsgWakeup     uint16 = 12 // pony MSG: server thread wakeup + handler
+	SpanHWService     uint16 = 13 // 1rma: hardware fabric + PCIe command time
+	SpanCStateWake    uint16 = 14 // 1rma: C-state wake penalty after idle
+)
+
+// CodeName names a span code for display; unknown codes render
+// numerically so old tools survive new codes.
+func CodeName(c uint16) string {
+	switch c {
+	case SpanIndexFetch:
+		return "index-fetch"
+	case SpanQuorumWait:
+		return "quorum-wait"
+	case SpanDataRead:
+		return "data-read"
+	case SpanRetry:
+		return "retry"
+	case SpanRPCClient:
+		return "rpc-client"
+	case SpanRPCServer:
+		return "rpc-server"
+	case SpanFabric:
+		return "fabric"
+	case SpanStripeWait:
+		return "stripe-wait"
+	case SpanEngineIssue:
+		return "engine-issue"
+	case SpanEngineService:
+		return "engine-service"
+	case SpanEngineRecv:
+		return "engine-recv"
+	case SpanMsgWakeup:
+		return "msg-wakeup"
+	case SpanHWService:
+		return "hw-service"
+	case SpanCStateWake:
+		return "cstate-wake"
+	}
+	return fmt.Sprintf("span-%d", c)
+}
+
+// Kind classifies an operation.
+type Kind uint8
+
+const (
+	KindGet Kind = iota
+	KindSet
+	KindErase
+	KindCas
+	KindOther
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGet:
+		return "GET"
+	case KindSet:
+		return "SET"
+	case KindErase:
+		return "ERASE"
+	case KindCas:
+		return "CAS"
+	}
+	return "OTHER"
+}
+
+// KindOf parses a kind name (the inverse of String); unknown names map
+// to KindOther.
+func KindOf(s string) Kind {
+	switch s {
+	case "GET":
+		return KindGet
+	case "SET":
+		return KindSet
+	case "ERASE":
+		return KindErase
+	case "CAS":
+		return KindCas
+	}
+	return KindOther
+}
+
+// Transport classifies the path an op took — the paper's lookup-strategy
+// axis (Figure 7) plus the RPC mutation path.
+type Transport uint8
+
+const (
+	Transport2xR Transport = iota
+	TransportSCAR
+	TransportMSG
+	TransportRPC
+	numTransports
+)
+
+// String names the transport as the paper does.
+func (t Transport) String() string {
+	switch t {
+	case Transport2xR:
+		return "2xR"
+	case TransportSCAR:
+		return "SCAR"
+	case TransportMSG:
+		return "MSG"
+	}
+	return "RPC"
+}
+
+// TransportOf parses a transport name; unknown names map to TransportRPC.
+func TransportOf(s string) Transport {
+	switch s {
+	case "2xR":
+		return Transport2xR
+	case "SCAR":
+		return TransportSCAR
+	case "MSG":
+		return TransportMSG
+	}
+	return TransportRPC
+}
+
+// SpanContext identifies one in-flight op as it crosses layers. The
+// client creates one per op and carries it in the context; the TCP
+// gateway reconstructs one from the wire frame's trace fields so remote
+// ops stay attributable inside the cell.
+type SpanContext struct {
+	OpID    uint64
+	Kind    Kind
+	Attempt uint32
+}
+
+type ctxKey int
+
+const (
+	spanContextKey ctxKey = iota
+	sinkKey
+)
+
+// NewContext attaches sc to ctx.
+func NewContext(ctx context.Context, sc *SpanContext) context.Context {
+	return context.WithValue(ctx, spanContextKey, sc)
+}
+
+// FromContext returns the span context attached to ctx, or nil.
+func FromContext(ctx context.Context) *SpanContext {
+	sc, _ := ctx.Value(spanContextKey).(*SpanContext)
+	return sc
+}
+
+// SpanSink collects spans recorded by a handler goroutine on behalf of
+// the RPC layer: the framework plants a sink in the handler's context,
+// the backend deposits measured costs (stripe lock waits), and the
+// framework folds them into the call's OpTrace. One goroutine writes at
+// a time; the framework reads only after the handler returns.
+type SpanSink struct {
+	spans []fabric.Span
+}
+
+// Annotate deposits one span. Start offsets are resolved by the RPC
+// layer when folding, so callers pass only code/arg/duration.
+func (s *SpanSink) Annotate(code uint16, arg uint32, dur uint64) {
+	s.spans = append(s.spans, fabric.Span{Code: code, Arg: arg, Dur: dur})
+}
+
+// Take returns the deposited spans.
+func (s *SpanSink) Take() []fabric.Span { return s.spans }
+
+var sinkPool = sync.Pool{New: func() any { return &SpanSink{} }}
+
+// GetSink leases a sink from the shared pool.
+func GetSink() *SpanSink { return sinkPool.Get().(*SpanSink) }
+
+// PutSink returns a sink to the pool.
+func PutSink(s *SpanSink) {
+	s.spans = s.spans[:0]
+	sinkPool.Put(s)
+}
+
+// WithSink attaches a sink to ctx for the handler side of a call.
+func WithSink(ctx context.Context, s *SpanSink) context.Context {
+	return context.WithValue(ctx, sinkKey, s)
+}
+
+// SinkFrom returns the sink attached to ctx, or nil.
+func SinkFrom(ctx context.Context) *SpanSink {
+	s, _ := ctx.Value(sinkKey).(*SpanSink)
+	return s
+}
+
+// OpRecord is one completed operation as retained by the Tracer.
+type OpRecord struct {
+	ID        uint64
+	Seq       uint64 // completion order within this tracer
+	Kind      Kind
+	Transport Transport
+	Attempts  uint32
+	Ns        uint64
+	Bytes     uint64
+	WallNs    int64 // unix ns at retention; stamped for slow ops only
+	Spans     []fabric.Span
+}
+
+// Tracer sizing and promotion policy.
+const (
+	ringSize         = 512 // recent-op ring
+	slowSize         = 64  // retained slow-op log
+	exemplarsPerKind = 4   // reservoir size per op kind
+	// thresholdEvery refreshes the rolling slow threshold every 2^12 ops.
+	thresholdEvery = 1 << 12
+	// SlowFactor scales the rolling p99 into the promotion threshold.
+	SlowFactor = 2
+	// MinSlowNs floors the promotion threshold so a healthy cell (modeled
+	// GETs ~10µs, RPC mutations ~100µs) retains only genuine outliers.
+	MinSlowNs = 1_000_000
+)
+
+// Tracer is a cell-wide op recorder. All methods are safe for concurrent
+// use; Record is the hot path and costs one histogram insert plus one
+// short critical section.
+type Tracer struct {
+	hists   [numKinds][numTransports]stats.Histogram
+	overall stats.Histogram
+
+	ids      atomic.Uint64
+	seq      atomic.Uint64
+	slowNs   atomic.Uint64 // rolling threshold; 0 until first refresh
+	fixedNs  atomic.Uint64 // SetSlowThreshold override; 0 = rolling
+	slowSeen atomic.Uint64
+
+	mu        sync.Mutex
+	ring      [ringSize]OpRecord
+	slow      [slowSize]OpRecord
+	slowN     uint64
+	exemplars [numKinds][]OpRecord
+	rng       uint64 // xorshift state for reservoir sampling
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{rng: 0x9e3779b97f4a7c15}
+}
+
+// NextID allocates a fresh op id.
+func (t *Tracer) NextID() uint64 { return t.ids.Add(1) }
+
+// SetSlowThreshold pins the slow-op promotion threshold to ns; 0 restores
+// the rolling p99-derived policy. Intended for tests and debugging.
+func (t *Tracer) SetSlowThreshold(ns uint64) { t.fixedNs.Store(ns) }
+
+// SlowThreshold returns the current promotion threshold.
+func (t *Tracer) SlowThreshold() uint64 {
+	if f := t.fixedNs.Load(); f != 0 {
+		return f
+	}
+	if th := t.slowNs.Load(); th != 0 {
+		return th
+	}
+	return MinSlowNs
+}
+
+// Ops returns the number of ops recorded.
+func (t *Tracer) Ops() uint64 { return t.seq.Load() }
+
+// SlowOpsSeen returns the cumulative count of promoted slow ops.
+func (t *Tracer) SlowOpsSeen() uint64 { return t.slowSeen.Load() }
+
+// Hist returns the live histogram for one kind/transport cell.
+func (t *Tracer) Hist(k Kind, tp Transport) *stats.Histogram {
+	return &t.hists[k][tp]
+}
+
+// Overall returns the live all-ops histogram.
+func (t *Tracer) Overall() *stats.Histogram { return &t.overall }
+
+// Record retains one completed op: its latency feeds the kind/transport
+// and overall histograms, the op enters the recent ring and the kind's
+// exemplar reservoir, and ops above the slow threshold are promoted to
+// the retained slow log with a wall-clock stamp.
+func (t *Tracer) Record(id uint64, kind Kind, transport Transport, attempts uint32, tr fabric.OpTrace) {
+	if kind >= numKinds {
+		kind = KindOther
+	}
+	if transport >= numTransports {
+		transport = TransportRPC
+	}
+	t.hists[kind][transport].Record(tr.Ns)
+	t.overall.Record(tr.Ns)
+	seq := t.seq.Add(1)
+	if seq%thresholdEvery == 0 && t.fixedNs.Load() == 0 {
+		th := t.overall.Percentile(99) * SlowFactor
+		if th < MinSlowNs {
+			th = MinSlowNs
+		}
+		t.slowNs.Store(th)
+	}
+	rec := OpRecord{
+		ID: id, Seq: seq, Kind: kind, Transport: transport,
+		Attempts: attempts, Ns: tr.Ns, Bytes: tr.Bytes, Spans: tr.Spans,
+	}
+	slow := tr.Ns >= t.SlowThreshold()
+	if slow {
+		rec.WallNs = time.Now().UnixNano()
+		t.slowSeen.Add(1)
+	}
+
+	t.mu.Lock()
+	t.ring[seq%ringSize] = rec
+	ex := t.exemplars[kind]
+	if len(ex) < exemplarsPerKind {
+		t.exemplars[kind] = append(ex, rec)
+	} else {
+		// Reservoir: the n-th op of this kind replaces a kept exemplar
+		// with probability k/n, giving every op an equal chance.
+		n := t.hists[kind][0].Count() + t.hists[kind][1].Count() +
+			t.hists[kind][2].Count() + t.hists[kind][3].Count()
+		if j := t.randn(n); j < uint64(len(ex)) {
+			ex[j] = rec
+		}
+	}
+	if slow {
+		t.slow[t.slowN%slowSize] = rec
+		t.slowN++
+	}
+	t.mu.Unlock()
+}
+
+// randn returns a pseudo-random value in [0, n). Caller holds t.mu.
+func (t *Tracer) randn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	x := t.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.rng = x
+	return x % n
+}
+
+// HistStat is one kind/transport histogram summary.
+type HistStat struct {
+	Kind      Kind
+	Transport Transport
+	Count     uint64
+	MeanNs    uint64
+	P50Ns     uint64
+	P90Ns     uint64
+	P99Ns     uint64
+	P999Ns    uint64
+	MaxNs     uint64
+}
+
+// Snapshot is a point-in-time view of the tracer, the payload behind the
+// Debug RPC.
+type Snapshot struct {
+	Ops             uint64
+	SlowThresholdNs uint64
+	SlowTotal       uint64
+	Hists           []HistStat // non-empty cells only
+	Slow            []OpRecord // newest first
+	Exemplars       []OpRecord
+}
+
+// Snapshot captures current state. maxSlow bounds the slow-op log
+// returned (≤ 0 means all retained).
+func (t *Tracer) Snapshot(maxSlow int) Snapshot {
+	s := Snapshot{
+		Ops:             t.seq.Load(),
+		SlowThresholdNs: t.SlowThreshold(),
+		SlowTotal:       t.slowSeen.Load(),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		for tp := Transport(0); tp < numTransports; tp++ {
+			h := t.hists[k][tp].Snapshot()
+			if h.Count() == 0 {
+				continue
+			}
+			q := h.Quantiles(50, 90, 99, 99.9)
+			s.Hists = append(s.Hists, HistStat{
+				Kind: k, Transport: tp, Count: h.Count(),
+				MeanNs: uint64(h.Mean()),
+				P50Ns:  q[0], P90Ns: q[1], P99Ns: q[2], P999Ns: q[3],
+				MaxNs: h.Max(),
+			})
+		}
+	}
+
+	t.mu.Lock()
+	n := t.slowN
+	if n > slowSize {
+		n = slowSize
+	}
+	if maxSlow > 0 && uint64(maxSlow) < n {
+		n = uint64(maxSlow)
+	}
+	for i := uint64(0); i < n; i++ {
+		s.Slow = append(s.Slow, t.slow[(t.slowN-1-i)%slowSize])
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		s.Exemplars = append(s.Exemplars, t.exemplars[k]...)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Recent returns up to max recent ops, newest first — in-process
+// debugging and tests; the wire plane ships Slow + Exemplars.
+func (t *Tracer) Recent(max int) []OpRecord {
+	if max <= 0 || max > ringSize {
+		max = ringSize
+	}
+	seq := t.seq.Load()
+	var out []OpRecord
+	t.mu.Lock()
+	for i := uint64(0); i < uint64(max) && i < seq; i++ {
+		r := t.ring[(seq-i)%ringSize]
+		if r.Seq == 0 {
+			break
+		}
+		out = append(out, r)
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// WriteProm renders the tracer as Prometheus text exposition: op counts,
+// latency quantile gauges per kind/transport, and slow-op totals. acct,
+// when non-nil, adds per-component CPU counters.
+func (t *Tracer) WriteProm(w io.Writer, acct *stats.CPUAccount) {
+	s := t.Snapshot(0)
+	fmt.Fprintf(w, "# TYPE cliquemap_ops_total counter\n")
+	fmt.Fprintf(w, "cliquemap_ops_total %d\n", s.Ops)
+	fmt.Fprintf(w, "# TYPE cliquemap_slow_ops_total counter\n")
+	fmt.Fprintf(w, "cliquemap_slow_ops_total %d\n", s.SlowTotal)
+	fmt.Fprintf(w, "# TYPE cliquemap_slow_threshold_ns gauge\n")
+	fmt.Fprintf(w, "cliquemap_slow_threshold_ns %d\n", s.SlowThresholdNs)
+	fmt.Fprintf(w, "# TYPE cliquemap_op_latency_ns summary\n")
+	for _, h := range s.Hists {
+		l := fmt.Sprintf("kind=%q,transport=%q", h.Kind, h.Transport)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns{%s,quantile=\"0.5\"} %d\n", l, h.P50Ns)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns{%s,quantile=\"0.9\"} %d\n", l, h.P90Ns)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns{%s,quantile=\"0.99\"} %d\n", l, h.P99Ns)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns{%s,quantile=\"0.999\"} %d\n", l, h.P999Ns)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns_count{%s} %d\n", l, h.Count)
+		fmt.Fprintf(w, "cliquemap_op_latency_ns_sum{%s} %d\n", l, h.Count*h.MeanNs)
+	}
+	if acct != nil {
+		fmt.Fprintf(w, "# TYPE cliquemap_cpu_ns_total counter\n")
+		for _, comp := range acct.Components() {
+			fmt.Fprintf(w, "cliquemap_cpu_ns_total{component=%q} %d\n", comp, acct.TotalNanos(comp))
+		}
+	}
+}

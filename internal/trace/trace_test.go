@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/wire"
+)
+
+func opTrace(ns uint64, spans ...fabric.Span) fabric.OpTrace {
+	return fabric.OpTrace{Ns: ns, Spans: spans}
+}
+
+func TestKindTransportRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if got := KindOf(k.String()); got != k {
+			t.Errorf("KindOf(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	for tp := Transport(0); tp < numTransports; tp++ {
+		if got := TransportOf(tp.String()); got != tp {
+			t.Errorf("TransportOf(%q) = %v, want %v", tp.String(), got, tp)
+		}
+	}
+	if KindOf("garbage") != KindOther {
+		t.Error("unknown kind must map to KindOther")
+	}
+	if TransportOf("garbage") != TransportRPC {
+		t.Error("unknown transport must map to TransportRPC")
+	}
+}
+
+func TestCodeNameCoversAllCodes(t *testing.T) {
+	for c := uint16(1); c <= SpanCStateWake; c++ {
+		if name := CodeName(c); strings.HasPrefix(name, "span-") {
+			t.Errorf("code %d has no name", c)
+		}
+	}
+	if CodeName(999) != "span-999" {
+		t.Errorf("unknown code rendering = %q", CodeName(999))
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sc := &SpanContext{OpID: 7, Kind: KindSet, Attempt: 2}
+	ctx := NewContext(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("FromContext = %p, want %p", got, sc)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil")
+	}
+}
+
+func TestSinkCollectsAndRecycles(t *testing.T) {
+	s := GetSink()
+	s.Annotate(SpanStripeWait, 3, 1500)
+	s.Annotate(SpanEngineService, 0, 200)
+	got := s.Take()
+	if len(got) != 2 || got[0].Code != SpanStripeWait || got[0].Dur != 1500 {
+		t.Fatalf("sink spans = %+v", got)
+	}
+	PutSink(s)
+	s2 := GetSink()
+	if len(s2.Take()) != 0 {
+		t.Fatal("pooled sink not reset")
+	}
+	ctx := WithSink(context.Background(), s2)
+	if SinkFrom(ctx) != s2 {
+		t.Fatal("SinkFrom lost the sink")
+	}
+}
+
+func TestTracerRecordsHistogramsPerKindTransport(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(tr.NextID(), KindGet, TransportSCAR, 1, opTrace(7_000))
+	tr.Record(tr.NextID(), KindGet, TransportSCAR, 1, opTrace(9_000))
+	tr.Record(tr.NextID(), KindSet, TransportRPC, 1, opTrace(100_000))
+	if got := tr.Hist(KindGet, TransportSCAR).Count(); got != 2 {
+		t.Errorf("GET/SCAR count = %d", got)
+	}
+	if got := tr.Hist(KindSet, TransportRPC).Count(); got != 1 {
+		t.Errorf("SET/RPC count = %d", got)
+	}
+	if got := tr.Overall().Count(); got != 3 {
+		t.Errorf("overall count = %d", got)
+	}
+	if tr.Ops() != 3 {
+		t.Errorf("ops = %d", tr.Ops())
+	}
+}
+
+func TestSlowPromotionUsesThreshold(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSlowThreshold(10_000)
+	tr.Record(tr.NextID(), KindGet, Transport2xR, 1, opTrace(9_999))
+	if tr.SlowOpsSeen() != 0 {
+		t.Fatal("below-threshold op promoted")
+	}
+	spans := []fabric.Span{{Code: SpanEngineService, Dur: 11_000}}
+	tr.Record(77, KindGet, Transport2xR, 2, opTrace(11_000, spans...))
+	if tr.SlowOpsSeen() != 1 {
+		t.Fatal("above-threshold op not promoted")
+	}
+	snap := tr.Snapshot(0)
+	if len(snap.Slow) != 1 {
+		t.Fatalf("slow log = %d entries", len(snap.Slow))
+	}
+	s := snap.Slow[0]
+	if s.ID != 77 || s.Attempts != 2 || s.WallNs == 0 {
+		t.Errorf("slow record = %+v", s)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Code != SpanEngineService {
+		t.Errorf("slow record spans = %+v", s.Spans)
+	}
+}
+
+func TestRollingThresholdRefreshes(t *testing.T) {
+	tr := NewTracer()
+	// Saturate past a refresh boundary with 10µs ops; the rolling
+	// threshold should settle near max(2×p99, MinSlowNs) = MinSlowNs.
+	for i := 0; i < thresholdEvery+1; i++ {
+		tr.Record(tr.NextID(), KindGet, Transport2xR, 1, opTrace(10_000))
+	}
+	if th := tr.SlowThreshold(); th != MinSlowNs {
+		t.Errorf("threshold = %d, want floor %d", th, MinSlowNs)
+	}
+	// With a genuinely slow p99 the threshold scales with it.
+	tr2 := NewTracer()
+	for i := 0; i < thresholdEvery; i++ {
+		tr2.Record(tr2.NextID(), KindGet, Transport2xR, 1, opTrace(2_000_000))
+	}
+	if th := tr2.SlowThreshold(); th < 2*1_800_000 {
+		t.Errorf("threshold = %d, want ≈2×p99 of 2ms", th)
+	}
+}
+
+func TestExemplarReservoirBounded(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSlowThreshold(1 << 62)
+	for i := 0; i < 10_000; i++ {
+		tr.Record(tr.NextID(), KindGet, TransportSCAR, 1, opTrace(uint64(1000+i)))
+	}
+	snap := tr.Snapshot(0)
+	if len(snap.Exemplars) > exemplarsPerKind {
+		t.Fatalf("exemplars = %d, cap %d", len(snap.Exemplars), exemplarsPerKind)
+	}
+	if len(snap.Exemplars) != exemplarsPerKind {
+		t.Fatalf("reservoir not filled: %d", len(snap.Exemplars))
+	}
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	tr := NewTracer()
+	for i := 1; i <= 5; i++ {
+		tr.Record(uint64(i), KindGet, Transport2xR, 1, opTrace(uint64(i*100)))
+	}
+	recent := tr.Recent(3)
+	if len(recent) != 3 || recent[0].ID != 5 || recent[2].ID != 3 {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	const g, per = 8, 2000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				k := Kind(j % int(numKinds))
+				tp := Transport(j % int(numTransports))
+				tr.Record(tr.NextID(), k, tp, 1, opTrace(uint64(j+1)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tr.Ops() != g*per {
+		t.Fatalf("ops = %d, want %d", tr.Ops(), g*per)
+	}
+	var hist uint64
+	snap := tr.Snapshot(0)
+	for _, h := range snap.Hists {
+		hist += h.Count
+	}
+	if hist != g*per {
+		t.Fatalf("histogram counts sum to %d, want %d", hist, g*per)
+	}
+}
+
+func TestWireSpanRoundTrip(t *testing.T) {
+	in := []fabric.Span{
+		{Code: SpanIndexFetch, Arg: 3, Start: 0, Dur: 4200},
+		{Code: SpanQuorumWait, Arg: 2, Start: 4200, Dur: 900},
+		{Code: SpanDataRead, Arg: 1, Start: 5100, Dur: 3100},
+	}
+	e := wire.NewRawEncoder()
+	EncodeSpans(e, 8, in)
+	d := wire.NewRawDecoder(e.Encoded())
+	var out []fabric.Span
+	for d.Next() {
+		if d.Tag() == 8 {
+			out = append(out, DecodeSpan(d.Bytes()))
+		}
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("span %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestDecodeSpanMalformedDegradesToZero(t *testing.T) {
+	// Garbage bytes, truncated varints, and wide ids must never panic and
+	// never error — trace freight is best-effort.
+	cases := [][]byte{
+		nil,
+		{},
+		{0xff},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{0x08}, // tag 1 varint, missing value
+	}
+	for _, b := range cases {
+		_ = DecodeSpan(b)
+	}
+	// A span id wider than 16 bits truncates rather than corrupting
+	// neighbours.
+	e := wire.NewRawEncoder()
+	e.Uint(1, 0xABCDE)
+	e.Uint(4, 5)
+	s := DecodeSpan(e.Encoded())
+	if s.Code != uint16(0xABCDE&0xFFFF) || s.Dur != 5 {
+		t.Errorf("wide-id span = %+v", s)
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	tr := NewTracer()
+	tr.Record(tr.NextID(), KindGet, TransportSCAR, 1, opTrace(7_000))
+	acct := stats.NewCPUAccount()
+	acct.Charge("client", 2_000)
+	var sb strings.Builder
+	tr.WriteProm(&sb, acct)
+	out := sb.String()
+	for _, want := range []string{
+		"cliquemap_ops_total 1",
+		`kind="GET"`,
+		`transport="SCAR"`,
+		`quantile="0.99"`,
+		`cliquemap_cpu_ns_total{component="client"} 2000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

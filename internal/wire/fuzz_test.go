@@ -12,6 +12,27 @@ func FuzzDecoder(f *testing.F) {
 	f.Add(e.Encoded())
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Trace-context frame shapes: an op id + kind string + attempt count
+	// (RPC request tags 6-8) and nested span messages (code/arg/start/dur),
+	// including one with a truncated varint and one with a wide span id.
+	tc := NewEncoder()
+	tc.Uint(6, 0xDEADBEEF)
+	tc.String(7, "GET")
+	tc.Uint(8, 2)
+	span := NewRawEncoder()
+	span.Uint(1, 3)
+	span.Uint(2, 1)
+	span.Uint(3, 4200)
+	span.Uint(4, 900)
+	tc.Message(6, span)
+	f.Add(tc.Encoded())
+	bad := NewEncoder()
+	bad.Bytes(6, []byte{0x08}) // span message: tag 1 varint with no value
+	wide := NewRawEncoder()
+	wide.Uint(1, 0xFFFFF) // span id wider than 16 bits
+	wide.Uint(4, 12)
+	bad.Message(6, wide)
+	f.Add(bad.Encoded())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := NewDecoder(data)
 		if err != nil {

@@ -1,0 +1,151 @@
+package cliquemap
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/trace"
+)
+
+// TestSlowGetVisibleOverDebugRPC is the end-to-end observability check:
+// a degraded engine on the serving backend must surface as a retained
+// slow GET in the Debug RPC, with its span timeline attributing the
+// latency to engine service rather than quorum assembly.
+func TestSlowGetVisibleOverDebugRPC(t *testing.T) {
+	c := newCell(t, Options{Shards: 1, Spares: 0, Mode: R1})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+
+	if err := cl.Set(ctx, []byte("slow-key"), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	const delay = 10 * time.Millisecond
+	c.Tracer().SetSlowThreshold(uint64(2 * time.Millisecond))
+	c.SetEngineDelay(0, delay)
+	if _, ok, err := cl.Get(ctx, []byte("slow-key")); err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	c.SetEngineDelay(0, 0)
+
+	g, err := c.Internal().ServeTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	remote, err := rpc.DialTCP(g.Addr(), "observer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	raw, _, err := remote.Call(ctx, "backend-0", proto.MethodDebug, proto.DebugReq{MaxSlow: 8}.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := proto.UnmarshalDebugResp(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbg.SlowTotal == 0 || len(dbg.SlowOps) == 0 {
+		t.Fatalf("no slow ops retained: %+v", dbg)
+	}
+
+	var slow *proto.DebugOp
+	for i := range dbg.SlowOps {
+		if dbg.SlowOps[i].Kind == "GET" {
+			slow = &dbg.SlowOps[i]
+			break
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no slow GET in %+v", dbg.SlowOps)
+	}
+	if slow.Ns < uint64(delay) {
+		t.Errorf("slow GET latency %v, want >= %v", time.Duration(slow.Ns), delay)
+	}
+	if slow.WallNs == 0 {
+		t.Error("slow GET missing wall-clock stamp")
+	}
+
+	var engineNs, quorumNs uint64
+	for _, sp := range slow.Spans {
+		switch sp.Code {
+		case trace.SpanEngineService:
+			engineNs += sp.Dur
+		case trace.SpanQuorumWait:
+			quorumNs += sp.Dur
+		}
+	}
+	if engineNs < uint64(delay) {
+		t.Errorf("engine-service spans account for %v, want >= %v (spans: %+v)",
+			time.Duration(engineNs), delay, slow.Spans)
+	}
+	if engineNs < slow.Ns/2 {
+		t.Errorf("engine service %v should dominate op latency %v",
+			time.Duration(engineNs), time.Duration(slow.Ns))
+	}
+	if quorumNs > 0 {
+		t.Errorf("R1 GET reported quorum wait %v", time.Duration(quorumNs))
+	}
+
+	// The latency summary for GETs must have absorbed the slow op.
+	var sawGet bool
+	for _, h := range dbg.Hists {
+		if h.Kind == "GET" && h.Count > 0 {
+			sawGet = true
+			if h.MaxNs < uint64(delay) {
+				t.Errorf("GET hist max %v, want >= %v", time.Duration(h.MaxNs), delay)
+			}
+		}
+	}
+	if !sawGet {
+		t.Errorf("no GET histogram in %+v", dbg.Hists)
+	}
+}
+
+// TestSlowMutationAttributesQuorumWait degrades two of the three cohort
+// members, so every mutation quorum must include a slow leg: the retained
+// trace should blame SpanQuorumWait, not the local engine.
+func TestSlowMutationAttributesQuorumWait(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Spares: 0, Mode: R32})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+
+	const delay = 10 * time.Millisecond
+	c.Tracer().SetSlowThreshold(uint64(2 * time.Millisecond))
+	c.SetEngineDelay(1, delay)
+	c.SetEngineDelay(2, delay)
+	if err := cl.Set(ctx, []byte("quorum-key"), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetEngineDelay(1, 0)
+	c.SetEngineDelay(2, 0)
+
+	snap := c.Tracer().Snapshot(8)
+	var slow *trace.OpRecord
+	for i := range snap.Slow {
+		if snap.Slow[i].Kind == trace.KindSet {
+			slow = &snap.Slow[i]
+			break
+		}
+	}
+	if slow == nil {
+		t.Fatalf("no slow SET retained: %+v", snap.Slow)
+	}
+	var quorumNs uint64
+	for _, sp := range slow.Spans {
+		if sp.Code == trace.SpanQuorumWait {
+			quorumNs += sp.Dur
+		}
+	}
+	// The quorum spread is (second leg - first leg): one fast cohort
+	// member and one degraded, so roughly the injected delay.
+	if quorumNs < uint64(delay)/2 {
+		t.Errorf("quorum wait %v, want >= %v (spans: %+v)",
+			time.Duration(quorumNs), delay/2, slow.Spans)
+	}
+}
