@@ -1,0 +1,556 @@
+package cliquemap
+
+// Jepsen-lite chaos soak: concurrent workers run a keyed workload while a
+// seeded chaos schedule injects crashes, partitions, brownouts, bit
+// corruption, and config staleness — then a per-key oracle checks the
+// paper's end-to-end safety story (§3, §5.2, §5.4):
+//
+//   - no lost acked writes: an acknowledged SET is never superseded by
+//     anything older, and an acknowledged ERASE never resurrects;
+//   - monotone observation: the sequence number a reader observes for a
+//     key never regresses (quorum + version ordering);
+//   - no phantom values: every observed value was actually issued by the
+//     key's single writer, and unparseable (corrupted) values never leak
+//     past the checksum;
+//   - convergence: after the fault window heals, repair quiesces and
+//     every key reads back to a stable, oracle-legal state.
+//
+// Workers own disjoint key ranges so each key has one sequential writer,
+// which keeps the oracle exact without a global linearizability search.
+// Run under -race; CI pins the seeds so a failure replays byte-for-byte.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/core/proto"
+)
+
+const (
+	soakWorkers       = 4
+	soakKeysPerWorker = 8
+	soakQuorum        = 2 // R=3.2
+)
+
+func soakKey(w, k int) []byte { return []byte(fmt.Sprintf("soak-w%d-k%d", w, k)) }
+
+func soakVal(w, k int, seq uint64) []byte {
+	return []byte(fmt.Sprintf("w%d.k%d.s%d|chaos-soak-payload", w, k, seq))
+}
+
+func soakSeq(w, k int, val []byte) (uint64, bool) {
+	var gw, gk int
+	var seq uint64
+	n, err := fmt.Sscanf(string(val), "w%d.k%d.s%d|", &gw, &gk, &seq)
+	if err != nil || n != 3 || gw != w || gk != k {
+		return 0, false
+	}
+	return seq, true
+}
+
+// soakKeyState is the oracle's view of one key. The key has a single
+// sequential writer, so acked/indeterminate bookkeeping is exact:
+// mutations that returned nil error are acked (must persist until
+// superseded); mutations that errored are indeterminate (may or may not
+// have applied, and may surface later).
+type soakKeyState struct {
+	ackedSeq      uint64          // seq of the newest acked mutation
+	ackedIsSet    bool            // that mutation was a SET (false: ERASE)
+	indetSets     map[uint64]bool // indeterminate SETs newer than ackedSeq
+	indetEraseMax uint64          // newest indeterminate ERASE > ackedSeq
+	lastObserved  uint64          // newest seq any read has returned
+}
+
+func newSoakKeyState() *soakKeyState {
+	return &soakKeyState{indetSets: make(map[uint64]bool)}
+}
+
+func (st *soakKeyState) noteAcked(seq uint64, isSet bool) {
+	st.ackedSeq, st.ackedIsSet = seq, isSet
+	for s := range st.indetSets {
+		if s <= seq {
+			delete(st.indetSets, s)
+		}
+	}
+	if st.indetEraseMax <= seq {
+		st.indetEraseMax = 0
+	}
+}
+
+func (st *soakKeyState) noteIndeterminate(seq uint64, isSet bool) {
+	if isSet {
+		st.indetSets[seq] = true
+	} else if seq > st.indetEraseMax {
+		st.indetEraseMax = seq
+	}
+}
+
+// observe validates one read result against the oracle state.
+func (st *soakKeyState) observe(w, k int, val []byte, hit bool) error {
+	if !hit {
+		maxErase := st.indetEraseMax
+		if !st.ackedIsSet && st.ackedSeq > maxErase {
+			maxErase = st.ackedSeq
+		}
+		if maxErase == 0 {
+			return fmt.Errorf("w%d/k%d: miss with no erase issued (lost write, acked s%d)", w, k, st.ackedSeq)
+		}
+		if st.ackedIsSet && maxErase <= st.ackedSeq {
+			return fmt.Errorf("w%d/k%d: miss but newest erase s%d predates acked set s%d (lost acked write)",
+				w, k, maxErase, st.ackedSeq)
+		}
+		if maxErase <= st.lastObserved {
+			return fmt.Errorf("w%d/k%d: miss but newest erase s%d predates observed s%d (observation regressed)",
+				w, k, maxErase, st.lastObserved)
+		}
+		return nil
+	}
+	seq, ok := soakSeq(w, k, val)
+	if !ok {
+		return fmt.Errorf("w%d/k%d: unparseable value %q leaked past the checksum", w, k, val)
+	}
+	if seq < st.lastObserved {
+		return fmt.Errorf("w%d/k%d: observed seq regressed s%d -> s%d", w, k, st.lastObserved, seq)
+	}
+	switch {
+	case seq < st.ackedSeq:
+		return fmt.Errorf("w%d/k%d: read s%d older than acked s%d (lost acked write)", w, k, seq, st.ackedSeq)
+	case seq == st.ackedSeq:
+		if !st.ackedIsSet {
+			return fmt.Errorf("w%d/k%d: read s%d after acked erase s%d (resurrection)", w, k, seq, st.ackedSeq)
+		}
+	default: // seq > ackedSeq: must be a known indeterminate SET
+		if !st.indetSets[seq] {
+			return fmt.Errorf("w%d/k%d: phantom value s%d (never issued or superseded)", w, k, seq)
+		}
+	}
+	st.lastObserved = seq
+	return nil
+}
+
+// soakWorker drives one worker's keys until stop closes, validating every
+// read inline. Errors are oracle violations; op failures during fault
+// windows are recorded as indeterminate, never fatal.
+func soakWorker(ctx context.Context, cl *client.Client, w int, stop <-chan struct{}, states []*soakKeyState, violations chan<- error) {
+	seq := uint64(1) // seq 1 was the preload SET
+	rnd := uint64(w)*0x9e3779b97f4a7c15 + 1
+	nextRnd := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		k := i % soakKeysPerWorker
+		st := states[k]
+		seq++
+		if i%7 == 6 {
+			err := cl.Erase(ctx, soakKey(w, k))
+			if err == nil {
+				st.noteAcked(seq, false)
+			} else {
+				st.noteIndeterminate(seq, false)
+			}
+		} else {
+			err := cl.Set(ctx, soakKey(w, k), soakVal(w, k, seq))
+			if err == nil {
+				st.noteAcked(seq, true)
+			} else {
+				st.noteIndeterminate(seq, true)
+			}
+		}
+		for r := 0; r < 2; r++ {
+			rk := int(nextRnd() % soakKeysPerWorker)
+			val, hit, err := cl.Get(ctx, soakKey(w, rk))
+			if err != nil {
+				continue // fault-window read failure: no observation
+			}
+			if verr := states[rk].observe(w, rk, val, hit); verr != nil {
+				select {
+				case violations <- verr:
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// runChaosSoak is the shared harness: build a cell, preload, run workers
+// while stepping the preset's schedule, then heal, repair to quiescence,
+// and verify the converged state.
+func runChaosSoak(t *testing.T, preset string, seed uint64) {
+	t.Helper()
+	c := newCell(t, Options{Shards: 3, Spares: 1, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+
+	eng, err := c.ChaosEngine(preset, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*client.Client, soakWorkers)
+	states := make([][]*soakKeyState, soakWorkers)
+	for w := range clients {
+		clients[w] = cc.NewClient(client.Options{
+			Strategy:   client.StrategySCAR,
+			NoFallback: true, // a single-replica fallback read could legally be stale; the oracle wants quorum reads only
+			Retries:    8,
+			Budget:     client.NewRetryBudget(500, 1),
+		})
+		states[w] = make([]*soakKeyState, soakKeysPerWorker)
+		for k := range states[w] {
+			states[w][k] = newSoakKeyState()
+			// Preload (seq 1) before the fault window so every key has an
+			// acked baseline the oracle can hold reads against.
+			if err := clients[w].Set(ctx, soakKey(w, k), soakVal(w, k, 1)); err != nil {
+				t.Fatalf("preload w%d/k%d: %v", w, k, err)
+			}
+			states[w][k].noteAcked(1, true)
+		}
+	}
+
+	stop := make(chan struct{})
+	violations := make(chan error, soakWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < soakWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			soakWorker(ctx, clients[w], w, stop, states[w], violations)
+		}(w)
+	}
+
+	// Step the schedule through while the workers hammer the cell, so
+	// every fire and heal lands under load.
+	for !eng.Done() {
+		if _, serr := eng.Step(ctx); serr != nil {
+			t.Errorf("chaos step: %v", serr)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // post-heal load, catches lingering damage
+	close(stop)
+	wg.Wait()
+	select {
+	case verr := <-violations:
+		t.Fatalf("oracle violation during %s soak (seed %d): %v", preset, seed, verr)
+	default:
+	}
+
+	// Fault window over: force-heal anything outstanding, then repair
+	// until quiescent — §5.4's permanent repair must converge.
+	if err := eng.HealAll(ctx); err != nil {
+		t.Fatalf("HealAll: %v", err)
+	}
+	quiesced := false
+	for i := 0; i < 12; i++ {
+		n, rerr := c.RepairAll(ctx)
+		if rerr != nil {
+			t.Fatalf("RepairAll: %v", rerr)
+		}
+		if n == 0 {
+			quiesced = true
+			break
+		}
+	}
+	if !quiesced {
+		t.Fatalf("repair did not quiesce within 12 sweeps after %s", preset)
+	}
+
+	// Converged-state verification with a fresh client: every key must
+	// read cleanly, legally, and identically twice (stability).
+	vcl := cc.NewClient(client.Options{Strategy: client.Strategy2xR, NoFallback: true})
+	for w := 0; w < soakWorkers; w++ {
+		for k := 0; k < soakKeysPerWorker; k++ {
+			v1, hit1, err := vcl.Get(ctx, soakKey(w, k))
+			if err != nil {
+				t.Fatalf("post-heal read w%d/k%d: %v", w, k, err)
+			}
+			if verr := states[w][k].observe(w, k, v1, hit1); verr != nil {
+				t.Errorf("post-heal oracle violation: %v", verr)
+			}
+			v2, hit2, err := vcl.Get(ctx, soakKey(w, k))
+			if err != nil {
+				t.Fatalf("post-heal re-read w%d/k%d: %v", w, k, err)
+			}
+			if hit1 != hit2 || !bytes.Equal(v1, v2) {
+				t.Errorf("w%d/k%d unstable after repair: (%v,%q) then (%v,%q)", w, k, hit1, v1, hit2, v2)
+			}
+		}
+	}
+
+	// The oracle is only meaningful if nothing was evicted (an evicted
+	// key legitimately reads as a miss) and chaos actually fired.
+	for s := 0; s < 3; s++ {
+		if b := cc.Backend(s); b != nil {
+			cs := b.CountersSnapshot()
+			if cs.CapacityEvictions+cs.AssocEvictions > 0 {
+				t.Fatalf("shard %d evicted (%d cap, %d assoc): soak sizing invalidates the oracle",
+					s, cs.CapacityEvictions, cs.AssocEvictions)
+			}
+		}
+	}
+	counters := eng.Counters()
+	if len(counters) == 0 {
+		t.Fatalf("%s soak fired no hazards", preset)
+	}
+	t.Logf("%s seed %d: hazards %v", preset, seed, counters)
+}
+
+func TestChaosSoakBrownout(t *testing.T)      { runChaosSoak(t, "brownout", 1) }
+func TestChaosSoakPartitionHeal(t *testing.T) { runChaosSoak(t, "partition-heal", 1) }
+func TestChaosSoakCorruption(t *testing.T)    { runChaosSoak(t, "corruption-soak", 1) }
+func TestChaosSoakRollingCrash(t *testing.T)  { runChaosSoak(t, "rolling-crash", 1) }
+
+// TestRetryBudgetExhaustion: when every retry fails, the token-bucket
+// budget must cut the op off promptly with ErrExhausted — not let it
+// grind through a deep retry schedule — and must not tax the first
+// attempt of later ops once the fault heals.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+	budget := client.NewRetryBudget(2, 0.001)
+	cl := cc.NewClient(client.Options{
+		Strategy:   client.StrategySCAR,
+		NoFallback: true,
+		Retries:    100, // the budget, not the retry cap, must bind
+		Budget:     budget,
+	})
+	key := []byte("budget-key")
+	if err := cl.Set(ctx, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	plane := cc.Chaos()
+	for s := 0; s < 3; s++ {
+		plane.RPCFailRate(s, 1.0)
+	}
+	start := time.Now()
+	err := cl.Set(ctx, key, []byte("v2"))
+	if !errors.Is(err, client.ErrExhausted) {
+		t.Fatalf("Set under total failure: got %v, want ErrExhausted", err)
+	}
+	if got := cl.M.BudgetDenied.Value(); got == 0 {
+		t.Fatal("budget exhaustion not counted in BudgetDenied")
+	}
+	// Capacity 2 → at most 2 billed retries before the cutoff; with 100
+	// configured retries, only the budget explains a prompt return.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("exhausted op took %v: budget did not cut off retries", elapsed)
+	}
+	// Bucket is empty now: the next failing op is denied on its first
+	// retry, immediately.
+	if err := cl.Set(ctx, key, []byte("v3")); !errors.Is(err, client.ErrExhausted) {
+		t.Fatalf("second Set: got %v, want prompt ErrExhausted", err)
+	}
+
+	// Heal: first attempts are free, so an empty bucket must not block
+	// healthy traffic, and successes re-credit it.
+	for s := 0; s < 3; s++ {
+		plane.RPCFailRate(s, 0)
+	}
+	if err := cl.Set(ctx, key, []byte("v4")); err != nil {
+		t.Fatalf("post-heal Set with empty budget: %v", err)
+	}
+	if v, ok, err := cl.Get(ctx, key); err != nil || !ok || string(v) != "v4" {
+		t.Fatalf("post-heal Get: %q %v %v", v, ok, err)
+	}
+}
+
+// TestBrownoutAmplificationBounded: under a 30% transient RPC failure
+// rate, the quorum write path with budgeted backoff must keep total RPC
+// attempts under 2× the offered legs — the retry-storm bound the paper's
+// §9 outages motivate — and goodput must snap back once the fault heals.
+func TestBrownoutAmplificationBounded(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+	cl := cc.NewClient(client.Options{
+		Strategy:   client.StrategySCAR,
+		NoFallback: true,
+		Budget:     client.NewRetryBudget(10_000, 1), // roomy: measure structural amplification, not budget cutoff
+	})
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		if err := cl.Set(ctx, soakKey(9, i), []byte("warm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plane := cc.Chaos()
+	for s := 0; s < 3; s++ {
+		plane.RPCFailRate(s, 0.3)
+	}
+	const ops = 300
+	base := cc.Net.Calls()
+	failed := 0
+	for i := 0; i < ops; i++ {
+		if err := cl.Set(ctx, soakKey(9, i%keys), soakVal(9, i%keys, uint64(i+2))); err != nil {
+			failed++
+		}
+	}
+	attempts := cc.Net.Calls() - base
+	offered := uint64(ops * 3) // one leg per replica per op
+	if attempts >= 2*offered {
+		t.Fatalf("brownout amplification: %d RPC attempts for %d offered legs (>= 2x)", attempts, offered)
+	}
+	// 30% per-leg failure with a 2-of-3 quorum rarely exhausts 5 retries;
+	// the brownout should degrade, not collapse, goodput.
+	if failed > ops/10 {
+		t.Errorf("%d/%d ops failed under 30%% brownout (expected mostly-successful quorums)", failed, ops)
+	}
+	t.Logf("brownout: %d attempts / %d offered legs (%.2fx), %d failed ops",
+		attempts, offered, float64(attempts)/float64(offered), failed)
+
+	// Heal and verify recovery: every op succeeds and amplification
+	// returns to ~1 (a handful of calls of slack for config refresh).
+	for s := 0; s < 3; s++ {
+		plane.RPCFailRate(s, 0)
+	}
+	base = cc.Net.Calls()
+	const healedOps = 100
+	for i := 0; i < healedOps; i++ {
+		if err := cl.Set(ctx, soakKey(9, i%keys), []byte("healed")); err != nil {
+			t.Fatalf("post-heal Set %d: %v", i, err)
+		}
+	}
+	healedAttempts := cc.Net.Calls() - base
+	if healedAttempts > healedOps*3+10 {
+		t.Errorf("goodput did not recover: %d attempts for %d ops post-heal", healedAttempts, healedOps)
+	}
+}
+
+// TestCorruptionCaughtByChecksum: flip one bit in live entries on one
+// backend, then prove the §3 self-validating checksum catches EXACTLY the
+// injected flips — a direct per-replica probe of the victim finds every
+// damaged entry rejected and every untouched entry served — and that the
+// quorum client absorbs each detection as a clean failover: the pristine
+// value always comes back, every torn read pairs with a failover, and a
+// rejected entry never surfaces as a miss. Overwriting cures the damage.
+func TestCorruptionCaughtByChecksum(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+	cl := cc.NewClient(client.Options{
+		Strategy:   client.Strategy2xR,
+		NoFallback: true,
+		NoHedge:    true,
+	})
+	const keys = 64
+	want := make(map[string][]byte, keys)
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("corr-%d", i))
+		v := []byte(fmt.Sprintf("pristine-value-%d", i))
+		if err := cl.Set(ctx, k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[string(k)] = v
+	}
+
+	const victim = 1
+	damaged := map[string]bool{}
+	for _, k := range cc.Chaos().CorruptSeeded(victim, keys, 7) {
+		damaged[string(k)] = true
+	}
+	if len(damaged) == 0 {
+		t.Fatal("corruption injected nothing")
+	}
+
+	// Per-replica witness: the victim replicates every key (3-shard
+	// cohort), and its local GET decodes through the checksum. Damaged
+	// entries must be rejected (not found), untouched ones served intact
+	// — detection is exact, not probabilistic.
+	victimAddr := cc.Store.Get().AddrFor(victim)
+	probe := cc.Net.Client(cc.Fabric.NumHosts()-1, "corruption-probe")
+	probeShard := func(wantClean map[string]bool) {
+		t.Helper()
+		for k := range want {
+			resp, _, err := probe.Call(ctx, victimAddr, proto.MethodGet, proto.GetReq{Key: []byte(k)}.Marshal())
+			if err != nil {
+				t.Fatalf("probe %q: %v", k, err)
+			}
+			g, err := proto.UnmarshalGetResp(resp)
+			if err != nil {
+				t.Fatalf("probe %q: %v", k, err)
+			}
+			if wantClean[k] != g.Found {
+				t.Errorf("victim replica %q: found=%v, want %v (checksum mis-detected the flip)", k, g.Found, wantClean[k])
+			}
+			if g.Found && !bytes.Equal(g.Value, want[k]) {
+				t.Errorf("victim replica served wrong bytes for %q: %q", k, g.Value)
+			}
+		}
+	}
+	clean := map[string]bool{}
+	for k := range want {
+		clean[k] = !damaged[k]
+	}
+	probeShard(clean)
+
+	// Client-side: whichever replica the quorum read picks first, a
+	// damaged copy is only ever absorbed — right value, torn paired with
+	// failover, never a miss. Several rounds so the latency-ordered
+	// replica choice exercises the victim plenty.
+	torn0, fail0, miss0 := cl.M.TornRetries.Value(), cl.M.Failovers.Value(), cl.M.Misses.Value()
+	for round := 0; round < 10; round++ {
+		for k, v := range want {
+			got, ok, err := cl.Get(ctx, []byte(k))
+			if err != nil || !ok {
+				t.Fatalf("round %d get %q: %v %v", round, k, ok, err)
+			}
+			if !bytes.Equal(got, v) {
+				t.Fatalf("corrupted value leaked for %q: got %q want %q", k, got, v)
+			}
+		}
+	}
+	torn := cl.M.TornRetries.Value() - torn0
+	fails := cl.M.Failovers.Value() - fail0
+	if torn == 0 {
+		t.Errorf("no read ever hit the %d damaged entries in 10 rounds", len(damaged))
+	}
+	if torn != fails {
+		t.Errorf("accounting drift: torn=%d failovers=%d (every detection must be absorbed by exactly one failover)", torn, fails)
+	}
+	if d := cl.M.Misses.Value() - miss0; d != 0 {
+		t.Errorf("%d misses during corruption reads (rejection must fail over, not miss)", d)
+	}
+	t.Logf("corruption: %d/%d entries damaged, torn=%d failovers=%d over 10 rounds", len(damaged), keys, torn, fails)
+
+	// Overwrite cures: fresh SETs replace the damaged bytes, the victim
+	// serves everything again, and reads stop tearing.
+	for k := range damaged {
+		want[k] = append([]byte("cured-"), k...)
+		if err := cl.Set(ctx, []byte(k), want[k]); err != nil {
+			t.Fatalf("curing set %q: %v", k, err)
+		}
+	}
+	for k := range clean {
+		clean[k] = true
+	}
+	probeShard(clean)
+	tornBefore := cl.M.TornRetries.Value()
+	for k, v := range want {
+		got, ok, err := cl.Get(ctx, []byte(k))
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("post-cure get %q: %q %v %v", k, got, ok, err)
+		}
+	}
+	if d := cl.M.TornRetries.Value() - tornBefore; d != 0 {
+		t.Errorf("%d torn reads after overwrite cure (corruption should be gone)", d)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"time"
 
+	"cliquemap/internal/chaos"
 	"cliquemap/internal/core/backend"
 	"cliquemap/internal/core/cell"
 	"cliquemap/internal/core/client"
@@ -310,10 +311,26 @@ func (c *Cell) Stats() Stats {
 // Remote tools read the same data over the Debug RPC (cmstat -trace).
 func (c *Cell) Tracer() *trace.Tracer { return c.c.Tracer }
 
+// Chaos exposes the cell's fault-injection plane: one seeded registry
+// for every hazard class (crashes, partitions, packet loss, RPC failure
+// rates, engine brownouts, memory corruption, config staleness) plus the
+// scenario presets ("brownout", "partition-heal", "corruption-soak",
+// "rolling-crash"). See DESIGN.md's fault-model section.
+func (c *Cell) Chaos() *chaos.Plane { return c.c.Chaos() }
+
+// ChaosEngine builds a schedule-driven fault engine for a named preset;
+// the same (preset, seed) pair always produces the same schedule.
+func (c *Cell) ChaosEngine(preset string, seed uint64) (*chaos.Engine, error) {
+	return c.c.ChaosEngine(preset, seed)
+}
+
 // SetEngineDelay injects extra per-command service time into the NIC
 // serving a shard — fault injection for the slow-op tracing plane.
+//
+// Deprecated: this is the chaos plane's brownout actuator; inject via
+// Chaos().Brownout so the hazard is seeded and counted.
 func (c *Cell) SetEngineDelay(shard int, delay time.Duration) {
-	c.c.SetEngineDelay(shard, uint64(delay.Nanoseconds()))
+	c.c.Chaos().Brownout(shard, uint64(delay.Nanoseconds()))
 }
 
 // Internal exposes the underlying cell for the benchmark harness. It is
@@ -367,6 +384,9 @@ type ClientStats struct {
 	Sets               uint64
 	Retries            uint64
 	RPCFallbacks       uint64
+	Hedges, HedgeWins  uint64
+	Failovers          uint64
+	BudgetDenied       uint64
 	GetP50, GetP99     time.Duration
 }
 
@@ -380,6 +400,10 @@ func (c *Client) Stats() ClientStats {
 		Sets:         m.Sets.Value(),
 		Retries:      m.RetryCount(),
 		RPCFallbacks: m.RPCFallbacks.Value(),
+		Hedges:       m.Hedges.Value(),
+		HedgeWins:    m.HedgeWins.Value(),
+		Failovers:    m.Failovers.Value(),
+		BudgetDenied: m.BudgetDenied.Value(),
 		GetP50:       time.Duration(m.GetLatency.Percentile(50)),
 		GetP99:       time.Duration(m.GetLatency.Percentile(99)),
 	}

@@ -30,9 +30,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"time"
 
 	"cliquemap"
+	"cliquemap/internal/chaos"
 	"cliquemap/internal/workload"
 )
 
@@ -50,6 +52,8 @@ func main() {
 	evict := flag.String("evict", "lru", "eviction policy: lru, arc, clock, slfu")
 	maintain := flag.Bool("maintain", false, "inject a planned maintenance mid-run")
 	crash := flag.Bool("crash", false, "inject a crash + restart mid-run")
+	chaosPreset := flag.String("chaos", "", "run a chaos schedule during the workload: brownout, partition-heal, corruption-soak, rolling-crash")
+	chaosSeed := flag.Uint64("chaosseed", 1, "chaos schedule seed (same seed = same schedule)")
 	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 	flag.Parse()
@@ -143,8 +147,30 @@ func main() {
 	}
 	mix := workload.NewMix(*getFrac, 2)
 
+	// Chaos schedule: step the engine at evenly-spaced points in the run
+	// so every event (and its heal) lands inside the workload window.
+	var eng *chaos.Engine
+	chaosEvery := 0
+	if *chaosPreset != "" {
+		eng, err = cell.ChaosEngine(*chaosPreset, *chaosSeed)
+		if err != nil {
+			fatal("chaos: %v", err)
+		}
+		chaosEvery = *ops / (eng.Steps() + 1)
+		if chaosEvery == 0 {
+			chaosEvery = 1
+		}
+		fmt.Printf("chaos: preset %q seed %d, %d steps (every %d ops)\n",
+			*chaosPreset, *chaosSeed, eng.Steps(), chaosEvery)
+	}
+
 	start = time.Now()
 	for i := 0; i < *ops; i++ {
+		if eng != nil && !eng.Done() && i > 0 && i%chaosEvery == 0 {
+			if _, serr := eng.Step(ctx); serr != nil {
+				fmt.Fprintf(os.Stderr, "chaos step: %v\n", serr)
+			}
+		}
 		if *maintain && i == *ops/3 {
 			primary := cell.Internal().Store.Get().AddrFor(0)
 			if _, err := cell.PlannedMaintenance(ctx, 0); err != nil {
@@ -176,10 +202,31 @@ func main() {
 	}
 	wall := time.Since(start)
 
+	if eng != nil {
+		// Heal whatever is still injected, then repair and report.
+		if herr := eng.HealAll(ctx); herr != nil {
+			fmt.Fprintf(os.Stderr, "chaos heal: %v\n", herr)
+		}
+		if n, rerr := cell.RepairAll(ctx); rerr == nil {
+			fmt.Printf("chaos healed; post-fault repair issued %d repairs\n", n)
+		}
+		counters := eng.Counters()
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("chaos injections:")
+		for _, name := range names {
+			fmt.Printf(" %s=%d", name, counters[name])
+		}
+		fmt.Println()
+	}
+
 	cs := cl.Stats()
 	fmt.Printf("\n%d ops in %v (%.0f ops/s real)\n", *ops, wall.Round(time.Millisecond), float64(*ops)/wall.Seconds())
-	fmt.Printf("client: gets=%d hits=%d misses=%d sets=%d retries=%d rpc_fallbacks=%d\n",
-		cs.Gets, cs.Hits, cs.Misses, cs.Sets, cs.Retries, cs.RPCFallbacks)
+	fmt.Printf("client: gets=%d hits=%d misses=%d sets=%d retries=%d rpc_fallbacks=%d hedges=%d failovers=%d budget_denied=%d\n",
+		cs.Gets, cs.Hits, cs.Misses, cs.Sets, cs.Retries, cs.RPCFallbacks, cs.Hedges, cs.Failovers, cs.BudgetDenied)
 	fmt.Printf("modelled GET latency: p50=%v p99=%v\n", cs.GetP50, cs.GetP99)
 	fmt.Printf("cell: %v\n", cell.Stats())
 	tr := cell.Tracer()

@@ -204,6 +204,23 @@ func printDebug(cur, prev *snapshot, showTrace bool) {
 		w.Flush()
 	}
 
+	if len(dbg.Hazards) > 0 {
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nHAZARD\tINJECTIONS")
+		for _, hz := range dbg.Hazards {
+			fmt.Fprintf(w, "%s\t%d\n", hz.Name, hz.Count)
+		}
+		w.Flush()
+	}
+	if len(dbg.Health) > 0 {
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nREPLICA\tHEALTH\tDEMOTED")
+		for _, rh := range dbg.Health {
+			fmt.Fprintf(w, "%s\t%.2f\t%v\n", rh.Addr, float64(rh.ScoreMilli)/1000, rh.Demoted)
+		}
+		w.Flush()
+	}
+
 	if !showTrace {
 		return
 	}

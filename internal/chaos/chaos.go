@@ -1,0 +1,551 @@
+// Package chaos is CliqueMap's unified fault-injection plane: one seeded
+// registry through which every hazard class the system defends against is
+// injected, scheduled, counted, and healed.
+//
+// The paper's §5.4 catalogues the hazards production surfaced — transient
+// RPC failures, dirty quorums from crashed or migrating backends, torn and
+// corrupt reads caught by checksum self-validation (§3) — and leans on
+// client-side retries as the universal handler. Besta & Hoefler's fault-
+// tolerance work for RMA programming models argues such systems need an
+// explicit, systematic fault model precisely because one-sided reads
+// bypass the server software that would otherwise detect failure; Aguilera
+// et al. show correctness under RDMA failures hinges on adversarially
+// scheduled partitions and crashes. This package is that fault model made
+// executable:
+//
+//   - Hazard taxonomy: crash/restart, network partition, asymmetric
+//     packet loss, transient RPC failure rates, NIC-engine brownouts,
+//     registered-memory bit corruption, and config-store staleness.
+//   - Plane: the single front door that applies any hazard through a
+//     Surface (implemented by the cell), deriving every actuator's seed
+//     from one master seed and tallying injections into hazard counters
+//     (mirrored to the cell tracer for cmstat / Prometheus).
+//   - Schedule: a deterministic event list — a pure function of
+//     (preset, seed, shards) — with per-event auto-heal steps.
+//   - Engine: applies a schedule step by step from a test or cmcell's
+//     workload loop, and can force-heal everything outstanding so soak
+//     oracles can assert post-fault convergence.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cliquemap/internal/trace"
+)
+
+// Hazard enumerates the injectable fault classes.
+type Hazard uint8
+
+const (
+	HazardCrash Hazard = iota
+	HazardRestart
+	HazardPartition
+	HazardLinkLoss
+	HazardRPCFail
+	HazardBrownout
+	HazardCorruption
+	HazardConfigStale
+	HazardHeal
+	numHazards
+)
+
+// String names the hazard for counters and schedule dumps.
+func (h Hazard) String() string {
+	switch h {
+	case HazardCrash:
+		return "crash"
+	case HazardRestart:
+		return "restart"
+	case HazardPartition:
+		return "partition"
+	case HazardLinkLoss:
+		return "link-loss"
+	case HazardRPCFail:
+		return "rpc-fail"
+	case HazardBrownout:
+		return "brownout"
+	case HazardCorruption:
+		return "corruption"
+	case HazardConfigStale:
+		return "config-stale"
+	case HazardHeal:
+		return "heal"
+	}
+	return fmt.Sprintf("hazard-%d", uint8(h))
+}
+
+// Surface is what the plane drives — implemented by the cell. Methods use
+// only basic types so the plane stays import-cycle-free of core packages.
+type Surface interface {
+	// Shards returns the logical shard count (targets are 0..Shards-1).
+	Shards() int
+	// Crash kills shard's backend task (server stops, NICs down).
+	Crash(shard int)
+	// Restart brings shard's backend back empty and kicks off repair.
+	Restart(ctx context.Context, shard int) error
+	// SetRPCFailRate makes shard's server fail the given fraction of calls
+	// transiently; rate 0 heals.
+	SetRPCFailRate(shard int, rate float64, seed int64)
+	// SetEngineDelay injects ns of NIC-engine service delay on shard's
+	// host (pony + 1RMA + RPC handler cost); 0 heals.
+	SetEngineDelay(shard int, ns uint64)
+	// PartitionShard cuts shard's host off from every other host.
+	PartitionShard(shard int)
+	// SetShardLinkLoss applies fractional symmetric packet loss between
+	// shard's host and the rest of the cell; 0 heals that shard's links.
+	SetShardLinkLoss(shard int, loss float64)
+	// HealPartitions removes every partition and loss rule.
+	HealPartitions()
+	// CorruptData flips one bit in up to n live entries on shard's
+	// backend, returning the damaged keys.
+	CorruptData(shard int, n int, seed uint64) [][]byte
+	// SetConfigStale pins (true) or unpins (false) the config store's
+	// read snapshot.
+	SetConfigStale(stale bool)
+}
+
+// Plane is the unified fault-injection front door. Every injection —
+// scheduled by an Engine or invoked directly — goes through one of its
+// methods, which derive per-actuator seeds from the master seed, count
+// the hazard, and mirror the count into the cell tracer when attached.
+type Plane struct {
+	sur    Surface
+	seed   uint64
+	subSeq atomic.Uint64
+	tracer atomic.Pointer[trace.Tracer]
+
+	counters [numHazards]atomic.Uint64
+}
+
+// NewPlane binds a plane to a surface under one master seed.
+func NewPlane(sur Surface, seed uint64) *Plane {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Plane{sur: sur, seed: seed}
+}
+
+// SetTracer mirrors hazard counts into t (for cmstat / Prometheus).
+func (p *Plane) SetTracer(t *trace.Tracer) { p.tracer.Store(t) }
+
+// Seed returns the master seed.
+func (p *Plane) Seed() uint64 { return p.seed }
+
+// subSeed derives a fresh deterministic actuator seed from the master
+// seed (splitmix64 over an injection sequence number).
+func (p *Plane) subSeed() uint64 {
+	z := p.seed + p.subSeq.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *Plane) note(h Hazard) {
+	p.counters[h].Add(1)
+	if t := p.tracer.Load(); t != nil {
+		t.HazardInc(h.String(), 1)
+	}
+}
+
+// Counters returns the cumulative injection count per hazard name.
+func (p *Plane) Counters() map[string]uint64 {
+	out := make(map[string]uint64, numHazards)
+	for h := Hazard(0); h < numHazards; h++ {
+		if n := p.counters[h].Load(); n > 0 {
+			out[h.String()] = n
+		}
+	}
+	return out
+}
+
+// Crash kills shard's backend.
+func (p *Plane) Crash(shard int) {
+	p.note(HazardCrash)
+	p.sur.Crash(shard)
+}
+
+// Restart revives shard's backend and triggers cohort repair.
+func (p *Plane) Restart(ctx context.Context, shard int) error {
+	p.note(HazardRestart)
+	return p.sur.Restart(ctx, shard)
+}
+
+// RPCFailRate injects transient call failures at shard; rate 0 heals.
+func (p *Plane) RPCFailRate(shard int, rate float64) {
+	if rate > 0 {
+		p.note(HazardRPCFail)
+		p.sur.SetRPCFailRate(shard, rate, int64(p.subSeed()))
+		return
+	}
+	p.note(HazardHeal)
+	p.sur.SetRPCFailRate(shard, 0, 0)
+}
+
+// Brownout injects ns of engine service delay at shard; 0 heals.
+func (p *Plane) Brownout(shard int, ns uint64) {
+	if ns > 0 {
+		p.note(HazardBrownout)
+	} else {
+		p.note(HazardHeal)
+	}
+	p.sur.SetEngineDelay(shard, ns)
+}
+
+// Partition isolates shard's host from the cell.
+func (p *Plane) Partition(shard int) {
+	p.note(HazardPartition)
+	p.sur.PartitionShard(shard)
+}
+
+// LinkLoss applies fractional packet loss on shard's links; 0 heals them.
+func (p *Plane) LinkLoss(shard int, loss float64) {
+	if loss > 0 {
+		p.note(HazardLinkLoss)
+	} else {
+		p.note(HazardHeal)
+	}
+	p.sur.SetShardLinkLoss(shard, loss)
+}
+
+// HealPartitions removes every partition and loss rule.
+func (p *Plane) HealPartitions() {
+	p.note(HazardHeal)
+	p.sur.HealPartitions()
+}
+
+// Corrupt flips one bit in up to n live entries on shard's backend with a
+// derived seed, returning the damaged keys.
+func (p *Plane) Corrupt(shard int, n int) [][]byte {
+	return p.CorruptSeeded(shard, n, p.subSeed())
+}
+
+// CorruptSeeded is Corrupt with an explicit seed (scheduled events carry
+// their own so replays are exact).
+func (p *Plane) CorruptSeeded(shard int, n int, seed uint64) [][]byte {
+	p.note(HazardCorruption)
+	return p.sur.CorruptData(shard, n, seed)
+}
+
+// ConfigStale pins or unpins the config store's read snapshot.
+func (p *Plane) ConfigStale(stale bool) {
+	if stale {
+		p.note(HazardConfigStale)
+	} else {
+		p.note(HazardHeal)
+	}
+	p.sur.SetConfigStale(stale)
+}
+
+// Event is one scheduled injection: fire when the engine reaches Step,
+// auto-revert when it reaches HealStep (<0 = never auto-heal; corruption
+// has no revert — repair and overwrites are the only cure).
+type Event struct {
+	Step   int
+	Hazard Hazard
+	Shard  int     // target shard; -1 = cell-wide
+	Rate   float64 // rpc-fail fraction or link-loss fraction
+	Delay  uint64  // brownout engine delay ns
+	Count  int     // corruption flips
+	Seed   uint64  // per-event actuator seed
+	Heal   int     // step at which the effect reverts; -1 = never
+}
+
+// String renders the event for schedule dumps and determinism checks.
+func (e Event) String() string {
+	return fmt.Sprintf("step=%d %s shard=%d rate=%.3f delay=%d count=%d seed=%d heal=%d",
+		e.Step, e.Hazard, e.Shard, e.Rate, e.Delay, e.Count, e.Seed, e.Heal)
+}
+
+// Schedule is a deterministic fault plan: Events sorted by Step, all
+// fired by Steps steps. Identical (Name, Seed, shards) inputs produce
+// identical schedules.
+type Schedule struct {
+	Name   string
+	Seed   uint64
+	Steps  int
+	Events []Event
+}
+
+// String renders the whole schedule (the determinism-test witness).
+func (s Schedule) String() string {
+	out := fmt.Sprintf("schedule %s seed=%d steps=%d\n", s.Name, s.Seed, s.Steps)
+	for _, e := range s.Events {
+		out += "  " + e.String() + "\n"
+	}
+	return out
+}
+
+// Presets names the built-in scenario schedules.
+func Presets() []string {
+	return []string{"brownout", "partition-heal", "corruption-soak", "rolling-crash"}
+}
+
+// Preset builds a named scenario schedule for a cell of the given shard
+// count. The schedule is a pure function of (name, seed, shards): the
+// same inputs yield byte-identical plans, which is what makes soak
+// failures replayable.
+func Preset(name string, seed uint64, shards int) (Schedule, error) {
+	if shards < 1 {
+		return Schedule{}, fmt.Errorf("chaos: preset needs at least one shard, got %d", shards)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	s := Schedule{Name: name, Seed: seed}
+	victim := rng.Intn(shards)
+	switch name {
+	case "brownout":
+		// Cell-wide transient RPC failures plus one shard's engines running
+		// hot — the retry-storm scenario the token-bucket budget must shed.
+		s.Steps = 10
+		s.Events = append(s.Events,
+			Event{Step: 1, Hazard: HazardRPCFail, Shard: -1, Rate: 0.3, Seed: rng.Uint64(), Heal: 6},
+			Event{Step: 1, Hazard: HazardBrownout, Shard: victim, Delay: 2_000_000, Heal: 6},
+		)
+	case "partition-heal":
+		// One shard's host drops off the fabric, then rejoins; while it is
+		// gone the config store also lags, so refresh-based repair reads a
+		// stale placement.
+		s.Steps = 10
+		s.Events = append(s.Events,
+			Event{Step: 1, Hazard: HazardPartition, Shard: victim, Heal: 6},
+			Event{Step: 2, Hazard: HazardConfigStale, Shard: -1, Heal: 5},
+		)
+	case "corruption-soak":
+		// Repeated bit flips in live registered memory across shards —
+		// checksum self-validation is the only defense. No auto-heal:
+		// repair and overwrites are the cure.
+		s.Steps = 12
+		for step := 2; step <= 8; step += 2 {
+			s.Events = append(s.Events, Event{
+				Step: step, Hazard: HazardCorruption, Shard: rng.Intn(shards),
+				Count: 4 + rng.Intn(5), Seed: rng.Uint64(), Heal: -1,
+			})
+		}
+	case "rolling-crash":
+		// Crash each shard in a random order, restarting one before the
+		// next falls — the rolling-maintenance worst case of §6.1.
+		s.Steps = 2 + 2*shards
+		for i, shard := range rng.Perm(shards) {
+			s.Events = append(s.Events, Event{
+				Step: 1 + 2*i, Hazard: HazardCrash, Shard: shard, Heal: 2 + 2*i,
+			})
+		}
+	default:
+		return Schedule{}, fmt.Errorf("chaos: unknown preset %q (have %v)", name, Presets())
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Step < s.Events[j].Step })
+	return s, nil
+}
+
+// Engine walks a Schedule over a Plane. Callers drive it synchronously —
+// Step from a workload loop or test — so event application interleaves
+// deterministically with offered load. Not safe for concurrent Step
+// calls; the hazards it applies are themselves thread-safe.
+type Engine struct {
+	plane *Plane
+	sched Schedule
+
+	mu      sync.Mutex
+	step    int
+	pending []Event // fired events awaiting their Heal step
+	firstEE error   // first apply error, kept for RunAll's return
+}
+
+// NewEngine binds sched to a fresh plane over sur, seeded by the
+// schedule's seed.
+func NewEngine(sched Schedule, sur Surface) *Engine {
+	return &Engine{plane: NewPlane(sur, sched.Seed), sched: sched}
+}
+
+// Plane exposes the engine's plane (for tracer attachment or ad-hoc
+// injections between steps).
+func (e *Engine) Plane() *Plane { return e.plane }
+
+// SetTracer mirrors hazard counts into t.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.plane.SetTracer(t) }
+
+// Steps returns the schedule length.
+func (e *Engine) Steps() int { return e.sched.Steps }
+
+// StepN returns how many steps have been applied.
+func (e *Engine) StepN() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.step
+}
+
+// Done reports whether the schedule has fully run and healed.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.step >= e.sched.Steps && len(e.pending) == 0
+}
+
+// Step advances one schedule step: heals whose time has come are applied
+// first (a fault window closes before a new one opens), then this step's
+// events fire. Returns the number of events applied.
+func (e *Engine) Step(ctx context.Context) (int, error) {
+	e.mu.Lock()
+	e.step++
+	step := e.step
+	var heals, fires []Event
+	keep := e.pending[:0]
+	for _, ev := range e.pending {
+		if ev.Heal >= 0 && ev.Heal <= step {
+			heals = append(heals, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	e.pending = keep
+	for _, ev := range e.sched.Events {
+		if ev.Step == step {
+			fires = append(fires, ev)
+			if ev.Heal > step {
+				e.pending = append(e.pending, ev)
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	var firstErr error
+	n := 0
+	for _, ev := range heals {
+		if err := e.heal(ctx, ev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n++
+	}
+	for _, ev := range fires {
+		if err := e.apply(ctx, ev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		n++
+	}
+	if firstErr != nil {
+		e.mu.Lock()
+		if e.firstEE == nil {
+			e.firstEE = firstErr
+		}
+		e.mu.Unlock()
+	}
+	return n, firstErr
+}
+
+// RunAll drives the schedule to completion (no pacing) and heals
+// everything outstanding.
+func (e *Engine) RunAll(ctx context.Context) error {
+	for e.StepN() < e.sched.Steps {
+		if _, err := e.Step(ctx); err != nil {
+			return err
+		}
+	}
+	if err := e.HealAll(ctx); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstEE
+}
+
+// HealAll force-reverts every outstanding effect — the end of the fault
+// window, after which soak oracles assert convergence.
+func (e *Engine) HealAll(ctx context.Context) error {
+	e.mu.Lock()
+	pending := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	var firstErr error
+	for _, ev := range pending {
+		if err := e.heal(ctx, ev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// targets expands an event's shard field (-1 = every shard).
+func (e *Engine) targets(ev Event) []int {
+	if ev.Shard >= 0 {
+		return []int{ev.Shard}
+	}
+	n := e.plane.sur.Shards()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func (e *Engine) apply(ctx context.Context, ev Event) error {
+	switch ev.Hazard {
+	case HazardCrash:
+		for _, s := range e.targets(ev) {
+			e.plane.Crash(s)
+		}
+	case HazardRestart:
+		for _, s := range e.targets(ev) {
+			if err := e.plane.Restart(ctx, s); err != nil {
+				return err
+			}
+		}
+	case HazardPartition:
+		for _, s := range e.targets(ev) {
+			e.plane.Partition(s)
+		}
+	case HazardLinkLoss:
+		for _, s := range e.targets(ev) {
+			e.plane.LinkLoss(s, ev.Rate)
+		}
+	case HazardRPCFail:
+		for _, s := range e.targets(ev) {
+			e.plane.RPCFailRate(s, ev.Rate)
+		}
+	case HazardBrownout:
+		for _, s := range e.targets(ev) {
+			e.plane.Brownout(s, ev.Delay)
+		}
+	case HazardCorruption:
+		for _, s := range e.targets(ev) {
+			e.plane.CorruptSeeded(s, ev.Count, ev.Seed)
+		}
+	case HazardConfigStale:
+		e.plane.ConfigStale(true)
+	}
+	return nil
+}
+
+// heal reverts one fired event.
+func (e *Engine) heal(ctx context.Context, ev Event) error {
+	switch ev.Hazard {
+	case HazardCrash:
+		for _, s := range e.targets(ev) {
+			if err := e.plane.Restart(ctx, s); err != nil {
+				return err
+			}
+		}
+	case HazardPartition, HazardLinkLoss:
+		e.plane.HealPartitions()
+	case HazardRPCFail:
+		for _, s := range e.targets(ev) {
+			e.plane.RPCFailRate(s, 0)
+		}
+	case HazardBrownout:
+		for _, s := range e.targets(ev) {
+			e.plane.Brownout(s, 0)
+		}
+	case HazardConfigStale:
+		e.plane.ConfigStale(false)
+	}
+	return nil
+}
+
+// Counters returns the engine's cumulative injections per hazard name.
+func (e *Engine) Counters() map[string]uint64 { return e.plane.Counters() }

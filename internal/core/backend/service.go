@@ -193,6 +193,14 @@ func (b *Backend) registerHandlers() {
 			}
 			resp.SlowOps = debugOps(snap.Slow)
 			resp.Exemplars = debugOps(snap.Exemplars)
+			for _, hz := range snap.Hazards {
+				resp.Hazards = append(resp.Hazards, proto.DebugHazard{Name: hz.Name, Count: hz.Count})
+			}
+			for _, rh := range snap.Health {
+				resp.Health = append(resp.Health, proto.DebugHealth{
+					Addr: rh.Addr, ScoreMilli: uint64(rh.Score * 1000), Demoted: rh.Demoted,
+				})
+			}
 		}
 		if b.acct != nil {
 			for _, comp := range b.acct.Components() {
@@ -300,8 +308,32 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 			})
 		}
 	}
+	resp.Items = append(resp.Items, b.tombstoneScanItems(r.Shard, shards)...)
 	resp.Done = true
 	return resp
+}
+
+// tombstoneScanItems lists the live (cached) tombstones for shard as scan
+// items, so repair sees erases as first-class versioned state. Tombstones
+// evicted into the §5.2 coarse summary are not enumerable; the summary
+// still blocks stale SETs, and the residual resurrection window (repair
+// from a replica that never saw the erase) is bounded by the cache
+// capacity.
+func (b *Backend) tombstoneScanItems(shard, shards int) []proto.ScanItem {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	var out []proto.ScanItem
+	for k, v := range b.tomb.entries {
+		h := b.opt.Hash([]byte(k))
+		if shard >= 0 && shards > 0 && int(h.Hi%uint64(shards)) != shard {
+			continue
+		}
+		out = append(out, proto.ScanItem{
+			HashHi: h.Hi, HashLo: h.Lo, Version: v,
+			Key: []byte(k), Tombstone: true,
+		})
+	}
+	return out
 }
 
 // RepairShard runs the §5.4 repair procedure for shard s, which this
@@ -329,6 +361,9 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			view.local = true
 			for _, it := range b.Items(s, cfg.Shards) {
 				view.items[string(it.Key)] = proto.ScanItem{Key: it.Key, Version: it.Version}
+			}
+			for _, it := range b.tombstoneScanItems(s, cfg.Shards) {
+				view.items[string(it.Key)] = it
 			}
 		} else {
 			cursor := uint64(0)
@@ -367,6 +402,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 		var versions []truetime.Version
 		bestIdx := -1
 		var bestV truetime.Version
+		bestTomb := false
 		for i, v := range views {
 			it, ok := v.items[k]
 			if !ok {
@@ -375,7 +411,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			}
 			versions = append(versions, it.Version)
 			if bestIdx < 0 || bestV.Less(it.Version) {
-				bestIdx, bestV = i, it.Version
+				bestIdx, bestV, bestTomb = i, it.Version, it.Tombstone
 			}
 		}
 		clean := true
@@ -389,52 +425,62 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			continue
 		}
 
-		// Fetch the authoritative value from the highest-versioned holder.
+		// Settle the laggards AT bestV — never a fresh dominating version.
+		// Repair's view is a snapshot: a client mutation can land between
+		// the scan and this settle, and a settle stamped with a version
+		// above everything would clobber it (a lost acked write). At
+		// bestV, every install re-validates version monotonicity under
+		// the stripe lock, so a concurrent newer mutation wins and the
+		// next sweep re-evaluates — repair converges without ever racing
+		// ahead of the write path.
+		if bestTomb {
+			// Newest state is an ERASE: propagate the tombstone. Replicas
+			// still holding the value missed the erase; re-erasing at the
+			// tombstone's version completes it (§5.2) without resurrection.
+			for i, v := range views {
+				if versions[i] == bestV {
+					continue
+				}
+				if v.local {
+					b.applyErase([]byte(k), bestV)
+				} else {
+					client.Call(ctx, v.addr, proto.MethodErase, proto.EraseReq{Key: []byte(k), Version: bestV}.Marshal())
+				}
+			}
+			repaired++
+			continue
+		}
+
+		// Newest state is a value: fetch it, requiring it still carries
+		// bestV — if the holder moved on, a newer mutation is already
+		// settling this key and the next sweep re-evaluates.
 		var value []byte
 		var found bool
 		if views[bestIdx].local {
-			value, _, found = b.localGet([]byte(k))
+			var ver truetime.Version
+			value, ver, found = b.localGet([]byte(k))
+			found = found && ver == bestV
 		} else {
 			resp, _, cerr := client.Call(ctx, views[bestIdx].addr, proto.MethodGet, proto.GetReq{Key: []byte(k)}.Marshal())
 			if cerr == nil {
 				g, gerr := proto.UnmarshalGetResp(resp)
-				if gerr == nil && g.Found {
+				if gerr == nil && g.Found && g.Version == bestV {
 					value, found = g.Value, true
 				}
 			}
 		}
 		if !found {
-			continue // value vanished (erase racing the repair); skip
-		}
-
-		// Settle every replica on fresh version N. N must dominate the
-		// highest version any replica holds — under clock skew the local
-		// TrueTime bound may lag a version nominated by a fast client, so
-		// bump above it explicitly (ClientID and Seq keep N unique).
-		n := b.gen.Next()
-		if !bestV.Less(n) {
-			n = truetime.Version{Micros: bestV.Micros + 1, ClientID: n.ClientID, Seq: n.Seq}
+			continue
 		}
 		for i, v := range views {
-			hasKey := !versions[i].Zero()
-			if v.local {
-				if hasKey {
-					b.applyUpdateVersion([]byte(k), n)
-				} else {
-					b.applySet([]byte(k), value, n)
-				}
+			if versions[i] == bestV {
 				continue
 			}
-			var method string
-			var payload []byte
-			if hasKey {
-				method = proto.MethodUpdateVersion
-				payload = proto.UpdateVersionReq{Key: []byte(k), Version: n}.Marshal()
+			if v.local {
+				b.applySet([]byte(k), value, bestV)
 			} else {
-				method = proto.MethodSet
-				payload = proto.SetReq{Key: []byte(k), Value: value, Version: n, Repair: true}.Marshal()
+				client.Call(ctx, v.addr, proto.MethodSet, proto.SetReq{Key: []byte(k), Value: value, Version: bestV, Repair: true}.Marshal())
 			}
-			client.Call(ctx, v.addr, method, payload)
 		}
 		repaired++
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"cliquemap/internal/chaos"
 	"cliquemap/internal/core/backend"
 	"cliquemap/internal/core/client"
 	"cliquemap/internal/core/config"
@@ -102,6 +103,9 @@ type Cell struct {
 	nextClient  int
 	clientIDSeq uint64
 	repairStop  chan struct{}
+
+	chaosOnce  sync.Once
+	chaosPlane *chaos.Plane
 }
 
 // New builds and starts a cell.
@@ -367,11 +371,88 @@ func (c *Cell) bumpConfig(mutate func(*config.CellConfig)) config.CellConfig {
 	return next
 }
 
+// The cell is the chaos plane's actuation surface: every hazard class the
+// plane can inject maps to one of the methods below.
+var _ chaos.Surface = (*Cell)(nil)
+
+// Chaos returns the cell's unified fault-injection plane (lazily built,
+// seeded from the fabric seed so a whole cell's fault behaviour replays
+// from one number). Every ad-hoc injection should go through it; the
+// legacy hooks below remain as the leaf actuators it drives.
+func (c *Cell) Chaos() *chaos.Plane {
+	c.chaosOnce.Do(func() {
+		c.chaosPlane = chaos.NewPlane(c, c.Fabric.Params().Seed)
+		c.chaosPlane.SetTracer(c.Tracer)
+	})
+	return c.chaosPlane
+}
+
+// ChaosEngine builds a schedule-driven engine over this cell for the
+// named preset. The returned engine mirrors hazard counts into the cell
+// tracer; drive it with Step from the workload loop.
+func (c *Cell) ChaosEngine(preset string, seed uint64) (*chaos.Engine, error) {
+	sched, err := chaos.Preset(preset, seed, c.opt.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := chaos.NewEngine(sched, c)
+	e.SetTracer(c.Tracer)
+	return e, nil
+}
+
+// Shards returns the logical shard count (chaos.Surface).
+func (c *Cell) Shards() int { return c.opt.Shards }
+
+// SetRPCFailRate makes the server currently holding shard fail the given
+// fraction of calls transiently (chaos.Surface actuator over
+// rpc.Server.SetFailRate).
+func (c *Cell) SetRPCFailRate(shard int, rate float64, seed int64) {
+	b := c.Backend(shard)
+	if b != nil {
+		b.Server().SetFailRate(rate, seed)
+	}
+}
+
+// PartitionShard cuts the host serving shard off from every other host
+// (chaos.Surface actuator over fabric.IsolateHost).
+func (c *Cell) PartitionShard(shard int) {
+	if host := c.Store.Get().HostFor(shard); host >= 0 {
+		c.Fabric.IsolateHost(host)
+	}
+}
+
+// SetShardLinkLoss applies fractional symmetric packet loss between the
+// shard's host and the rest of the cell; 0 heals those links.
+func (c *Cell) SetShardLinkLoss(shard int, loss float64) {
+	if host := c.Store.Get().HostFor(shard); host >= 0 {
+		c.Fabric.SetHostLoss(host, loss)
+	}
+}
+
+// HealPartitions removes every partition and loss rule from the fabric.
+func (c *Cell) HealPartitions() { c.Fabric.HealLinks() }
+
+// CorruptData flips one bit in up to n live DataEntries on the backend
+// serving shard, returning the damaged keys (chaos.Surface actuator over
+// backend.CorruptEntries).
+func (c *Cell) CorruptData(shard int, n int, seed uint64) [][]byte {
+	b := c.Backend(shard)
+	if b == nil {
+		return nil
+	}
+	return b.CorruptEntries(n, seed)
+}
+
+// SetConfigStale pins or unpins the config store's read snapshot
+// (chaos.Surface actuator over config.Store.SetStale).
+func (c *Cell) SetConfigStale(stale bool) { c.Store.SetStale(stale) }
+
 // SetEngineDelay injects extra per-command service time into the node
-// serving shard s — a fault-injection hook for exercising the slow-op
-// tracing plane (an overloaded or misbehaving serving engine). The delay
-// covers both the one-sided path (Pony Express engine visits) and the
-// two-sided data RPCs, so GETs and mutation quorum legs both see it.
+// serving shard s — the chaos plane's Brownout actuator (an overloaded
+// or misbehaving serving engine). The delay covers the one-sided path
+// (Pony Express or 1RMA engine visits) and the two-sided data RPCs, so
+// GETs and mutation quorum legs both see it. Prefer injecting through
+// Chaos().Brownout so the injection is seeded and counted.
 func (c *Cell) SetEngineDelay(shard int, ns uint64) {
 	host := c.Store.Get().HostFor(shard)
 	if host < 0 {
@@ -383,6 +464,9 @@ func (c *Cell) SetEngineDelay(shard int, ns uint64) {
 	}
 	if n.ponyNIC != nil {
 		n.ponyNIC.SetServiceDelay(ns)
+	}
+	if n.oneNIC != nil {
+		n.oneNIC.SetServiceDelay(ns)
 	}
 	srv := n.b.Server()
 	for _, m := range []string{proto.MethodGet, proto.MethodSet, proto.MethodErase, proto.MethodCas} {

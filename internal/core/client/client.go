@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cliquemap/internal/core/config"
 	"cliquemap/internal/core/layout"
@@ -86,6 +87,11 @@ type Metrics struct {
 	QuorumRetries          stats.Counter // preferred backend outside quorum (§5.1)
 	Inquorate              stats.Counter
 	RPCFallbacks           stats.Counter // overflow-bit / final RPC lookups
+	Hedges                 stats.Counter // backup data reads issued past the hedge delay
+	HedgeWins              stats.Counter // hedged reads that beat the primary
+	Failovers              stats.Counter // data reads absorbed by a backup quorum member
+	BudgetDenied           stats.Counter // retries refused by the retry budget
+	BackoffNs              stats.Counter // virtual ns spent backing off
 	GetLatency, SetLatency stats.Histogram
 }
 
@@ -106,6 +112,19 @@ type Options struct {
 	// Tracer, when set, records every completed op (kind, transport,
 	// attempts, per-layer spans) into the cell's telemetry plane.
 	Tracer *trace.Tracer
+	// Backoff paces retries; zero fields take defaults (20µs base, 2ms
+	// cap, 50% jitter). The pause is billed as virtual latency.
+	Backoff BackoffPolicy
+	// Budget bounds retry amplification across all of this client's ops;
+	// nil gets a private default budget (10 tokens, 0.1 credit/success).
+	Budget *RetryBudget
+	// NoHedge disables backup-replica hedged/failover data reads.
+	NoHedge bool
+	// NoHealth disables per-replica health scoring and demotion.
+	NoHealth bool
+	// Seed perturbs the client's jitter/probe randomness; 0 derives from
+	// ID so distinct clients desynchronize by default.
+	Seed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +133,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Hash == nil {
 		o.Hash = hashring.DefaultHash
+	}
+	o.Backoff = o.Backoff.withDefaults()
+	if o.Budget == nil {
+		o.Budget = NewRetryBudget(0, 0)
+	}
+	if o.Seed == 0 {
+		o.Seed = o.ID*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
 	}
 	return o
 }
@@ -148,6 +174,10 @@ type Client struct {
 	hellos map[string]proto.HelloResp // by backend addr
 	touchQ map[string][][]byte        // by backend addr
 
+	health   healthState   // per-replica demotion scores
+	rngState atomic.Uint64 // jitter/probe randomness (xorshift)
+	dataEWMA atomic.Uint64 // rolling data-read latency, drives hedging
+
 	M Metrics
 }
 
@@ -176,6 +206,7 @@ func New(opt Options, store *config.Store, rpcc rpc.Caller, clock truetime.Clock
 		hellos: make(map[string]proto.HelloResp),
 		touchQ: make(map[string][][]byte),
 	}
+	c.rngState.Store(opt.Seed)
 	c.cfg = store.Get()
 	return c
 }
@@ -315,6 +346,17 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 		if ctx.Err() != nil {
 			return nil, false, total, ErrExhausted
 		}
+		if attempt > 0 {
+			// Retries spend from the shared budget and pace themselves
+			// with jittered exponential backoff billed as virtual time.
+			if !c.opt.Budget.TryTake() {
+				c.M.BudgetDenied.Inc()
+				return nil, false, total, fmt.Errorf("%w: retry budget empty", ErrExhausted)
+			}
+			ns := c.opt.Backoff.delay(attempt, c.rand64())
+			total.AddSpan(trace.SpanBackoff, uint32(attempt), ns)
+			c.M.BackoffNs.Add(ns)
+		}
 		if sc != nil {
 			sc.Attempt = uint32(attempt)
 		}
@@ -322,6 +364,7 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 		val, ok, atr, aerr := c.attemptGet(ctx, key)
 		total.Sequence(atr)
 		if aerr == nil {
+			c.opt.Budget.Credit()
 			if ok {
 				c.M.Hits.Inc()
 				c.noteTouch(key)
@@ -340,10 +383,16 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 		c.classifyAndRepair(ctx, key, aerr)
 	}
 	// Final fallback: a plain RPC lookup against any reachable replica —
-	// CliqueMap always keeps an RPC path for lookups (§3, Table 1).
+	// CliqueMap always keeps an RPC path for lookups (§3, Table 1). The
+	// fallback is itself another attempt, so it too costs a retry token.
 	if !c.opt.NoFallback {
+		if !c.opt.Budget.TryTake() {
+			c.M.BudgetDenied.Inc()
+			return nil, false, total, fmt.Errorf("%w: retry budget empty", ErrExhausted)
+		}
 		if val, ok, ftr, ferr := c.rpcGetAny(ctx, key); ferr == nil {
 			total.Sequence(ftr)
+			c.opt.Budget.Credit()
 			c.M.RPCFallbacks.Inc()
 			if ok {
 				c.M.Hits.Inc()
@@ -376,6 +425,10 @@ func (c *Client) classifyAndRepair(ctx context.Context, key []byte, err error) {
 	case errors.Is(err, rpc.ErrUnavailable) || errors.Is(err, nic.ErrUnreachable):
 		c.M.WindowRetries.Inc()
 		c.refreshConfig()
+		// A cached one-sided conn can point at a NIC that no longer
+		// exists (crash/restart replaces the node's engines); re-dial so
+		// the RMA path recovers instead of leaning on the RPC fallback.
+		c.forgetConns()
 	case isWindowErr(err):
 		c.M.WindowRetries.Inc()
 		if staleAddr != "" {
@@ -395,6 +448,14 @@ func (c *Client) classifyAndRepair(ctx context.Context, key []byte, err error) {
 func (c *Client) forgetAll() {
 	c.mu.Lock()
 	c.hellos = make(map[string]proto.HelloResp)
+	c.mu.Unlock()
+}
+
+// forgetConns drops cached one-sided connections; the next attempt
+// re-dials against the hosts' current NICs.
+func (c *Client) forgetConns() {
+	c.mu.Lock()
+	c.conns = make(map[int]nic.RMA)
 	c.mu.Unlock()
 }
 
@@ -477,7 +538,13 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 			views = append(views, indexView{err: errs[i]})
 			continue
 		}
-		views = append(views, c.fetchIndex(at, key, h, reps[i]))
+		v := c.fetchIndex(at, key, h, reps[i])
+		if v.err != nil {
+			c.noteReplicaFailure(reps[i].addr)
+		} else {
+			c.noteReplicaSuccess(reps[i].addr)
+		}
+		views = append(views, v)
 	}
 	return c.assembleGet(ctx, at, key, h, cfg, views)
 }
@@ -653,59 +720,119 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		return nil, false, tr, nil
 	}
 
-	// Preferred backend: the fastest replica that is a quorum member
-	// (§5.1 — speculate on the first responder).
-	var preferred indexView
-	havePreferred := false
+	// Candidate data sources: quorum members holding the winning version,
+	// fastest first (§5.1 — speculate on the first responder), with
+	// health-demoted members sorted last so a browned-out backend serves
+	// data only when no healthy member can.
+	var candArr [8]indexView
+	var demArr [8]bool
+	cands := candArr[:0]
 	for _, v := range views {
-		if v.err == nil && v.present && v.entry.Version == winner.ver {
-			if !havePreferred || v.trace.Ns < preferred.trace.Ns {
-				preferred = v
-				havePreferred = true
-			}
+		if v.err == nil && v.present && v.entry.Version == winner.ver && len(cands) < len(candArr) {
+			demArr[len(cands)] = c.replicaDemoted(v.rep.addr)
+			cands = append(cands, v)
 		}
 	}
-	if !havePreferred {
+	if len(cands) == 0 {
 		return nil, false, tr, ErrInquorate
 	}
-
-	// SCAR already carried the data from every member; use the preferred
-	// copy. 2×R issues the second, dependent read now.
-	var raw []byte
-	if preferred.scarData != nil {
-		raw = preferred.scarData
-	} else if c.opt.Strategy == StrategySCAR {
-		// Scan missed on the wire (e.g. racing rewrite): retryable.
-		return nil, false, tr, layout.ErrTornRead
-	} else {
-		c.chargeCPU(cpu2xR / 2)
-		e := preferred.entry
-		dataAt := uint64(0)
-		if at != 0 {
-			dataAt = at + tr.Ns // the data fetch follows the index phase
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (!demArr[j] && demArr[j-1] ||
+			demArr[j] == demArr[j-1] && cands[j].trace.Ns < cands[j-1].trace.Ns); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+			demArr[j], demArr[j-1] = demArr[j-1], demArr[j]
 		}
-		dataStart := tr.Ns
-		data, dtr, derr := preferred.rep.conn.Read(dataAt, e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
-		tr.Sequence(dtr)
-		tr.Annotate(trace.SpanDataRead, uint32(preferred.rep.shard), dataStart, dtr.Ns)
+	}
+
+	// Read the data, failing over along the candidate list: a torn,
+	// corrupt, or unreachable copy costs one more dependent read instead
+	// of a whole-op retry. The checksum (§3) is the only corruption
+	// defense, so every absorbed failure is counted.
+	var lastErr error = ErrInquorate
+	for ci := range cands {
+		cand := cands[ci]
+		backup := ci == 0 && len(cands) > 1
+		var raw []byte
+		if cand.scarData != nil {
+			raw = cand.scarData
+		} else if c.opt.Strategy == StrategySCAR {
+			// Scan missed on the wire (e.g. racing rewrite): retryable.
+			lastErr = layout.ErrTornRead
+			continue
+		} else {
+			c.chargeCPU(cpu2xR / 2)
+			e := cand.entry
+			dataAt := uint64(0)
+			if at != 0 {
+				dataAt = at + tr.Ns // the data fetch follows the index phase
+			}
+			dataStart := tr.Ns
+			data, dtr, derr := cand.rep.conn.Read(dataAt, e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
+			if derr != nil {
+				tr.Sequence(dtr)
+				c.noteReplicaFailure(cand.rep.addr)
+				lastErr = c.wrapTransportErr(cand.rep, derr)
+				if ci < len(cands)-1 {
+					c.M.Failovers.Inc()
+				}
+				continue
+			}
+			c.observeDataNs(dtr.Ns)
+			// Hedge: the primary's read exceeded the rolling threshold, so
+			// (in wall-time terms) a backup read launched at +hedgeAfter
+			// may complete first; the op takes whichever finishes sooner.
+			if hedgeAfter := c.hedgeAfterNs(); backup && hedgeAfter > 0 && dtr.Ns > hedgeAfter {
+				c.M.Hedges.Inc()
+				b := cands[1]
+				hAt := uint64(0)
+				if at != 0 {
+					hAt = at + tr.Ns + hedgeAfter
+				}
+				hdata, htr, herr := b.rep.conn.Read(hAt, b.entry.Ptr.Window, int(b.entry.Ptr.Offset), int(b.entry.Ptr.Size))
+				if herr == nil && hedgeAfter+htr.Ns < dtr.Ns {
+					if hde, hderr := layout.DecodeDataEntry(hdata); hderr == nil && hde.ValidateAgainst(key, &winner.ver) == nil {
+						if hval, hmerr := hde.MaterializeValue(); hmerr == nil {
+							c.M.HedgeWins.Inc()
+							tr.Annotate(trace.SpanHedge, uint32(b.rep.shard), dataStart+hedgeAfter, htr.Ns)
+							tr.AddBytes(int(htr.Bytes))
+							tr.Add(hedgeAfter + htr.Ns)
+							return hval, true, tr, nil
+						}
+					}
+				}
+			}
+			tr.Sequence(dtr)
+			tr.Annotate(trace.SpanDataRead, uint32(cand.rep.shard), dataStart, dtr.Ns)
+			raw = data
+		}
+		de, derr := layout.DecodeDataEntry(raw)
 		if derr != nil {
-			return nil, false, tr, c.wrapTransportErr(preferred.rep, derr)
+			// ErrTornRead: checksum caught a race or a flipped bit.
+			c.noteReplicaFailure(cand.rep.addr)
+			lastErr = derr
+			if ci < len(cands)-1 {
+				c.M.TornRetries.Inc() // absorbed by failover, not a re-attempt
+				c.M.Failovers.Inc()
+			}
+			continue
 		}
-		raw = data
+		if err := de.ValidateAgainst(key, &winner.ver); err != nil {
+			lastErr = err
+			if ci < len(cands)-1 {
+				c.M.TornRetries.Inc()
+				c.M.Failovers.Inc()
+			}
+			continue
+		}
+		val, merr := de.MaterializeValue()
+		if merr != nil {
+			lastErr = merr
+			continue
+		}
+		c.noteReplicaSuccess(cand.rep.addr)
+		return val, true, tr, nil
 	}
-
-	de, derr := layout.DecodeDataEntry(raw)
-	if derr != nil {
-		return nil, false, tr, derr // ErrTornRead: checksum caught a race
-	}
-	if err := de.ValidateAgainst(key, &winner.ver); err != nil {
-		return nil, false, tr, err
-	}
-	val, merr := de.MaterializeValue()
-	if merr != nil {
-		return nil, false, tr, merr
-	}
-	return val, true, tr, nil
+	return nil, false, tr, lastErr
 }
 
 // attemptGetRPC queries replicas over full RPC and quorums on versions.
@@ -896,10 +1023,10 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 	v := c.gen.Next()
 	req := proto.SetReq{Key: key, Value: value, Version: v}.Marshal()
 	sc, ctx := c.traceOp(ctx, trace.KindSet)
-	tr, err := c.mutateAll(ctx, key, proto.MethodSet, req)
+	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodSet, req, v)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
-		c.opt.Tracer.Record(sc.OpID, trace.KindSet, trace.TransportRPC, 1, tr)
+		c.opt.Tracer.Record(sc.OpID, trace.KindSet, trace.TransportRPC, attempts, tr)
 	}
 	return v, err
 }
@@ -910,114 +1037,138 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 	v := c.gen.Next()
 	req := proto.EraseReq{Key: key, Version: v}.Marshal()
 	sc, ctx := c.traceOp(ctx, trace.KindErase)
-	tr, err := c.mutateAll(ctx, key, proto.MethodErase, req)
+	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodErase, req, v)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
-		c.opt.Tracer.Record(sc.OpID, trace.KindErase, trace.TransportRPC, 1, tr)
+		c.opt.Tracer.Record(sc.OpID, trace.KindErase, trace.TransportRPC, attempts, tr)
 	}
 	return err
 }
 
 // Cas installs value only where the stored version equals expected (§5.2).
-// It reports whether the swap applied.
+// It reports whether the swap applied. CAS rides the same hardened retry
+// loop as Set/Erase; a retry after a partially-acknowledged attempt
+// recognizes its own nominated version as applied, so the decision stays
+// stable across attempts.
 func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
 	c.M.CasOps.Inc()
 	v := c.gen.Next()
 	req := proto.CasReq{Key: key, Value: value, Expected: expected, Version: v}.Marshal()
+	sc, ctx := c.traceOp(ctx, trace.KindCas)
+	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, req, v)
+	if err != nil {
+		return false, err
+	}
+	if sc != nil {
+		c.opt.Tracer.Record(sc.OpID, trace.KindCas, trace.TransportRPC, attempts, tr)
+	}
+	c.mu.Lock()
+	q := c.cfg.Mode.Quorum()
+	c.mu.Unlock()
+	return applied >= q, nil
+}
 
+// mutateAll sends a mutation to every cohort member, requiring a write
+// quorum of acknowledgements (applied or superseded-by-newer both count:
+// the mutation's ordering is settled either way, §5.2/§5.3). Failed
+// fan-outs run through classifyAndRepair exactly like GETs — config
+// refresh, re-handshake, budgeted backoff — replacing the old ad-hoc
+// refresh-and-retry-once loop, so every mutation hazard shares the one
+// §3 repair mechanism. Returns the trace, attempts used, and the count
+// of replicas that reported the mutation applied (CAS semantics).
+func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req []byte, nominated truetime.Version) (fabric.OpTrace, uint32, int, error) {
+	var total fabric.OpTrace
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if ctx.Err() != nil {
+			return total, uint32(attempt), 0, ErrExhausted
+		}
+		if attempt > 0 {
+			if !c.opt.Budget.TryTake() {
+				c.M.BudgetDenied.Inc()
+				return total, uint32(attempt), 0, fmt.Errorf("%w: retry budget empty", ErrExhausted)
+			}
+			ns := c.opt.Backoff.delay(attempt, c.rand64())
+			total.AddSpan(trace.SpanBackoff, uint32(attempt), ns)
+			c.M.BackoffNs.Add(ns)
+		}
+		tr, applied, err := c.mutateOnce(ctx, key, method, req, nominated)
+		total.Sequence(tr)
+		if err == nil {
+			c.opt.Budget.Credit()
+			return total, uint32(attempt + 1), applied, nil
+		}
+		lastErr = err
+		c.classifyAndRepair(ctx, key, err)
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	return total, uint32(c.opt.Retries + 1), 0, lastErr
+}
+
+// mutateOnce is one fan-out to the cohort. A leg whose stored version
+// already equals the nominated version counts as applied: a retry after
+// a partially-acknowledged earlier attempt must recognize its own write
+// (CAS would otherwise read as failed on the replicas it had won).
+func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, req []byte, nominated truetime.Version) (fabric.OpTrace, int, error) {
 	c.mu.Lock()
 	cfg := c.cfg
 	c.mu.Unlock()
 	h := c.opt.Hash(key)
 	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
 
-	sc, ctx := c.traceOp(ctx, trace.KindCas)
 	var tr fabric.OpTrace
-	applied, acked := 0, 0
+	var legArr [8]uint64
+	legNs := legArr[:0]
+	acks, applied := 0, 0
+	var lastErr error
 	for _, shard := range cohort {
 		addr := cfg.AddrFor(shard)
 		if addr == "" {
 			continue
 		}
-		resp, ltr, err := c.rpcc.Call(ctx, addr, proto.MethodCas, req)
+		resp, ltr, err := c.rpcc.Call(ctx, addr, method, req)
 		if err != nil {
+			c.noteReplicaFailure(addr)
+			lastErr = err
 			continue
 		}
 		mr, merr := proto.UnmarshalMutateResp(resp)
 		if merr != nil {
+			lastErr = merr
 			continue
 		}
-		tr.Merge(ltr)
-		acked++
-		if mr.Applied {
+		c.noteReplicaSuccess(addr)
+		acks++
+		if mr.Applied || mr.Stored == nominated {
 			applied++
 		}
-	}
-	if acked < cfg.Mode.Quorum() {
-		return false, ErrUnavailable
-	}
-	if sc != nil {
-		c.opt.Tracer.Record(sc.OpID, trace.KindCas, trace.TransportRPC, 1, tr)
-	}
-	return applied >= cfg.Mode.Quorum(), nil
-}
-
-// mutateAll sends a mutation to every cohort member, requiring a write
-// quorum of acknowledgements (applied or superseded-by-newer both count:
-// the mutation's ordering is settled either way, §5.2/§5.3).
-func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req []byte) (fabric.OpTrace, error) {
-	c.mu.Lock()
-	cfg := c.cfg
-	c.mu.Unlock()
-	h := c.opt.Hash(key)
-	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
-
-	var tr fabric.OpTrace
-	var legNs []uint64
-	acks := 0
-	for attempt := 0; attempt <= 1; attempt++ {
-		acks = 0
-		legNs = legNs[:0]
-		for _, shard := range cohort {
-			addr := cfg.AddrFor(shard)
-			if addr == "" {
-				continue
-			}
-			resp, ltr, err := c.rpcc.Call(ctx, addr, method, req)
-			if err != nil {
-				continue
-			}
-			if _, merr := proto.UnmarshalMutateResp(resp); merr != nil {
-				continue
-			}
-			acks++
-			legNs = append(legNs, ltr.Ns)
-			tr.AddBytes(int(ltr.Bytes))
-			// Replica legs fan out from the op start; spans keep the
-			// common origin.
-			tr.Spans = append(tr.Spans, ltr.Spans...)
-		}
-		if acks >= cfg.Mode.Quorum() {
-			break
-		}
-		// Not enough replicas answered: refresh config (a migration or
-		// restart may have moved shards) and retry once.
-		c.refreshConfig()
-		c.mu.Lock()
-		cfg = c.cfg
-		c.mu.Unlock()
+		legNs = append(legNs, ltr.Ns)
+		tr.AddBytes(int(ltr.Bytes))
+		// Replica legs fan out from the op start; spans keep the
+		// common origin.
+		tr.Spans = append(tr.Spans, ltr.Spans...)
 	}
 	if acks < cfg.Mode.Quorum() {
-		return tr, ErrUnavailable
+		if lastErr == nil {
+			lastErr = ErrUnavailable
+		}
+		return tr, applied, lastErr
 	}
 	// A mutation completes when the write quorum has acked: k-th fastest.
-	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
+	// Cohorts are tiny, so insertion sort stays on the stack.
+	for i := 1; i < len(legNs); i++ {
+		for j := i; j > 0 && legNs[j] < legNs[j-1]; j-- {
+			legNs[j], legNs[j-1] = legNs[j-1], legNs[j]
+		}
+	}
 	q := cfg.Mode.Quorum()
 	if legNs[q-1] > legNs[0] {
 		tr.Annotate(trace.SpanQuorumWait, uint32(q), tr.Ns+legNs[0], legNs[q-1]-legNs[0])
 	}
 	tr.Add(legNs[q-1])
-	return tr, nil
+	return tr, applied, nil
 }
 
 // --------------------------------------------------------------- touch --

@@ -1,0 +1,285 @@
+// Resilience layer: the client-side hardening that turns §3's "retries
+// are the universal hazard handler" into a production policy. Retries are
+// paced by capped exponential backoff (billed as virtual time, so the
+// latency model sees the pause), bounded by a token-bucket retry budget
+// shared across the client's ops (so a brownout cannot amplify offered
+// load without bound), and steered by per-replica health scores that
+// demote browned-out backends from the preferred-read role until a probe
+// succeeds. Slow data reads are hedged to a backup quorum member.
+package client
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BackoffPolicy paces retries: attempt n sleeps min(cap, base<<n) with
+// proportional jitter. The sleep is virtual — it extends the op's
+// modelled latency (SpanBackoff) rather than blocking the goroutine, so
+// simulated experiments stay fast while the latency story stays honest.
+type BackoffPolicy struct {
+	BaseNs     uint64  // first retry's delay (default 20µs)
+	CapNs      uint64  // ceiling (default 2ms)
+	JitterFrac float64 // fraction of the delay randomized (default 0.5)
+}
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.BaseNs == 0 {
+		p.BaseNs = 20_000
+	}
+	if p.CapNs == 0 {
+		p.CapNs = 2_000_000
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// delay computes attempt's backoff (attempt 1 = first retry).
+func (p BackoffPolicy) delay(attempt int, rnd uint64) uint64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseNs
+	for i := 1; i < attempt && d < p.CapNs; i++ {
+		d <<= 1
+	}
+	if d > p.CapNs {
+		d = p.CapNs
+	}
+	jitter := uint64(float64(d) * p.JitterFrac)
+	if jitter > 0 {
+		// rnd is already well-mixed; fold it into [0, jitter).
+		d = d - jitter + rnd%jitter
+	}
+	return d
+}
+
+// RetryBudget is a token bucket debited one token per retry and credited
+// a fraction of a token per success, shared across every op the client
+// runs (§9: unchecked retries turn a brownout into a self-inflicted
+// outage). Tokens are tracked in milli-units so fractional credit stays
+// integer and atomic.
+type RetryBudget struct {
+	milli  atomic.Int64
+	cap    int64 // milli-tokens
+	credit int64 // milli-tokens per success
+}
+
+// NewRetryBudget builds a budget holding capacity tokens, refilled by
+// credit tokens per successful op. Zero values take the defaults
+// (capacity 10, credit 0.1).
+func NewRetryBudget(capacity, credit float64) *RetryBudget {
+	if capacity <= 0 {
+		capacity = 10
+	}
+	if credit <= 0 {
+		credit = 0.1
+	}
+	b := &RetryBudget{cap: int64(capacity * 1000), credit: int64(credit * 1000)}
+	b.milli.Store(b.cap)
+	return b
+}
+
+// TryTake debits one retry token, reporting false when the budget is
+// exhausted — the caller must fail promptly rather than retry.
+func (b *RetryBudget) TryTake() bool {
+	for {
+		cur := b.milli.Load()
+		if cur < 1000 {
+			return false
+		}
+		if b.milli.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// Credit refills the bucket after a successful op, capped at capacity.
+func (b *RetryBudget) Credit() {
+	for {
+		cur := b.milli.Load()
+		next := cur + b.credit
+		if next > b.cap {
+			next = b.cap
+		}
+		if next == cur || b.milli.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Remaining reports whole tokens left (for tests and stats).
+func (b *RetryBudget) Remaining() float64 { return float64(b.milli.Load()) / 1000 }
+
+// Health-score constants. Scores live in milli-units 0..1000: failures
+// pull the score up toward 1000 by healthFailStep, successes decay it
+// multiplicatively. A replica at or above healthDemote is demoted from
+// the preferred-read role; while demoted, one in healthProbeEvery
+// selections is allowed through as a probe so recovery is observed.
+const (
+	healthFailStep   = 300
+	healthDecayNum   = 7 // success: score = score*7/10
+	healthDecayDen   = 10
+	healthDemote     = 500
+	healthRecover    = 250
+	healthProbeEvery = 16
+)
+
+// replicaHealth is one backend's client-observed failure EWMA.
+type replicaHealth struct {
+	scoreMilli int64
+	demoted    bool
+	probes     uint64
+}
+
+// healthState holds per-replica scores behind a single atomic gate: while
+// every replica is healthy (the steady state) the hot path pays one
+// atomic load and never touches the mutex.
+type healthState struct {
+	active atomic.Int32 // number of addrs with nonzero score
+	mu     sync.Mutex
+	m      map[string]*replicaHealth
+}
+
+func (h *healthState) get(addr string) *replicaHealth {
+	if h.m == nil {
+		h.m = make(map[string]*replicaHealth)
+	}
+	r := h.m[addr]
+	if r == nil {
+		r = &replicaHealth{}
+		h.m[addr] = r
+	}
+	return r
+}
+
+// noteFailure worsens addr's score, returning (score, demoted) so the
+// caller can export the gauge outside the lock.
+func (h *healthState) noteFailure(addr string) (int64, bool) {
+	h.mu.Lock()
+	r := h.get(addr)
+	if r.scoreMilli == 0 {
+		h.active.Add(1)
+	}
+	r.scoreMilli += healthFailStep
+	if r.scoreMilli > 1000 {
+		r.scoreMilli = 1000
+	}
+	if !r.demoted && r.scoreMilli >= healthDemote {
+		r.demoted = true
+	}
+	score, dem := r.scoreMilli, r.demoted
+	h.mu.Unlock()
+	return score, dem
+}
+
+// noteSuccess decays addr's score. Cheap no-op while everything is
+// healthy. Returns (score, demoted, changed).
+func (h *healthState) noteSuccess(addr string) (int64, bool, bool) {
+	if h.active.Load() == 0 {
+		return 0, false, false
+	}
+	h.mu.Lock()
+	r := h.m[addr]
+	if r == nil || r.scoreMilli == 0 {
+		h.mu.Unlock()
+		return 0, false, false
+	}
+	r.scoreMilli = r.scoreMilli * healthDecayNum / healthDecayDen
+	if r.scoreMilli < 10 {
+		r.scoreMilli = 0
+		h.active.Add(-1)
+	}
+	if r.demoted && r.scoreMilli < healthRecover {
+		r.demoted = false
+	}
+	score, dem := r.scoreMilli, r.demoted
+	h.mu.Unlock()
+	return score, dem, true
+}
+
+// demoted reports whether addr should be passed over for preferred
+// reads. Every healthProbeEvery-th call on a demoted replica answers
+// false — a probe — so a recovered backend earns its score back.
+func (h *healthState) demoted(addr string) bool {
+	if h.active.Load() == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.m[addr]
+	if r == nil || !r.demoted {
+		return false
+	}
+	r.probes++
+	return r.probes%healthProbeEvery != 0
+}
+
+// rand64 advances the client's xorshift state (same recurrence as the
+// fabric's samplers; seeded per client so runs replay deterministically).
+func (c *Client) rand64() uint64 {
+	for {
+		x := c.rngState.Load()
+		n := x
+		n ^= n << 13
+		n ^= n >> 7
+		n ^= n << 17
+		if c.rngState.CompareAndSwap(x, n) {
+			return n * 0x2545f4914f6cdd1d
+		}
+	}
+}
+
+// noteReplicaFailure feeds the health score and exports the gauge.
+func (c *Client) noteReplicaFailure(addr string) {
+	if c.opt.NoHealth || addr == "" {
+		return
+	}
+	score, dem := c.health.noteFailure(addr)
+	if c.opt.Tracer != nil {
+		c.opt.Tracer.SetReplicaHealth(addr, float64(score)/1000, dem)
+	}
+}
+
+// noteReplicaSuccess decays the health score and exports the gauge.
+func (c *Client) noteReplicaSuccess(addr string) {
+	if c.opt.NoHealth || addr == "" {
+		return
+	}
+	score, dem, changed := c.health.noteSuccess(addr)
+	if changed && c.opt.Tracer != nil {
+		c.opt.Tracer.SetReplicaHealth(addr, float64(score)/1000, dem)
+	}
+}
+
+// replicaDemoted reports whether the health layer wants addr skipped for
+// preferred reads this time.
+func (c *Client) replicaDemoted(addr string) bool {
+	if c.opt.NoHealth {
+		return false
+	}
+	return c.health.demoted(addr)
+}
+
+// observeDataNs feeds the rolling data-read latency estimate that sets
+// the hedging threshold. A racy EWMA is fine: it only tunes a heuristic.
+func (c *Client) observeDataNs(ns uint64) {
+	old := c.dataEWMA.Load()
+	if old == 0 {
+		c.dataEWMA.Store(ns)
+		return
+	}
+	c.dataEWMA.Store(old - old/8 + ns/8)
+}
+
+// hedgeAfterNs returns the virtual delay after which a data read should
+// be hedged to a backup replica (≈ rolling p99: 4× the EWMA), or 0 when
+// hedging is off or uncalibrated.
+func (c *Client) hedgeAfterNs() uint64 {
+	if c.opt.NoHedge {
+		return 0
+	}
+	return 4 * c.dataEWMA.Load()
+}

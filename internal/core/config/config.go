@@ -134,6 +134,7 @@ func (c CellConfig) clone() CellConfig {
 type Store struct {
 	mu       sync.Mutex
 	cur      CellConfig
+	stale    *CellConfig // pinned snapshot served to readers while set
 	watchers []chan CellConfig
 }
 
@@ -143,11 +144,32 @@ func NewStore(cfg CellConfig) *Store {
 	return &Store{cur: cfg.clone()}
 }
 
-// Get returns the current configuration.
+// Get returns the current configuration — or, while SetStale(true) is in
+// effect, the snapshot pinned at that moment.
 func (s *Store) Get() CellConfig {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stale != nil {
+		return s.stale.clone()
+	}
 	return s.cur.clone()
+}
+
+// SetStale models a lagging HA config store (the §6.1 hazard a Chubby /
+// Spanner-backed registry can exhibit): while stale, Get keeps serving the
+// configuration current at the SetStale(true) call even as Updates apply
+// underneath, so refresh-based repair reads outdated shard placements.
+// Watch deliveries are unaffected — staleness is a read-path property.
+// SetStale(false) unpins and readers immediately see the latest config.
+func (s *Store) SetStale(stale bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !stale {
+		s.stale = nil
+		return
+	}
+	pin := s.cur.clone()
+	s.stale = &pin
 }
 
 // Update applies mutate to a copy of the configuration, bumps the ID, and

@@ -41,6 +41,69 @@ func FuzzDecodeDataEntry(f *testing.F) {
 	})
 }
 
+// FuzzDataEntryBitFlip models the chaos plane's registered-memory
+// corruption hazard: up to three single-bit flips anywhere in a valid
+// encoded DataEntry. CRC32C has Hamming distance 4 over these entry
+// lengths, so every such flip MUST fail the checksum — a decode that
+// succeeds on damaged bytes would be a silent false-accept, the §3
+// self-validation failing at its one job. (Heavier damage may collide;
+// the ≤3-bit bound is where detection is a guarantee, not a likelihood.)
+func FuzzDataEntryBitFlip(f *testing.F) {
+	f.Add([]byte("key"), []byte("value"), uint16(0), uint16(9), uint16(40))
+	f.Add([]byte("k"), []byte{}, uint16(3), uint16(3), uint16(3))
+	f.Add([]byte("a-much-longer-key-name"), make([]byte, 2048), uint16(17), uint16(1999), uint16(64))
+
+	f.Fuzz(func(t *testing.T, key, value []byte, p1, p2, p3 uint16) {
+		if len(key) == 0 || len(key) > 256 || len(value) > 4096 {
+			return
+		}
+		buf := make([]byte, DataEntrySize(len(key), len(value)))
+		EncodeDataEntry(buf, key, value, truetime.Version{Micros: 7, ClientID: 1, Seq: 2})
+		if _, err := DecodeDataEntry(buf); err != nil {
+			t.Fatalf("pristine entry failed decode: %v", err)
+		}
+		// Distinct bit positions only: flipping one bit twice heals it.
+		bits := map[uint64]bool{}
+		for _, p := range []uint16{p1, p2, p3} {
+			bits[uint64(p)%uint64(len(buf)*8)] = true
+		}
+		for b := range bits {
+			buf[b/8] ^= 1 << (b % 8)
+		}
+		if _, err := DecodeDataEntry(buf); err == nil {
+			t.Fatalf("false accept: %d flipped bits decoded clean (len=%d)", len(bits), len(buf))
+		}
+	})
+}
+
+// FuzzDecodeIndexEntry feeds arbitrary bytes (a torn or corrupted bucket
+// slot) to the IndexEntry decoder: it must never panic, and any decode of
+// a full-size slot must re-encode to the same bytes it consumed —
+// corruption may yield a garbage entry (the quorum and data checksum
+// reject it downstream) but never an unstable one.
+func FuzzDecodeIndexEntry(f *testing.F) {
+	var e IndexEntry
+	good := make([]byte, IndexEntrySize)
+	EncodeIndexEntry(good, e)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, IndexEntrySize-1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeIndexEntry(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, IndexEntrySize)
+		EncodeIndexEntry(out, e)
+		for i := 0; i < IndexEntrySize-8; i++ { // trailing word is reserved
+			if out[i] != data[i] {
+				t.Fatalf("round-trip unstable at byte %d: %#x != %#x", i, out[i], data[i])
+			}
+		}
+	})
+}
+
 func FuzzDecodeBucket(f *testing.F) {
 	g := Geometry{Buckets: 1, Ways: 4}
 	raw := make([]byte, g.BucketSize())

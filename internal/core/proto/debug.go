@@ -75,6 +75,20 @@ type DebugOp struct {
 	Spans     []fabric.Span
 }
 
+// DebugHazard is one chaos hazard class's injection count.
+type DebugHazard struct {
+	Name  string
+	Count uint64
+}
+
+// DebugHealth is one backend's client-observed health gauge. Score
+// travels in milli-units (0..1000) to stay integer on the wire.
+type DebugHealth struct {
+	Addr       string
+	ScoreMilli uint64
+	Demoted    bool
+}
+
 // DebugResp is the tracer snapshot.
 type DebugResp struct {
 	OpsTotal        uint64
@@ -84,6 +98,8 @@ type DebugResp struct {
 	CPU             []DebugCPU
 	SlowOps         []DebugOp
 	Exemplars       []DebugOp
+	Hazards         []DebugHazard
+	Health          []DebugHealth
 }
 
 func encodeDebugHist(e *wire.Encoder, tag uint64, h DebugHist) {
@@ -191,6 +207,21 @@ func (r DebugResp) Marshal() []byte {
 	for _, o := range r.Exemplars {
 		encodeDebugOp(e, 7, o)
 	}
+	for _, h := range r.Hazards {
+		m := wire.NewRawEncoder()
+		m.String(1, h.Name)
+		m.Uint(2, h.Count)
+		e.Message(8, m)
+	}
+	for _, h := range r.Health {
+		m := wire.NewRawEncoder()
+		m.String(1, h.Addr)
+		m.Uint(2, h.ScoreMilli)
+		if h.Demoted {
+			m.Uint(3, 1)
+		}
+		e.Message(9, m)
+	}
 	return e.Encoded()
 }
 
@@ -229,6 +260,32 @@ func UnmarshalDebugResp(b []byte) (DebugResp, error) {
 			r.SlowOps = append(r.SlowOps, decodeDebugOp(d.Bytes()))
 		case 7:
 			r.Exemplars = append(r.Exemplars, decodeDebugOp(d.Bytes()))
+		case 8:
+			var h DebugHazard
+			nd := wire.NewRawDecoder(d.Bytes())
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					h.Name = nd.String()
+				case 2:
+					h.Count = nd.Uint()
+				}
+			}
+			r.Hazards = append(r.Hazards, h)
+		case 9:
+			var h DebugHealth
+			nd := wire.NewRawDecoder(d.Bytes())
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					h.Addr = nd.String()
+				case 2:
+					h.ScoreMilli = nd.Uint()
+				case 3:
+					h.Demoted = nd.Uint() != 0
+				}
+			}
+			r.Health = append(r.Health, h)
 		}
 	}
 	return r, d.Err()

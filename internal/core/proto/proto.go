@@ -406,10 +406,13 @@ func UnmarshalTouchReq(b []byte) (TouchReq, error) {
 
 // ScanItem is one KV summary in a cohort scan (§5.4): KeyHash + version,
 // plus the key itself so the scanner can repair without a second lookup.
+// Tombstone marks an erased key (§5.2): the scanner must see erases, or a
+// dirty quorum would be "repaired" by resurrecting the erased value.
 type ScanItem struct {
 	HashHi, HashLo uint64
 	Version        truetime.Version
 	Key            []byte
+	Tombstone      bool
 }
 
 // ScanReq asks a cohort member for its view of a shard's keys, paged by
@@ -465,6 +468,7 @@ func (r ScanResp) Marshal() []byte {
 		m.Uint(2, it.HashLo)
 		encodeVersion(m, 3, it.Version)
 		m.Bytes(6, it.Key)
+		m.Bool(7, it.Tombstone)
 		e.Message(1, m)
 	}
 	e.Uint(2, r.NextCursor)
@@ -499,6 +503,8 @@ func UnmarshalScanResp(b []byte) (ScanResp, error) {
 					v.s = nd.Uint()
 				case 6:
 					it.Key = append([]byte(nil), nd.Bytes()...)
+				case 7:
+					it.Tombstone = nd.Bool()
 				}
 			}
 			if err := nd.Err(); err != nil {

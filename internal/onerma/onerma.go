@@ -72,9 +72,10 @@ type NIC struct {
 	// Figure 16 measurement.
 	hwHist *stats.Histogram
 
-	mu     sync.Mutex
-	lastOp time.Time
-	down   bool
+	mu      sync.Mutex
+	lastOp  time.Time
+	down    bool
+	extraNs uint64 // injected per-command service delay (chaos brownout)
 }
 
 // New builds a 1RMA NIC. reg may be nil for client-only hosts. hwHist may
@@ -97,6 +98,22 @@ func (n *NIC) SetDown(down bool) {
 	n.mu.Lock()
 	n.down = down
 	n.mu.Unlock()
+}
+
+// SetServiceDelay injects ns of extra per-command service latency — a
+// degraded device (thermal throttling, a misbehaving PCIe link) — giving
+// 1RMA the same brownout actuator the internal/chaos plane drives on
+// Pony Express. 0 restores normal service.
+func (n *NIC) SetServiceDelay(ns uint64) {
+	n.mu.Lock()
+	n.extraNs = ns
+	n.mu.Unlock()
+}
+
+func (n *NIC) serviceDelay() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.extraNs
 }
 
 // cstatePenalty returns the wake cost if the host has been idle long
@@ -166,7 +183,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 	c.to.mu.Lock()
 	down := c.to.down
 	c.to.mu.Unlock()
-	if down {
+	if down || !c.f.Linked(c.from.host.ID(), c.to.host.ID()) {
 		return nil, tr, nic.ErrUnreachable
 	}
 
@@ -178,7 +195,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 		reqAt = at + tr.Ns
 	}
 	hw := uint64(float64(c.to.host.DeliverAt(reqAt, reqBytes))*c.to.cost.RTTScale) +
-		c.to.cost.HWServiceNs +
+		c.to.cost.HWServiceNs + c.to.serviceDelay() +
 		uint64(length)*c.to.cost.PCIePerKBNs/1024
 
 	respAt := uint64(0)
@@ -195,6 +212,9 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 		return nil, tr, rerr
 	}
 
+	if !c.f.Linked(c.to.host.ID(), c.from.host.ID()) {
+		return nil, tr, nic.ErrUnreachable
+	}
 	hw += uint64(float64(c.from.host.DeliverAt(respAt, length)) * c.from.cost.RTTScale)
 	if c.from.hwHist != nil {
 		c.from.hwHist.Record(hw)

@@ -112,6 +112,10 @@ func (n *NIC) SetDown(down bool) {
 // SetServiceDelay injects ns of extra engine latency into every service
 // visit on this NIC — a degraded engine (overloaded core, antagonist VM)
 // for fault-injection tests. 0 restores normal service.
+//
+// This is the leaf actuator behind the internal/chaos plane's Brownout
+// hazard; prefer driving it through the plane so injections share one
+// master seed and are tallied in the hazard counters.
 func (n *NIC) SetServiceDelay(ns uint64) {
 	n.mu.Lock()
 	n.extraNs = ns
@@ -196,6 +200,12 @@ func Dial(f *fabric.Fabric, from, to *NIC) *Conn {
 // Target returns the serving-side NIC.
 func (c *Conn) Target() *NIC { return c.to }
 
+// linkUp / linkBack report whether the request / response direction of
+// this conn is passing traffic — a single atomic load unless chaos has
+// installed partition or loss rules on the fabric.
+func (c *Conn) linkUp() bool   { return c.f.Linked(c.from.host.ID(), c.to.host.ID()) }
+func (c *Conn) linkBack() bool { return c.f.Linked(c.to.host.ID(), c.from.host.ID()) }
+
 // SupportsScar reports true: SCAR is Pony Express's differentiator.
 func (c *Conn) SupportsScar() bool { return true }
 
@@ -229,7 +239,7 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
 	tr.AddBytes(reqBytes)
 
-	if c.to.reg == nil {
+	if c.to.reg == nil || !c.linkUp() {
 		return nil, tr, nic.ErrUnreachable
 	}
 	serveCost := c.to.cost.EngineServiceNs + c.to.payloadCost(length)
@@ -245,6 +255,9 @@ func (c *Conn) Read(at uint64, win rmem.WindowID, off, length int) ([]byte, fabr
 		// The error response still crosses the fabric back.
 		tr.Add(deliverAt(c.from.host, at, &tr, 64))
 		return nil, tr, rerr
+	}
+	if !c.linkBack() {
+		return nil, tr, nic.ErrUnreachable
 	}
 
 	tr.Add(deliverAt(c.from.host, at, &tr, length))
@@ -274,7 +287,7 @@ func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen
 	tr.Add(deliverAt(c.to.host, at, &tr, reqBytes))
 	tr.AddBytes(reqBytes)
 
-	if c.to.reg == nil {
+	if c.to.reg == nil || !c.linkUp() {
 		return res, tr, nic.ErrUnreachable
 	}
 	// Server engine: read bucket, scan it, optionally follow the pointer.
@@ -314,6 +327,9 @@ func (c *Conn) ScanAndRead(at uint64, idxWin rmem.WindowID, bucketOff, bucketLen
 	c.to.charge(scanCost)
 	tr.AddSpan(trace.SpanEngineService, uint32(respBytes), serve)
 
+	if !c.linkBack() {
+		return nic.ScarResult{}, tr, nic.ErrUnreachable
+	}
 	tr.Add(deliverAt(c.from.host, at, &tr, respBytes))
 	tr.AddBytes(respBytes)
 	recvCost := c.from.cost.EngineServiceNs/2 + c.from.payloadCost(respBytes)
@@ -360,7 +376,7 @@ func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
 	tr.AddBytes(len(req) + 64)
 
 	h := c.to.msgHandlerLocked()
-	if h == nil {
+	if h == nil || !c.linkUp() {
 		return nil, tr, nic.ErrUnreachable
 	}
 	// Server: engine receive + application thread wakeup + handler run.
@@ -376,6 +392,9 @@ func (c *Conn) Message(at uint64, req []byte) ([]byte, fabric.OpTrace, error) {
 	if herr != nil {
 		tr.Add(deliverAt(c.from.host, at, &tr, 64))
 		return nil, tr, herr
+	}
+	if !c.linkBack() {
+		return nil, tr, nic.ErrUnreachable
 	}
 
 	tr.Add(deliverAt(c.from.host, at, &tr, len(resp)+64))

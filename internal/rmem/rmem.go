@@ -226,6 +226,25 @@ func (r *Region) WriteChunked(off int, data []byte) error {
 	return nil
 }
 
+// FlipBit XORs mask into the byte at off while holding the covering lock
+// stripe — modelling a silent registered-memory corruption (a DRAM bit
+// flip, a DMA scribble) that lands between legitimate accesses rather
+// than racing them. The damage is indistinguishable from a torn write to
+// readers, which is the point: it must be caught by the §3 self-validating
+// checksums, never by a Go-level race.
+func (r *Region) FlipBit(off int, mask byte) error {
+	if off < 0 || mask == 0 {
+		return ErrOutOfBounds
+	}
+	if int64(off) >= r.populated.Load() {
+		return ErrOutOfBounds
+	}
+	lo, hi := r.lockRange(off, 1)
+	r.buf[off] ^= mask
+	r.unlockRange(lo, hi)
+	return nil
+}
+
 // WindowID names a registered RMA window. IDs are never reused within a
 // Registry, so a stale ID always fails closed.
 type WindowID uint64

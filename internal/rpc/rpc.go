@@ -260,6 +260,10 @@ func (s *Server) SetAuthenticator(a Authenticator) {
 // SetFailRate makes the server spuriously fail the given fraction of
 // calls with ErrUnavailable — the transient RPC failures §5.4 lists among
 // the sources of dirty quorums. seed makes the drops reproducible.
+//
+// This is the leaf actuator behind the internal/chaos plane's RPCFailRate
+// hazard; prefer driving it through the plane so every injection shares
+// one master seed and shows up in the hazard counters.
 func (s *Server) SetFailRate(rate float64, seed int64) {
 	s.mu.Lock()
 	s.failRate = rate
@@ -361,6 +365,12 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 	if dropped {
 		return nil, tr, fmt.Errorf("%w: %s (transient)", ErrUnavailable, addr)
 	}
+	// A partitioned (or lossy) request link drops the call before the
+	// handler runs; the response direction is checked separately below, so
+	// an asymmetric cut can fail a call whose side effects persisted.
+	if !n.f.Linked(c.hostID, hostID) {
+		return nil, tr, fmt.Errorf("%w: %s (partitioned)", ErrUnavailable, addr)
+	}
 	if auth != nil {
 		if err := auth(c.principal, method); err != nil {
 			return nil, tr, fmt.Errorf("%w: %v", ErrUnauthenticated, err)
@@ -405,6 +415,19 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 			trace.PutSink(sink)
 		}
 		return nil, tr, err
+	}
+
+	// Response direction: the handler has already executed, so a cut here
+	// yields the indeterminate outcome of §5 — the mutation may have
+	// applied even though the caller sees a failure.
+	if !n.f.Linked(hostID, c.hostID) {
+		tr.Add(n.f.Host(c.hostID).Deliver(128))
+		n.bytesSent.Add(128)
+		sb.attach(&tr, deposited, depositedAt)
+		if sink != nil {
+			trace.PutSink(sink)
+		}
+		return nil, tr, fmt.Errorf("%w: %s (partitioned)", ErrUnavailable, addr)
 	}
 
 	// Response returns.

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,8 @@ const (
 	SpanMsgWakeup     uint16 = 12 // pony MSG: server thread wakeup + handler
 	SpanHWService     uint16 = 13 // 1rma: hardware fabric + PCIe command time
 	SpanCStateWake    uint16 = 14 // 1rma: C-state wake penalty after idle
+	SpanBackoff       uint16 = 15 // client: capped exponential backoff before a retry; Arg = attempt #
+	SpanHedge         uint16 = 16 // client: hedged/failover data read on a backup replica; Arg = shard
 )
 
 // CodeName names a span code for display; unknown codes render
@@ -76,6 +79,10 @@ func CodeName(c uint16) string {
 		return "hw-service"
 	case SpanCStateWake:
 		return "cstate-wake"
+	case SpanBackoff:
+		return "backoff"
+	case SpanHedge:
+		return "hedge"
 	}
 	return fmt.Sprintf("span-%d", c)
 }
@@ -275,6 +282,29 @@ type Tracer struct {
 	slowN     uint64
 	exemplars [numKinds][]OpRecord
 	rng       uint64 // xorshift state for reservoir sampling
+
+	// Hazard counters and per-replica health gauges are written off the op
+	// hot path — hazards when the chaos plane injects (rare), health on
+	// demotion/recovery transitions (rarer) — so a plain mutex-guarded map
+	// is the right cost profile.
+	auxMu   sync.Mutex
+	hazards map[string]uint64
+	health  map[string]ReplicaHealth
+}
+
+// ReplicaHealth is one backend's client-observed health gauge: a failure
+// EWMA in [0,1] and whether the client currently demotes it from
+// preferred-replica selection.
+type ReplicaHealth struct {
+	Addr    string
+	Score   float64
+	Demoted bool
+}
+
+// HazardCount is one hazard class's cumulative injection count.
+type HazardCount struct {
+	Name  string
+	Count uint64
 }
 
 // NewTracer returns an empty tracer.
@@ -379,6 +409,28 @@ func (t *Tracer) randn(n uint64) uint64 {
 	return x % n
 }
 
+// HazardInc adds delta to the named hazard counter — called by the chaos
+// plane as it applies scheduled events, so telemetry shows what was
+// injected next to what the ops experienced.
+func (t *Tracer) HazardInc(name string, delta uint64) {
+	t.auxMu.Lock()
+	if t.hazards == nil {
+		t.hazards = make(map[string]uint64)
+	}
+	t.hazards[name] += delta
+	t.auxMu.Unlock()
+}
+
+// SetReplicaHealth publishes one backend's client-side health gauge.
+func (t *Tracer) SetReplicaHealth(addr string, score float64, demoted bool) {
+	t.auxMu.Lock()
+	if t.health == nil {
+		t.health = make(map[string]ReplicaHealth)
+	}
+	t.health[addr] = ReplicaHealth{Addr: addr, Score: score, Demoted: demoted}
+	t.auxMu.Unlock()
+}
+
 // HistStat is one kind/transport histogram summary.
 type HistStat struct {
 	Kind      Kind
@@ -401,6 +453,8 @@ type Snapshot struct {
 	Hists           []HistStat // non-empty cells only
 	Slow            []OpRecord // newest first
 	Exemplars       []OpRecord
+	Hazards         []HazardCount   // sorted by name
+	Health          []ReplicaHealth // sorted by addr
 }
 
 // Snapshot captures current state. maxSlow bounds the slow-op log
@@ -442,6 +496,17 @@ func (t *Tracer) Snapshot(maxSlow int) Snapshot {
 		s.Exemplars = append(s.Exemplars, t.exemplars[k]...)
 	}
 	t.mu.Unlock()
+
+	t.auxMu.Lock()
+	for name, n := range t.hazards {
+		s.Hazards = append(s.Hazards, HazardCount{Name: name, Count: n})
+	}
+	for _, h := range t.health {
+		s.Health = append(s.Health, h)
+	}
+	t.auxMu.Unlock()
+	sort.Slice(s.Hazards, func(i, j int) bool { return s.Hazards[i].Name < s.Hazards[j].Name })
+	sort.Slice(s.Health, func(i, j int) bool { return s.Health[i].Addr < s.Health[j].Addr })
 	return s
 }
 
@@ -485,6 +550,23 @@ func (t *Tracer) WriteProm(w io.Writer, acct *stats.CPUAccount) {
 		fmt.Fprintf(w, "cliquemap_op_latency_ns{%s,quantile=\"0.999\"} %d\n", l, h.P999Ns)
 		fmt.Fprintf(w, "cliquemap_op_latency_ns_count{%s} %d\n", l, h.Count)
 		fmt.Fprintf(w, "cliquemap_op_latency_ns_sum{%s} %d\n", l, h.Count*h.MeanNs)
+	}
+	if len(s.Hazards) > 0 {
+		fmt.Fprintf(w, "# TYPE cliquemap_hazard_injections_total counter\n")
+		for _, h := range s.Hazards {
+			fmt.Fprintf(w, "cliquemap_hazard_injections_total{hazard=%q} %d\n", h.Name, h.Count)
+		}
+	}
+	if len(s.Health) > 0 {
+		fmt.Fprintf(w, "# TYPE cliquemap_replica_health_score gauge\n")
+		for _, h := range s.Health {
+			demoted := 0
+			if h.Demoted {
+				demoted = 1
+			}
+			fmt.Fprintf(w, "cliquemap_replica_health_score{replica=%q} %g\n", h.Addr, h.Score)
+			fmt.Fprintf(w, "cliquemap_replica_demoted{replica=%q} %d\n", h.Addr, demoted)
+		}
 	}
 	if acct != nil {
 		fmt.Fprintf(w, "# TYPE cliquemap_cpu_ns_total counter\n")
