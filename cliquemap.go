@@ -36,6 +36,7 @@ import (
 	"cliquemap/internal/core/config"
 	"cliquemap/internal/core/layout"
 	"cliquemap/internal/hashring"
+	"cliquemap/internal/health"
 	"cliquemap/internal/stats"
 	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
@@ -144,6 +145,10 @@ type Options struct {
 	// the backend, lo the bucket. All clients of the cell share it. nil
 	// uses the default double-FNV hash.
 	Hash func(key []byte) (hi, lo uint64)
+	// Health shapes the fleet health plane's SLO windows, burn-rate
+	// thresholds, and per-op-class objectives; zero values take the
+	// production defaults (5m/1h virtual windows, page at burn 14.4).
+	Health health.Config
 }
 
 // KeyHash is the 128-bit key hash: Hi selects the backend cohort, Lo the
@@ -177,6 +182,7 @@ func NewCell(opt Options) (*Cell, error) {
 		Spares:      opt.Spares,
 		Mode:        opt.Mode.internal(),
 		ClientHosts: opt.ClientHosts,
+		Health:      opt.Health,
 		Backend: backend.Options{
 			Policy:            opt.Eviction,
 			DataBytes:         opt.DataBytes,
@@ -323,6 +329,17 @@ func (c *Cell) Chaos() *chaos.Plane { return c.c.Chaos() }
 func (c *Cell) ChaosEngine(preset string, seed uint64) (*chaos.Engine, error) {
 	return c.c.ChaosEngine(preset, seed)
 }
+
+// Health exposes the cell's fleet health plane: per-op-class SLOs with
+// multi-window burn-rate alerting, fed by the E2E probers and served to
+// remote tooling over the Health RPC. Lazily built on first use.
+func (c *Cell) Health() *health.Plane { return c.c.Health() }
+
+// Prober exposes the cell's E2E prober: canary clients — one per lookup
+// strategy the transport supports — sweeping the reserved probe-key
+// namespace with the full GET/SET/CAS/ERASE mix. Drive Round from the
+// workload loop so probe cadence rides the cell's virtual clock.
+func (c *Cell) Prober() *health.Prober { return c.c.Prober() }
 
 // SetEngineDelay injects extra per-command service time into the NIC
 // serving a shard — fault injection for the slow-op tracing plane.

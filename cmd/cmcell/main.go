@@ -9,8 +9,13 @@
 //	-http addr     serve HTTP observability: GET /metrics returns
 //	               Prometheus text exposition of the cell's op-tracing
 //	               plane (latency quantiles per kind/transport, slow-op
-//	               counters, CPU accounts) and /debug/pprof/* exposes the
-//	               standard Go profiling endpoints
+//	               counters, CPU accounts) plus the health plane's SLO
+//	               burn-rate and alert-state gauges, and /debug/pprof/*
+//	               exposes the standard Go profiling endpoints
+//	-probes n      spread n E2E prober rounds across the run (default
+//	               50; 0 disables). Each round sweeps every transport
+//	               strategy with the full GET/SET/CAS/ERASE canary mix
+//	               and re-evaluates the SLO alert state machine.
 //
 // When either is set, cmcell keeps serving after the workload finishes
 // until interrupted.
@@ -35,6 +40,7 @@ import (
 
 	"cliquemap"
 	"cliquemap/internal/chaos"
+	"cliquemap/internal/health"
 	"cliquemap/internal/workload"
 )
 
@@ -56,6 +62,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaosseed", 1, "chaos schedule seed (same seed = same schedule)")
 	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+	probeRounds := flag.Int("probes", 50, "E2E prober rounds spread across the run (0 disables)")
 	flag.Parse()
 
 	opt := cliquemap.Options{Shards: *shards, Spares: *spares, Eviction: *evict}
@@ -116,6 +123,7 @@ func main() {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			cell.Tracer().WriteProm(w, cell.Internal().Acct)
+			cell.Health().WriteProm(w)
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -164,8 +172,24 @@ func main() {
 			*chaosPreset, *chaosSeed, eng.Steps(), chaosEvery)
 	}
 
+	// E2E probers: canary rounds interleave with the workload so the
+	// health plane sees the cell exactly as chaos leaves it.
+	var prober *health.Prober
+	probeEvery := 0
+	if *probeRounds > 0 {
+		prober = cell.Prober()
+		probeEvery = *ops / *probeRounds
+		if probeEvery == 0 {
+			probeEvery = 1
+		}
+		fmt.Printf("probers: targets %v, one round every %d ops\n", prober.Targets(), probeEvery)
+	}
+
 	start = time.Now()
 	for i := 0; i < *ops; i++ {
+		if prober != nil && i%probeEvery == 0 {
+			prober.Round(ctx)
+		}
 		if eng != nil && !eng.Done() && i > 0 && i%chaosEvery == 0 {
 			if _, serr := eng.Step(ctx); serr != nil {
 				fmt.Fprintf(os.Stderr, "chaos step: %v\n", serr)
@@ -232,6 +256,16 @@ func main() {
 	tr := cell.Tracer()
 	fmt.Printf("tracing: ops=%d slow=%d threshold=%v\n",
 		tr.Ops(), tr.SlowOpsSeen(), time.Duration(tr.SlowThreshold()))
+	if prober != nil {
+		prober.Round(ctx) // one post-heal round so the final state is current
+		snap := cell.Health().Evaluate()
+		fmt.Printf("health: worst=%s rounds=%d\n", snap.Worst(), snap.Rounds)
+		for _, hc := range snap.Classes {
+			fmt.Printf("  %-5s %-4s burn fast=%.2f slow=%.2f probes good=%d bad=%d p50=%v p99=%v pages=%d warns=%d\n",
+				hc.Class, hc.State, hc.FastBurn, hc.SlowBurn, hc.Good, hc.Bad,
+				time.Duration(hc.ProbeP50Ns), time.Duration(hc.ProbeP99Ns), hc.Pages, hc.Warns)
+		}
+	}
 
 	if *listen != "" || *httpAddr != "" {
 		fmt.Println("serving until interrupt (ctrl-c)...")

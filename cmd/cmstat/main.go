@@ -1,8 +1,9 @@
 // Command cmstat inspects a running CliqueMap cell from outside its
 // process: it dials the cell's TCP gateway (cmcell -listen, or
 // Cell.ServeTCP), discovers the shard map with the Config method, and
-// prints each backend's Stats snapshot plus the cell's op-tracing plane
-// (Debug method) — the operational dashboard view.
+// prints each backend's Stats snapshot, the cell's op-tracing plane
+// (Debug method), the fleet health plane's SLO state (Health method),
+// and the key-heat telemetry — the operational dashboard view.
 //
 // Flags:
 //
@@ -10,10 +11,16 @@
 //	-as name        principal to authenticate as
 //	-watch d        refresh every d; successive snapshots print
 //	                per-interval rates (ops/s, CPU-ns/op) rather than
-//	                cumulative counters
+//	                cumulative counters. Counter resets (a backend
+//	                restarted) clamp to zero and are flagged instead of
+//	                wrapping to garbage rates.
+//	-json           emit one machine-readable JSON document per snapshot
+//	                instead of tables (composable with -watch: one
+//	                document per line)
 //	-trace          also print the retained slow-op log with per-layer
 //	                span breakdowns, and the per-kind exemplar traces
 //	-slow n         cap the slow ops requested per snapshot (default 8)
+//	-hot n          cap the hot keys printed (default 10)
 //
 // Usage:
 //
@@ -23,9 +30,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -38,8 +47,10 @@ func main() {
 	gateway := flag.String("gateway", "127.0.0.1:7070", "cell TCP gateway address")
 	principal := flag.String("as", "cmstat", "principal to authenticate as")
 	watch := flag.Duration("watch", 0, "refresh interval (0 = print once)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	showTrace := flag.Bool("trace", false, "print slow-op traces and exemplars")
 	maxSlow := flag.Int("slow", 8, "slow ops to request per snapshot")
+	maxHot := flag.Int("hot", 10, "hot keys to print")
 	flag.Parse()
 
 	client, err := rpc.DialTCP(*gateway, *principal)
@@ -51,29 +62,43 @@ func main() {
 
 	var prev *snapshot
 	for {
-		cur, err := printOnce(ctx, client, prev, *showTrace, *maxSlow)
+		cur, err := collect(ctx, client, *maxSlow)
 		if err != nil {
 			fatal("%v", err)
+		}
+		if *jsonOut {
+			printJSON(cur)
+		} else {
+			printTables(cur, prev, *showTrace, *maxHot)
 		}
 		if *watch <= 0 {
 			return
 		}
 		prev = cur
 		time.Sleep(*watch)
-		fmt.Println()
+		if !*jsonOut {
+			fmt.Println()
+		}
 	}
 }
 
 // snapshot retains one round of remote state so the next -watch round can
 // print per-interval rates instead of cumulative counters.
 type snapshot struct {
-	at    time.Time
-	stats map[string]proto.StatsResp
-	debug proto.DebugResp
-	dbgOK bool
+	at     time.Time
+	cfg    proto.ConfigResp
+	stats  map[string]proto.StatsResp
+	errs   map[string]string // per-shard fetch failures
+	debug  proto.DebugResp
+	dbgOK  bool
+	health proto.HealthResp
+	hlOK   bool
 }
 
-func printOnce(ctx context.Context, client *rpc.TCPClient, prev *snapshot, showTrace bool, maxSlow int) (*snapshot, error) {
+// collect fetches one full snapshot over the gateway. The Debug and
+// Health methods are additive: older cells answer ErrNoSuchMethod and the
+// corresponding sections are simply absent.
+func collect(ctx context.Context, client *rpc.TCPClient, maxSlow int) (*snapshot, error) {
 	// Discover the shard map. Any backend answers; shard addresses are
 	// conventional, so probe the first.
 	raw, _, err := client.Call(ctx, "backend-0", proto.MethodConfig, nil)
@@ -84,52 +109,27 @@ func printOnce(ctx context.Context, client *rpc.TCPClient, prev *snapshot, showT
 	if err != nil {
 		return nil, fmt.Errorf("config decode: %w", err)
 	}
-	fmt.Printf("cell config id=%d replicas=%d quorum=%d shards=%d\n",
-		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
-
-	cur := &snapshot{at: time.Now(), stats: make(map[string]proto.StatsResp)}
-
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	delta := prev != nil
-	if delta {
-		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tGETS/s\tSETS/s\tEVICT\tREPAIRS\tREJECTS\tSKEW\tSEALED")
-	} else {
-		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSTRIPES\tSKEW\tSEALED")
+	cur := &snapshot{
+		at:    time.Now(),
+		cfg:   cfg,
+		stats: make(map[string]proto.StatsResp),
+		errs:  make(map[string]string),
 	}
-	for shard, addr := range cfg.ShardAddrs {
+	for _, addr := range cfg.ShardAddrs {
 		raw, _, err := client.Call(ctx, addr, proto.MethodStats, nil)
 		if err != nil {
-			fmt.Fprintf(w, "%d\t%s\t(unreachable: %v)\n", shard, addr, err)
+			cur.errs[addr] = err.Error()
 			continue
 		}
-		st, err := proto.UnmarshalStatsResp(raw)
-		if err != nil {
-			fmt.Fprintf(w, "%d\t%s\t(bad stats: %v)\n", shard, addr, err)
+		st, serr := proto.UnmarshalStatsResp(raw)
+		if serr != nil {
+			cur.errs[addr] = serr.Error()
 			continue
 		}
 		cur.stats[addr] = st
-		if delta {
-			elapsed := cur.at.Sub(prev.at).Seconds()
-			p := prev.stats[addr]
-			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%v\n",
-				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
-				fmtRate(st.Gets-p.Gets, elapsed), fmtRate(st.Sets-p.Sets, elapsed),
-				st.Evictions-p.Evictions, st.RepairsIssued-p.RepairsIssued,
-				st.VersionRejects-p.VersionRejects, fmtSkew(st), st.Sealed)
-		} else {
-			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
-				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
-				st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
-				st.RepairsIssued, st.VersionRejects, st.Stripes,
-				fmtSkew(st), st.Sealed)
-		}
 	}
-	if err := w.Flush(); err != nil {
-		return nil, err
-	}
-
-	// The tracing plane is cell-wide: any reachable backend serves the
-	// shared tracer over Debug. Older cells answer ErrNoSuchMethod; skip.
+	// The tracing and health planes are cell-wide: any reachable backend
+	// serves them.
 	for _, addr := range cfg.ShardAddrs {
 		raw, _, err := client.Call(ctx, addr, proto.MethodDebug, proto.DebugReq{MaxSlow: maxSlow}.Marshal())
 		if err != nil {
@@ -142,22 +142,196 @@ func printOnce(ctx context.Context, client *rpc.TCPClient, prev *snapshot, showT
 		cur.debug, cur.dbgOK = dbg, true
 		break
 	}
-	if !cur.dbgOK {
-		return cur, nil
+	for _, addr := range cfg.ShardAddrs {
+		raw, _, err := client.Call(ctx, addr, proto.MethodHealth, proto.HealthReq{}.Marshal())
+		if err != nil {
+			continue
+		}
+		hl, herr := proto.UnmarshalHealthResp(raw)
+		if herr != nil {
+			return nil, fmt.Errorf("health decode: %w", herr)
+		}
+		cur.health, cur.hlOK = hl, true
+		break
 	}
-	printDebug(cur, prev, showTrace)
 	return cur, nil
 }
 
-func printDebug(cur, prev *snapshot, showTrace bool) {
+// jsonReport is the -json document: the full remote state of one
+// snapshot, fields omitted when the cell does not serve them.
+type jsonReport struct {
+	At     time.Time                  `json:"at"`
+	Config proto.ConfigResp           `json:"config"`
+	Stats  map[string]proto.StatsResp `json:"stats"`
+	Errors map[string]string          `json:"errors,omitempty"`
+	Debug  *proto.DebugResp           `json:"debug,omitempty"`
+	Health *proto.HealthResp          `json:"health,omitempty"`
+}
+
+func printJSON(cur *snapshot) {
+	rep := jsonReport{At: cur.at, Config: cur.cfg, Stats: cur.stats, Errors: cur.errs}
+	if cur.dbgOK {
+		rep.Debug = &cur.debug
+	}
+	if cur.hlOK {
+		rep.Health = &cur.health
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(rep); err != nil {
+		fatal("json encode: %v", err)
+	}
+}
+
+// delta returns cur−prev for a monotonic counter, clamped at zero. A
+// backend restart resets its counters to zero, so a raw uint64
+// subtraction would wrap to ~2^64 and print absurd rates; a reset
+// interval instead reads as zero and sets restarted so the output can
+// say why.
+func delta(cur, prev uint64, restarted *bool) uint64 {
+	if cur < prev {
+		*restarted = true
+		return 0
+	}
+	return cur - prev
+}
+
+func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
+	cfg := cur.cfg
+	fmt.Printf("cell config id=%d replicas=%d quorum=%d shards=%d\n",
+		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	delt := prev != nil
+	var restartedShards []string
+	if delt {
+		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tGETS/s\tSETS/s\tEVICT\tREPAIRS\tREJECTS\tSKEW\tSEALED")
+	} else {
+		fmt.Fprintln(w, "SHARD\tADDR\tKEYS\tMEMORY\tSETS\tEVICT\tRESIZE\tGROWS\tREPAIRS\tREJECTS\tSTRIPES\tSKEW\tSEALED")
+	}
+	for shard, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if !ok {
+			fmt.Fprintf(w, "%d\t%s\t(unreachable: %s)\n", shard, addr, cur.errs[addr])
+			continue
+		}
+		if delt {
+			elapsed := cur.at.Sub(prev.at).Seconds()
+			p := prev.stats[addr]
+			restarted := false
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%v\n",
+				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
+				fmtRate(delta(st.Gets, p.Gets, &restarted), elapsed),
+				fmtRate(delta(st.Sets, p.Sets, &restarted), elapsed),
+				delta(st.Evictions, p.Evictions, &restarted),
+				delta(st.RepairsIssued, p.RepairsIssued, &restarted),
+				delta(st.VersionRejects, p.VersionRejects, &restarted),
+				fmtSkew(st), st.Sealed)
+			if restarted {
+				restartedShards = append(restartedShards, addr)
+			}
+		} else {
+			fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
+				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
+				st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
+				st.RepairsIssued, st.VersionRejects, st.Stripes,
+				fmtSkew(st), st.Sealed)
+		}
+	}
+	w.Flush()
+	if len(restartedShards) > 0 {
+		fmt.Printf("note: counters reset on %s (backend restart); affected deltas clamped to zero\n",
+			strings.Join(restartedShards, ", "))
+	}
+
+	if cur.hlOK {
+		printHealth(cur.health)
+	}
+	if cur.dbgOK {
+		printDebug(cur, prev, showTrace, maxHot)
+	}
+}
+
+// printHealth renders the SLO engine's evaluated state: one row per op
+// class with its alert state and burn rates, then per-probe-target
+// availability.
+func printHealth(h proto.HealthResp) {
+	fmt.Printf("\nhealth: prober rounds=%d\n", h.Rounds)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CLASS\tSTATE\tSLO\tBURN(fast)\tBURN(slow)\tWINDOW G/B\tPROBE P50\tP99\tPAGES\tWARNS")
+	for _, c := range h.Classes {
+		fmt.Fprintf(w, "%s\t%s\t%s<%v\t%.2f\t%.2f\t%d/%d\t%v\t%v\t%d\t%d\n",
+			c.Class, strings.ToUpper(c.State),
+			fmtPpm(c.AvailabilityPpm), time.Duration(c.LatencyTargetNs),
+			float64(c.FastBurnMilli)/1000, float64(c.SlowBurnMilli)/1000,
+			c.WindowGood, c.WindowBad,
+			time.Duration(c.ProbeP50Ns), time.Duration(c.ProbeP99Ns),
+			c.Pages, c.Warns)
+	}
+	w.Flush()
+	if len(h.Targets) > 0 {
+		w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "TARGET\tPROBES\tBAD\tAVAIL")
+		for _, t := range h.Targets {
+			total := t.Good + t.Bad
+			avail := 1.0
+			if total > 0 {
+				avail = float64(t.Good) / float64(total)
+			}
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\n", t.Name, total, t.Bad, avail)
+		}
+		w.Flush()
+	}
+}
+
+// printHeat renders the key-heat telemetry: the heavy-hitter sketch
+// (counts are over-estimates by at most ERR) and the per-stripe load
+// spread.
+func printHeat(dbg proto.DebugResp, maxHot int) {
+	if len(dbg.HotKeys) == 0 && len(dbg.StripeHeat) == 0 {
+		return
+	}
+	if n := len(dbg.HotKeys); n > 0 {
+		if n > maxHot {
+			n = maxHot
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "\nHOT KEY\tCOUNT\tERR")
+		for _, hk := range dbg.HotKeys[:n] {
+			fmt.Fprintf(w, "%s\t%d\t%d\n", fmtKey(hk.Key), hk.Count, hk.Err)
+		}
+		w.Flush()
+	}
+	if len(dbg.StripeHeat) > 0 {
+		var total, max uint64
+		for _, n := range dbg.StripeHeat {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		if total > 0 {
+			mean := float64(total) / float64(len(dbg.StripeHeat))
+			fmt.Printf("stripe heat: %d stripes, %d ops, hottest %.2fx mean\n",
+				len(dbg.StripeHeat), total, float64(max)/mean)
+		}
+	}
+}
+
+func printDebug(cur, prev *snapshot, showTrace bool, maxHot int) {
 	dbg := cur.debug
 	fmt.Printf("\ntracing: ops=%d slow=%d slow_threshold=%v\n",
 		dbg.OpsTotal, dbg.SlowTotal, time.Duration(dbg.SlowThresholdNs))
 	if prev != nil && prev.dbgOK {
 		elapsed := cur.at.Sub(prev.at).Seconds()
-		fmt.Printf("interval: %s ops/s, %d slow promoted\n",
-			fmtRate(dbg.OpsTotal-prev.debug.OpsTotal, elapsed),
-			dbg.SlowTotal-prev.debug.SlowTotal)
+		restarted := false
+		dOps := delta(dbg.OpsTotal, prev.debug.OpsTotal, &restarted)
+		dSlow := delta(dbg.SlowTotal, prev.debug.SlowTotal, &restarted)
+		note := ""
+		if restarted {
+			note = " (tracer reset; interval clamped)"
+		}
+		fmt.Printf("interval: %s ops/s, %d slow promoted%s\n",
+			fmtRate(dOps, elapsed), dSlow, note)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -183,12 +357,14 @@ func printDebug(cur, prev *snapshot, showTrace bool) {
 			}
 			for _, c := range dbg.CPU {
 				p := prevCPU[c.Component]
-				dOps := c.Ops - p.Ops
-				if dOps == 0 {
+				restarted := false
+				dOps := delta(c.Ops, p.Ops, &restarted)
+				dNs := delta(c.TotalNs, p.TotalNs, &restarted)
+				if dOps == 0 || restarted {
 					continue
 				}
 				fmt.Fprintf(w, "%s\t%s\t%d\n", c.Component,
-					fmtRate(dOps, elapsed), (c.TotalNs-p.TotalNs)/dOps)
+					fmtRate(dOps, elapsed), dNs/dOps)
 			}
 		} else {
 			fmt.Fprintln(w, "\nCPU COMPONENT\tOPS\tTOTAL CPU\tCPU-ns/op")
@@ -220,6 +396,8 @@ func printDebug(cur, prev *snapshot, showTrace bool) {
 		}
 		w.Flush()
 	}
+
+	printHeat(dbg, maxHot)
 
 	if !showTrace {
 		return
@@ -265,6 +443,27 @@ func fmtRate(n uint64, seconds float64) string {
 		return fmt.Sprintf("%.1fk", r/1e3)
 	}
 	return fmt.Sprintf("%.0f", r)
+}
+
+// fmtPpm renders a parts-per-million availability objective ("999000" →
+// "99.9%").
+func fmtPpm(ppm uint64) string {
+	return fmt.Sprintf("%g%%", float64(ppm)/1e4)
+}
+
+// fmtKey renders a possibly-binary key for terminal display.
+func fmtKey(k string) string {
+	clean := true
+	for i := 0; i < len(k); i++ {
+		if k[i] < 0x20 || k[i] > 0x7e {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return k
+	}
+	return fmt.Sprintf("%q", k)
 }
 
 // fmtSkew renders the busiest stripe's op count relative to the mean

@@ -64,6 +64,24 @@ func (b *Backend) SetTracer(t *trace.Tracer) { b.tracer.Store(t) }
 // Tracer returns the attached op tracer, or nil.
 func (b *Backend) Tracer() *trace.Tracer { return b.tracer.Load() }
 
+// Heat returns the backend's key-heat sketch.
+func (b *Backend) Heat() *stats.TopK { return b.heat }
+
+// SetHealthSource attaches the marshalled-HealthResp provider behind
+// MethodHealth. Safe to leave unset: the handler serves an empty
+// snapshot.
+func (b *Backend) SetHealthSource(fn func() []byte) { b.healthSrc.Store(&fn) }
+
+// noteHeat feeds one key access into the heat sketch, reusing the hash
+// the hot path already computed. Probe-namespace canaries are excluded so
+// the health plane's own synthetic traffic can never masquerade as a hot
+// key.
+func (b *Backend) noteHeat(key []byte, h hashring.KeyHash) {
+	if !layout.IsProbeKey(key) {
+		b.heat.Touch(key, h.Lo)
+	}
+}
+
 // lockStripe acquires s.mu, attributing contended waits to the op's span
 // sink. The uncontended path is a single TryLock CAS — no clock read —
 // so untraced and uncontended ops pay nothing over a plain Lock.
@@ -111,6 +129,9 @@ type Options struct {
 	// for disaggregation users). Must match the clients'; nil means
 	// hashring.DefaultHash.
 	Hash hashring.HashFunc
+	// HeatK sizes the key-heat top-k sketch (per-shard capacity; see
+	// stats.TopK). 0 takes the sketch's default.
+	HeatK int
 }
 
 func (o Options) withDefaults() Options {
@@ -263,6 +284,17 @@ type Backend struct {
 	// shared per-host tracer after construction.
 	tracer atomic.Pointer[trace.Tracer]
 
+	// heat is the always-on key-heat sketch behind the health plane's
+	// hot-key telemetry. It sees every mutation and RPC/MSG lookup plus
+	// the client-reported touch batches (which carry the keys of
+	// one-sided RMA GETs the backend never executes), so heavy hitters
+	// are visible on every transport.
+	heat *stats.TopK
+
+	// healthSrc, when set, serves MethodHealth snapshots; the cell
+	// attaches a closure over its health plane after construction.
+	healthSrc atomic.Pointer[func() []byte]
+
 	stripes  []stripe
 	nStripes uint64
 
@@ -335,6 +367,7 @@ func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network,
 		shard: opt.Shard,
 		spare: opt.Shard < 0,
 		tomb:  newTombstoneCache(opt.TombstoneCap),
+		heat:  stats.NewTopK(opt.HeatK),
 	}
 
 	// Stripe count: largest power of two ≤ maxStripes dividing the initial
@@ -616,6 +649,7 @@ func (b *Backend) localGetTraced(sink *trace.SpanSink, key []byte) (value []byte
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.gets.Add(1)
+	b.noteHeat(key, h)
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
 	lockStripe(s, sink)
@@ -891,6 +925,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.sets.Add(1)
+	b.noteHeat(key, h)
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
 
@@ -1014,6 +1049,7 @@ func (b *Backend) applyEraseTraced(sink *trace.SpanSink, key []byte, v truetime.
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.erases.Add(1)
+	b.noteHeat(key, h)
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
 	lockStripe(s, sink)
@@ -1051,6 +1087,7 @@ func (b *Backend) applyCasTraced(sink *trace.SpanSink, key, value []byte, expect
 	h := b.opt.Hash(key)
 	s := b.stripeOf(h)
 	s.ctr.casOps.Add(1)
+	b.noteHeat(key, h)
 	bufs := bufPool.Get().(*opBufs)
 	lockStripe(s, sink)
 	idx := b.idx.Load()
@@ -1375,11 +1412,16 @@ func (b *Backend) Sealed() bool { return b.sealed.Load() }
 // (§4.2). Each key is routed to its stripe's policy.
 func (b *Backend) IngestTouches(keys [][]byte) {
 	for _, k := range keys {
-		s := b.stripeOf(b.opt.Hash(k))
+		h := b.opt.Hash(k)
+		s := b.stripeOf(h)
 		s.mu.Lock()
 		s.policy.TouchBytes(k)
 		s.mu.Unlock()
 		s.ctr.touches.Add(1)
+		// Touch batches carry the keys of one-sided RMA GETs the backend
+		// never executes — without this feed, RMA-heavy hot keys would be
+		// invisible to heat telemetry.
+		b.noteHeat(k, h)
 	}
 }
 

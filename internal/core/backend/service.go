@@ -25,6 +25,9 @@ const (
 	scanHandlerCPU  = 4000
 )
 
+// debugHotKeys caps the heavy-hitter list shipped per Debug snapshot.
+const debugHotKeys = 32
+
 // registerHandlers wires the RPC service surface.
 func (b *Backend) registerHandlers() {
 	s := b.srv
@@ -169,6 +172,8 @@ func (b *Backend) registerHandlers() {
 			Stripes:        uint64(len(stripeOps)),
 			StripeMaxOps:   maxOps,
 			StripeTotalOps: totalOps,
+			HeatTracked:    uint64(b.heat.Tracked()),
+			HeatTotal:      b.heat.Total(),
 		}.Marshal(), nil
 	})
 
@@ -211,7 +216,22 @@ func (b *Backend) registerHandlers() {
 				})
 			}
 		}
+		for _, hk := range b.heat.TopN(debugHotKeys) {
+			resp.HotKeys = append(resp.HotKeys, proto.DebugHotKey{Key: hk.Key, Count: hk.Count, Err: hk.Err})
+		}
+		resp.StripeHeat = b.StripeOps()
 		return resp.Marshal(), nil
+	})
+
+	s.Handle(proto.MethodHealth, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		// The health plane is cell-wide state; the cell attaches a
+		// marshalled-snapshot source after construction. A bare backend
+		// (tests, spares before wiring) serves an empty snapshot rather
+		// than an error so tooling can always poll.
+		if fn := b.healthSrc.Load(); fn != nil {
+			return (*fn)(), nil
+		}
+		return proto.HealthResp{}.Marshal(), nil
 	})
 
 	s.Handle(proto.MethodRequestRepair, func(ctx context.Context, _ string, req []byte) ([]byte, error) {

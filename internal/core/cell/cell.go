@@ -21,6 +21,7 @@ import (
 	"cliquemap/internal/core/proto"
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/hashring"
+	"cliquemap/internal/health"
 	"cliquemap/internal/nic"
 	"cliquemap/internal/onerma"
 	"cliquemap/internal/pony"
@@ -58,6 +59,10 @@ type Options struct {
 	// client constructed by this cell share it. nil = DefaultHash.
 	Hash    hashring.HashFunc
 	RPCCost rpc.CostModel
+	// Health shapes the fleet health plane (SLO windows, burn thresholds);
+	// zero values take the production defaults. See Cell.Health / Prober.
+	Health health.Config
+
 	Pony    pony.CostModel
 	PonyEng pony.EngineConfig
 	OneRMA  onerma.CostModel
@@ -106,6 +111,12 @@ type Cell struct {
 
 	chaosOnce  sync.Once
 	chaosPlane *chaos.Plane
+
+	healthOnce  sync.Once
+	healthPlane *health.Plane
+	healthSrc   func() []byte // MethodHealth payload source, nil until Health()
+	proberOnce  sync.Once
+	prober      *health.Prober
 }
 
 // New builds and starts a cell.
@@ -168,6 +179,12 @@ func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
 		b.Server().SetAuthenticator(c.opt.ACL)
 	}
 	b.SetTracer(c.Tracer)
+	c.mu.Lock()
+	src := c.healthSrc
+	c.mu.Unlock()
+	if src != nil {
+		b.SetHealthSource(src) // restarted tasks keep serving MethodHealth
+	}
 	n := &node{info: info, b: b}
 	switch c.opt.Transport {
 	case TransportPony:

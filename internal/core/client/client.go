@@ -122,6 +122,12 @@ type Options struct {
 	NoHedge bool
 	// NoHealth disables per-replica health scoring and demotion.
 	NoHealth bool
+	// Observer, when set, receives every completed op's kind, transport,
+	// modelled latency, and outcome (nil error = success, including clean
+	// misses). The fleet health plane's E2E probers feed their SLO burn-
+	// rate windows through this hook. Called synchronously on the op's
+	// goroutine; implementations must be cheap and concurrency-safe.
+	Observer func(kind trace.Kind, transport trace.Transport, ns uint64, err error)
 	// Seed perturbs the client's jitter/probe randomness; 0 derives from
 	// ID so distinct clients desynchronize by default.
 	Seed uint64
@@ -237,6 +243,13 @@ func (c *Client) transport() trace.Transport {
 	return trace.Transport2xR
 }
 
+// observe reports one completed op to the configured Observer.
+func (c *Client) observe(kind trace.Kind, transport trace.Transport, ns uint64, err error) {
+	if c.opt.Observer != nil {
+		c.opt.Observer(kind, transport, ns, err)
+	}
+}
+
 // traceOp opens a span context for one op, attaching it to ctx so every
 // layer below (RPC framework, backend handlers, TCP gateway) attributes
 // work to it. Returns (nil, ctx) when tracing is not wired.
@@ -336,6 +349,9 @@ func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found bool, tr fabric.OpTrace, err error) {
 	c.M.Gets.Inc()
 	var total fabric.OpTrace
+	if c.opt.Observer != nil {
+		defer func() { c.observe(trace.KindGet, c.transport(), total.Ns, err) }()
+	}
 	sc, ctx := c.traceOp(ctx, trace.KindGet)
 	if sc != nil {
 		// One right-sized allocation up front; per-leg merges then append
@@ -1024,6 +1040,7 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 	req := proto.SetReq{Key: key, Value: value, Version: v}.Marshal()
 	sc, ctx := c.traceOp(ctx, trace.KindSet)
 	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodSet, req, v)
+	c.observe(trace.KindSet, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
 		c.opt.Tracer.Record(sc.OpID, trace.KindSet, trace.TransportRPC, attempts, tr)
@@ -1038,6 +1055,7 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 	req := proto.EraseReq{Key: key, Version: v}.Marshal()
 	sc, ctx := c.traceOp(ctx, trace.KindErase)
 	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodErase, req, v)
+	c.observe(trace.KindErase, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
 		c.opt.Tracer.Record(sc.OpID, trace.KindErase, trace.TransportRPC, attempts, tr)
@@ -1056,6 +1074,7 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 	req := proto.CasReq{Key: key, Value: value, Expected: expected, Version: v}.Marshal()
 	sc, ctx := c.traceOp(ctx, trace.KindCas)
 	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, req, v)
+	c.observe(trace.KindCas, trace.TransportRPC, tr.Ns, err)
 	if err != nil {
 		return false, err
 	}

@@ -52,6 +52,19 @@ const compressedBit = 1 << 31
 // compression flag.
 const MaxValueLen = 1<<31 - 1
 
+// ProbeKeyPrefix reserves a key namespace for the fleet health plane's
+// E2E prober canaries (§6). The leading NUL byte keeps the namespace
+// disjoint from any printable user key, so synthetic probe traffic can
+// never collide with (or evict meaning from) user data, and the backend's
+// key-heat / top-k accounting excludes it via IsProbeKey so canaries
+// never masquerade as hot keys.
+const ProbeKeyPrefix = "\x00probe/"
+
+// IsProbeKey reports whether key lies in the reserved prober namespace.
+func IsProbeKey(key []byte) bool {
+	return len(key) >= len(ProbeKeyPrefix) && string(key[:len(ProbeKeyPrefix)]) == ProbeKeyPrefix
+}
+
 // Validation failure taxonomy. The client retries at a layer chosen by the
 // error (§3, §9): torn reads retry the RMA; config changes refresh config;
 // window errors fall back to RPC.

@@ -89,6 +89,15 @@ type DebugHealth struct {
 	Demoted    bool
 }
 
+// DebugHotKey is one entry of the backend's space-saving top-k sketch:
+// an (over-)estimated access count and the bound on the over-estimate
+// (≤ N/k), so consumers can judge how trustworthy the ranking is.
+type DebugHotKey struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
 // DebugResp is the tracer snapshot.
 type DebugResp struct {
 	OpsTotal        uint64
@@ -100,6 +109,11 @@ type DebugResp struct {
 	Exemplars       []DebugOp
 	Hazards         []DebugHazard
 	Health          []DebugHealth
+	// HotKeys is the backend's heavy-hitter sketch, hottest first;
+	// StripeHeat is the per-lock-stripe op count, in stripe order — the
+	// key-skew and stripe-imbalance telemetry of the health plane.
+	HotKeys    []DebugHotKey
+	StripeHeat []uint64
 }
 
 func encodeDebugHist(e *wire.Encoder, tag uint64, h DebugHist) {
@@ -222,6 +236,16 @@ func (r DebugResp) Marshal() []byte {
 		}
 		e.Message(9, m)
 	}
+	for _, h := range r.HotKeys {
+		m := wire.NewRawEncoder()
+		m.String(1, h.Key)
+		m.Uint(2, h.Count)
+		m.Uint(3, h.Err)
+		e.Message(10, m)
+	}
+	for _, n := range r.StripeHeat {
+		e.Uint(11, n)
+	}
 	return e.Encoded()
 }
 
@@ -286,6 +310,22 @@ func UnmarshalDebugResp(b []byte) (DebugResp, error) {
 				}
 			}
 			r.Health = append(r.Health, h)
+		case 10:
+			var h DebugHotKey
+			nd := wire.NewRawDecoder(d.Bytes())
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					h.Key = nd.String()
+				case 2:
+					h.Count = nd.Uint()
+				case 3:
+					h.Err = nd.Uint()
+				}
+			}
+			r.HotKeys = append(r.HotKeys, h)
+		case 11:
+			r.StripeHeat = append(r.StripeHeat, d.Uint())
 		}
 	}
 	return r, d.Err()

@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"reflect"
+	"testing"
+
+	"cliquemap/internal/wire"
+)
+
+// MethodHealth and the heat extensions of MethodDebug are decoded by
+// remote tooling (cmstat) straight off the gateway socket; malformed
+// frames — truncated nested messages, absurd varints, garbage strings —
+// must never panic the decoders, only error or degrade to zero values.
+
+func TestHealthRespRoundTrip(t *testing.T) {
+	in := HealthResp{
+		GeneratedNs: 12345,
+		Rounds:      7,
+		Classes: []HealthClass{
+			{Class: "GET", State: "page", SinceNs: 99, AvailabilityPpm: 999000,
+				LatencyTargetNs: 1_000_000, FastBurnMilli: 14400, SlowBurnMilli: 14400,
+				WindowGood: 10, WindowBad: 5, Good: 100, Bad: 6,
+				ProbeP50Ns: 7000, ProbeP99Ns: 70000, Pages: 2, Warns: 1},
+			{Class: "SET", State: "ok"},
+		},
+		Targets: []HealthTarget{{Name: "2xR", Good: 50, Bad: 1}, {Name: "RPC", Good: 49}},
+	}
+	out, err := UnmarshalHealthResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestDebugRespHeatRoundTrip(t *testing.T) {
+	in := DebugResp{
+		HotKeys:    []DebugHotKey{{Key: "k0", Count: 100, Err: 3}, {Key: "\x00probe/x", Count: 2}},
+		StripeHeat: []uint64{5, 0, 17, 9},
+	}
+	out, err := UnmarshalDebugResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.HotKeys, out.HotKeys) || !reflect.DeepEqual(in.StripeHeat, out.StripeHeat) {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func FuzzHealthResp(f *testing.F) {
+	f.Add(HealthResp{GeneratedNs: 1, Rounds: 2,
+		Classes: []HealthClass{{Class: "GET", State: "warn", FastBurnMilli: 3000}},
+		Targets: []HealthTarget{{Name: "SCAR", Good: 9, Bad: 1}},
+	}.Marshal())
+	// A class whose nested fields are hostile: non-UTF8 state, maxed
+	// varints, and an extra unknown tag (forward compatibility).
+	e := wire.NewEncoder()
+	e.Uint(1, ^uint64(0))
+	bad := wire.NewRawEncoder()
+	bad.String(1, "\xff\xfeGET")
+	bad.String(2, "not-a-state")
+	bad.Uint(6, ^uint64(0))
+	bad.Uint(99, 7)
+	e.Message(3, bad)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalHealthResp(data)
+		if err != nil {
+			return
+		}
+		if len(r.Classes) > len(data) || len(r.Targets) > len(data) {
+			t.Fatalf("decoder fabricated %d classes / %d targets from %d input bytes",
+				len(r.Classes), len(r.Targets), len(data))
+		}
+		// Whatever decoded must re-marshal and re-decode identically.
+		again, err := UnmarshalHealthResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}
+
+func FuzzDebugRespHeat(f *testing.F) {
+	f.Add(DebugResp{
+		HotKeys:    []DebugHotKey{{Key: "hot", Count: 42, Err: 1}},
+		StripeHeat: []uint64{1, 2, 3},
+	}.Marshal())
+	// Hot-key message with a truncated varint body and stripe entries at
+	// the varint ceiling.
+	e := wire.NewEncoder()
+	e.Bytes(10, []byte{0x10})
+	e.Uint(11, ^uint64(0))
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalDebugResp(data)
+		if err != nil {
+			return
+		}
+		if len(r.HotKeys) > len(data) || len(r.StripeHeat) > len(data) {
+			t.Fatalf("decoder fabricated %d hot keys / %d stripes from %d input bytes",
+				len(r.HotKeys), len(r.StripeHeat), len(data))
+		}
+		_ = r.Marshal()
+	})
+}

@@ -40,6 +40,10 @@ const (
 	// percentiles per kind/transport, CPU accounts, and retained slow-op
 	// traces. Additive like MethodStats.
 	MethodDebug = "CliqueMap.Debug"
+	// MethodHealth ships the fleet health plane's evaluated SLO state:
+	// per-op-class burn rates, alert states, and probe-target
+	// availability. Additive like MethodStats.
+	MethodHealth = "CliqueMap.Health"
 )
 
 // Version field tags, shared by every message embedding a VersionNumber.
@@ -723,6 +727,11 @@ type StatsResp struct {
 	Stripes        uint64
 	StripeMaxOps   uint64
 	StripeTotalOps uint64
+	// HeatTracked is the number of keys currently in the backend's
+	// space-saving top-k sketch; HeatTotal is the total accesses the
+	// sketch has absorbed (the N of its N/k error bound).
+	HeatTracked uint64
+	HeatTotal   uint64
 }
 
 // Marshal encodes the stats snapshot.
@@ -742,6 +751,8 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(12, r.Stripes)
 	e.Uint(13, r.StripeMaxOps)
 	e.Uint(14, r.StripeTotalOps)
+	e.Uint(15, r.HeatTracked)
+	e.Uint(16, r.HeatTotal)
 	return e.Encoded()
 }
 
@@ -782,6 +793,10 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.StripeMaxOps = d.Uint()
 		case 14:
 			r.StripeTotalOps = d.Uint()
+		case 15:
+			r.HeatTracked = d.Uint()
+		case 16:
+			r.HeatTotal = d.Uint()
 		}
 	}
 	return r, d.Err()

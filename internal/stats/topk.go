@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK is a concurrent space-saving (Metwally et al.) heavy-hitter sketch:
+// the key-heat telemetry behind the health plane's hot-key detection. The
+// key space is split across power-of-two shards by the caller-supplied
+// hash (the backend passes the key hash it already computed on the hot
+// path, so feeding the sketch costs no extra hashing); each shard is an
+// independent space-saving summary of capacity k guarded by its own
+// mutex, so concurrent writers only contend when they touch keys that
+// hash to the same shard.
+//
+// Guarantees (standard space-saving, per shard, hence globally since each
+// key lives in exactly one shard): every stored count over-estimates the
+// key's true count by at most its Err field, and Err ≤ N/k where N is the
+// total number of increments. Any key whose true count exceeds N/k is
+// guaranteed to be present. Entries are identified by the caller's 64-bit
+// hash, so two distinct keys that collide on all 64 bits would merge into
+// one entry — counts only inflate, which space-saving already permits.
+type TopK struct {
+	shards []topkShard
+	mask   uint64
+	k      int
+}
+
+// topkShard is a flat-array space-saving summary tuned for the backend's
+// mutation hot path rather than asymptotics: a hit is a hash-keyed map
+// lookup plus one increment (no heap, so hits pay nothing to keep an
+// ordering current), and an eviction finds the exact minimum by scanning
+// the contiguous counts array, stopping at the cached floor — the
+// per-shard minimum only ever grows, so in the steady churn state most
+// slots sit within one increment of it and the scan ends after a couple
+// of probes. Key bytes live in reusable per-slot buffers, so steady-state
+// evictions allocate nothing.
+type topkShard struct {
+	mu     sync.Mutex
+	n      uint64
+	floor  uint64           // lower bound on min(counts); mins only ever grow
+	idx    map[uint64]int32 // key hash -> slot
+	counts []uint64         // estimated count per slot (scanned for min)
+	items  []topkItem
+}
+
+type topkItem struct {
+	key  []byte // reused across evictions; copied out on read
+	hash uint64
+	err  uint64
+}
+
+const topkShardCount = 8 // power of two
+
+// NewTopK returns a sketch tracking up to k keys per shard. k ≤ 0 selects
+// a default sized for hot-key detection.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = 48
+	}
+	t := &TopK{
+		shards: make([]topkShard, topkShardCount),
+		mask:   topkShardCount - 1,
+		k:      k,
+	}
+	for i := range t.shards {
+		t.shards[i].idx = make(map[uint64]int32, k)
+		t.shards[i].counts = make([]uint64, 0, k)
+		t.shards[i].items = make([]topkItem, 0, k)
+	}
+	return t
+}
+
+// K returns the per-shard capacity.
+func (t *TopK) K() int { return t.k }
+
+// Touch records one access to key. h is any well-mixed hash of key — the
+// same key must always arrive with the same h. The byte slice is copied
+// when the key enters the summary; it is never retained.
+func (t *TopK) Touch(key []byte, h uint64) {
+	s := &t.shards[h&t.mask]
+	s.mu.Lock()
+	s.n++
+	if slot, ok := s.idx[h]; ok {
+		s.counts[slot]++
+	} else if len(s.counts) < t.k {
+		s.idx[h] = int32(len(s.counts))
+		s.counts = append(s.counts, 1)
+		s.items = append(s.items, topkItem{key: append([]byte(nil), key...), hash: h})
+	} else {
+		// Space-saving eviction: the minimum-count key yields its slot and
+		// its count becomes the newcomer's over-estimate bound. The min
+		// scan stops at the first slot sitting on the cached floor — in
+		// the steady churn state most slots hover within one increment of
+		// it, so the scan usually ends after a couple of probes.
+		m, mc := 0, s.counts[0]
+		for j := 0; j < len(s.counts); j++ {
+			if c := s.counts[j]; c < mc || c == s.floor {
+				m, mc = j, c
+				if c == s.floor {
+					break
+				}
+			}
+		}
+		s.floor = mc
+		it := &s.items[m]
+		delete(s.idx, it.hash)
+		it.key = append(it.key[:0], key...)
+		it.hash = h
+		it.err = mc
+		s.idx[h] = int32(m)
+		s.counts[m] = mc + 1
+	}
+	s.mu.Unlock()
+}
+
+// TouchString is Touch for callers without a precomputed hash; it uses
+// FNV-1a so results are deterministic across runs.
+func (t *TopK) TouchString(key string) {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	t.Touch([]byte(key), h)
+}
+
+// HotKey is one tracked key with its (over-)estimated count and the bound
+// on the over-estimate.
+type HotKey struct {
+	Key   string
+	Count uint64
+	Err   uint64
+}
+
+// TopN returns up to n tracked keys, hottest first. Ties break by key for
+// deterministic output.
+func (t *TopK) TopN(n int) []HotKey {
+	var out []HotKey
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for j := range s.items {
+			out = append(out, HotKey{Key: string(s.items[j].key), Count: s.counts[j], Err: s.items[j].err})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Total returns the total number of increments N the sketch has absorbed.
+func (t *TopK) Total() uint64 {
+	var n uint64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += s.n
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Tracked returns the number of keys currently in the summary.
+func (t *TopK) Tracked() int {
+	var n int
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Reset empties the sketch.
+func (t *TopK) Reset() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.n = 0
+		s.floor = 0
+		s.counts = s.counts[:0]
+		s.items = s.items[:0]
+		for k := range s.idx {
+			delete(s.idx, k)
+		}
+		s.mu.Unlock()
+	}
+}
