@@ -30,6 +30,7 @@ import (
 
 	"cliquemap/internal/core/client"
 	"cliquemap/internal/core/proto"
+	"cliquemap/internal/truetime"
 )
 
 const (
@@ -146,6 +147,9 @@ func soakWorker(ctx context.Context, cl *client.Client, w int, stop <-chan struc
 		rnd ^= rnd << 17
 		return rnd
 	}
+	// lastVer tracks the version of each key's newest acked SET so CAS ops
+	// can present a plausibly-current expectation.
+	lastVer := make([]truetime.Version, soakKeysPerWorker)
 	for i := 0; ; i++ {
 		select {
 		case <-stop:
@@ -155,17 +159,33 @@ func soakWorker(ctx context.Context, cl *client.Client, w int, stop <-chan struc
 		k := i % soakKeysPerWorker
 		st := states[k]
 		seq++
-		if i%7 == 6 {
+		switch {
+		case i%7 == 6:
 			err := cl.Erase(ctx, soakKey(w, k))
 			if err == nil {
 				st.noteAcked(seq, false)
+				lastVer[k] = truetime.Version{}
 			} else {
 				st.noteIndeterminate(seq, false)
 			}
-		} else {
-			err := cl.Set(ctx, soakKey(w, k), soakVal(w, k, seq))
+		case i%7 == 3 && !lastVer[k].Zero():
+			// CAS against the newest acked SET's version. Applied = acked
+			// write; a mismatch or error is indeterminate (replicas may
+			// have partially applied before the op gave up).
+			applied, err := cl.Cas(ctx, soakKey(w, k), soakVal(w, k, seq), lastVer[k])
+			if err == nil && applied {
+				st.noteAcked(seq, true)
+			} else {
+				st.noteIndeterminate(seq, true)
+			}
+			// The CAS nominated a fresh version either way; the old
+			// expectation is spent.
+			lastVer[k] = truetime.Version{}
+		default:
+			v, err := cl.SetVersioned(ctx, soakKey(w, k), soakVal(w, k, seq))
 			if err == nil {
 				st.noteAcked(seq, true)
+				lastVer[k] = v
 			} else {
 				st.noteIndeterminate(seq, true)
 			}
@@ -192,7 +212,10 @@ func soakWorker(ctx context.Context, cl *client.Client, w int, stop <-chan struc
 // and verify the converged state.
 func runChaosSoak(t *testing.T, preset string, seed uint64) {
 	t.Helper()
-	c := newCell(t, Options{Shards: 3, Spares: 1, Mode: R32})
+	// Three spares: the maintenance-storm preset grows the cell by two
+	// shards and still runs a maintenance handoff while grown, so the
+	// storm needs +2 growth capacity plus one idle spare at all times.
+	c := newCell(t, Options{Shards: 3, Spares: 3, Mode: R32})
 	cc := c.Internal()
 	ctx := context.Background()
 
@@ -315,6 +338,13 @@ func TestChaosSoakBrownout(t *testing.T)      { runChaosSoak(t, "brownout", 1) }
 func TestChaosSoakPartitionHeal(t *testing.T) { runChaosSoak(t, "partition-heal", 1) }
 func TestChaosSoakCorruption(t *testing.T)    { runChaosSoak(t, "corruption-soak", 1) }
 func TestChaosSoakRollingCrash(t *testing.T)  { runChaosSoak(t, "rolling-crash", 1) }
+
+// TestChaosSoakMaintenanceStorm runs the full SET/ERASE/CAS-adjacent
+// workload through repeated planned-maintenance cycles and an online
+// grow-then-shrink — every seal/drain/flip window the control plane can
+// open — holding the same oracle: no lost acked writes, no resurrection,
+// monotone observations, convergence after the storm.
+func TestChaosSoakMaintenanceStorm(t *testing.T) { runChaosSoak(t, "maintenance-storm", 1) }
 
 // TestRetryBudgetExhaustion: when every retry fails, the token-bucket
 // budget must cut the op off promptly with ErrExhausted — not let it

@@ -260,6 +260,20 @@ func (c *Cell) CompleteMaintenance(ctx context.Context, shard int, primaryAddr s
 	return c.c.CompleteMaintenance(ctx, shard, primaryAddr)
 }
 
+// Resize changes the cell's logical shard count online. The cell stays
+// live throughout: GETs keep running on RMA and no acknowledged write is
+// lost. Growth claims idle warm spares for the new shards; a shrink
+// returns the trailing shards' tasks to spare duty. Shards move one at a
+// time through a two-epoch config (bulk stream → seal → catch-up delta →
+// flip), so the transition's client cost is bounded to retries, never
+// data.
+func (c *Cell) Resize(ctx context.Context, newShards int) error {
+	return c.c.Resize(ctx, newShards)
+}
+
+// Shards returns the cell's current logical shard count.
+func (c *Cell) Shards() int { return c.c.Shards() }
+
 // Crash simulates an unplanned failure of a shard's task.
 func (c *Cell) Crash(shard int) { c.c.Crash(shard) }
 

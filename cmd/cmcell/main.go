@@ -24,7 +24,7 @@
 //
 //	cmcell -shards 5 -spares 1 -mode r32 -strategy scar \
 //	       -keys 2000 -ops 20000 -getfrac 0.95 -valsize 1024 \
-//	       -maintain -crash -listen 127.0.0.1:7070 -http 127.0.0.1:7071
+//	       -maintain -crash -resize 7 -listen 127.0.0.1:7070 -http 127.0.0.1:7071
 package main
 
 import (
@@ -58,7 +58,8 @@ func main() {
 	evict := flag.String("evict", "lru", "eviction policy: lru, arc, clock, slfu")
 	maintain := flag.Bool("maintain", false, "inject a planned maintenance mid-run")
 	crash := flag.Bool("crash", false, "inject a crash + restart mid-run")
-	chaosPreset := flag.String("chaos", "", "run a chaos schedule during the workload: brownout, partition-heal, corruption-soak, rolling-crash")
+	resizeTo := flag.Int("resize", 0, "resize the cell to this shard count at 1/4 of the run and back at 3/4 (0 disables; needs enough spares to grow)")
+	chaosPreset := flag.String("chaos", "", "run a chaos schedule during the workload: brownout, partition-heal, corruption-soak, rolling-crash, maintenance-storm")
 	chaosSeed := flag.Uint64("chaosseed", 1, "chaos schedule seed (same seed = same schedule)")
 	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
@@ -194,6 +195,20 @@ func main() {
 			if _, serr := eng.Step(ctx); serr != nil {
 				fmt.Fprintf(os.Stderr, "chaos step: %v\n", serr)
 			}
+		}
+		if *resizeTo > 0 && i == *ops/4 {
+			if err := cell.Resize(ctx, *resizeTo); err != nil {
+				fatal("resize: %v", err)
+			}
+			fmt.Printf("t+%v resized cell %d -> %d shards online\n",
+				time.Since(start).Round(time.Millisecond), *shards, *resizeTo)
+		}
+		if *resizeTo > 0 && i == 3**ops/4 {
+			if err := cell.Resize(ctx, *shards); err != nil {
+				fatal("resize back: %v", err)
+			}
+			fmt.Printf("t+%v resized cell %d -> %d shards online\n",
+				time.Since(start).Round(time.Millisecond), *resizeTo, *shards)
 		}
 		if *maintain && i == *ops/3 {
 			primary := cell.Internal().Store.Get().AddrFor(0)

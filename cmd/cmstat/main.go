@@ -3,7 +3,9 @@
 // Cell.ServeTCP), discovers the shard map with the Config method, and
 // prints each backend's Stats snapshot, the cell's op-tracing plane
 // (Debug method), the fleet health plane's SLO state (Health method),
-// and the key-heat telemetry — the operational dashboard view.
+// and the key-heat telemetry — the operational dashboard view. When a
+// resize is in flight (the Config response carries a pending epoch) a
+// RESIZE section shows per-shard handoff progress.
 //
 // Flags:
 //
@@ -115,7 +117,19 @@ func collect(ctx context.Context, client *rpc.TCPClient, maxSlow int) (*snapshot
 		stats: make(map[string]proto.StatsResp),
 		errs:  make(map[string]string),
 	}
-	for _, addr := range cfg.ShardAddrs {
+	// During a resize the pending epoch may route to addresses outside
+	// the old shard map (spares being promoted), so poll the union.
+	addrs := append([]string{}, cfg.ShardAddrs...)
+	for _, addr := range cfg.PendingShardAddrs {
+		seen := false
+		for _, a := range addrs {
+			seen = seen || a == addr
+		}
+		if !seen {
+			addrs = append(addrs, addr)
+		}
+	}
+	for _, addr := range addrs {
 		raw, _, err := client.Call(ctx, addr, proto.MethodStats, nil)
 		if err != nil {
 			cur.errs[addr] = err.Error()
@@ -199,6 +213,9 @@ func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
 	cfg := cur.cfg
 	fmt.Printf("cell config id=%d replicas=%d quorum=%d shards=%d\n",
 		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
+	if cfg.PendingShards > 0 {
+		printResize(cur)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	delt := prev != nil
@@ -225,7 +242,7 @@ func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
 				delta(st.Evictions, p.Evictions, &restarted),
 				delta(st.RepairsIssued, p.RepairsIssued, &restarted),
 				delta(st.VersionRejects, p.VersionRejects, &restarted),
-				fmtSkew(st), st.Sealed)
+				fmtSkew(st), fmtSeal(st))
 			if restarted {
 				restartedShards = append(restartedShards, addr)
 			}
@@ -234,7 +251,7 @@ func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
 				shard, addr, st.ResidentKeys, fmtBytes(st.MemoryBytes),
 				st.Sets, st.Evictions, st.IndexResizes, st.DataGrows,
 				st.RepairsIssued, st.VersionRejects, st.Stripes,
-				fmtSkew(st), st.Sealed)
+				fmtSkew(st), fmtSeal(st))
 		}
 	}
 	w.Flush()
@@ -249,6 +266,43 @@ func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
 	if cur.dbgOK {
 		printDebug(cur, prev, showTrace, maxHot)
 	}
+}
+
+// printResize renders an in-flight resize: the old→new shard count, how
+// many old shards have sealed their handoff (sealed ≥ R−Q+1 of a cohort
+// flips read authority to the pending epoch), and one row per pending
+// shard with the owning backend's own view of the handoff — useful for
+// spotting a resize wedged mid-shard.
+func printResize(cur *snapshot) {
+	cfg := cur.cfg
+	sealed := 0
+	for _, s := range cfg.SealedOld {
+		if s {
+			sealed++
+		}
+	}
+	fmt.Printf("RESIZE in progress: %d -> %d shards, %d/%d old shards sealed\n",
+		len(cfg.ShardAddrs), cfg.PendingShards, sealed, len(cfg.SealedOld))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "PENDING\tADDR\tOLD SHARD\tOLD SEALED\tBACKEND HSEAL\tBACKEND TARGET")
+	for ps, addr := range cfg.PendingShardAddrs {
+		oldShard, oldSealed := "-", "-"
+		for s, a := range cfg.ShardAddrs {
+			if a == addr {
+				oldShard = fmt.Sprintf("%d", s)
+				if s < len(cfg.SealedOld) {
+					oldSealed = fmt.Sprintf("%v", cfg.SealedOld[s])
+				}
+			}
+		}
+		hseal, target := "?", "?"
+		if st, ok := cur.stats[addr]; ok {
+			hseal = fmt.Sprintf("%v", st.HandoffSealed)
+			target = fmt.Sprintf("%d", st.PendingShards)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%s\n", ps, addr, oldShard, oldSealed, hseal, target)
+	}
+	w.Flush()
 }
 
 // printHealth renders the SLO engine's evaluated state: one row per op
@@ -464,6 +518,21 @@ func fmtKey(k string) string {
 		return k
 	}
 	return fmt.Sprintf("%q", k)
+}
+
+// fmtSeal renders the two independent seals on a backend: the corpus
+// seal (R2Immutable mode) and the handoff seal (a shard migration is
+// draining its journal; mutations bounce until the seal lifts).
+func fmtSeal(st proto.StatsResp) string {
+	switch {
+	case st.Sealed && st.HandoffSealed:
+		return "corpus+handoff"
+	case st.Sealed:
+		return "corpus"
+	case st.HandoffSealed:
+		return "handoff"
+	}
+	return "-"
 }
 
 // fmtSkew renders the busiest stripe's op count relative to the mean

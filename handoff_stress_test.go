@@ -1,0 +1,142 @@
+package cliquemap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cliquemap/internal/core/client"
+)
+
+// The two stress tests below are distilled regressions for the mixed-quorum
+// lost-write family: a mutation acked by a leg that is about to leave the
+// cohort (a demoted maintenance source, a resize survivor past its journal
+// drain) counts toward quorum, yet its copy is invisible to every future
+// reader. Each failure mode they guard was first caught — only under
+// -race, whose scheduler stretches the handoff windows — by the
+// maintenance-storm chaos soak:
+//
+//   - an idle spare acking mutations from stale-config clients
+//     (backend.handoffRejects' shardless clause);
+//   - a mutation passing the seal check, stalling past the journal drain
+//     and the deferred unseal, then publishing with Sealed=false
+//     (backend.handoffStranded's response-time re-check);
+//   - a pending-epoch quorum acking before read authority flipped
+//     (client.mutateOnce's authority gate).
+//
+// handoffStress runs concurrent SET workers against a live cell while the
+// control-plane churn in `churn` executes, then verifies with a fresh
+// client that every acked write is readable at no less than its acked
+// sequence number. On a violation it dumps per-backend residency of the
+// lost key to make the next diagnosis cheap.
+func handoffStress(t *testing.T, opt Options, churn func(t *testing.T, c *Cell)) {
+	c := newCell(t, opt)
+	cc := c.Internal()
+	ctx := context.Background()
+
+	const workers = 4
+	const keys = 8
+
+	pre := cc.NewClient(client.Options{Strategy: client.StrategySCAR})
+	for w := 0; w < workers; w++ {
+		for k := 0; k < keys; k++ {
+			if err := pre.Set(ctx, []byte(fmt.Sprintf("hs-w%d-k%d", w, k)), []byte("s0")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	acked := make(map[string]int) // key -> highest acked seq
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := cc.NewClient(client.Options{Strategy: client.StrategySCAR, NoFallback: true, Retries: 8, Budget: client.NewRetryBudget(500, 1)})
+			seq := 0
+			for !stop.Load() {
+				seq++
+				k := fmt.Sprintf("hs-w%d-k%d", w, seq%keys)
+				if err := cl.Set(ctx, []byte(k), []byte(fmt.Sprintf("s%d", seq))); err == nil {
+					mu.Lock()
+					acked[k] = seq
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	churn(t, c)
+
+	stop.Store(true)
+	wg.Wait()
+
+	check := cc.NewClient(client.Options{Strategy: client.Strategy2xR})
+	mu.Lock()
+	defer mu.Unlock()
+	for k, seq := range acked {
+		v, ok, err := check.Get(ctx, []byte(k))
+		if err != nil {
+			t.Fatalf("check get %s: %v", k, err)
+		}
+		if !ok {
+			t.Errorf("key %s: acked s%d but missing", k, seq)
+		} else {
+			var got int
+			fmt.Sscanf(string(v), "s%d", &got)
+			if got >= seq {
+				continue
+			}
+			t.Errorf("key %s: acked s%d but read s%d (lost acked write)", k, seq, got)
+		}
+		cfg := cc.Store.Get()
+		t.Logf("config ID=%d shards=%d addrs=%v", cfg.ID, cfg.Shards, cfg.ShardAddrs)
+		for _, b := range cc.Nodes() {
+			found := false
+			for _, it := range b.Items(-1, cfg.Shards) {
+				if string(it.Key) == k {
+					t.Logf("  node %s shard=%d: %s ver=%+v tomb=%v", b.Addr(), b.Shard(), it.Value, it.Version, it.Tombstone)
+					found = true
+				}
+			}
+			if !found {
+				t.Logf("  node %s shard=%d: ABSENT", b.Addr(), b.Shard())
+			}
+		}
+	}
+}
+
+// TestMaintenanceHandoffUnderLoad cycles every shard through planned
+// maintenance (migrate to spare, migrate back) under sustained writes.
+func TestMaintenanceHandoffUnderLoad(t *testing.T) {
+	handoffStress(t, Options{Shards: 3, Spares: 1, Mode: R32}, func(t *testing.T, c *Cell) {
+		ctx := context.Background()
+		for s := 0; s < 3; s++ {
+			orig := c.Internal().Store.Get().AddrFor(s)
+			if _, err := c.PlannedMaintenance(ctx, s); err != nil {
+				t.Fatalf("planned maintenance shard %d: %v", s, err)
+			}
+			if err := c.CompleteMaintenance(ctx, s, orig); err != nil {
+				t.Fatalf("complete maintenance shard %d: %v", s, err)
+			}
+		}
+	})
+}
+
+// TestResizeHandoffUnderLoad grows, shrinks, and regrows the cell under
+// sustained writes.
+func TestResizeHandoffUnderLoad(t *testing.T) {
+	handoffStress(t, Options{Shards: 3, Spares: 3, Mode: R32}, func(t *testing.T, c *Cell) {
+		ctx := context.Background()
+		for _, n := range []int{5, 3, 5} {
+			if err := c.Resize(ctx, n); err != nil {
+				t.Fatalf("resize to %d: %v", n, err)
+			}
+		}
+	})
+}

@@ -15,7 +15,8 @@
 //
 //   - Hazard taxonomy: crash/restart, network partition, asymmetric
 //     packet loss, transient RPC failure rates, NIC-engine brownouts,
-//     registered-memory bit corruption, and config-store staleness.
+//     registered-memory bit corruption, config-store staleness, and
+//     control-plane churn (planned-maintenance handoffs, online resize).
 //   - Plane: the single front door that applies any hazard through a
 //     Surface (implemented by the cell), deriving every actuator's seed
 //     from one master seed and tallying injections into hazard counters
@@ -50,6 +51,8 @@ const (
 	HazardBrownout
 	HazardCorruption
 	HazardConfigStale
+	HazardMaintain
+	HazardResize
 	HazardHeal
 	numHazards
 )
@@ -73,6 +76,10 @@ func (h Hazard) String() string {
 		return "corruption"
 	case HazardConfigStale:
 		return "config-stale"
+	case HazardMaintain:
+		return "maintain"
+	case HazardResize:
+		return "resize"
 	case HazardHeal:
 		return "heal"
 	}
@@ -107,6 +114,14 @@ type Surface interface {
 	// SetConfigStale pins (true) or unpins (false) the config store's
 	// read snapshot.
 	SetConfigStale(stale bool)
+	// MaintainShard runs one full planned-maintenance cycle on shard —
+	// migrate to a warm spare, then hand back — the §6.1 control-plane
+	// churn that opens handoff windows.
+	MaintainShard(ctx context.Context, shard int) error
+	// ResizeTo changes the cell's logical shard count online (two-epoch
+	// handoff). Unlike the fault hazards it is a deliberate state change:
+	// there is no heal, a later event resizes back instead.
+	ResizeTo(ctx context.Context, shards int) error
 }
 
 // Plane is the unified fault-injection front door. Every injection —
@@ -231,6 +246,19 @@ func (p *Plane) CorruptSeeded(shard int, n int, seed uint64) [][]byte {
 	return p.sur.CorruptData(shard, n, seed)
 }
 
+// Maintain runs one full planned-maintenance cycle on shard (out to a
+// spare and back) through the surface.
+func (p *Plane) Maintain(ctx context.Context, shard int) error {
+	p.note(HazardMaintain)
+	return p.sur.MaintainShard(ctx, shard)
+}
+
+// ResizeCell changes the cell's logical shard count online.
+func (p *Plane) ResizeCell(ctx context.Context, shards int) error {
+	p.note(HazardResize)
+	return p.sur.ResizeTo(ctx, shards)
+}
+
 // ConfigStale pins or unpins the config store's read snapshot.
 func (p *Plane) ConfigStale(stale bool) {
 	if stale {
@@ -250,7 +278,7 @@ type Event struct {
 	Shard  int     // target shard; -1 = cell-wide
 	Rate   float64 // rpc-fail fraction or link-loss fraction
 	Delay  uint64  // brownout engine delay ns
-	Count  int     // corruption flips
+	Count  int     // corruption flips, or resize target shard count
 	Seed   uint64  // per-event actuator seed
 	Heal   int     // step at which the effect reverts; -1 = never
 }
@@ -282,7 +310,7 @@ func (s Schedule) String() string {
 
 // Presets names the built-in scenario schedules.
 func Presets() []string {
-	return []string{"brownout", "partition-heal", "corruption-soak", "rolling-crash"}
+	return []string{"brownout", "partition-heal", "corruption-soak", "rolling-crash", "maintenance-storm"}
 }
 
 // Preset builds a named scenario schedule for a cell of the given shard
@@ -337,6 +365,22 @@ func Preset(name string, seed uint64, shards int) (Schedule, error) {
 				Step: 1 + 2*i, Hazard: HazardCrash, Shard: shard, Heal: 2 + 2*i,
 			})
 		}
+	case "maintenance-storm":
+		// Back-to-back shard handoffs: planned-maintenance cycles
+		// interleaved with an online grow and the shrink back — every
+		// seal/drain/flip window the control plane can open, repeatedly,
+		// under load. Deliberately no RPC-failure or partition events ride
+		// along: a failed handoff RPC mid-resize leaves the pending epoch
+		// parked for the operator by design, which is not a convergence
+		// failure this preset should manufacture.
+		s.Steps = 10
+		s.Events = append(s.Events,
+			Event{Step: 1, Hazard: HazardMaintain, Shard: victim, Heal: -1},
+			Event{Step: 2, Hazard: HazardResize, Shard: -1, Count: shards + 2, Heal: -1},
+			Event{Step: 4, Hazard: HazardMaintain, Shard: rng.Intn(shards), Heal: -1},
+			Event{Step: 6, Hazard: HazardResize, Shard: -1, Count: shards, Heal: -1},
+			Event{Step: 8, Hazard: HazardMaintain, Shard: rng.Intn(shards), Heal: -1},
+		)
 	default:
 		return Schedule{}, fmt.Errorf("chaos: unknown preset %q (have %v)", name, Presets())
 	}
@@ -518,6 +562,16 @@ func (e *Engine) apply(ctx context.Context, ev Event) error {
 		}
 	case HazardConfigStale:
 		e.plane.ConfigStale(true)
+	case HazardMaintain:
+		for _, s := range e.targets(ev) {
+			if err := e.plane.Maintain(ctx, s); err != nil {
+				return err
+			}
+		}
+	case HazardResize:
+		if err := e.plane.ResizeCell(ctx, ev.Count); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -16,10 +16,11 @@ type fakeSurface struct {
 	restarts int
 	failRate map[int]float64
 	delay    map[int]uint64
-	isolated map[int]bool
-	linkLoss map[int]float64
-	stale    bool
-	corrupts int
+	isolated  map[int]bool
+	linkLoss  map[int]float64
+	stale     bool
+	corrupts  int
+	maintains int
 }
 
 func newFakeSurface(shards int) *fakeSurface {
@@ -33,7 +34,11 @@ func newFakeSurface(shards int) *fakeSurface {
 	}
 }
 
-func (f *fakeSurface) Shards() int { return f.shards }
+func (f *fakeSurface) Shards() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards
+}
 
 func (f *fakeSurface) Crash(shard int) {
 	f.mu.Lock()
@@ -110,6 +115,26 @@ func (f *fakeSurface) SetConfigStale(stale bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.stale = stale
+}
+
+func (f *fakeSurface) MaintainShard(_ context.Context, shard int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed[shard] {
+		return fmt.Errorf("maintenance on crashed shard %d", shard)
+	}
+	f.maintains++
+	return nil
+}
+
+func (f *fakeSurface) ResizeTo(_ context.Context, shards int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if shards < 1 {
+		return fmt.Errorf("resize to %d shards", shards)
+	}
+	f.shards = shards
+	return nil
 }
 
 // healedExcept reports the first residual injection, ignoring the named
@@ -253,6 +278,36 @@ func TestEngineRollingCrashRestarts(t *testing.T) {
 	}
 	if c[HazardRestart.String()] != shards {
 		t.Errorf("restart counter = %d, want %d", c[HazardRestart.String()], shards)
+	}
+}
+
+// TestEngineMaintenanceStorm: the maintenance-storm preset must run
+// several full maintenance cycles, grow the cell, and shrink it back to
+// its original shard count — control-plane churn is a round trip, not a
+// leftover fault.
+func TestEngineMaintenanceStorm(t *testing.T) {
+	const shards = 3
+	sched, err := Preset("maintenance-storm", 17, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sur := newFakeSurface(shards)
+	eng := NewEngine(sched, sur)
+	if err := eng.RunAll(context.Background()); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if sur.Shards() != shards {
+		t.Errorf("shard count = %d after storm, want %d (shrink-back missing)", sur.Shards(), shards)
+	}
+	if sur.maintains < 3 {
+		t.Errorf("maintains = %d, want >= 3", sur.maintains)
+	}
+	c := eng.Counters()
+	if c[HazardResize.String()] != 2 {
+		t.Errorf("resize counter = %d, want 2 (grow + shrink)", c[HazardResize.String()])
+	}
+	if res := sur.residual(); res != "" {
+		t.Errorf("residual fault after storm: %s", res)
 	}
 }
 

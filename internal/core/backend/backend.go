@@ -318,6 +318,22 @@ type Backend struct {
 	sealed   atomic.Bool
 	configID atomic.Uint64
 
+	// handoffSealed is the shard-handoff seal (distinct from the
+	// R2Immutable corpus seal above): while set, client mutations bounce
+	// with proto.ErrShardSealed unless they are pending-epoch writes this
+	// backend owns. Sealing takes every stripe lock as a barrier; see
+	// handoff.go.
+	handoffSealed atomic.Bool
+
+	// journal records keys of mutations published while a handoff is in
+	// flight, so the post-seal delta pass can stream exactly what the
+	// bulk snapshot missed. Notes are taken under the key's stripe lock;
+	// journalMu is a leaf lock below it. journalActive keeps the
+	// steady-state mutation path to one atomic load.
+	journalActive atomic.Bool
+	journalMu     sync.Mutex
+	journal       map[string]struct{}
+
 	evictCursor atomic.Uint64 // round-robin start stripe for capacity eviction
 }
 
@@ -1015,6 +1031,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 			delete(s.side, string(key))
 		}
 		s.ctr.setsApplied.Add(1)
+		b.journalNote(key)
 		s.mu.Unlock()
 		b.maybeResizeIndex()
 		return true, v, evictions
@@ -1071,6 +1088,7 @@ func (b *Backend) applyEraseTraced(sink *trace.SpanSink, key []byte, v truetime.
 	s.policy.RemoveBytes(key)
 	b.tombInsert(key, v)
 	s.ctr.erasesApplied.Add(1)
+	b.journalNote(key)
 	return true, v
 }
 
@@ -1130,6 +1148,7 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 		if se, sok := s.side[string(key)]; sok && se.version.Less(v) {
 			se.version = v
 			s.side[string(key)] = se
+			b.journalNote(key)
 			s.mu.Unlock()
 			return true
 		}
@@ -1170,6 +1189,7 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 	layout.EncodeIndexEntry(entryBuf, layout.IndexEntry{Hash: h, Version: v, Ptr: ptr})
 	idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
 	dr.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
+	b.journalNote(key)
 	return true
 }
 

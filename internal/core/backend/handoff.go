@@ -1,0 +1,493 @@
+package backend
+
+// Shard handoff: the seal/journal/delta machinery shared by planned
+// maintenance (MigrateTo) and online resizing (ResizeHandoff).
+//
+// The protocol closes the lost-write window of snapshot-then-stream
+// migration (§6.1): a SET acked by the source after the bulk snapshot but
+// before the ownership flip used to be silently dropped. The hardened
+// flow is
+//
+//	journal on → bulk snapshot+stream → SEAL → drain journal (delta
+//	passes until dry) → tombstones + summary → AssumeShard / config flip
+//
+// with three invariants:
+//
+//  1. Every mutation published while the journal is active and the seal
+//     is down is noted under its key's stripe lock. Sealing takes every
+//     stripe lock as a barrier, so a drain after the seal observes every
+//     such note.
+//  2. A sealed backend rejects client mutations with proto.ErrShardSealed
+//     (a config-mismatch-class error: clients refresh and retry), except
+//     pending-epoch writes it owns during a resize — those are already
+//     replicated across the new epoch and need no journaling.
+//  3. Tombstones move as first-class MigrateItems and the coarse summary
+//     is folded into the receiver, so an erase immediately before a
+//     handoff cannot resurrect on the new owner (§5.2).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/core/layout"
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/eviction"
+	"cliquemap/internal/rmem"
+	"cliquemap/internal/rpc"
+	"cliquemap/internal/slab"
+	"cliquemap/internal/truetime"
+)
+
+// migrateBatchSize is the per-frame item count of migration streams.
+const migrateBatchSize = 256
+
+// ----------------------------------------------------------------- seal --
+
+// HandoffSeal sets the shard-handoff seal. It takes every stripe lock as
+// a barrier: any mutation already past its handler's seal check either
+// published (and journaled) before the barrier, or publishes after it and
+// is skipped by the journal — in which case its surviving old-epoch
+// cohort copies carry it into their own later handoffs (see DESIGN.md,
+// "Shard handoff & resizing").
+func (b *Backend) HandoffSeal() {
+	b.lockAll()
+	b.handoffSealed.Store(true)
+	b.unlockAll()
+}
+
+// HandoffUnseal clears the shard-handoff seal (after the config flip, or
+// when the source re-arms as a spare).
+func (b *Backend) HandoffUnseal() { b.handoffSealed.Store(false) }
+
+// HandoffSealed reports the shard-handoff seal (distinct from the
+// R2Immutable corpus seal of Sealed).
+func (b *Backend) HandoffSealed() bool { return b.handoffSealed.Load() }
+
+// isPendingOwner reports whether this backend serves a shard in the
+// pending epoch of an in-flight resize.
+func (b *Backend) isPendingOwner() bool {
+	if b.store == nil {
+		return false
+	}
+	cfg := b.store.Get()
+	if cfg.Pending == nil {
+		return false
+	}
+	for _, a := range cfg.Pending.ShardAddrs {
+		if a == b.opt.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+// handoffRejects decides a mutation's fate under the handoff seal: sealed
+// backends bounce everything except pending-epoch writes they own.
+//
+// A backend serving no shard at all bounces too. After a handoff the
+// demoted source is an idle spare, yet clients whose config still names
+// it keep routing writes its way; if it acked them, each ack would mint
+// a quorum vote that leaves the cohort with the task — two such mixed
+// quorums in a row is a silently lost acked write. The only mutations a
+// shardless task may apply are pending-epoch writes it owns (a resize
+// growth target holds shard -1 until the commit flip).
+func (b *Backend) handoffRejects(pending bool) bool {
+	if b.Shard() < 0 || b.handoffSealed.Load() {
+		return !pending || !b.isPendingOwner()
+	}
+	return false
+}
+
+// handoffStranded is the response-time companion to handoffRejects: it
+// reports whether a mutation that just published here may have missed the
+// handoff (stamped into MutateResp.Sealed so the client discounts the
+// ack). The seal check at handler entry races the seal barrier — a
+// mutation can pass the check, stall, and publish after the journal has
+// drained; by then the backend may even have been unsealed again (the
+// maintenance source re-arms as a spare, a resize survivor unseals at the
+// commit flip). Three response-time signals cover every such interleaving:
+//
+//   - still sealed: the drain may already be past this key;
+//   - shard -1: the source was demoted to a spare (set before the
+//     deferred unseal, and persisting after it);
+//   - configID moved since handler entry: an epoch transition (resize
+//     flip, maintenance config bump) completed mid-apply, so handoff
+//     coverage is unprovable.
+//
+// Conversely a publish that entered before the seal and responded
+// unsealed, serving the same shard under the same config, is provably
+// covered by the bulk snapshot or the journal. A false positive merely
+// discounts one ack; the client's idempotent, version-gated retry
+// re-establishes quorum.
+func (b *Backend) handoffStranded(entryID uint64) bool {
+	return b.handoffSealed.Load() || b.Shard() < 0 || b.configID.Load() != entryID
+}
+
+// -------------------------------------------------------------- journal --
+
+// journalStart arms the mutation journal; every key published from now on
+// (until the seal goes up) is recorded for the delta pass.
+func (b *Backend) journalStart() {
+	b.journalMu.Lock()
+	b.journal = make(map[string]struct{})
+	b.journalMu.Unlock()
+	b.journalActive.Store(true)
+}
+
+// journalStop disarms and discards the journal.
+func (b *Backend) journalStop() {
+	b.journalActive.Store(false)
+	b.journalMu.Lock()
+	b.journal = nil
+	b.journalMu.Unlock()
+}
+
+// journalSwap returns the journaled keys and installs a fresh map, so
+// delta passes can loop until a swap comes back dry. Notes stop once the
+// seal is up (invariant 2 above), so the loop terminates.
+func (b *Backend) journalSwap() []string {
+	b.journalMu.Lock()
+	defer b.journalMu.Unlock()
+	if len(b.journal) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(b.journal))
+	for k := range b.journal {
+		keys = append(keys, k)
+	}
+	b.journal = make(map[string]struct{})
+	return keys
+}
+
+// journalNote records a published mutation's key. Callers hold the key's
+// stripe lock, which orders the note against the seal barrier; sealed
+// publishes are intentionally skipped (they are pending-epoch or
+// migration writes, already replicated in the new epoch).
+func (b *Backend) journalNote(key []byte) {
+	if !b.journalActive.Load() || b.handoffSealed.Load() {
+		return
+	}
+	b.journalMu.Lock()
+	if b.journal != nil {
+		b.journal[string(key)] = struct{}{}
+	}
+	b.journalMu.Unlock()
+}
+
+// snapshotKeys re-reads journaled keys into migrate items: current value
+// if resident, exact tombstone if erased, nothing if evicted (the version
+// gate on the receiver makes every outcome safe to re-apply).
+func (b *Backend) snapshotKeys(keys []string) []proto.MigrateItem {
+	out := make([]proto.MigrateItem, 0, len(keys))
+	for _, k := range keys {
+		kb := []byte(k)
+		if val, ver, ok := b.localGet(kb); ok {
+			out = append(out, proto.MigrateItem{Key: kb, Value: val, Version: ver})
+			continue
+		}
+		b.tombMu.Lock()
+		v, ok := b.tomb.entries[k]
+		b.tombMu.Unlock()
+		if ok {
+			out = append(out, proto.MigrateItem{Key: kb, Version: v, Tombstone: true})
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------- tombstones --
+
+// tombSummary returns the coarse tombstone-summary version (§5.2).
+func (b *Backend) tombSummary() truetime.Version {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	return b.tomb.summary
+}
+
+// tombSummaryFold raises this backend's summary to at least v — the
+// receiving half of a handoff's summary transfer. The summary only ever
+// grows, so folding is monotone and idempotent.
+func (b *Backend) tombSummaryFold(v truetime.Version) {
+	if v.Zero() {
+		return
+	}
+	b.tombMu.Lock()
+	if b.tomb.summary.Less(v) {
+		b.tomb.summary = v
+	}
+	b.tombMu.Unlock()
+	b.tombSummarySet.Store(true)
+}
+
+// tombstoneMigrateItems lists live (cached) tombstones as Tombstone-
+// flagged migrate items, mirroring tombstoneScanItems.
+func (b *Backend) tombstoneMigrateItems(shard, shards int) []proto.MigrateItem {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	var out []proto.MigrateItem
+	for k, v := range b.tomb.entries {
+		if shard >= 0 && shards > 0 {
+			h := b.opt.Hash([]byte(k))
+			if int(h.Hi%uint64(shards)) != shard {
+				continue
+			}
+		}
+		out = append(out, proto.MigrateItem{Key: []byte(k), Version: v, Tombstone: true})
+	}
+	return out
+}
+
+// ------------------------------------------------------------ streaming --
+
+// sendMigrate ships one frame, preferring MethodMigrateDelta for
+// delta/tombstone frames and degrading to MethodMigrateBatch when the
+// receiver predates it (§6's additive evolution). Tombstone items are
+// dropped on fallback: an old receiver would decode them as empty-value
+// installs, which is strictly worse than the old behavior of tombstones
+// simply not migrating.
+func (b *Backend) sendMigrate(ctx context.Context, client *rpc.Client, addr string, req proto.MigrateBatchReq, delta bool) error {
+	method := proto.MethodMigrateBatch
+	if delta {
+		method = proto.MethodMigrateDelta
+	}
+	_, _, err := client.Call(ctx, addr, method, req.Marshal())
+	if err != nil && delta && errors.Is(err, rpc.ErrNoSuchMethod) {
+		kept := req.Items[:0:0]
+		for _, it := range req.Items {
+			if !it.Tombstone {
+				kept = append(kept, it)
+			}
+		}
+		req.Items = kept
+		req.TombSummary = truetime.Version{}
+		if len(req.Items) == 0 && !req.Final {
+			return nil
+		}
+		_, _, err = client.Call(ctx, addr, proto.MethodMigrateBatch, req.Marshal())
+	}
+	return err
+}
+
+// sendItems streams items to one target in batches.
+func (b *Backend) sendItems(ctx context.Context, client *rpc.Client, addr string, shard int, items []proto.MigrateItem, delta bool) error {
+	for i := 0; i < len(items); i += migrateBatchSize {
+		end := i + migrateBatchSize
+		if end > len(items) {
+			end = len(items)
+		}
+		req := proto.MigrateBatchReq{Shard: shard, Items: items[i:end]}
+		if err := b.sendMigrate(ctx, client, addr, req, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routePending groups items by the pending-epoch owners of their keys
+// (every member of the key's pending cohort), skipping this backend.
+func (b *Backend) routePending(cfg config.CellConfig, items []proto.MigrateItem) map[string][]proto.MigrateItem {
+	out := make(map[string][]proto.MigrateItem)
+	for _, it := range items {
+		h := b.opt.Hash(it.Key)
+		p := int(h.Hi % uint64(cfg.Pending.Shards))
+		for _, s := range cfg.PendingCohort(p) {
+			addr := cfg.Pending.AddrFor(s)
+			if addr == "" || addr == b.opt.Addr {
+				continue
+			}
+			out[addr] = append(out[addr], it)
+		}
+	}
+	return out
+}
+
+// streamRouted streams items to their pending-epoch owners in batches.
+func (b *Backend) streamRouted(ctx context.Context, client *rpc.Client, cfg config.CellConfig, shard int, items []proto.MigrateItem, delta bool) error {
+	for addr, its := range b.routePending(cfg, items) {
+		if err := b.sendItems(ctx, client, addr, shard, its, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResizeHandoff runs the source side of one resize step: stream this
+// backend's full holdings to their pending-epoch owners, seal (via the
+// caller's closure, normally a MethodSeal RPC so protocol degradation is
+// visible), drain the journal, and move the tombstones. The caller flips
+// SealedOld afterwards; the source stays sealed until the final config
+// flip so no late old-epoch write can land on drained state.
+func (b *Backend) ResizeHandoff(ctx context.Context, seal func(context.Context) error) error {
+	cfg := b.store.Get()
+	if cfg.Pending == nil {
+		return fmt.Errorf("backend %s: resize handoff without a pending epoch", b.opt.Addr)
+	}
+	if b.Shard() < 0 {
+		return fmt.Errorf("backend %s: no shard to hand off", b.opt.Addr)
+	}
+	shard := b.Shard()
+	client := b.rpcClient()
+
+	b.journalStart()
+	defer b.journalStop()
+
+	// Bulk: everything this backend holds, routed per the new epoch.
+	if err := b.streamRouted(ctx, client, cfg, shard, b.Items(-1, cfg.Shards), false); err != nil {
+		return err
+	}
+	if err := seal(ctx); err != nil {
+		return err
+	}
+	// Catch-up: mutations that raced the bulk stream, until dry.
+	for {
+		keys := b.journalSwap()
+		if len(keys) == 0 {
+			break
+		}
+		if err := b.streamRouted(ctx, client, cfg, shard, b.snapshotKeys(keys), true); err != nil {
+			return err
+		}
+	}
+	// Tombstones as first-class items, then the coarse summary to every
+	// pending owner (it is a whole-backend bound, so it travels wide).
+	if err := b.streamRouted(ctx, client, cfg, shard, b.tombstoneMigrateItems(-1, cfg.Shards), true); err != nil {
+		return err
+	}
+	return b.broadcastSummary(ctx, client, cfg, shard)
+}
+
+// broadcastSummary folds this backend's tombstone summary into every
+// pending-epoch owner.
+func (b *Backend) broadcastSummary(ctx context.Context, client *rpc.Client, cfg config.CellConfig, shard int) error {
+	sum := b.tombSummary()
+	if sum.Zero() {
+		return nil
+	}
+	seen := map[string]bool{b.opt.Addr: true}
+	for _, addr := range cfg.Pending.ShardAddrs {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		req := proto.MigrateBatchReq{Shard: shard, Final: true, TombSummary: sum}
+		if err := b.sendMigrate(ctx, client, addr, req, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------- post-flip GC --
+
+// DropForeign removes every resident entry, side-table entry, and exact
+// tombstone whose post-resize cohort no longer includes this backend's
+// shard — the post-flip GC of a resize. Returns how many were dropped.
+func (b *Backend) DropForeign(shards, replicas int) int {
+	my := b.Shard()
+	if my < 0 || shards <= 0 {
+		return 0
+	}
+	r := replicas
+	if r > shards {
+		r = shards
+	}
+	foreign := func(hi uint64) bool {
+		p := int(hi % uint64(shards))
+		return (my-p+shards)%shards >= r
+	}
+
+	b.lockAll()
+	idx := b.idx.Load()
+	var victims [][]byte
+	for i := 0; i < idx.geo.Buckets; i++ {
+		raw, err := idx.region.Read(idx.geo.BucketOffset(i), idx.geo.BucketSize())
+		if err != nil {
+			continue
+		}
+		dec, err := layout.DecodeBucket(raw, idx.geo.Ways)
+		if err != nil {
+			continue
+		}
+		for _, e := range dec.Entries {
+			if e.Empty() || !foreign(e.Hash.Hi) {
+				continue
+			}
+			de, derr := b.readEntry(e)
+			if derr != nil {
+				continue
+			}
+			victims = append(victims, append([]byte(nil), de.Key...))
+		}
+	}
+	for i := range b.stripes {
+		for k := range b.stripes[i].side {
+			if foreign(b.opt.Hash([]byte(k)).Hi) {
+				victims = append(victims, []byte(k))
+			}
+		}
+	}
+	for _, k := range victims {
+		b.removeKeyLocked(b.stripeOf(b.opt.Hash(k)), k)
+	}
+	b.unlockAll()
+
+	b.tombMu.Lock()
+	for k := range b.tomb.entries {
+		if foreign(b.opt.Hash([]byte(k)).Hi) {
+			delete(b.tomb.entries, k)
+		}
+	}
+	b.tombLive.Store(int64(b.tomb.len()))
+	b.tombMu.Unlock()
+	return len(victims)
+}
+
+// Clear wipes the backend to an empty idle state (a shrink demoted it to
+// a spare): fresh index and data regions, empty side tables, policies,
+// and tombstone cache. Old windows are revoked so stale client handles
+// fail validation and refresh.
+func (b *Backend) Clear() {
+	b.lockAll()
+	oldIdx := b.idx.Load()
+	oldData := b.data.Load()
+	for _, w := range oldData.windowIDs() {
+		b.reg.Revoke(w)
+	}
+	b.reg.Revoke(oldIdx.win.ID)
+
+	dataBytes := b.opt.DataBytes
+	if !b.opt.ReshapeEnabled {
+		dataBytes = b.opt.DataMaxBytes
+	}
+	region := rmem.NewRegion(dataBytes, b.opt.DataMaxBytes)
+	alloc, err := slab.New(dataBytes, b.opt.SlabBytes, nil)
+	if err != nil {
+		b.unlockAll()
+		return
+	}
+	dr := &dataRegion{region: region, alloc: alloc}
+	dr.windows = []*rmem.Window{b.reg.Register(region, 1)}
+	dr.cur.Store(dr.windows[0])
+	b.data.Store(dr)
+	b.idx.Store(b.newIndex(oldIdx.geo, oldIdx.epoch+1))
+
+	perStripe := oldIdx.geo.Buckets * oldIdx.geo.Ways / len(b.stripes)
+	if perStripe < 1 {
+		perStripe = 1
+	}
+	for i := range b.stripes {
+		if pol, perr := eviction.New(b.opt.Policy, perStripe); perr == nil {
+			b.stripes[i].policy = pol
+		}
+		b.stripes[i].side = make(map[string]sideEntry)
+	}
+	b.unlockAll()
+
+	b.tombMu.Lock()
+	b.tomb = newTombstoneCache(b.opt.TombstoneCap)
+	b.tombMu.Unlock()
+	b.tombLive.Store(0)
+	b.tombSummarySet.Store(false)
+}

@@ -40,6 +40,9 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
+		if r.ConfigID != 0 && r.ConfigID != b.configID.Load() {
+			return nil, layout.ErrConfigChanged
+		}
 		value, ver, found := b.localGetTraced(trace.SinkFrom(ctx), r.Key)
 		return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
 	})
@@ -53,8 +56,18 @@ func (b *Backend) registerHandlers() {
 		if b.Sealed() && !r.Repair {
 			return nil, ErrSealed
 		}
+		// The §6.1 self-validation stamp, extended to the RPC write path:
+		// a client whose config view lags (or leads a not-yet-restamped
+		// backend) must refresh before its write lands in the wrong epoch.
+		entryID := b.configID.Load()
+		if r.ConfigID != 0 && r.ConfigID != entryID {
+			return nil, layout.ErrConfigChanged
+		}
+		if b.handoffRejects(r.Pending) {
+			return nil, proto.ErrShardSealed
+		}
 		applied, stored, ev := b.applySetTraced(trace.SinkFrom(ctx), r.Key, r.Value, r.Version)
-		return proto.MutateResp{Applied: applied, Stored: stored, Evictions: ev}.Marshal(), nil
+		return proto.MutateResp{Applied: applied, Stored: stored, Evictions: ev, Sealed: b.handoffStranded(entryID)}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodSet, setHandlerCPU)
 
@@ -66,8 +79,15 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
+		entryID := b.configID.Load()
+		if r.ConfigID != 0 && r.ConfigID != entryID {
+			return nil, layout.ErrConfigChanged
+		}
+		if b.handoffRejects(r.Pending) {
+			return nil, proto.ErrShardSealed
+		}
 		applied, stored := b.applyEraseTraced(trace.SinkFrom(ctx), r.Key, r.Version)
-		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
+		return proto.MutateResp{Applied: applied, Stored: stored, Sealed: b.handoffStranded(entryID)}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodErase, eraseHandlerCPU)
 
@@ -79,8 +99,15 @@ func (b *Backend) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
+		entryID := b.configID.Load()
+		if r.ConfigID != 0 && r.ConfigID != entryID {
+			return nil, layout.ErrConfigChanged
+		}
+		if b.handoffRejects(r.Pending) {
+			return nil, proto.ErrShardSealed
+		}
 		applied, stored := b.applyCasTraced(trace.SinkFrom(ctx), r.Key, r.Value, r.Expected, r.Version)
-		return proto.MutateResp{Applied: applied, Stored: stored}.Marshal(), nil
+		return proto.MutateResp{Applied: applied, Stored: stored, Sealed: b.handoffStranded(entryID)}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodCas, setHandlerCPU)
 
@@ -104,6 +131,12 @@ func (b *Backend) registerHandlers() {
 	s.SetMethodCost(proto.MethodScan, scanHandlerCPU)
 
 	s.Handle(proto.MethodUpdateVersion, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		if b.Shard() < 0 || b.handoffSealed.Load() {
+			// Repair-only method; a failed leg is retried next sweep.
+			// Shardless tasks bounce too: raising a stale resident copy's
+			// version on a demoted spare would poison a later merge.
+			return nil, proto.ErrShardSealed
+		}
 		r, err := proto.UnmarshalUpdateVersionReq(req)
 		if err != nil {
 			return nil, err
@@ -113,17 +146,44 @@ func (b *Backend) registerHandlers() {
 	})
 	s.SetMethodCost(proto.MethodUpdateVersion, eraseHandlerCPU)
 
-	s.Handle(proto.MethodMigrateBatch, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+	// Migration streams bypass both seals: they preserve, rather than
+	// originate, state. Tombstone-flagged items re-play as erases so the
+	// receiver's tombstone cache records them; the version gate makes
+	// every re-application idempotent.
+	migrate := func(_ context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalMigrateBatchReq(req)
 		if err != nil {
 			return nil, err
 		}
 		for _, it := range r.Items {
-			b.applySet(it.Key, it.Value, it.Version)
+			if it.Tombstone {
+				b.applyErase(it.Key, it.Version)
+			} else {
+				b.applySet(it.Key, it.Value, it.Version)
+			}
+		}
+		if r.Final {
+			b.tombSummaryFold(r.TombSummary)
+		}
+		return proto.Ack{}.Marshal(), nil
+	}
+	s.Handle(proto.MethodMigrateBatch, migrate)
+	s.SetMethodCost(proto.MethodMigrateBatch, setHandlerCPU)
+	s.Handle(proto.MethodMigrateDelta, migrate)
+	s.SetMethodCost(proto.MethodMigrateDelta, setHandlerCPU)
+
+	s.Handle(proto.MethodSeal, func(_ context.Context, _ string, req []byte) ([]byte, error) {
+		r, err := proto.UnmarshalSealReq(req)
+		if err != nil {
+			return nil, err
+		}
+		if r.On {
+			b.HandoffSeal()
+		} else {
+			b.HandoffUnseal()
 		}
 		return proto.Ack{}.Marshal(), nil
 	})
-	s.SetMethodCost(proto.MethodMigrateBatch, setHandlerCPU)
 
 	s.Handle(proto.MethodAssumeShard, func(_ context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalAssumeShardReq(req)
@@ -139,12 +199,18 @@ func (b *Backend) registerHandlers() {
 
 	s.Handle(proto.MethodConfig, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
 		cfg := b.store.Get()
-		return proto.ConfigResp{
+		resp := proto.ConfigResp{
 			ConfigID:   cfg.ID,
 			Replicas:   cfg.Mode.Replicas(),
 			Quorum:     cfg.Mode.Quorum(),
 			ShardAddrs: append([]string(nil), cfg.ShardAddrs...),
-		}.Marshal(), nil
+		}
+		if cfg.Pending != nil {
+			resp.PendingShards = cfg.Pending.Shards
+			resp.PendingShardAddrs = append([]string(nil), cfg.Pending.ShardAddrs...)
+			resp.SealedOld = append([]bool(nil), cfg.Pending.SealedOld...)
+		}
+		return resp.Marshal(), nil
 	})
 
 	s.Handle(proto.MethodStats, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
@@ -156,6 +222,10 @@ func (b *Backend) registerHandlers() {
 			if ops > maxOps {
 				maxOps = ops
 			}
+		}
+		var pendingShards uint64
+		if p := b.store.Get().Pending; p != nil {
+			pendingShards = uint64(p.Shards)
 		}
 		return proto.StatsResp{
 			Shard:          b.Shard(),
@@ -174,6 +244,8 @@ func (b *Backend) registerHandlers() {
 			StripeTotalOps: totalOps,
 			HeatTracked:    uint64(b.heat.Tracked()),
 			HeatTotal:      b.heat.Total(),
+			HandoffSealed:  b.HandoffSealed(),
+			PendingShards:  pendingShards,
 		}.Marshal(), nil
 	})
 
@@ -266,6 +338,9 @@ func (b *Backend) HandleMsg(req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.ConfigID != 0 && r.ConfigID != b.configID.Load() {
+		return nil, layout.ErrConfigChanged
+	}
 	value, ver, found := b.localGet(r.Key)
 	return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
 }
@@ -329,6 +404,10 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 		}
 	}
 	resp.Items = append(resp.Items, b.tombstoneScanItems(r.Shard, shards)...)
+	// The coarse summary travels with the scan so repair peers can tell
+	// "never saw this key" apart from "erased it, but the tombstone was
+	// evicted into the summary" (§5.2).
+	resp.TombSummary = b.tombSummary()
 	resp.Done = true
 	return resp
 }
@@ -367,9 +446,10 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 	cohort := cfg.Cohort(s)
 
 	type replicaView struct {
-		addr  string
-		local bool
-		items map[string]proto.ScanItem
+		addr    string
+		local   bool
+		items   map[string]proto.ScanItem
+		summary truetime.Version // replica's coarse tombstone summary
 	}
 	views := make([]replicaView, 0, len(cohort))
 	client := b.rpcClient()
@@ -385,6 +465,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			for _, it := range b.tombstoneScanItems(s, cfg.Shards) {
 				view.items[string(it.Key)] = it
 			}
+			view.summary = b.tombSummary()
 		} else {
 			cursor := uint64(0)
 			for {
@@ -400,6 +481,9 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 				}
 				for _, it := range page.Items {
 					view.items[string(it.Key)] = it
+				}
+				if view.summary.Less(page.TombSummary) {
+					view.summary = page.TombSummary
 				}
 				if page.Done {
 					break
@@ -471,6 +555,27 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			continue
 		}
 
+		// Newest state is a value — but a replica that does NOT hold the
+		// key and whose coarse tombstone summary dominates bestV may have
+		// erased it at a version the summary swallowed (§5.2): the erase
+		// is invisible to the scan, and settling the value upward would
+		// resurrect it. Repair stays neutral on such keys; the summary
+		// still blocks stale SETs and the window closes as the cohort
+		// converges.
+		dominated := false
+		for _, v := range views {
+			if _, ok := v.items[k]; ok {
+				continue
+			}
+			if !v.summary.Less(bestV) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+
 		// Newest state is a value: fetch it, requiring it still carries
 		// bestV — if the holder moved on, a newer mutation is already
 		// settling this key and the next sweep re-evaluates.
@@ -513,26 +618,58 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 // shard over — the planned-maintenance path of §6.1. The caller (cell
 // orchestration) is responsible for the config update that points the
 // shard at the target.
+//
+// Handoff is lossless for acked writes: a bulk pass copies the corpus
+// while mutations keep landing (each journaled), then the source SEALS —
+// a lockAll barrier after which new mutations bounce with ErrShardSealed
+// and retry against the target once the client refreshes config — and a
+// delta pass drains every journaled key. Only then does the target assume
+// the shard. Tombstones (cached and summary) travel too, so erases
+// survive the move.
 func (b *Backend) MigrateTo(ctx context.Context, targetAddr string) error {
 	shard := b.Shard()
 	if shard < 0 {
 		return fmt.Errorf("backend %s: no shard to migrate", b.opt.Addr)
 	}
 	cfg := b.store.Get()
-	items := b.Items(-1, cfg.Shards) // a backend holds copies for 3 shards; move them all
 	client := b.rpcClient()
 
-	const batch = 256
-	for i := 0; i < len(items); i += batch {
-		end := i + batch
-		if end > len(items) {
-			end = len(items)
+	b.journalStart()
+	defer b.journalStop()
+
+	// Phase 1: bulk copy while writes continue (journaled as they land).
+	items := b.Items(-1, cfg.Shards) // a backend holds copies for 3 shards; move them all
+	if err := b.sendItems(ctx, client, targetAddr, shard, items, false); err != nil {
+		return err
+	}
+
+	// Phase 2: seal, then drain the journal until dry. journalNote stops
+	// recording once sealed (post-seal accepts are migrate/pending writes
+	// already replicated elsewhere), so the loop terminates.
+	b.HandoffSeal()
+	defer b.HandoffUnseal() // source re-arms as a spare after handoff
+	for {
+		keys := b.journalSwap()
+		if keys == nil {
+			break
 		}
-		req := proto.MigrateBatchReq{Shard: shard, Items: items[i:end], Final: end == len(items)}
-		if _, _, err := client.Call(ctx, targetAddr, proto.MethodMigrateBatch, req.Marshal()); err != nil {
+		delta := b.snapshotKeys(keys)
+		if err := b.sendItems(ctx, client, targetAddr, shard, delta, true); err != nil {
 			return err
 		}
 	}
+
+	// Phase 3: tombstones — the cached exact entries as first-class
+	// migrate items, and the coarse summary folded on the final frame.
+	tombs := b.tombstoneMigrateItems(-1, cfg.Shards)
+	sum := b.tombSummary()
+	if len(tombs) > 0 || !sum.Zero() {
+		req := proto.MigrateBatchReq{Shard: shard, Items: tombs, Final: true, TombSummary: sum}
+		if err := b.sendMigrate(ctx, client, targetAddr, req, true); err != nil {
+			return err
+		}
+	}
+
 	if _, _, err := client.Call(ctx, targetAddr, proto.MethodAssumeShard, proto.AssumeShardReq{Shard: shard}.Marshal()); err != nil {
 		return err
 	}

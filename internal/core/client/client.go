@@ -287,15 +287,95 @@ type replica struct {
 	conn  nic.RMA
 }
 
-// resolveReplica produces a usable replica handle, performing the Hello
-// handshake if needed.
-func (c *Client) resolveReplica(ctx context.Context, shard int) (replica, error) {
-	c.mu.Lock()
-	cfg := c.cfg
-	c.mu.Unlock()
+// route is the epoch-resolved fan-out for one key: cohort shard numbers
+// with their serving addresses. Outside a resize transition it is simply
+// the key's cohort; during one, reads come from whichever epoch is
+// authoritative for the key and writes fan out to the union of both
+// epochs' cohorts.
+type route struct {
+	shards  []int
+	addrs   []string
+	pending bool // this is the pending-epoch cohort
+}
 
-	addr := cfg.AddrFor(shard)
-	host := cfg.HostFor(shard)
+// readRoute resolves the authoritative cohort for GETs. The old epoch
+// stays authoritative until enough of the key's old cohort has been
+// sealed (and therefore drained to the pending owners) that the pending
+// epoch is guaranteed to hold every acked write; then reads move over.
+func readRoute(cfg config.CellConfig, h hashring.KeyHash) route {
+	oldCohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
+	if cfg.Pending != nil && cfg.PendingAuthoritative(oldCohort) {
+		pc := cfg.PendingCohort(int(h.Hi % uint64(cfg.Pending.Shards)))
+		rt := route{shards: pc, addrs: make([]string, 0, len(pc)), pending: true}
+		for _, s := range pc {
+			rt.addrs = append(rt.addrs, cfg.Pending.AddrFor(s))
+		}
+		return rt
+	}
+	rt := route{shards: oldCohort, addrs: make([]string, 0, len(oldCohort))}
+	for _, s := range oldCohort {
+		rt.addrs = append(rt.addrs, cfg.AddrFor(s))
+	}
+	return rt
+}
+
+// mutLeg is one target of a mutation fan-out, tagged with the epoch(s)
+// it represents for quorum accounting.
+type mutLeg struct {
+	addr      string
+	inOld     bool
+	inPending bool
+}
+
+// mutationLegs builds the union fan-out for a mutation: every old-epoch
+// cohort member plus, mid-resize, every pending-epoch cohort member,
+// deduplicated by address (a backend often serves a shard in both
+// epochs; it gets one RPC, counted toward both quorums).
+func mutationLegs(cfg config.CellConfig, h hashring.KeyHash) []mutLeg {
+	legs := make([]mutLeg, 0, 6)
+	for _, s := range cfg.Cohort(int(h.Hi % uint64(cfg.Shards))) {
+		addr := cfg.AddrFor(s)
+		if addr == "" {
+			continue
+		}
+		dup := false
+		for i := range legs {
+			if legs[i].addr == addr {
+				legs[i].inOld = true
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			legs = append(legs, mutLeg{addr: addr, inOld: true})
+		}
+	}
+	if cfg.Pending != nil {
+		for _, s := range cfg.PendingCohort(int(h.Hi % uint64(cfg.Pending.Shards))) {
+			addr := cfg.Pending.AddrFor(s)
+			if addr == "" {
+				continue
+			}
+			dup := false
+			for i := range legs {
+				if legs[i].addr == addr {
+					legs[i].inPending = true
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				legs = append(legs, mutLeg{addr: addr, inPending: true})
+			}
+		}
+	}
+	return legs
+}
+
+// resolveReplica produces a usable replica handle for the cohort member
+// at addr, performing the Hello handshake if needed.
+func (c *Client) resolveReplica(ctx context.Context, cfg config.CellConfig, shard int, addr string) (replica, error) {
+	host := cfg.HostForAddr(addr)
 	if addr == "" || host < 0 {
 		return replica{}, fmt.Errorf("%w: shard %d unresolved", ErrUnavailable, shard)
 	}
@@ -438,6 +518,12 @@ func (c *Client) classifyAndRepair(ctx context.Context, key []byte, err error) {
 	case errors.Is(err, layout.ErrConfigChanged):
 		c.M.ConfigRetries.Inc()
 		c.refreshConfig()
+	case errors.Is(err, proto.ErrShardSealed):
+		// A sealed source bounced the mutation: a handoff or resize moved
+		// the shard underneath us. Refresh config and re-fan-out; the new
+		// epoch's owners (or the handoff target) take the write.
+		c.M.ConfigRetries.Inc()
+		c.refreshConfig()
 	case errors.Is(err, rpc.ErrUnavailable) || errors.Is(err, nic.ErrUnreachable):
 		c.M.WindowRetries.Inc()
 		c.refreshConfig()
@@ -497,14 +583,13 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 	c.mu.Unlock()
 
 	h := c.opt.Hash(key)
-	primary := int(h.Hi % uint64(cfg.Shards))
-	cohort := cfg.Cohort(primary)
+	rt := readRoute(cfg, h)
 
 	switch c.opt.Strategy {
 	case StrategyRPC:
-		return c.attemptGetRPC(ctx, key, cfg, cohort)
+		return c.attemptGetRPC(ctx, key, cfg, rt)
 	case StrategyMSG:
-		return c.attemptGetMSG(ctx, key, cfg, cohort)
+		return c.attemptGetMSG(ctx, key, cfg, rt)
 	}
 
 	// Resolve replicas — first use pays a Hello RPC — before pinning the
@@ -515,8 +600,8 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 	var errArr [8]error
 	reps := repArr[:0]
 	errs := errArr[:0]
-	for _, shard := range cohort {
-		rep, err := c.resolveReplica(ctx, shard)
+	for i, shard := range rt.shards {
+		rep, err := c.resolveReplica(ctx, cfg, shard, rt.addrs[i])
 		reps = append(reps, rep)
 		errs = append(errs, err)
 	}
@@ -527,12 +612,12 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 	// second serves only when the first fails (§6.4).
 	if cfg.Mode == config.R2Immutable {
 		var lastErr error
-		for i := range cohort {
+		for i := range rt.shards {
 			if errs[i] != nil {
 				lastErr = errs[i]
 				continue
 			}
-			v := c.fetchIndex(at, key, h, reps[i])
+			v := c.fetchIndex(at, key, h, reps[i], cfg.ID)
 			if v.err != nil {
 				lastErr = v.err
 				continue
@@ -548,13 +633,13 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 	// RMA strategies: fetch index views from every cohort member, all
 	// pinned to one virtual op-start instant so their responses contend
 	// for this client's downlink in the latency model.
-	views := make([]indexView, 0, len(cohort))
-	for i := range cohort {
+	views := make([]indexView, 0, len(rt.shards))
+	for i := range rt.shards {
 		if errs[i] != nil {
 			views = append(views, indexView{err: errs[i]})
 			continue
 		}
-		v := c.fetchIndex(at, key, h, reps[i])
+		v := c.fetchIndex(at, key, h, reps[i], cfg.ID)
 		if v.err != nil {
 			c.noteReplicaFailure(reps[i].addr)
 		} else {
@@ -575,8 +660,10 @@ func (c *Client) opStart() uint64 {
 
 // fetchIndex reads one replica's bucket (and, under SCAR, data). The
 // replica must already be resolved: Hello traffic ahead of the pinned op
-// start must not masquerade as data-plane queueing.
-func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep replica) indexView {
+// start must not masquerade as data-plane queueing. cfgID is the config
+// the client routed with; a bucket stamped differently means the fleet
+// moved on (maintenance or resize) and the answer cannot be trusted.
+func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep replica, cfgID uint64) indexView {
 	v := indexView{rep: rep}
 	geo := layout.Geometry{Buckets: rep.hello.Buckets, Ways: rep.hello.Ways}
 	bucket := int(h.Lo % uint64(geo.Buckets))
@@ -612,9 +699,13 @@ func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep repli
 		v.err = derr
 		return v
 	}
-	// Self-validation: the bucket's ConfigID must match the client's
-	// expectation (§6.1).
-	if dec.ConfigID != rep.hello.ConfigID {
+	// Self-validation: the bucket's ConfigID must match the config the
+	// client routed with (§6.1). Comparing against the routing config —
+	// not the cached Hello, which a fresh handshake would already have
+	// fast-forwarded — is what catches a stale client whose cohort no
+	// longer holds the key after a resize: the absent votes it would
+	// otherwise collect look exactly like a legitimate miss.
+	if dec.ConfigID != cfgID {
 		v.err = layout.ErrConfigChanged
 		return v
 	}
@@ -725,7 +816,7 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		// in a side table reachable only via RPC (§4.2).
 		for _, v := range views {
 			if v.err == nil && v.overflow {
-				val, found, ftr, ferr := c.rpcGetAt(ctx, v.rep.addr, key)
+				val, found, ftr, ferr := c.rpcGetAt(ctx, v.rep.addr, key, cfg.ID)
 				tr.Sequence(ftr)
 				if ferr == nil {
 					c.M.RPCFallbacks.Inc()
@@ -852,14 +943,14 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 }
 
 // attemptGetRPC queries replicas over full RPC and quorums on versions.
-func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellConfig, cohort []int) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, fabric.OpTrace, error) {
 	c.chargeCPU(cpuRPC)
-	return c.twoSidedQuorum(cfg, cohort, func(shard int) (proto.GetResp, fabric.OpTrace, error) {
-		addr := cfg.AddrFor(shard)
+	return c.twoSidedQuorum(cfg, rt, func(i int) (proto.GetResp, fabric.OpTrace, error) {
+		addr := rt.addrs[i]
 		if addr == "" {
 			return proto.GetResp{}, fabric.OpTrace{}, ErrUnavailable
 		}
-		resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+		resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfg.ID}.Marshal())
 		if err != nil {
 			return proto.GetResp{}, tr, err
 		}
@@ -870,15 +961,15 @@ func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellC
 
 // attemptGetMSG queries replicas via two-sided NIC messaging (Figure 7's
 // MSG strategy).
-func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellConfig, cohort []int) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, fabric.OpTrace, error) {
 	if c.msg == nil {
-		return c.attemptGetRPC(ctx, key, cfg, cohort)
+		return c.attemptGetRPC(ctx, key, cfg, rt)
 	}
 	c.chargeCPU(cpuMSG)
 	at := c.opStart()
-	req := proto.GetReq{Key: key}.Marshal()
-	return c.twoSidedQuorum(cfg, cohort, func(shard int) (proto.GetResp, fabric.OpTrace, error) {
-		host := cfg.HostFor(shard)
+	req := proto.GetReq{Key: key, ConfigID: cfg.ID}.Marshal()
+	return c.twoSidedQuorum(cfg, rt, func(i int) (proto.GetResp, fabric.OpTrace, error) {
+		host := cfg.HostForAddr(rt.addrs[i])
 		if host < 0 {
 			return proto.GetResp{}, fabric.OpTrace{}, ErrUnavailable
 		}
@@ -893,7 +984,7 @@ func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellC
 
 // twoSidedQuorum runs the version-quorum logic over any request/response
 // lookup primitive.
-func (c *Client) twoSidedQuorum(cfg config.CellConfig, cohort []int, fetch func(shard int) (proto.GetResp, fabric.OpTrace, error)) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) twoSidedQuorum(cfg config.CellConfig, rt route, fetch func(i int) (proto.GetResp, fabric.OpTrace, error)) ([]byte, bool, fabric.OpTrace, error) {
 	need := cfg.Mode.Quorum()
 	type result struct {
 		resp proto.GetResp
@@ -903,8 +994,8 @@ func (c *Client) twoSidedQuorum(cfg config.CellConfig, cohort []int, fetch func(
 	var results []result
 	var tr fabric.OpTrace
 	var legNs []uint64
-	for _, shard := range cohort {
-		resp, ltr, err := fetch(shard)
+	for i := range rt.shards {
+		resp, ltr, err := fetch(i)
 		if err != nil {
 			continue
 		}
@@ -959,15 +1050,14 @@ func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabri
 	cfg := c.cfg
 	c.mu.Unlock()
 	h := c.opt.Hash(key)
-	primary := int(h.Hi % uint64(cfg.Shards))
+	rt := readRoute(cfg, h)
 	var tr fabric.OpTrace
 	var lastErr error = ErrUnavailable
-	for _, shard := range cfg.Cohort(primary) {
-		addr := cfg.AddrFor(shard)
+	for _, addr := range rt.addrs {
 		if addr == "" {
 			continue
 		}
-		val, found, ftr, err := c.rpcGetAt(ctx, addr, key)
+		val, found, ftr, err := c.rpcGetAt(ctx, addr, key, cfg.ID)
 		tr.Sequence(ftr)
 		if err == nil {
 			return val, found, tr, nil
@@ -977,8 +1067,8 @@ func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabri
 	return nil, false, tr, lastErr
 }
 
-func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte) ([]byte, bool, fabric.OpTrace, error) {
-	resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key}.Marshal())
+func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte, cfgID uint64) ([]byte, bool, fabric.OpTrace, error) {
+	resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfgID}.Marshal())
 	if err != nil {
 		return nil, false, tr, err
 	}
@@ -1037,9 +1127,11 @@ func (c *Client) Set(ctx context.Context, key, value []byte) error {
 func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.Version, error) {
 	c.M.Sets.Inc()
 	v := c.gen.Next()
-	req := proto.SetReq{Key: key, Value: value, Version: v}.Marshal()
+	build := func(pending bool, cfgID uint64) []byte {
+		return proto.SetReq{Key: key, Value: value, Version: v, Pending: pending, ConfigID: cfgID}.Marshal()
+	}
 	sc, ctx := c.traceOp(ctx, trace.KindSet)
-	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodSet, req, v)
+	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodSet, build, v)
 	c.observe(trace.KindSet, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
@@ -1052,9 +1144,11 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 func (c *Client) Erase(ctx context.Context, key []byte) error {
 	c.M.Erases.Inc()
 	v := c.gen.Next()
-	req := proto.EraseReq{Key: key, Version: v}.Marshal()
+	build := func(pending bool, cfgID uint64) []byte {
+		return proto.EraseReq{Key: key, Version: v, Pending: pending, ConfigID: cfgID}.Marshal()
+	}
 	sc, ctx := c.traceOp(ctx, trace.KindErase)
-	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodErase, req, v)
+	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodErase, build, v)
 	c.observe(trace.KindErase, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
@@ -1071,9 +1165,11 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
 	c.M.CasOps.Inc()
 	v := c.gen.Next()
-	req := proto.CasReq{Key: key, Value: value, Expected: expected, Version: v}.Marshal()
+	build := func(pending bool, cfgID uint64) []byte {
+		return proto.CasReq{Key: key, Value: value, Expected: expected, Version: v, Pending: pending, ConfigID: cfgID}.Marshal()
+	}
 	sc, ctx := c.traceOp(ctx, trace.KindCas)
-	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, req, v)
+	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, build, v)
 	c.observe(trace.KindCas, trace.TransportRPC, tr.Ns, err)
 	if err != nil {
 		return false, err
@@ -1095,7 +1191,7 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 // refresh-and-retry-once loop, so every mutation hazard shares the one
 // §3 repair mechanism. Returns the trace, attempts used, and the count
 // of replicas that reported the mutation applied (CAS semantics).
-func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req []byte, nominated truetime.Version) (fabric.OpTrace, uint32, int, error) {
+func (c *Client) mutateAll(ctx context.Context, key []byte, method string, build func(pending bool, cfgID uint64) []byte, nominated truetime.Version) (fabric.OpTrace, uint32, int, error) {
 	var total fabric.OpTrace
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
@@ -1111,7 +1207,7 @@ func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req [
 			total.AddSpan(trace.SpanBackoff, uint32(attempt), ns)
 			c.M.BackoffNs.Add(ns)
 		}
-		tr, applied, err := c.mutateOnce(ctx, key, method, req, nominated)
+		tr, applied, err := c.mutateOnce(ctx, key, method, build, nominated)
 		total.Sequence(tr)
 		if err == nil {
 			c.opt.Budget.Credit()
@@ -1126,30 +1222,52 @@ func (c *Client) mutateAll(ctx context.Context, key []byte, method string, req [
 	return total, uint32(c.opt.Retries + 1), 0, lastErr
 }
 
-// mutateOnce is one fan-out to the cohort. A leg whose stored version
-// already equals the nominated version counts as applied: a retry after
-// a partially-acknowledged earlier attempt must recognize its own write
-// (CAS would otherwise read as failed on the replicas it had won).
-func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, req []byte, nominated truetime.Version) (fabric.OpTrace, int, error) {
+// mutateOnce is one fan-out to the cohort — mid-resize, to the union of
+// both epochs' cohorts. A leg whose stored version already equals the
+// nominated version counts as applied: a retry after a partially-
+// acknowledged earlier attempt must recognize its own write (CAS would
+// otherwise read as failed on the replicas it had won).
+//
+// Quorum is accounted per epoch: an ack from a sealed old-cohort member
+// must NOT count toward the old-epoch quorum (its journal has drained —
+// the write would exist only where handoff can no longer see it), so
+// MutateResp.Sealed legs count only toward the pending epoch when they
+// serve there. The mutation acks when either epoch reaches its quorum.
+func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, build func(pending bool, cfgID uint64) []byte, nominated truetime.Version) (fabric.OpTrace, int, error) {
 	c.mu.Lock()
 	cfg := c.cfg
 	c.mu.Unlock()
 	h := c.opt.Hash(key)
-	cohort := cfg.Cohort(int(h.Hi % uint64(cfg.Shards)))
+	legs := mutationLegs(cfg, h)
 
 	var tr fabric.OpTrace
 	var legArr [8]uint64
 	legNs := legArr[:0]
-	acks, applied := 0, 0
+	oldAcks, pendAcks, applied := 0, 0, 0
+	// Requests are built per attempt so each fan-out stamps the client's
+	// CURRENT ConfigID — backends reject stale stamps, which is what
+	// forces a mutate-only client (no bucket reads to trip the §6.1
+	// stamp) to refresh before writing into a superseded epoch.
+	var plainBytes, pendingBytes []byte
 	var lastErr error
-	for _, shard := range cohort {
-		addr := cfg.AddrFor(shard)
-		if addr == "" {
-			continue
+	for _, leg := range legs {
+		var body []byte
+		if leg.inPending {
+			// Pending-epoch legs carry the Pending flag so a sealed
+			// backend that owns the key in the new epoch still accepts.
+			if pendingBytes == nil {
+				pendingBytes = build(true, cfg.ID)
+			}
+			body = pendingBytes
+		} else {
+			if plainBytes == nil {
+				plainBytes = build(false, cfg.ID)
+			}
+			body = plainBytes
 		}
-		resp, ltr, err := c.rpcc.Call(ctx, addr, method, req)
+		resp, ltr, err := c.rpcc.Call(ctx, leg.addr, method, body)
 		if err != nil {
-			c.noteReplicaFailure(addr)
+			c.noteReplicaFailure(leg.addr)
 			lastErr = err
 			continue
 		}
@@ -1158,8 +1276,13 @@ func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, req 
 			lastErr = merr
 			continue
 		}
-		c.noteReplicaSuccess(addr)
-		acks++
+		c.noteReplicaSuccess(leg.addr)
+		if leg.inOld && !mr.Sealed {
+			oldAcks++
+		}
+		if leg.inPending {
+			pendAcks++
+		}
 		if mr.Applied || mr.Stored == nominated {
 			applied++
 		}
@@ -1169,7 +1292,21 @@ func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, req 
 		// common origin.
 		tr.Spans = append(tr.Spans, ltr.Spans...)
 	}
-	if acks < cfg.Mode.Quorum() {
+	q := cfg.Mode.Quorum()
+	// The pending-epoch quorum only DECIDES the ack once reads route to
+	// the pending owners (readRoute's authority rule). Before that flip a
+	// pending-only quorum would be invisible: readers still consult the
+	// old cohort, so a write acked on pending legs alone — possible when
+	// a restamp race bounces healthy old legs — reads as lost. Until
+	// authority flips the old epoch must ack; its sealed members are
+	// discounted by MutateResp.Sealed, and once R−Q+1 of the cohort are
+	// sealed an old quorum is unreachable, forcing the refresh-and-retry
+	// that lands the write under the authoritative epoch.
+	pendingDecides := false
+	if cfg.Pending != nil {
+		pendingDecides = cfg.PendingAuthoritative(cfg.Cohort(int(h.Hi % uint64(cfg.Shards))))
+	}
+	if oldAcks < q && (!pendingDecides || pendAcks < q) {
 		if lastErr == nil {
 			lastErr = ErrUnavailable
 		}
@@ -1182,7 +1319,6 @@ func (c *Client) mutateOnce(ctx context.Context, key []byte, method string, req 
 			legNs[j], legNs[j-1] = legNs[j-1], legNs[j]
 		}
 	}
-	q := cfg.Mode.Quorum()
 	if legNs[q-1] > legNs[0] {
 		tr.Annotate(trace.SpanQuorumWait, uint32(q), tr.Ns+legNs[0], legNs[q-1]-legNs[0])
 	}

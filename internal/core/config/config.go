@@ -74,6 +74,57 @@ type BackendInfo struct {
 	Spare bool
 }
 
+// PendingEpoch is the target shard map of an in-flight resize. While a
+// CellConfig carries one, the cell is mid-transition: old-epoch shards
+// hand their contents to their pending-epoch owners one source at a
+// time, and SealedOld records which old shards have been sealed and
+// drained. The epoch commits when the orchestrator folds it into the
+// top-level Shards/ShardAddrs and clears Pending.
+type PendingEpoch struct {
+	// Shards is the target logical shard count.
+	Shards int
+	// ShardAddrs maps each pending shard to its serving address.
+	ShardAddrs []string
+	// SealedOld[s] is true once old shard s has been sealed and its
+	// catch-up delta drained to the pending owners. It only ever grows
+	// within one transition.
+	SealedOld []bool
+}
+
+// clone deep-copies the epoch.
+func (p *PendingEpoch) clone() *PendingEpoch {
+	if p == nil {
+		return nil
+	}
+	return &PendingEpoch{
+		Shards:     p.Shards,
+		ShardAddrs: append([]string(nil), p.ShardAddrs...),
+		SealedOld:  append([]bool(nil), p.SealedOld...),
+	}
+}
+
+// AddrFor returns the pending-epoch serving address of shard s.
+func (p *PendingEpoch) AddrFor(s int) string {
+	if p == nil || s < 0 || s >= len(p.ShardAddrs) {
+		return ""
+	}
+	return p.ShardAddrs[s]
+}
+
+// SealedCount returns how many old-epoch shards are sealed.
+func (p *PendingEpoch) SealedCount() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range p.SealedOld {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
 // CellConfig is a point-in-time view of the cell.
 type CellConfig struct {
 	// ID increases on every change and is stamped into bucket headers.
@@ -87,6 +138,8 @@ type CellConfig struct {
 	ShardAddrs []string
 	// Backends lists all tasks, including idle spares.
 	Backends []BackendInfo
+	// Pending is the target epoch of an in-flight resize, nil otherwise.
+	Pending *PendingEpoch
 }
 
 // AddrFor returns the serving address of shard s.
@@ -99,7 +152,11 @@ func (c CellConfig) AddrFor(s int) string {
 
 // HostFor returns the fabric host currently serving shard s, or -1.
 func (c CellConfig) HostFor(s int) int {
-	addr := c.AddrFor(s)
+	return c.HostForAddr(c.AddrFor(s))
+}
+
+// HostForAddr returns the fabric host of the task at addr, or -1.
+func (c CellConfig) HostForAddr(addr string) int {
 	for _, b := range c.Backends {
 		if b.Addr == addr {
 			return b.HostID
@@ -111,21 +168,58 @@ func (c CellConfig) HostFor(s int) int {
 // Cohort returns the shards hosting copies of a key whose primary shard is
 // p: p, p+1, ..., mod Shards (§5.1).
 func (c CellConfig) Cohort(p int) []int {
-	r := c.Mode.Replicas()
-	if r > c.Shards {
-		r = c.Shards
+	return cohort(p, c.Mode.Replicas(), c.Shards)
+}
+
+// PendingCohort returns the pending-epoch cohort of a key whose
+// pending-epoch primary shard is p, or nil outside a transition.
+func (c CellConfig) PendingCohort(p int) []int {
+	if c.Pending == nil {
+		return nil
+	}
+	return cohort(p, c.Mode.Replicas(), c.Pending.Shards)
+}
+
+func cohort(p, r, shards int) []int {
+	if r > shards {
+		r = shards
 	}
 	out := make([]int, r)
 	for i := range out {
-		out[i] = (p + i) % c.Shards
+		out[i] = (p + i) % shards
 	}
 	return out
+}
+
+// PendingAuthoritative reports whether the pending epoch is the read
+// authority for a key with the given old-epoch cohort. The old epoch
+// stays authoritative while enough of the cohort is unsealed that an
+// old-epoch quorum of live (unsealed or just-sealed) replicas can still
+// vouch for every acked write; once sealed ≥ R−Q+1 of the cohort, any
+// acked old-epoch write's quorum intersects the sealed set — and each
+// seal drained that member's holdings (bulk + journal delta) to the
+// pending owners — so the pending epoch holds every acked version and
+// becomes the authority.
+func (c CellConfig) PendingAuthoritative(oldCohort []int) bool {
+	if c.Pending == nil {
+		return false
+	}
+	r := len(oldCohort)
+	q := c.Mode.Quorum()
+	sealed := 0
+	for _, s := range oldCohort {
+		if s < len(c.Pending.SealedOld) && c.Pending.SealedOld[s] {
+			sealed++
+		}
+	}
+	return sealed >= r-q+1
 }
 
 // clone deep-copies the slices so watchers never share storage.
 func (c CellConfig) clone() CellConfig {
 	c.ShardAddrs = append([]string(nil), c.ShardAddrs...)
 	c.Backends = append([]BackendInfo(nil), c.Backends...)
+	c.Pending = c.Pending.clone()
 	return c
 }
 

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"cliquemap/internal/truetime"
 	"cliquemap/internal/wire"
 )
 
@@ -77,6 +78,122 @@ func FuzzHealthResp(f *testing.F) {
 		}
 		// Whatever decoded must re-marshal and re-decode identically.
 		again, err := UnmarshalHealthResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}
+
+// The handoff-plane frames below cross trust boundaries during a resize
+// or maintenance migration: SealReq and MigrateBatch/MigrateDelta bodies
+// arrive at backends from whichever peer claims to run the handoff, and
+// GetReq's ConfigID stamp is the self-validation gate on the two-sided
+// read path. A malformed frame must error, never panic, and never
+// fabricate state (items out of thin air, a seal bit from a truncated
+// varint).
+
+func FuzzSealReq(f *testing.F) {
+	f.Add(SealReq{On: true}.Marshal())
+	f.Add(SealReq{}.Marshal())
+	// A seal frame with a hostile extra tag and a maxed varint where the
+	// bool belongs.
+	e := wire.NewEncoder()
+	e.Uint(1, ^uint64(0))
+	e.Uint(99, 7)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalSealReq(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalSealReq(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again != r {
+			t.Fatalf("re-decode drift: first %+v second %+v", r, again)
+		}
+	})
+}
+
+func FuzzGetReq(f *testing.F) {
+	f.Add(GetReq{Key: []byte("k"), ConfigID: 7}.Marshal())
+	f.Add(GetReq{Key: []byte{0x00, 0xff}}.Marshal())
+	// ConfigID at the varint ceiling (must round-trip, not truncate: the
+	// stamp comparison is exact) and a key under an unknown tag.
+	e := wire.NewEncoder()
+	e.Bytes(1, []byte("key"))
+	e.Uint(2, ^uint64(0))
+	e.Bytes(9, []byte("stray"))
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalGetReq(data)
+		if err != nil {
+			return
+		}
+		if len(r.Key) > len(data) {
+			t.Fatalf("decoder fabricated a %d-byte key from %d input bytes", len(r.Key), len(data))
+		}
+		again, err := UnmarshalGetReq(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.ConfigID != r.ConfigID || string(again.Key) != string(r.Key) {
+			t.Fatalf("re-decode drift: first %+v second %+v", r, again)
+		}
+	})
+}
+
+func FuzzMigrateBatchReq(f *testing.F) {
+	// Shared schema for MethodMigrateBatch and MethodMigrateDelta: the
+	// delta stream additionally leans on tombstone items and the
+	// final-frame summary fold, so both shapes seed the corpus.
+	f.Add(MigrateBatchReq{
+		Shard: 1,
+		Items: []MigrateItem{
+			{Key: []byte("live"), Value: []byte("v"), Version: truetime.Version{Micros: 5, ClientID: 2, Seq: 3}},
+			{Key: []byte("dead"), Tombstone: true, Version: truetime.Version{Micros: 9}},
+		},
+	}.Marshal())
+	f.Add(MigrateBatchReq{
+		Shard: -1, Final: true,
+		TombSummary: truetime.Version{Micros: 1 << 40, ClientID: 1},
+	}.Marshal())
+	// An item whose nested body is a truncated varint, plus version
+	// fields at the ceiling.
+	e := wire.NewEncoder()
+	e.Int(1, -9)
+	bad := wire.NewRawEncoder()
+	bad.Bytes(1, []byte("k"))
+	bad.Uint(3, ^uint64(0))
+	e.Message(2, bad)
+	e.Bytes(2, []byte{0x10})
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalMigrateBatchReq(data)
+		if err != nil {
+			return
+		}
+		if len(r.Items) > len(data) {
+			t.Fatalf("decoder fabricated %d items from %d input bytes", len(r.Items), len(data))
+		}
+		for _, it := range r.Items {
+			if len(it.Key)+len(it.Value) > len(data) {
+				t.Fatalf("decoder fabricated a %d/%d-byte item from %d input bytes",
+					len(it.Key), len(it.Value), len(data))
+			}
+		}
+		// Whatever decoded must re-marshal and re-decode identically —
+		// a tombstone dropped in transit would resurrect a deleted key
+		// at the migration target.
+		again, err := UnmarshalMigrateBatchReq(r.Marshal())
 		if err != nil {
 			t.Fatalf("re-decode: %v", err)
 		}

@@ -44,7 +44,26 @@ const (
 	// per-op-class burn rates, alert states, and probe-target
 	// availability. Additive like MethodStats.
 	MethodHealth = "CliqueMap.Health"
+	// MethodSeal toggles a backend's handoff seal: a sealed backend
+	// rejects client mutations with ErrShardSealed (migration streams and
+	// pending-epoch writes still land) so the handoff delta pass can drain
+	// to a closed set. Additive: old servers answer ErrNoSuchMethod and
+	// the resize orchestrator aborts rather than risking a lost write.
+	MethodSeal = "CliqueMap.Seal"
+	// MethodMigrateDelta streams the catch-up delta of a sealed handoff:
+	// mutations journaled since the bulk stream, plus the source's live
+	// tombstones and coarse tombstone summary. Same schema as
+	// MigrateBatch; callers fall back to MethodMigrateBatch on
+	// ErrNoSuchMethod (losing only the summary fold).
+	MethodMigrateDelta = "CliqueMap.MigrateDelta"
 )
+
+// ErrShardSealed is returned by a handoff-sealed backend for client
+// mutations. It is a config-mismatch-class error: the client refreshes
+// its config (picking up the seal bitmap or the post-handoff flip) and
+// retries against the current owners. Defined here so both client and
+// backend can errors.Is against it without importing each other.
+var ErrShardSealed = fmt.Errorf("proto: shard sealed for handoff")
 
 // Version field tags, shared by every message embedding a VersionNumber.
 func encodeVersion(e *wire.Encoder, base uint64, v truetime.Version) {
@@ -116,12 +135,21 @@ func UnmarshalHelloResp(b []byte) (HelloResp, error) {
 }
 
 // SetReq installs key=value at a client-nominated version (§5.2). Repair
-// marks repair-driven SETs (§5.4) for observability.
+// marks repair-driven SETs (§5.4) for observability. Pending marks a
+// mutation leg addressed to a pending-epoch owner during a resize: it
+// bypasses the handoff seal on backends that own the key in the pending
+// shard map.
 type SetReq struct {
 	Key     []byte
 	Value   []byte
 	Version truetime.Version
 	Repair  bool
+	Pending bool
+	// ConfigID is the sender's config view; a backend whose stamped ID
+	// differs rejects with layout.ErrConfigChanged so stale clients
+	// refresh instead of writing into a superseded epoch. 0 = unchecked
+	// (repair traffic, old senders).
+	ConfigID uint64
 }
 
 // Marshal encodes the request.
@@ -132,6 +160,8 @@ func (r SetReq) Marshal() []byte {
 	e.Bytes(2, r.Value)
 	encodeVersion(&e, 3, r.Version)
 	e.Bool(6, r.Repair)
+	e.Bool(7, r.Pending)
+	e.Uint(8, r.ConfigID)
 	return e.Encoded()
 }
 
@@ -159,6 +189,10 @@ func UnmarshalSetReq(b []byte) (SetReq, error) {
 			v.s = d.Uint()
 		case 6:
 			r.Repair = d.Bool()
+		case 7:
+			r.Pending = d.Bool()
+		case 8:
+			r.ConfigID = d.Uint()
 		}
 	}
 	r.Version = v.version()
@@ -167,11 +201,15 @@ func UnmarshalSetReq(b []byte) (SetReq, error) {
 
 // MutateResp answers SET/ERASE/CAS: whether the mutation applied, the
 // version now stored, and how many evictions it forced (§4.2 instruments
-// eviction-to-SET ratios).
+// eviction-to-SET ratios). Sealed reports that the answering backend is
+// handoff-sealed: its mutation journal has already drained, so the ack
+// must not count toward the old epoch's quorum (the write survives only
+// through the backend's pending-epoch ownership).
 type MutateResp struct {
 	Applied   bool
 	Stored    truetime.Version
 	Evictions int
+	Sealed    bool
 }
 
 // Marshal encodes the response.
@@ -181,6 +219,7 @@ func (r MutateResp) Marshal() []byte {
 	e.Bool(1, r.Applied)
 	encodeVersion(&e, 2, r.Stored)
 	e.Uint(5, uint64(r.Evictions))
+	e.Bool(6, r.Sealed)
 	return e.Encoded()
 }
 
@@ -204,6 +243,8 @@ func UnmarshalMutateResp(b []byte) (MutateResp, error) {
 			v.s = d.Uint()
 		case 5:
 			r.Evictions = int(d.Uint())
+		case 6:
+			r.Sealed = d.Bool()
 		}
 	}
 	r.Stored = v.version()
@@ -214,8 +255,10 @@ func UnmarshalMutateResp(b []byte) (MutateResp, error) {
 // retained in the tombstone cache so late SETs cannot resurrect the value
 // (§5.2).
 type EraseReq struct {
-	Key     []byte
-	Version truetime.Version
+	Key      []byte
+	Version  truetime.Version
+	Pending  bool   // see SetReq.Pending
+	ConfigID uint64 // see SetReq.ConfigID
 }
 
 // Marshal encodes the request.
@@ -224,6 +267,8 @@ func (r EraseReq) Marshal() []byte {
 	e.InitSized(len(r.Key) + 48)
 	e.Bytes(1, r.Key)
 	encodeVersion(&e, 2, r.Version)
+	e.Bool(5, r.Pending)
+	e.Uint(6, r.ConfigID)
 	return e.Encoded()
 }
 
@@ -246,6 +291,10 @@ func UnmarshalEraseReq(b []byte) (EraseReq, error) {
 			v.c = d.Uint()
 		case 4:
 			v.s = d.Uint()
+		case 5:
+			r.Pending = d.Bool()
+		case 6:
+			r.ConfigID = d.Uint()
 		}
 	}
 	r.Version = v.version()
@@ -258,6 +307,8 @@ type CasReq struct {
 	Value    []byte
 	Expected truetime.Version
 	Version  truetime.Version // new version on success
+	Pending  bool             // see SetReq.Pending
+	ConfigID uint64           // see SetReq.ConfigID
 }
 
 // Marshal encodes the request.
@@ -268,6 +319,8 @@ func (r CasReq) Marshal() []byte {
 	e.Bytes(2, r.Value)
 	encodeVersion(&e, 3, r.Expected)
 	encodeVersion(&e, 6, r.Version)
+	e.Bool(9, r.Pending)
+	e.Uint(10, r.ConfigID)
 	return e.Encoded()
 }
 
@@ -298,6 +351,10 @@ func UnmarshalCasReq(b []byte) (CasReq, error) {
 			nv.c = d.Uint()
 		case 8:
 			nv.s = d.Uint()
+		case 9:
+			r.Pending = d.Bool()
+		case 10:
+			r.ConfigID = d.Uint()
 		}
 	}
 	r.Expected = exp.version()
@@ -309,6 +366,11 @@ func UnmarshalCasReq(b []byte) (CasReq, error) {
 // strategy, and retries after RMA failures).
 type GetReq struct {
 	Key []byte
+	// ConfigID, when non-zero, is the §6.1 self-validation stamp on the
+	// two-sided read path: the server rejects the lookup when its config
+	// differs, so a stale-routed client refreshes instead of trusting an
+	// answer from a backend that may no longer own the key.
+	ConfigID uint64
 }
 
 // Marshal encodes the request.
@@ -316,6 +378,7 @@ func (r GetReq) Marshal() []byte {
 	var e wire.Encoder
 	e.InitSized(len(r.Key) + 24)
 	e.Bytes(1, r.Key)
+	e.Uint(2, r.ConfigID)
 	return e.Encoded()
 }
 
@@ -328,8 +391,11 @@ func UnmarshalGetReq(b []byte) (GetReq, error) {
 		return r, err
 	}
 	for d.Next() {
-		if d.Tag() == 1 {
+		switch d.Tag() {
+		case 1:
 			r.Key = d.Bytes()
+		case 2:
+			r.ConfigID = d.Uint()
 		}
 	}
 	return r, d.Err()
@@ -456,11 +522,16 @@ func UnmarshalScanReq(b []byte) (ScanReq, error) {
 	return r, d.Err()
 }
 
-// ScanResp returns a page of summaries.
+// ScanResp returns a page of summaries. TombSummary is the replica's
+// coarse tombstone-summary version (§5.2): an upper bound on erases whose
+// exact tombstones were FIFO-evicted from the cache. Repair uses it to
+// refuse settling a key upward past a replica whose summary dominates the
+// candidate — absence there may be a summary-evicted erase, not a lag.
 type ScanResp struct {
-	Items      []ScanItem
-	NextCursor uint64
-	Done       bool
+	Items       []ScanItem
+	NextCursor  uint64
+	Done        bool
+	TombSummary truetime.Version
 }
 
 // Marshal encodes the response.
@@ -477,12 +548,14 @@ func (r ScanResp) Marshal() []byte {
 	}
 	e.Uint(2, r.NextCursor)
 	e.Bool(3, r.Done)
+	encodeVersion(e, 4, r.TombSummary)
 	return e.Encoded()
 }
 
 // UnmarshalScanResp decodes the response.
 func UnmarshalScanResp(b []byte) (ScanResp, error) {
 	var r ScanResp
+	var sum versionAcc
 	d, err := wire.NewDecoder(b)
 	if err != nil {
 		return r, err
@@ -520,8 +593,15 @@ func UnmarshalScanResp(b []byte) (ScanResp, error) {
 			r.NextCursor = d.Uint()
 		case 3:
 			r.Done = d.Bool()
+		case 4:
+			sum.m = d.Uint()
+		case 5:
+			sum.c = d.Uint()
+		case 6:
+			sum.s = d.Uint()
 		}
 	}
+	r.TombSummary = sum.version()
 	return r, d.Err()
 }
 
@@ -567,18 +647,26 @@ func UnmarshalUpdateVersionReq(b []byte) (UpdateVersionReq, error) {
 }
 
 // MigrateItem is one KV pair streamed during warm-spare migration (§6.1).
+// Tombstone marks an erased key (mirroring ScanItem tag 7): the receiver
+// installs the version in its tombstone cache instead of its index, so an
+// erase just before a handoff cannot resurrect on the new owner.
 type MigrateItem struct {
-	Key     []byte
-	Value   []byte
-	Version truetime.Version
+	Key       []byte
+	Value     []byte
+	Version   truetime.Version
+	Tombstone bool
 }
 
 // MigrateBatchReq streams a page of a shard's contents to a spare (or back
-// to a restarted primary).
+// to a restarted primary). TombSummary, carried on the final batch, is the
+// source's coarse tombstone-summary version; the receiver folds it into
+// its own summary so even FIFO-evicted erases keep their upper bound
+// across the handoff.
 type MigrateBatchReq struct {
-	Shard int
-	Items []MigrateItem
-	Final bool
+	Shard       int
+	Items       []MigrateItem
+	Final       bool
+	TombSummary truetime.Version
 }
 
 // Marshal encodes the request.
@@ -590,15 +678,18 @@ func (r MigrateBatchReq) Marshal() []byte {
 		m.Bytes(1, it.Key)
 		m.Bytes(2, it.Value)
 		encodeVersion(m, 3, it.Version)
+		m.Bool(6, it.Tombstone)
 		e.Message(2, m)
 	}
 	e.Bool(3, r.Final)
+	encodeVersion(e, 4, r.TombSummary)
 	return e.Encoded()
 }
 
 // UnmarshalMigrateBatchReq decodes the request.
 func UnmarshalMigrateBatchReq(b []byte) (MigrateBatchReq, error) {
 	var r MigrateBatchReq
+	var sum versionAcc
 	d, err := wire.NewDecoder(b)
 	if err != nil {
 		return r, err
@@ -623,6 +714,8 @@ func UnmarshalMigrateBatchReq(b []byte) (MigrateBatchReq, error) {
 					v.c = nd.Uint()
 				case 5:
 					v.s = nd.Uint()
+				case 6:
+					it.Tombstone = nd.Bool()
 				}
 			}
 			if err := nd.Err(); err != nil {
@@ -632,8 +725,15 @@ func UnmarshalMigrateBatchReq(b []byte) (MigrateBatchReq, error) {
 			r.Items = append(r.Items, it)
 		case 3:
 			r.Final = d.Bool()
+		case 4:
+			sum.m = d.Uint()
+		case 5:
+			sum.c = d.Uint()
+		case 6:
+			sum.s = d.Uint()
 		}
 	}
+	r.TombSummary = sum.version()
 	return r, d.Err()
 }
 
@@ -665,13 +765,48 @@ func UnmarshalAssumeShardReq(b []byte) (AssumeShardReq, error) {
 	return r, d.Err()
 }
 
+// SealReq toggles the handoff seal on a backend (MethodSeal). On=true
+// seals; On=false unseals (after the config flip, for backends that
+// survive into the new epoch).
+type SealReq struct {
+	On bool
+}
+
+// Marshal encodes the request.
+func (r SealReq) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Bool(1, r.On)
+	return e.Encoded()
+}
+
+// UnmarshalSealReq decodes the request.
+func UnmarshalSealReq(b []byte) (SealReq, error) {
+	var r SealReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		if d.Tag() == 1 {
+			r.On = d.Bool()
+		}
+	}
+	return r, d.Err()
+}
+
 // ConfigResp describes the cell to external callers: the replication
-// mode's replica count and the address serving each shard.
+// mode's replica count and the address serving each shard. During a
+// resize the pending-epoch fields carry the target shard map and the
+// per-old-shard seal bitmap (for cmstat RESIZE progress); they are empty
+// outside transitions.
 type ConfigResp struct {
-	ConfigID   uint64
-	Replicas   int
-	Quorum     int
-	ShardAddrs []string
+	ConfigID          uint64
+	Replicas          int
+	Quorum            int
+	ShardAddrs        []string
+	PendingShards     int
+	PendingShardAddrs []string
+	SealedOld         []bool
 }
 
 // Marshal encodes the config snapshot.
@@ -682,6 +817,13 @@ func (r ConfigResp) Marshal() []byte {
 	e.Uint(3, uint64(r.Quorum))
 	for _, a := range r.ShardAddrs {
 		e.String(4, a)
+	}
+	e.Uint(5, uint64(r.PendingShards))
+	for _, a := range r.PendingShardAddrs {
+		e.String(6, a)
+	}
+	for _, s := range r.SealedOld {
+		e.Bool(7, s)
 	}
 	return e.Encoded()
 }
@@ -703,6 +845,12 @@ func UnmarshalConfigResp(b []byte) (ConfigResp, error) {
 			r.Quorum = int(d.Uint())
 		case 4:
 			r.ShardAddrs = append(r.ShardAddrs, d.String())
+		case 5:
+			r.PendingShards = int(d.Uint())
+		case 6:
+			r.PendingShardAddrs = append(r.PendingShardAddrs, d.String())
+		case 7:
+			r.SealedOld = append(r.SealedOld, d.Bool())
 		}
 	}
 	return r, d.Err()
@@ -732,6 +880,12 @@ type StatsResp struct {
 	// sketch has absorbed (the N of its N/k error bound).
 	HeatTracked uint64
 	HeatTotal   uint64
+	// HandoffSealed reports the handoff seal (distinct from the
+	// R2Immutable corpus seal in Sealed); PendingShards is the target
+	// shard count of an in-flight resize as seen by this backend's
+	// config snapshot, 0 outside transitions.
+	HandoffSealed bool
+	PendingShards uint64
 }
 
 // Marshal encodes the stats snapshot.
@@ -753,6 +907,8 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(14, r.StripeTotalOps)
 	e.Uint(15, r.HeatTracked)
 	e.Uint(16, r.HeatTotal)
+	e.Bool(17, r.HandoffSealed)
+	e.Uint(18, r.PendingShards)
 	return e.Encoded()
 }
 
@@ -797,6 +953,10 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.HeatTracked = d.Uint()
 		case 16:
 			r.HeatTotal = d.Uint()
+		case 17:
+			r.HandoffSealed = d.Bool()
+		case 18:
+			r.PendingShards = d.Uint()
 		}
 	}
 	return r, d.Err()

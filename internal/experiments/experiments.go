@@ -100,10 +100,12 @@ func All() []func() Result {
 		Fig18Mix,
 		Fig19MixCPU,
 		Fig20ValueSize,
+		FigResize,
 	}
 }
 
-// ByName resolves an experiment by figure id ("3", "fig3", ...).
+// ByName resolves an experiment by figure id ("3", "fig3", ...) or by
+// the name of a non-figure experiment ("resize").
 func ByName(name string) (func() Result, bool) {
 	name = strings.TrimPrefix(strings.ToLower(name), "fig")
 	m := map[string]func() Result{
@@ -112,7 +114,7 @@ func ByName(name string) (func() Result, bool) {
 		"11": Fig11Preferred, "12": Fig12Incast, "13": Fig13Planned,
 		"14": Fig14Unplanned, "15": Fig15PonyRamp, "16": Fig16OneRMAHW,
 		"17": Fig17OneRMAGet, "18": Fig18Mix, "19": Fig19MixCPU,
-		"20": Fig20ValueSize,
+		"20": Fig20ValueSize, "resize": FigResize,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -26,7 +26,7 @@ func TestResultFormat(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"3", "fig3", "FIG11", "20"} {
+	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize"} {
 		if _, ok := ByName(n); !ok {
 			t.Errorf("ByName(%q) failed", n)
 		}
@@ -34,7 +34,7 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("99"); ok {
 		t.Error("bogus figure resolved")
 	}
-	if len(All()) != 16 {
+	if len(All()) != 17 {
 		t.Errorf("All() = %d experiments", len(All()))
 	}
 }
@@ -240,6 +240,30 @@ func TestFig19Shape(t *testing.T) {
 	}
 	if a < 2*c {
 		t.Errorf("write-heavy CPU (%v) should far exceed read-heavy (%v)", a, c)
+	}
+}
+
+// TestFigResizeShape: GET p50 stays flat while the cell resizes 4->6->4
+// under mixed load — reads stay on RMA throughout; only the tail pays
+// for config refreshes. The zero-lost-acked-writes invariant is checked
+// inside FigResize itself (a loss panics the run).
+func TestFigResizeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := FigResize()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base := r.Rows[0].Cols[0].Value
+	if v := r.Rows[1].Cols[0].Value; v < base {
+		base = v
+	}
+	for _, row := range r.Rows {
+		if row.Cols[0].Value > 1.5*base {
+			t.Errorf("GET p50 not flat across resize: %s = %.1fus vs baseline %.1fus",
+				row.Label, row.Cols[0].Value, base)
+		}
 	}
 }
 

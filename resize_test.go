@@ -1,0 +1,176 @@
+package cliquemap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestResizeGrowUnderLoad grows a live cell 4→6 shards while mixed
+// SET/GET load runs against it, then verifies that every write acked
+// before or during the transition is readable afterwards — the
+// tentpole's zero-lost-acked-writes claim.
+func TestResizeGrowUnderLoad(t *testing.T) {
+	c := newCell(t, Options{Shards: 4, Spares: 2, Mode: R32})
+	cl := c.NewClient(ClientOptions{Strategy: LookupSCAR})
+	ctx := context.Background()
+
+	// Seed a corpus before the resize.
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		k := []byte(fmt.Sprintf("pre-%03d", i))
+		if err := cl.Set(ctx, k, []byte(fmt.Sprintf("v0-%03d", i))); err != nil {
+			t.Fatalf("seed set %s: %v", k, err)
+		}
+	}
+
+	// Mixed load concurrent with the resize: each worker's acked writes
+	// are recorded; indeterminate ops (errors) are not counted.
+	const workers = 4
+	acked := make([]map[string]string, workers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		acked[w] = make(map[string]string)
+		wcl := c.NewClient(ClientOptions{})
+		wg.Add(1)
+		go func(w int, wcl *Client) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("live-%d-%03d", w, i%50)
+				v := fmt.Sprintf("w%d-i%d", w, i)
+				if err := wcl.Set(ctx, []byte(k), []byte(v)); err == nil {
+					acked[w][k] = v
+				}
+				if i%3 == 0 {
+					wcl.Get(ctx, []byte(k))
+				}
+			}
+		}(w, wcl)
+	}
+
+	if err := c.Resize(ctx, 6); err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("resize 4→6: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := c.Shards(); got != 6 {
+		t.Fatalf("shards after resize = %d, want 6", got)
+	}
+
+	// Every pre-resize write and every acked mid-resize write must be
+	// readable through a fresh client in the new epoch.
+	check := c.NewClient(ClientOptions{})
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("pre-%03d", i)
+		v, ok, err := check.Get(ctx, []byte(k))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v0-%03d", i) {
+			t.Errorf("pre-resize key %s lost: %q %v %v", k, v, ok, err)
+		}
+	}
+	lost := 0
+	for w := 0; w < workers; w++ {
+		for k, want := range acked[w] {
+			v, ok, err := check.Get(ctx, []byte(k))
+			if err != nil || !ok || string(v) != want {
+				lost++
+				if lost <= 5 {
+					t.Errorf("acked write %s=%q lost: got %q ok=%v err=%v", k, want, v, ok, err)
+				}
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d acked writes lost across %d workers", lost, workers)
+	}
+}
+
+// TestResizeShrinkAndRegrow shrinks 4→3 (dropping a task back to spare
+// duty) and then grows 3→5 reusing it, verifying the corpus survives
+// both directions.
+func TestResizeShrinkAndRegrow(t *testing.T) {
+	c := newCell(t, Options{Shards: 4, Spares: 1, Mode: R32})
+	cl := c.NewClient(ClientOptions{})
+	ctx := context.Background()
+
+	const keys = 120
+	for i := 0; i < keys; i++ {
+		if err := cl.Set(ctx, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+	}
+
+	if err := c.Resize(ctx, 3); err != nil {
+		t.Fatalf("shrink 4→3: %v", err)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, ok, err := cl.Get(ctx, []byte(k))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("after shrink, %s: %q %v %v", k, v, ok, err)
+		}
+	}
+
+	// The dropped task and the original spare both count as capacity now.
+	if err := c.Resize(ctx, 5); err != nil {
+		t.Fatalf("grow 3→5: %v", err)
+	}
+	if got := c.Shards(); got != 5 {
+		t.Fatalf("shards = %d, want 5", got)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, ok, err := cl.Get(ctx, []byte(k))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("after regrow, %s: %q %v %v", k, v, ok, err)
+		}
+	}
+}
+
+// TestResizeErasesSurvive checks the tombstone path: keys erased before
+// and during a resize stay erased afterwards (no resurrection through
+// the migration stream).
+func TestResizeErasesSurvive(t *testing.T) {
+	c := newCell(t, Options{Shards: 4, Spares: 2, Mode: R32})
+	cl := c.NewClient(ClientOptions{})
+	ctx := context.Background()
+
+	const keys = 80
+	for i := 0; i < keys; i++ {
+		if err := cl.Set(ctx, []byte(fmt.Sprintf("e%03d", i)), []byte("doomed")); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+	}
+	for i := 0; i < keys; i += 2 {
+		if err := cl.Erase(ctx, []byte(fmt.Sprintf("e%03d", i))); err != nil {
+			t.Fatalf("erase: %v", err)
+		}
+	}
+
+	if err := c.Resize(ctx, 6); err != nil {
+		t.Fatalf("resize: %v", err)
+	}
+
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("e%03d", i)
+		_, ok, err := cl.Get(ctx, []byte(k))
+		if err != nil {
+			t.Fatalf("get %s: %v", k, err)
+		}
+		if i%2 == 0 && ok {
+			t.Errorf("erased key %s resurrected by resize", k)
+		}
+		if i%2 == 1 && !ok {
+			t.Errorf("surviving key %s lost by resize", k)
+		}
+	}
+}
