@@ -199,14 +199,7 @@ func NewCell(opt Options) (*Cell, error) {
 		copt.Transport = cell.Transport1RMA
 	}
 	if opt.Hash != nil {
-		userHash := opt.Hash
-		copt.Hash = func(key []byte) hashring.KeyHash {
-			hi, lo := userHash(key)
-			if hi == 0 && lo == 0 {
-				lo = 1 // the zero hash is reserved for empty index slots
-			}
-			return hashring.KeyHash{Hi: hi, Lo: lo}
-		}
+		copt.Hash = hashring.FromPair(opt.Hash)
 	}
 	c, err := cell.New(copt)
 	if err != nil {

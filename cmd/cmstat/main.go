@@ -21,6 +21,9 @@
 //	                document per line)
 //	-trace          also print the retained slow-op log with per-layer
 //	                span breakdowns, and the per-kind exemplar traces
+//	-tier           print the federation tier's ring table (member cells,
+//	                live/base weights, demotion state, ownership shares);
+//	                shown automatically when the cell belongs to a tier
 //	-slow n         cap the slow ops requested per snapshot (default 8)
 //	-hot n          cap the hot keys printed (default 10)
 //
@@ -51,6 +54,7 @@ func main() {
 	watch := flag.Duration("watch", 0, "refresh interval (0 = print once)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	showTrace := flag.Bool("trace", false, "print slow-op traces and exemplars")
+	showTier := flag.Bool("tier", false, "print the federation tier ring table")
 	maxSlow := flag.Int("slow", 8, "slow ops to request per snapshot")
 	maxHot := flag.Int("hot", 10, "hot keys to print")
 	flag.Parse()
@@ -71,7 +75,7 @@ func main() {
 		if *jsonOut {
 			printJSON(cur)
 		} else {
-			printTables(cur, prev, *showTrace, *maxHot)
+			printTables(cur, prev, *showTrace, *showTier, *maxHot)
 		}
 		if *watch <= 0 {
 			return
@@ -95,6 +99,8 @@ type snapshot struct {
 	dbgOK  bool
 	health proto.HealthResp
 	hlOK   bool
+	tier   proto.TierResp
+	tierOK bool
 }
 
 // collect fetches one full snapshot over the gateway. The Debug and
@@ -168,6 +174,21 @@ func collect(ctx context.Context, client *rpc.TCPClient, maxSlow int) (*snapshot
 		cur.health, cur.hlOK = hl, true
 		break
 	}
+	// The tier routing snapshot is fleet-wide: any member cell's backend
+	// serves it. Additive method — pre-tier cells error and the section
+	// is absent; cells outside a tier answer an empty snapshot.
+	for _, addr := range cfg.ShardAddrs {
+		raw, _, err := client.Call(ctx, addr, proto.MethodTier, proto.TierReq{}.Marshal())
+		if err != nil {
+			continue
+		}
+		ti, terr := proto.UnmarshalTierResp(raw)
+		if terr != nil {
+			return nil, fmt.Errorf("tier decode: %w", terr)
+		}
+		cur.tier, cur.tierOK = ti, true
+		break
+	}
 	return cur, nil
 }
 
@@ -180,6 +201,7 @@ type jsonReport struct {
 	Errors map[string]string          `json:"errors,omitempty"`
 	Debug  *proto.DebugResp           `json:"debug,omitempty"`
 	Health *proto.HealthResp          `json:"health,omitempty"`
+	Tier   *proto.TierResp            `json:"tier,omitempty"`
 }
 
 func printJSON(cur *snapshot) {
@@ -189,6 +211,9 @@ func printJSON(cur *snapshot) {
 	}
 	if cur.hlOK {
 		rep.Health = &cur.health
+	}
+	if cur.tierOK && len(cur.tier.Cells) > 0 {
+		rep.Tier = &cur.tier
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(rep); err != nil {
@@ -209,7 +234,7 @@ func delta(cur, prev uint64, restarted *bool) uint64 {
 	return cur - prev
 }
 
-func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
+func printTables(cur, prev *snapshot, showTrace, showTier bool, maxHot int) {
 	cfg := cur.cfg
 	fmt.Printf("cell config id=%d replicas=%d quorum=%d shards=%d\n",
 		cfg.ConfigID, cfg.Replicas, cfg.Quorum, len(cfg.ShardAddrs))
@@ -260,12 +285,37 @@ func printTables(cur, prev *snapshot, showTrace bool, maxHot int) {
 			strings.Join(restartedShards, ", "))
 	}
 
+	if cur.tierOK && (showTier || len(cur.tier.Cells) > 0) {
+		printTier(cur.tier)
+	}
 	if cur.hlOK {
 		printHealth(cur.health)
 	}
 	if cur.dbgOK {
 		printDebug(cur, prev, showTrace, maxHot)
 	}
+}
+
+// printTier renders the federation router's ring table: one row per
+// member cell with its live routing weight against the configured base,
+// the health state driving any demotion, and the exact keyspace share
+// its ring arcs own.
+func printTier(t proto.TierResp) {
+	if len(t.Cells) == 0 {
+		fmt.Printf("\ntier: cell is not part of a federation tier\n")
+		return
+	}
+	fmt.Printf("\ntier: ring v%d, %d vnodes/unit weight, %d cells\n",
+		t.RingVersion, t.Vnodes, len(t.Cells))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "CELL\tSTATE\tWEIGHT\tBASE\tOWNED\tDEMOTED")
+	for _, c := range t.Cells {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.1f%%\t%v\n",
+			c.Name, strings.ToUpper(c.State),
+			float64(c.WeightMilli)/1000, float64(c.BaseMilli)/1000,
+			float64(c.OwnedPpm)/1e4, c.Demoted)
+	}
+	w.Flush()
 }
 
 // printResize renders an in-flight resize: the old→new shard count, how

@@ -72,6 +72,10 @@ func (b *Backend) Heat() *stats.TopK { return b.heat }
 // snapshot.
 func (b *Backend) SetHealthSource(fn func() []byte) { b.healthSrc.Store(&fn) }
 
+// SetTierSource attaches the marshalled-TierResp provider behind
+// MethodTier. Safe to leave unset: the handler serves an empty snapshot.
+func (b *Backend) SetTierSource(fn func() []byte) { b.tierSrc.Store(&fn) }
+
 // noteHeat feeds one key access into the heat sketch, reusing the hash
 // the hot path already computed. Probe-namespace canaries are excluded so
 // the health plane's own synthetic traffic can never masquerade as a hot
@@ -135,9 +139,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Hash == nil {
-		o.Hash = hashring.DefaultHash
-	}
+	o.Hash = hashring.OrDefault(o.Hash)
 	if o.Geometry.Buckets == 0 {
 		o.Geometry = layout.Geometry{Buckets: 256, Ways: layout.DefaultWays}
 	}
@@ -335,6 +337,11 @@ type Backend struct {
 	journal       map[string]struct{}
 
 	evictCursor atomic.Uint64 // round-robin start stripe for capacity eviction
+
+	// tierSrc, when set, serves MethodTier snapshots; the federation
+	// tier attaches a closure over its router after construction. Kept
+	// at the tail: it is cold, and the fields above it are hot-path.
+	tierSrc atomic.Pointer[func() []byte]
 }
 
 // opBufs is per-call scratch: a bucket read buffer, an IndexEntry encode

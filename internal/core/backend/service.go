@@ -306,6 +306,17 @@ func (b *Backend) registerHandlers() {
 		return proto.HealthResp{}.Marshal(), nil
 	})
 
+	s.Handle(proto.MethodTier, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+		// Tier routing state lives in the federation router; a tier
+		// attaches a marshalled-snapshot source to every member cell's
+		// backends. A cell outside any tier serves an empty snapshot so
+		// cmstat -tier can always poll and report "not in a tier".
+		if fn := b.tierSrc.Load(); fn != nil {
+			return (*fn)(), nil
+		}
+		return proto.TierResp{}.Marshal(), nil
+	})
+
 	s.Handle(proto.MethodRequestRepair, func(ctx context.Context, _ string, req []byte) ([]byte, error) {
 		r, err := proto.UnmarshalAssumeShardReq(req) // carries just the shard
 		if err != nil {

@@ -122,6 +122,7 @@ type Cell struct {
 	healthOnce  sync.Once
 	healthPlane *health.Plane
 	healthSrc   func() []byte // MethodHealth payload source, nil until Health()
+	tierSrc     func() []byte // MethodTier payload source, nil outside a tier
 	proberOnce  sync.Once
 	prober      *health.Prober
 }
@@ -188,9 +189,13 @@ func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
 	b.SetTracer(c.Tracer)
 	c.mu.Lock()
 	src := c.healthSrc
+	tsrc := c.tierSrc
 	c.mu.Unlock()
 	if src != nil {
 		b.SetHealthSource(src) // restarted tasks keep serving MethodHealth
+	}
+	if tsrc != nil {
+		b.SetTierSource(tsrc) // restarted tasks keep serving MethodTier
 	}
 	n := &node{info: info, b: b}
 	switch c.opt.Transport {
@@ -893,10 +898,7 @@ func (c *Cell) LoadImmutable(ctx context.Context, items map[string][]byte) error
 	cfg := c.Store.Get()
 	gen := truetime.NewGenerator(c.Clock, 999)
 	for k, v := range items {
-		hashFn := c.opt.Hash
-		if hashFn == nil {
-			hashFn = hashring.DefaultHash
-		}
+		hashFn := hashring.OrDefault(c.opt.Hash)
 		h := hashFn([]byte(k))
 		primary := int(h.Hi % uint64(cfg.Shards))
 		ver := gen.Next()

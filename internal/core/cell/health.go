@@ -33,6 +33,20 @@ func (c *Cell) Health() *health.Plane {
 	return c.healthPlane
 }
 
+// SetTierSource attaches the federation tier's marshalled-TierResp
+// provider to every live backend (and, via startNode, to any task
+// restarted later), so MethodTier answers from any member cell's
+// gateway.
+func (c *Cell) SetTierSource(fn func() []byte) {
+	c.mu.Lock()
+	c.tierSrc = fn
+	nodes := append([]*node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.b.SetTierSource(fn)
+	}
+}
+
 // probeStrategies lists the lookup strategies the cell's transport can
 // serve — each becomes one probe target, so a regression confined to a
 // single protocol (say SCAR) still trips its own canary path.

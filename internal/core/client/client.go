@@ -137,9 +137,7 @@ func (o Options) withDefaults() Options {
 	if o.Retries == 0 {
 		o.Retries = 5
 	}
-	if o.Hash == nil {
-		o.Hash = hashring.DefaultHash
-	}
+	o.Hash = hashring.OrDefault(o.Hash)
 	o.Backoff = o.Backoff.withDefaults()
 	if o.Budget == nil {
 		o.Budget = NewRetryBudget(0, 0)
@@ -1065,6 +1063,45 @@ func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabri
 		lastErr = err
 	}
 	return nil, false, tr, lastErr
+}
+
+// GetVersioned is a single-replica RPC lookup returning the stored value
+// and its version. It is the federation tier's follower-read primitive:
+// the version lets a non-owner cell revalidate a cached entry against
+// the owner, and a single replica (no quorum) is acceptable because the
+// tier bounds staleness and revalidates. Not a substitute for Get on the
+// quorum read path.
+func (c *Client) GetVersioned(ctx context.Context, key []byte) ([]byte, truetime.Version, bool, error) {
+	var lastErr error = ErrUnavailable
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			// Same layered repair as the quorum paths: a resize or handoff
+			// bumps the config epoch underneath us and the backend bounces
+			// the stale ConfigID; refresh and re-route before retrying.
+			c.classifyAndRepair(ctx, key, lastErr)
+		}
+		c.mu.Lock()
+		cfg := c.cfg
+		c.mu.Unlock()
+		rt := readRoute(cfg, c.opt.Hash(key))
+		for _, addr := range rt.addrs {
+			if addr == "" {
+				continue
+			}
+			resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfg.ID}.Marshal())
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			g, gerr := proto.UnmarshalGetResp(resp)
+			if gerr != nil {
+				lastErr = gerr
+				continue
+			}
+			return g.Value, g.Version, g.Found, nil
+		}
+	}
+	return nil, truetime.Version{}, false, lastErr
 }
 
 func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte, cfgID uint64) ([]byte, bool, fabric.OpTrace, error) {

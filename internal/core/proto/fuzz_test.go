@@ -227,3 +227,61 @@ func FuzzDebugRespHeat(f *testing.F) {
 		_ = r.Marshal()
 	})
 }
+
+// The tier routing snapshot is decoded by cmstat -tier straight off any
+// member cell's gateway; same contract as MethodHealth: hostile frames
+// error or zero out, never panic, never fabricate cells.
+
+func TestTierRespRoundTrip(t *testing.T) {
+	in := TierResp{
+		RingVersion: 9,
+		Vnodes:      128,
+		Cells: []TierCell{
+			{Name: "us", WeightMilli: 1000, BaseMilli: 1000, State: "ok", OwnedPpm: 333000},
+			{Name: "eu", WeightMilli: 250, BaseMilli: 1000, State: "page", Demoted: true, OwnedPpm: 111000},
+			{Name: "asia", State: "dead"},
+		},
+	}
+	out, err := UnmarshalTierResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func FuzzTierResp(f *testing.F) {
+	f.Add(TierResp{RingVersion: 1, Vnodes: 128,
+		Cells: []TierCell{{Name: "us", WeightMilli: 1000, BaseMilli: 1000, State: "ok", OwnedPpm: 500000}},
+	}.Marshal())
+	// A cell whose nested fields are hostile: non-UTF8 name, maxed
+	// varints, and an unknown tag (forward compatibility).
+	e := wire.NewEncoder()
+	e.Uint(1, ^uint64(0))
+	bad := wire.NewRawEncoder()
+	bad.String(1, "\xff\xfeus")
+	bad.Uint(2, ^uint64(0))
+	bad.String(4, "not-a-state")
+	bad.Uint(99, 7)
+	e.Message(3, bad)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalTierResp(data)
+		if err != nil {
+			return
+		}
+		if len(r.Cells) > len(data) {
+			t.Fatalf("decoder fabricated %d cells from %d input bytes", len(r.Cells), len(data))
+		}
+		again, err := UnmarshalTierResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}

@@ -44,6 +44,11 @@ const (
 	// per-op-class burn rates, alert states, and probe-target
 	// availability. Additive like MethodStats.
 	MethodHealth = "CliqueMap.Health"
+	// MethodTier ships the federation router's weighted-ring snapshot:
+	// member cells, live/base weights, demotion state, and ownership
+	// shares. Additive like MethodStats; cells outside a tier answer an
+	// empty snapshot.
+	MethodTier = "CliqueMap.Tier"
 	// MethodSeal toggles a backend's handoff seal: a sealed backend
 	// rejects client mutations with ErrShardSealed (migration streams and
 	// pending-epoch writes still land) so the handoff delta pass can drain

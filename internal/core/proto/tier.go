@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"cliquemap/internal/wire"
+)
+
+// The Tier method ships the federation router's view of the weighted
+// consistent-hash ring — member cells, live vs base weights, alert-driven
+// demotion state, and exact ownership shares — to remote tooling
+// (cmstat -tier). Like MethodHealth it is additive: backends outside a
+// tier answer an empty TierResp and tooling reports "not in a tier";
+// pre-tier servers answer ErrNoSuchMethod and tooling degrades.
+//
+// Fractions travel integer-only per the wire conventions: weights in
+// milli-units, ownership shares in parts-per-million.
+
+// TierReq requests a tier routing snapshot. Currently empty; fields are
+// additive.
+type TierReq struct{}
+
+// Marshal encodes the request.
+func (TierReq) Marshal() []byte { return wire.NewEncoder().Encoded() }
+
+// UnmarshalTierReq decodes the request.
+func UnmarshalTierReq(b []byte) (TierReq, error) {
+	var r TierReq
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+	}
+	return r, d.Err()
+}
+
+// TierCell is one member cell's routing state.
+type TierCell struct {
+	Name        string
+	WeightMilli uint64 // live routing weight × 1000
+	BaseMilli   uint64 // configured weight × 1000 (pre-demotion)
+	State       string // health alert state driving the weight: "ok" | "warn" | "page" | "dead"
+	Demoted     bool   // router is holding the weight below base
+	OwnedPpm    uint64 // exact keyspace share from ring arcs, parts-per-million
+}
+
+// TierResp is the router's ring snapshot. RingVersion increments on every
+// rebuild (re-weight, demotion, death), so tooling can tell two
+// structurally identical tables apart and clients can cheaply detect
+// ownership churn.
+type TierResp struct {
+	RingVersion uint64
+	Vnodes      uint64 // virtual nodes per unit weight
+	Cells       []TierCell
+}
+
+// Marshal encodes the snapshot.
+func (r TierResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	e.Uint(1, r.RingVersion)
+	e.Uint(2, r.Vnodes)
+	for _, c := range r.Cells {
+		m := wire.NewRawEncoder()
+		m.String(1, c.Name)
+		m.Uint(2, c.WeightMilli)
+		m.Uint(3, c.BaseMilli)
+		m.String(4, c.State)
+		if c.Demoted {
+			m.Uint(5, 1)
+		}
+		m.Uint(6, c.OwnedPpm)
+		e.Message(3, m)
+	}
+	return e.Encoded()
+}
+
+// UnmarshalTierResp decodes the snapshot.
+func UnmarshalTierResp(b []byte) (TierResp, error) {
+	var r TierResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.RingVersion = d.Uint()
+		case 2:
+			r.Vnodes = d.Uint()
+		case 3:
+			var c TierCell
+			nd := wire.NewRawDecoder(d.Bytes())
+			for nd.Next() {
+				switch nd.Tag() {
+				case 1:
+					c.Name = nd.String()
+				case 2:
+					c.WeightMilli = nd.Uint()
+				case 3:
+					c.BaseMilli = nd.Uint()
+				case 4:
+					c.State = nd.String()
+				case 5:
+					c.Demoted = nd.Uint() != 0
+				case 6:
+					c.OwnedPpm = nd.Uint()
+				}
+			}
+			r.Cells = append(r.Cells, c)
+		}
+	}
+	return r, d.Err()
+}

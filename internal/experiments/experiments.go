@@ -14,25 +14,27 @@ import (
 	"strings"
 )
 
-// Col is one measured value.
+// Col is one measured value. The json tags are the cmbench -json wire
+// shape, committed as BENCH_PRn.json perf-trajectory seeds — keep them
+// stable and additive.
 type Col struct {
-	Name  string
-	Value float64
-	Unit  string
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
 }
 
 // Row is one labelled series point (a bar, an interval, a sweep setting).
 type Row struct {
-	Label string
-	Cols  []Col
+	Label string `json:"label"`
+	Cols  []Col  `json:"cols"`
 }
 
 // Result is one regenerated figure.
 type Result struct {
-	Name  string // e.g. "fig11"
-	Title string
-	Notes string
-	Rows  []Row
+	Name  string `json:"name"` // e.g. "fig11"
+	Title string `json:"title"`
+	Notes string `json:"notes,omitempty"`
+	Rows  []Row  `json:"rows"`
 }
 
 // Format renders the result as an aligned text table.
@@ -101,6 +103,7 @@ func All() []func() Result {
 		Fig19MixCPU,
 		Fig20ValueSize,
 		FigResize,
+		FigTier,
 	}
 }
 
@@ -114,7 +117,7 @@ func ByName(name string) (func() Result, bool) {
 		"11": Fig11Preferred, "12": Fig12Incast, "13": Fig13Planned,
 		"14": Fig14Unplanned, "15": Fig15PonyRamp, "16": Fig16OneRMAHW,
 		"17": Fig17OneRMAGet, "18": Fig18Mix, "19": Fig19MixCPU,
-		"20": Fig20ValueSize, "resize": FigResize,
+		"20": Fig20ValueSize, "resize": FigResize, "tier": FigTier,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -26,7 +26,7 @@ func TestResultFormat(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize"} {
+	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize", "tier"} {
 		if _, ok := ByName(n); !ok {
 			t.Errorf("ByName(%q) failed", n)
 		}
@@ -34,7 +34,7 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("99"); ok {
 		t.Error("bogus figure resolved")
 	}
-	if len(All()) != 17 {
+	if len(All()) != 18 {
 		t.Errorf("All() = %d experiments", len(All()))
 	}
 }

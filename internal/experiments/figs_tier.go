@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cliquemap/internal/core/cell"
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/tier"
+)
+
+// FigTier is the multi-cell federation scenario: three cells behind the
+// weighted consistent-hash router, a mixed GET/SET workload, then one
+// cell killed outright. Reported per phase: throughput through the tier
+// client, the keyspace fraction the ring remapped (must stay ≤ 1/N +
+// slack), and the acked writes lost to the failover (must be zero — the
+// tier client re-routes before acking).
+func FigTier() Result {
+	const (
+		keyCount = 300
+		rounds   = 4
+	)
+	names := []string{"us", "eu", "asia"}
+	var refs []tier.CellRef
+	for _, n := range names {
+		refs = append(refs, tier.CellRef{Name: n, Cell: mustCell(cell.Options{
+			Shards: 3, Spares: 1, Mode: config.R32,
+			Transport: cell.TransportPony,
+			Backend:   smallBackend(),
+		})})
+	}
+	t, err := tier.New(tier.Options{Cells: refs})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building tier: %v", err))
+	}
+	cl, err := t.NewClient(tier.ClientOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: tier client: %v", err))
+	}
+
+	keys := make([][]byte, keyCount)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("tier-key-%05d", i))
+	}
+	acked := map[int]string{} // key index → last acked value
+
+	// phase runs `rounds` full write+read sweeps and returns ops/s on
+	// the tier's virtual-ish wall clock plus the failed-op count.
+	phase := func(label string) Row {
+		var ops, fails int
+		startNs := t.Cell("us").Fabric.NowNs()
+		for r := 0; r < rounds; r++ {
+			for i, k := range keys {
+				v := fmt.Sprintf("%s-r%d-%d", label, r, i)
+				if err := cl.Set(ctx, k, []byte(v)); err == nil {
+					acked[i] = v
+				} else {
+					fails++
+				}
+				if _, _, err := cl.Get(ctx, k); err != nil {
+					fails++
+				}
+				ops += 2
+			}
+		}
+		elapsed := float64(t.Cell("us").Fabric.NowNs()-startNs) / 1e9
+		row := Row{Label: label, Cols: []Col{
+			{Name: "ops/s", Value: float64(ops) / elapsed, Unit: "ops/s"},
+			{Name: "op errors", Value: float64(fails)},
+		}}
+		return row
+	}
+
+	steady := phase("steady")
+
+	// Kill asia and measure the failover through the same workload.
+	ringBefore := t.Router().Ring()
+	for s := 0; s < 3; s++ {
+		t.Cell("asia").Crash(s)
+	}
+	failover := phase("post-kill")
+	ringAfter := t.Router().Ring()
+
+	// Remapped fraction over the working keyset.
+	moved := 0
+	for _, k := range keys {
+		if ringBefore.OwnerName(hashring.DefaultHash(k)) != ringAfter.OwnerName(hashring.DefaultHash(k)) {
+			moved++
+		}
+	}
+	remap := float64(moved) / float64(keyCount)
+
+	// Lost-acked-writes audit: every key's last acked value must read
+	// back exactly.
+	lost := 0
+	for i, want := range acked {
+		val, found, err := cl.Get(ctx, keys[i])
+		if err != nil || !found || string(val) != want {
+			lost++
+		}
+	}
+
+	steady.Cols = append(steady.Cols, Col{Name: "remapped", Value: 0}, Col{Name: "lost acked", Value: 0})
+	failover.Cols = append(failover.Cols, Col{Name: "remapped", Value: remap}, Col{Name: "lost acked", Value: float64(lost)})
+
+	return Result{
+		Name:  "tier",
+		Title: "3-cell federation: steady state vs one cell killed and rerouted around",
+		Notes: "remapped is the keyspace fraction the ring moved (bound ~1/3); lost acked must be 0",
+		Rows:  []Row{steady, failover},
+	}
+}

@@ -23,6 +23,30 @@ func (h KeyHash) Zero() bool { return h.Hi == 0 && h.Lo == 0 }
 // zero hash for any key.
 type HashFunc func(key []byte) KeyHash
 
+// OrDefault is the canonical nil-to-default rule: every layer (client,
+// backend, cell, public API) that accepts an optional HashFunc resolves
+// it through here, so there is exactly one place that decides what "no
+// hash configured" means.
+func OrDefault(h HashFunc) HashFunc {
+	if h == nil {
+		return DefaultHash
+	}
+	return h
+}
+
+// FromPair adapts a user-supplied (hi, lo) pair function into a HashFunc,
+// enforcing the never-zero invariant the index relies on (the zero hash
+// marks empty slots).
+func FromPair(f func(key []byte) (hi, lo uint64)) HashFunc {
+	return func(key []byte) KeyHash {
+		hi, lo := f(key)
+		if hi == 0 && lo == 0 {
+			lo = 1
+		}
+		return KeyHash{Hi: hi, Lo: lo}
+	}
+}
+
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211

@@ -1,0 +1,313 @@
+package tier
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"sync/atomic"
+
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/hashring"
+	"cliquemap/internal/truetime"
+)
+
+// ErrNoCells means the router has no routable cell (everything dead or
+// zero-weight).
+var ErrNoCells = errors.New("tier: no routable cells")
+
+// followerPrefix reserves the local-cell namespace holding follower-read
+// cache entries (wrapped with version + freshness stamp), keeping them
+// disjoint from authoritative entries the cell owns outright.
+const followerPrefix = "\x00tier/"
+
+// ClientOptions configures a tier client.
+type ClientOptions struct {
+	// Local names the cell this client is co-located with — the follower
+	// cache for keys owned elsewhere. "" means the tier's first cell.
+	Local string
+
+	// FollowerReads serves GETs for remotely-owned keys from the local
+	// cell when a cached copy is younger than StaleBound; older copies
+	// are revalidated against the owner by version (TAO-style leader/
+	// follower, bounded staleness instead of invalidation fan-out).
+	FollowerReads bool
+
+	// StaleBoundNs is the follower-cache freshness bound on the LOCAL
+	// cell's virtual clock; 0 means 50ms.
+	StaleBoundNs uint64
+
+	// Retries is the tier-level re-route budget per op, on top of each
+	// per-cell client's own retry loop. 0 means FailThreshold+1, enough
+	// for one client to push a dying cell over the dead threshold and
+	// still land its op on the new owner.
+	Retries int
+
+	// PerCell templates the per-cell client options (strategy, R,
+	// observer, ...). ID/HostID are assigned per cell as usual.
+	PerCell client.Options
+}
+
+// Metrics counts tier-client outcomes. Read with ClientMetrics.
+type Metrics struct {
+	Ops               atomic.Uint64 // tier-level ops attempted
+	Reroutes          atomic.Uint64 // retries after a failed cell op
+	DeadFailovers     atomic.Uint64 // retries that followed a cell-death rebuild
+	FollowerHits      atomic.Uint64 // served fresh from the local follower cache
+	FollowerRevalids  atomic.Uint64 // stale entry confirmed current by owner version
+	FollowerRefreshes atomic.Uint64 // stale entry replaced by a newer owner value
+	FollowerMisses    atomic.Uint64 // no usable local entry; fetched from owner
+}
+
+// Client routes ops across a tier's cells: GETs and mutations go to the
+// key's owning cell, mutations ack only after the owner does, and a
+// failed cell is reported to the router and retried against the next
+// owner — that retry-after-reroute is what keeps acked writes readable
+// through a cell death.
+type Client struct {
+	t     *Tier
+	opt   ClientOptions
+	cls   map[string]*client.Client
+	local *client.Client
+	now   func() uint64 // local cell's virtual clock
+	m     Metrics
+}
+
+// NewClient builds a tier client with one per-cell client each.
+func (t *Tier) NewClient(opt ClientOptions) (*Client, error) {
+	if opt.Local == "" {
+		opt.Local = t.order[0]
+	}
+	if t.cells[opt.Local] == nil {
+		return nil, errors.New("tier: unknown local cell " + opt.Local)
+	}
+	if opt.StaleBoundNs == 0 {
+		opt.StaleBoundNs = 50e6
+	}
+	if opt.Retries <= 0 {
+		opt.Retries = t.opt.FailThreshold + 1
+	}
+	c := &Client{t: t, opt: opt, cls: make(map[string]*client.Client, len(t.order))}
+	for _, n := range t.order {
+		c.cls[n] = t.cells[n].NewClient(opt.PerCell)
+	}
+	c.local = c.cls[opt.Local]
+	c.now = t.cells[opt.Local].Fabric.NowNs
+	return c, nil
+}
+
+// Metrics returns the client's outcome counters.
+func (c *Client) Metrics() *Metrics { return &c.m }
+
+// route resolves key's owning cell, or ErrNoCells.
+func (c *Client) route(h hashring.KeyHash) (string, error) {
+	n, ok := c.t.router.Route(h)
+	if !ok {
+		return "", ErrNoCells
+	}
+	return n, nil
+}
+
+// noteFailed reports a failed op on owner and counts the retry flavor.
+func (c *Client) noteFailed(owner string) {
+	if c.t.router.NoteFailure(owner) {
+		c.m.DeadFailovers.Add(1)
+	}
+	c.m.Reroutes.Add(1)
+}
+
+// Get looks up key on its owning cell; with FollowerReads, remotely-
+// owned keys are served from the local cell inside the staleness bound.
+func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	c.m.Ops.Add(1)
+	h := c.t.opt.Hash(key)
+	var lastErr error = ErrNoCells
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		owner, err := c.route(h)
+		if err != nil {
+			return nil, false, err
+		}
+		if c.opt.FollowerReads && owner != c.opt.Local {
+			val, found, err := c.followerGet(ctx, owner, key)
+			if err == nil {
+				c.t.router.NoteSuccess(owner)
+				return val, found, nil
+			}
+			lastErr = err
+		} else {
+			val, found, err := c.cls[owner].Get(ctx, key)
+			if err == nil {
+				c.t.router.NoteSuccess(owner)
+				return val, found, nil
+			}
+			lastErr = err
+		}
+		c.noteFailed(owner)
+	}
+	return nil, false, lastErr
+}
+
+// followerGet serves a remotely-owned key through the local follower
+// cache: fresh entries answer locally; stale entries revalidate by
+// version against the owner; misses fetch (with version) from the owner
+// and populate the cache.
+func (c *Client) followerGet(ctx context.Context, owner string, key []byte) ([]byte, bool, error) {
+	fk := followerKey(key)
+	if raw, found, err := c.local.Get(ctx, fk); err == nil && found {
+		if ver, stamp, payload, ok := decodeFollower(raw); ok {
+			if age := c.now() - stamp; age <= c.opt.StaleBoundNs {
+				c.m.FollowerHits.Add(1)
+				return payload, true, nil
+			}
+			// Stale: ask the owner for the current version (the probe
+			// also carries the value, so a changed key refreshes in one
+			// round trip).
+			oval, over, ofound, oerr := c.cls[owner].GetVersioned(ctx, key)
+			if oerr != nil {
+				return nil, false, oerr
+			}
+			if !ofound {
+				_ = c.local.Erase(ctx, fk)
+				return nil, false, nil
+			}
+			if over == ver {
+				c.m.FollowerRevalids.Add(1)
+				c.storeFollower(ctx, key, payload, ver)
+				return payload, true, nil
+			}
+			c.m.FollowerRefreshes.Add(1)
+			c.storeFollower(ctx, key, oval, over)
+			return oval, true, nil
+		}
+	}
+	c.m.FollowerMisses.Add(1)
+	val, ver, found, err := c.cls[owner].GetVersioned(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if found {
+		c.storeFollower(ctx, key, val, ver)
+	}
+	return val, found, nil
+}
+
+// Set stores key=value on the owning cell.
+func (c *Client) Set(ctx context.Context, key, value []byte) error {
+	_, err := c.SetVersioned(ctx, key, value)
+	return err
+}
+
+// SetVersioned stores key=value on the owning cell and returns the
+// owner-assigned version. The ack means the owning cell (under the ring
+// in effect at ack time) holds the write.
+func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.Version, error) {
+	c.m.Ops.Add(1)
+	h := c.t.opt.Hash(key)
+	var lastErr error = ErrNoCells
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		owner, err := c.route(h)
+		if err != nil {
+			return truetime.Version{}, err
+		}
+		ver, err := c.cls[owner].SetVersioned(ctx, key, value)
+		if err == nil {
+			c.t.router.NoteSuccess(owner)
+			if c.opt.FollowerReads && owner != c.opt.Local {
+				c.storeFollower(ctx, key, value, ver)
+			}
+			return ver, nil
+		}
+		lastErr = err
+		c.noteFailed(owner)
+	}
+	return truetime.Version{}, lastErr
+}
+
+// Erase removes key from its owning cell (and the local follower cache).
+func (c *Client) Erase(ctx context.Context, key []byte) error {
+	c.m.Ops.Add(1)
+	h := c.t.opt.Hash(key)
+	var lastErr error = ErrNoCells
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		owner, err := c.route(h)
+		if err != nil {
+			return err
+		}
+		if err := c.cls[owner].Erase(ctx, key); err == nil {
+			c.t.router.NoteSuccess(owner)
+			if c.opt.FollowerReads && owner != c.opt.Local {
+				_ = c.local.Erase(ctx, followerKey(key))
+			}
+			return nil
+		} else {
+			lastErr = err
+		}
+		c.noteFailed(owner)
+	}
+	return lastErr
+}
+
+// Cas compare-and-swaps on the owning cell. The follower cache entry is
+// dropped (not updated) on success: Cas does not return the new version,
+// so the next follower read revalidates.
+func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
+	c.m.Ops.Add(1)
+	h := c.t.opt.Hash(key)
+	var lastErr error = ErrNoCells
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		owner, err := c.route(h)
+		if err != nil {
+			return false, err
+		}
+		applied, err := c.cls[owner].Cas(ctx, key, value, expected)
+		if err == nil {
+			c.t.router.NoteSuccess(owner)
+			if applied && c.opt.FollowerReads && owner != c.opt.Local {
+				_ = c.local.Erase(ctx, followerKey(key))
+			}
+			return applied, nil
+		}
+		lastErr = err
+		c.noteFailed(owner)
+	}
+	return false, lastErr
+}
+
+// CellClient exposes the underlying per-cell client (tooling, tests).
+func (c *Client) CellClient(name string) *client.Client { return c.cls[name] }
+
+func followerKey(key []byte) []byte {
+	fk := make([]byte, len(followerPrefix)+len(key))
+	copy(fk, followerPrefix)
+	copy(fk[len(followerPrefix):], key)
+	return fk
+}
+
+// storeFollower writes the wrapped entry into the local cell; failures
+// are ignored (the follower cache is best-effort).
+func (c *Client) storeFollower(ctx context.Context, key, payload []byte, ver truetime.Version) {
+	_ = c.local.Set(ctx, followerKey(key), encodeFollower(ver, c.now(), payload))
+}
+
+// Follower entries are framed [Micros][ClientID][Seq][stampNs][payload],
+// all little-endian u64: the owner's version for revalidation plus the
+// local-clock freshness stamp.
+func encodeFollower(ver truetime.Version, stamp uint64, payload []byte) []byte {
+	b := make([]byte, 32+len(payload))
+	binary.LittleEndian.PutUint64(b[0:], uint64(ver.Micros))
+	binary.LittleEndian.PutUint64(b[8:], ver.ClientID)
+	binary.LittleEndian.PutUint64(b[16:], ver.Seq)
+	binary.LittleEndian.PutUint64(b[24:], stamp)
+	copy(b[32:], payload)
+	return b
+}
+
+func decodeFollower(b []byte) (ver truetime.Version, stamp uint64, payload []byte, ok bool) {
+	if len(b) < 32 {
+		return truetime.Version{}, 0, nil, false
+	}
+	ver.Micros = int64(binary.LittleEndian.Uint64(b[0:]))
+	ver.ClientID = binary.LittleEndian.Uint64(b[8:])
+	ver.Seq = binary.LittleEndian.Uint64(b[16:])
+	stamp = binary.LittleEndian.Uint64(b[24:])
+	return ver, stamp, b[32:], true
+}
