@@ -26,11 +26,21 @@
 //	                shown automatically when the cell belongs to a tier
 //	-slow n         cap the slow ops requested per snapshot (default 8)
 //	-hot n          cap the hot keys printed (default 10)
+//	-fleet list     scrape EVERY cell in the comma-separated gateway list
+//	                (entries "name=addr" or bare "addr") and print one
+//	                merged fleet view: true merged latency percentiles,
+//	                the fleet SLO burn verdict, the global hot-key union,
+//	                and per-cell routing skew vs. ring ownership. Cells
+//	                that stop answering mid -watch stay in the table
+//	                marked "STALE as of <time>" with their last state.
+//	-prom           with -fleet: print Prometheus text exposition of the
+//	                merged view instead of tables
 //
 // Usage:
 //
 //	cmcell -ops 100000 -listen 127.0.0.1:7070 &   # a cell with a gateway
 //	cmstat -gateway 127.0.0.1:7070 -watch 2s -trace
+//	cmstat -fleet us=127.0.0.1:7070,eu=127.0.0.1:7071 -watch 2s
 package main
 
 import (
@@ -55,9 +65,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	showTrace := flag.Bool("trace", false, "print slow-op traces and exemplars")
 	showTier := flag.Bool("tier", false, "print the federation tier ring table")
+	fleetSpec := flag.String("fleet", "", "comma-separated cell gateways (name=addr or addr) to scrape and merge into one fleet view")
+	promOut := flag.Bool("prom", false, "with -fleet: emit Prometheus text exposition instead of tables")
 	maxSlow := flag.Int("slow", 8, "slow ops to request per snapshot")
 	maxHot := flag.Int("hot", 10, "hot keys to print")
 	flag.Parse()
+
+	if *fleetSpec != "" {
+		runFleet(context.Background(), *fleetSpec, *principal, *watch, *jsonOut, *promOut, *maxHot)
+		return
+	}
 
 	client, err := rpc.DialTCP(*gateway, *principal)
 	if err != nil {

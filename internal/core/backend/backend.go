@@ -184,6 +184,7 @@ type Counters struct {
 	IndexResizes          uint64
 	DataGrows             uint64
 	RepairsIssued         uint64
+	CorruptPurged         uint64
 }
 
 // counterShard is one stripe's share of the counters, updated lock-free so
@@ -201,6 +202,7 @@ type counterShard struct {
 	indexResizes          atomic.Uint64
 	dataGrows             atomic.Uint64
 	repairsIssued         atomic.Uint64
+	corruptPurged         atomic.Uint64
 }
 
 // ops returns the stripe's total op count (for skew reporting).
@@ -224,6 +226,7 @@ func (c *counterShard) addTo(out *Counters) {
 	out.IndexResizes += c.indexResizes.Load()
 	out.DataGrows += c.dataGrows.Load()
 	out.RepairsIssued += c.repairsIssued.Load()
+	out.CorruptPurged += c.corruptPurged.Load()
 }
 
 // indexRegion is the current RMA-accessible index.
@@ -1056,6 +1059,33 @@ func (b *Backend) evictSlotLocked(s *stripe, idx *indexRegion, e layout.IndexEnt
 	b.data.Load().alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
 }
 
+// readEntryQuarantining materializes the DataEntry behind e for a cohort
+// scan or migration snapshot, where ALL stripe locks are held. Under
+// lockAll no writer can be mid-body (publication of the index pointer
+// happens after the body is fully written, under the stripe lock), so a
+// checksum/decode failure here is durable §3 damage, not a §5.3 tear:
+// the entry can never be served again, yet its index version would keep
+// version-blocking repair settles at that version forever. Quarantine
+// it — zero the slot and free the slab storage — so the cohort's repair
+// sweep can re-install the authoritative bytes from a healthy replica
+// (§5.4 convergence). Registry read errors are skipped without purging:
+// they can be transient (e.g. a window revoked mid-reconfiguration).
+func (b *Backend) readEntryQuarantining(idx *indexRegion, bucket, slot int, e layout.IndexEntry) (layout.DataEntry, bool) {
+	raw, err := b.reg.Read(e.Ptr.Window, int(e.Ptr.Offset), int(e.Ptr.Size))
+	if err != nil {
+		return layout.DataEntry{}, false
+	}
+	de, err := layout.DecodeDataEntry(raw)
+	if err != nil {
+		idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, zeroEntry)
+		idx.used.Add(-1)
+		b.data.Load().alloc.Free(slab.Ref{Offset: int(e.Ptr.Offset), Size: sizeClassOf(int(e.Ptr.Size))}, int(e.Ptr.Size))
+		b.stripes[0].ctr.corruptPurged.Add(1)
+		return layout.DataEntry{}, false
+	}
+	return de, true
+}
+
 // setOverflowLocked marks bucket's header with the overflow flag; the
 // bucket's stripe lock is held.
 func (b *Backend) setOverflowLocked(idx *indexRegion, bucket int) {
@@ -1381,15 +1411,15 @@ func (b *Backend) Items(shard, shards int) []proto.MigrateItem {
 		if err != nil {
 			continue
 		}
-		for _, e := range dec.Entries {
+		for slot, e := range dec.Entries {
 			if e.Empty() {
 				continue
 			}
 			if shard >= 0 && shards > 0 && int(e.Hash.Hi%uint64(shards)) != shard {
 				continue
 			}
-			de, derr := b.readEntry(e)
-			if derr != nil {
+			de, ok := b.readEntryQuarantining(idx, i, slot, e)
+			if !ok {
 				continue
 			}
 			val, merr := de.MaterializeValue()

@@ -266,6 +266,7 @@ func (b *Backend) registerHandlers() {
 					Count: h.Count, MeanNs: h.MeanNs,
 					P50Ns: h.P50Ns, P90Ns: h.P90Ns,
 					P99Ns: h.P99Ns, P999Ns: h.P999Ns, MaxNs: h.MaxNs,
+					SumNs: h.SumNs, Buckets: h.Buckets,
 				})
 			}
 			resp.SlowOps = debugOps(snap.Slow)
@@ -384,15 +385,15 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 		if err != nil {
 			continue
 		}
-		for _, e := range dec.Entries {
+		for slot, e := range dec.Entries {
 			if e.Empty() {
 				continue
 			}
 			if shards > 0 && int(e.Hash.Hi%uint64(shards)) != r.Shard {
 				continue
 			}
-			de, derr := b.readEntry(e)
-			if derr != nil {
+			de, ok := b.readEntryQuarantining(idx, bucket, slot, e)
+			if !ok {
 				continue
 			}
 			resp.Items = append(resp.Items, proto.ScanItem{

@@ -228,6 +228,10 @@ func (c *Client) chargeCPU(ns uint64) {
 	}
 }
 
+// Transport is the trace label of the configured lookup strategy — the
+// tier edge uses it to attribute federated reads per transport.
+func (c *Client) Transport() trace.Transport { return c.transport() }
+
 // transport maps the configured lookup strategy to its trace label.
 func (c *Client) transport() trace.Transport {
 	switch c.opt.Strategy {
@@ -250,9 +254,13 @@ func (c *Client) observe(kind trace.Kind, transport trace.Transport, ns uint64, 
 
 // traceOp opens a span context for one op, attaching it to ctx so every
 // layer below (RPC framework, backend handlers, TCP gateway) attributes
-// work to it. Returns (nil, ctx) when tracing is not wired.
+// work to it. Returns (nil, ctx) when tracing is not wired — or when ctx
+// already carries a span context opened by an enclosing op (a federation
+// tier edge): then this op is one leg of that op, its spans ride the
+// returned OpTrace under the enclosing op id, and only the enclosing
+// layer records — one user op, one trace, even across cells.
 func (c *Client) traceOp(ctx context.Context, k trace.Kind) (*trace.SpanContext, context.Context) {
-	if c.opt.Tracer == nil {
+	if c.opt.Tracer == nil || trace.FromContext(ctx) != nil {
 		return nil, ctx
 	}
 	sc := &trace.SpanContext{OpID: c.opt.Tracer.NextID(), Kind: k}
@@ -1072,6 +1080,15 @@ func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabri
 // tier bounds staleness and revalidates. Not a substitute for Get on the
 // quorum read path.
 func (c *Client) GetVersioned(ctx context.Context, key []byte) ([]byte, truetime.Version, bool, error) {
+	v, ver, found, _, err := c.GetVersionedTraced(ctx, key)
+	return v, ver, found, err
+}
+
+// GetVersionedTraced is GetVersioned plus the op's modelled latency
+// trace, so a tier edge can fold the owner cell's revalidation legs into
+// the federated op's single trace.
+func (c *Client) GetVersionedTraced(ctx context.Context, key []byte) ([]byte, truetime.Version, bool, fabric.OpTrace, error) {
+	var total fabric.OpTrace
 	var lastErr error = ErrUnavailable
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if attempt > 0 {
@@ -1088,7 +1105,8 @@ func (c *Client) GetVersioned(ctx context.Context, key []byte) ([]byte, truetime
 			if addr == "" {
 				continue
 			}
-			resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfg.ID}.Marshal())
+			resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfg.ID}.Marshal())
+			total.Sequence(tr)
 			if err != nil {
 				lastErr = err
 				continue
@@ -1098,10 +1116,10 @@ func (c *Client) GetVersioned(ctx context.Context, key []byte) ([]byte, truetime
 				lastErr = gerr
 				continue
 			}
-			return g.Value, g.Version, g.Found, nil
+			return g.Value, g.Version, g.Found, total, nil
 		}
 	}
-	return nil, truetime.Version{}, false, lastErr
+	return nil, truetime.Version{}, false, total, lastErr
 }
 
 func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte, cfgID uint64) ([]byte, bool, fabric.OpTrace, error) {
@@ -1162,6 +1180,12 @@ func (c *Client) Set(ctx context.Context, key, value []byte) error {
 
 // SetVersioned is Set returning the nominated version (for later CAS).
 func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.Version, error) {
+	v, _, err := c.SetVersionedTraced(ctx, key, value)
+	return v, err
+}
+
+// SetVersionedTraced is SetVersioned plus the op's modelled latency trace.
+func (c *Client) SetVersionedTraced(ctx context.Context, key, value []byte) (truetime.Version, fabric.OpTrace, error) {
 	c.M.Sets.Inc()
 	v := c.gen.Next()
 	build := func(pending bool, cfgID uint64) []byte {
@@ -1174,11 +1198,17 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 	if sc != nil && err == nil {
 		c.opt.Tracer.Record(sc.OpID, trace.KindSet, trace.TransportRPC, attempts, tr)
 	}
-	return v, err
+	return v, tr, err
 }
 
 // Erase removes key on every replica, tombstoning the version (§5.2).
 func (c *Client) Erase(ctx context.Context, key []byte) error {
+	_, err := c.EraseTraced(ctx, key)
+	return err
+}
+
+// EraseTraced is Erase plus the op's modelled latency trace.
+func (c *Client) EraseTraced(ctx context.Context, key []byte) (fabric.OpTrace, error) {
 	c.M.Erases.Inc()
 	v := c.gen.Next()
 	build := func(pending bool, cfgID uint64) []byte {
@@ -1191,7 +1221,7 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 	if sc != nil && err == nil {
 		c.opt.Tracer.Record(sc.OpID, trace.KindErase, trace.TransportRPC, attempts, tr)
 	}
-	return err
+	return tr, err
 }
 
 // Cas installs value only where the stored version equals expected (§5.2).
@@ -1200,6 +1230,12 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 // recognizes its own nominated version as applied, so the decision stays
 // stable across attempts.
 func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
+	applied, _, err := c.CasTraced(ctx, key, value, expected)
+	return applied, err
+}
+
+// CasTraced is Cas plus the op's modelled latency trace.
+func (c *Client) CasTraced(ctx context.Context, key, value []byte, expected truetime.Version) (bool, fabric.OpTrace, error) {
 	c.M.CasOps.Inc()
 	v := c.gen.Next()
 	build := func(pending bool, cfgID uint64) []byte {
@@ -1209,7 +1245,7 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, build, v)
 	c.observe(trace.KindCas, trace.TransportRPC, tr.Ns, err)
 	if err != nil {
-		return false, err
+		return false, tr, err
 	}
 	if sc != nil {
 		c.opt.Tracer.Record(sc.OpID, trace.KindCas, trace.TransportRPC, attempts, tr)
@@ -1217,7 +1253,7 @@ func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.V
 	c.mu.Lock()
 	q := c.cfg.Mode.Quorum()
 	c.mu.Unlock()
-	return applied >= q, nil
+	return applied >= q, tr, nil
 }
 
 // mutateAll sends a mutation to every cohort member, requiring a write

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
 	"cliquemap/internal/trace"
 	"cliquemap/internal/wire"
 )
@@ -43,7 +44,11 @@ func UnmarshalDebugReq(b []byte) (DebugReq, error) {
 	return r, d.Err()
 }
 
-// DebugHist summarizes one kind/transport latency histogram.
+// DebugHist summarizes one kind/transport latency histogram. SumNs and
+// Buckets (added after initial deployment — additive tags, absent from
+// old senders) carry the raw log-linear distribution so a fleet
+// aggregator can merge per-cell histograms into true fleet percentiles
+// instead of averaging quantiles.
 type DebugHist struct {
 	Kind      string
 	Transport string
@@ -54,6 +59,8 @@ type DebugHist struct {
 	P99Ns     uint64
 	P999Ns    uint64
 	MaxNs     uint64
+	SumNs     uint64
+	Buckets   []stats.HistBucket
 }
 
 // DebugCPU is one component's CPU account.
@@ -127,6 +134,13 @@ func encodeDebugHist(e *wire.Encoder, tag uint64, h DebugHist) {
 	m.Uint(7, h.P99Ns)
 	m.Uint(8, h.P999Ns)
 	m.Uint(9, h.MaxNs)
+	m.Uint(10, h.SumNs)
+	for _, b := range h.Buckets {
+		bm := wire.NewRawEncoder()
+		bm.Uint(1, uint64(b.Index))
+		bm.Uint(2, b.Count)
+		m.Message(11, bm)
+	}
 	e.Message(tag, m)
 }
 
@@ -153,6 +167,23 @@ func decodeDebugHist(b []byte) DebugHist {
 			h.P999Ns = d.Uint()
 		case 9:
 			h.MaxNs = d.Uint()
+		case 10:
+			h.SumNs = d.Uint()
+		case 11:
+			if len(h.Buckets) >= stats.NumBuckets {
+				break // fabricated frame; a histogram has ≤ NumBuckets entries
+			}
+			var hb stats.HistBucket
+			bd := wire.NewRawDecoder(d.Bytes())
+			for bd.Next() {
+				switch bd.Tag() {
+				case 1:
+					hb.Index = uint32(bd.Uint())
+				case 2:
+					hb.Count = bd.Uint()
+				}
+			}
+			h.Buckets = append(h.Buckets, hb)
 		}
 	}
 	return h

@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"testing"
 
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
 	"cliquemap/internal/truetime"
 	"cliquemap/internal/wire"
 )
@@ -282,6 +284,91 @@ func FuzzTierResp(f *testing.F) {
 		}
 		if !reflect.DeepEqual(r, again) {
 			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}
+
+// The fleet aggregator decodes DebugResp frames — now extended with raw
+// histogram buckets (DebugHist tags 10/11) and tier span codes inside op
+// frames — from every scraped cell's gateway. The extended decoder must
+// uphold the same contract: hostile frames error or degrade, never
+// panic, never fabricate buckets or spans, and whatever decodes
+// re-marshals identically (a drifting bucket would corrupt every merged
+// fleet percentile downstream).
+func FuzzDebugRespExtended(f *testing.F) {
+	f.Add(DebugResp{
+		OpsTotal: 1000,
+		Hists: []DebugHist{{
+			Kind: "GET", Transport: "2xR", Count: 900, MeanNs: 8000,
+			P50Ns: 7000, P99Ns: 20000, MaxNs: 40000, SumNs: 7_200_000,
+			Buckets: []stats.HistBucket{{Index: 3, Count: 10}, {Index: 200, Count: 890}},
+		}},
+		SlowOps: []DebugOp{{
+			ID: 9, Kind: "GET", Transport: "RPC", Attempts: 1, Ns: 90_000,
+			Spans: []fabric.Span{
+				{Code: 18, Arg: 1, Start: 0, Dur: 0},       // ring-lookup
+				{Code: 17, Arg: 0, Start: 0, Dur: 0},       // tier-route
+				{Code: 1, Arg: 2, Start: 0, Dur: 5000},     // follower-cell index fetch
+				{Code: 21, Arg: 1, Start: 5000, Dur: 80e3}, // follower-revalidate
+				{Code: 6, Arg: 1600, Start: 40e3, Dur: 39e3},
+			},
+		}},
+	}.Marshal())
+	// A hist whose bucket list is hostile: an index past the histogram
+	// array, a count at the varint ceiling, a truncated nested bucket
+	// body, and more bucket entries than any histogram has buckets.
+	e := wire.NewEncoder()
+	bad := wire.NewRawEncoder()
+	bad.String(1, "GET")
+	bad.Uint(10, ^uint64(0))
+	bucket := wire.NewRawEncoder()
+	bucket.Uint(1, ^uint64(0))
+	bucket.Uint(2, ^uint64(0))
+	bad.Message(11, bucket)
+	bad.Bytes(11, []byte{0x08})
+	e.Message(4, bad)
+	f.Add(e.Encoded())
+	flood := wire.NewEncoder()
+	many := wire.NewRawEncoder()
+	for i := 0; i < stats.NumBuckets+64; i++ {
+		b := wire.NewRawEncoder()
+		b.Uint(1, uint64(i))
+		b.Uint(2, 1)
+		many.Message(11, b)
+	}
+	flood.Message(4, many)
+	f.Add(flood.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalDebugResp(data)
+		if err != nil {
+			return
+		}
+		for _, h := range r.Hists {
+			if len(h.Buckets) > stats.NumBuckets {
+				t.Fatalf("decoder kept %d buckets, cap is %d", len(h.Buckets), stats.NumBuckets)
+			}
+		}
+		var spans int
+		for _, op := range append(append([]DebugOp{}, r.SlowOps...), r.Exemplars...) {
+			spans += len(op.Spans)
+		}
+		if spans > 0 && spans > len(data) {
+			t.Fatalf("decoder fabricated %d spans from %d input bytes", spans, len(data))
+		}
+		// Whatever decoded must re-marshal and re-decode identically —
+		// the merged-percentile path feeds every decoded bucket straight
+		// into fleet histograms.
+		again, err := UnmarshalDebugResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r.Hists, again.Hists) {
+			t.Fatalf("hist re-decode drift:\n first  %+v\n second %+v", r.Hists, again.Hists)
+		}
+		if !reflect.DeepEqual(r.SlowOps, again.SlowOps) || !reflect.DeepEqual(r.Exemplars, again.Exemplars) {
+			t.Fatalf("op re-decode drift:\n first  %+v\n second %+v", r.SlowOps, again.SlowOps)
 		}
 	})
 }

@@ -2,11 +2,13 @@ package proto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/rmem"
+	"cliquemap/internal/stats"
 	"cliquemap/internal/truetime"
 	"cliquemap/internal/wire"
 )
@@ -185,7 +187,8 @@ func TestDebugRoundTrip(t *testing.T) {
 		OpsTotal: 100, SlowTotal: 3, SlowThresholdNs: 2_000_000,
 		Hists: []DebugHist{
 			{Kind: "GET", Transport: "SCAR", Count: 90, MeanNs: 7000,
-				P50Ns: 6000, P90Ns: 9000, P99Ns: 12000, P999Ns: 15000, MaxNs: 20000},
+				P50Ns: 6000, P90Ns: 9000, P99Ns: 12000, P999Ns: 15000, MaxNs: 20000,
+				SumNs: 630000, Buckets: []stats.HistBucket{{Index: 196, Count: 50}, {Index: 205, Count: 40}}},
 			{Kind: "SET", Transport: "RPC", Count: 10, MeanNs: 90000},
 		},
 		CPU: []DebugCPU{{Component: "client", TotalNs: 5_000_000, Ops: 100}},
@@ -206,7 +209,7 @@ func TestDebugRoundTrip(t *testing.T) {
 	if out.OpsTotal != in.OpsTotal || out.SlowTotal != in.SlowTotal || out.SlowThresholdNs != in.SlowThresholdNs {
 		t.Errorf("counters: %+v", out)
 	}
-	if len(out.Hists) != 2 || out.Hists[0] != in.Hists[0] || out.Hists[1] != in.Hists[1] {
+	if len(out.Hists) != 2 || !reflect.DeepEqual(out.Hists, in.Hists) {
 		t.Errorf("hists: %+v", out.Hists)
 	}
 	if len(out.CPU) != 1 || out.CPU[0] != in.CPU[0] {

@@ -1,0 +1,575 @@
+// Package fleet is the scrape-and-merge half of the observability plane:
+// a pull-based aggregator that polls every cell of a federation tier over
+// the existing additive methods (Stats, Debug, Health, Tier), merges the
+// per-cell answers into one fleet view — true merged latency percentiles
+// (raw histogram buckets travel on the wire, so the merge is exact to
+// bucket resolution rather than an average of quantiles), a fleet-wide
+// SLO burn verdict, a global hot-key ranking from unioned per-backend
+// sketches, and a routing-skew report comparing each cell's observed load
+// share against the keyspace share its ring arcs own.
+//
+// The aggregator is transport-agnostic: anything with the rpc Call shape
+// (in-process rpc.Client, TCP gateway rpc.TCPClient) scrapes a cell, so
+// the same code serves tests, cmstat -fleet, and embedded monitors. Cells
+// fail independently: a cell that stops answering keeps its last good
+// scrape in the view, marked stale with the time it was last seen, rather
+// than vanishing from the table.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
+)
+
+// Caller is the scrape transport: the Call shape shared by the in-process
+// rpc.Client and the TCP gateway rpc.TCPClient.
+type Caller interface {
+	Call(ctx context.Context, addr, method string, req []byte) ([]byte, fabric.OpTrace, error)
+}
+
+// Target names one cell and how to reach it.
+type Target struct {
+	Name   string
+	Caller Caller
+}
+
+// Options tunes the aggregator.
+type Options struct {
+	// Interval between scrape rounds for Run; 0 means 2s.
+	Interval time.Duration
+
+	// Now is the wall clock (test hook); nil means time.Now.
+	Now func() time.Time
+}
+
+// CellScrape is one cell's most recent successfully scraped state. When
+// the latest round failed, Stale is true and the fields are the last good
+// scrape, captured at At ("stale as of").
+type CellScrape struct {
+	Name  string
+	At    time.Time `json:"at"`
+	Stale bool      `json:"stale,omitempty"`
+	Err   string    `json:"err,omitempty"` // last failure, "" when healthy
+
+	Config   proto.ConfigResp           `json:"config"`
+	Stats    map[string]proto.StatsResp `json:"stats,omitempty"`
+	Debug    proto.DebugResp            `json:"debug"`
+	DebugOK  bool                       `json:"debugOk,omitempty"`
+	Health   proto.HealthResp           `json:"health"`
+	HealthOK bool                       `json:"healthOk,omitempty"`
+	Tier     proto.TierResp             `json:"tier"`
+	TierOK   bool                       `json:"tierOk,omitempty"`
+	HotKeys  []proto.DebugHotKey        `json:"hotKeys,omitempty"` // unioned across the cell's shards
+
+	// Ops is Σ Gets+Sets across shards (cumulative); Keys and Bytes sum
+	// resident keys and memory.
+	Ops   uint64 `json:"ops"`
+	Keys  uint64 `json:"keys"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// MergedHist is one kind/transport latency distribution merged across
+// every contributing cell.
+type MergedHist struct {
+	Kind      string
+	Transport string
+	Count     uint64
+	MeanNs    uint64
+	P50Ns     uint64
+	P90Ns     uint64
+	P99Ns     uint64
+	P999Ns    uint64
+	MaxNs     uint64
+	Cells     int // cells contributing observations
+}
+
+// ClassVerdict rolls one SLO class across the fleet: worst state wins,
+// burn rates take the fleet max, tallies sum.
+type ClassVerdict struct {
+	Class         string
+	State         string // worst across cells: "page" > "warn" > "ok"
+	FastBurnMilli uint64 // max across cells
+	SlowBurnMilli uint64
+	WindowGood    uint64 // summed
+	WindowBad     uint64
+	Pages         uint64
+	Warns         uint64
+	Cells         int
+}
+
+// CellSkew compares one cell's observed share of fleet load against the
+// keyspace share its ring arcs own. Shares are parts-per-million;
+// RatioMilli is observed/owned ×1000 (1000 = perfectly proportional; 0
+// when the cell owns nothing).
+type CellSkew struct {
+	Name        string
+	Ops         uint64 // ops observed this interval (cumulative on the first round)
+	ObservedPpm uint64
+	OwnedPpm    uint64
+	RatioMilli  uint64
+}
+
+// View is one merged fleet snapshot.
+type View struct {
+	At      time.Time
+	Round   uint64
+	Cells   []CellScrape // target order
+	Hists   []MergedHist
+	Verdict string // fleet-wide worst SLO state: "ok" | "warn" | "page" | "unknown"
+	Classes []ClassVerdict
+	HotKeys []proto.DebugHotKey // global union, hottest first
+	Skew    []CellSkew
+	Ring    proto.TierResp // freshest ring snapshot seen (highest version)
+	RingOK  bool
+}
+
+// Aggregator scrapes a set of cells and maintains the latest merged View.
+type Aggregator struct {
+	targets []Target
+	opt     Options
+
+	mu      sync.Mutex
+	last    map[string]CellScrape // last good scrape per cell
+	prevOps map[string]uint64     // previous round's cumulative ops (skew deltas)
+	round   uint64
+
+	view atomic.Pointer[View]
+}
+
+// New builds an aggregator over the given cells.
+func New(targets []Target, opt Options) *Aggregator {
+	if opt.Interval <= 0 {
+		opt.Interval = 2 * time.Second
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	return &Aggregator{
+		targets: targets,
+		opt:     opt,
+		last:    make(map[string]CellScrape, len(targets)),
+		prevOps: make(map[string]uint64, len(targets)),
+	}
+}
+
+// View returns the latest merged view, or nil before the first scrape.
+func (a *Aggregator) View() *View { return a.view.Load() }
+
+// Run scrapes on the configured interval until ctx is done. The first
+// round fires immediately.
+func (a *Aggregator) Run(ctx context.Context) {
+	t := time.NewTicker(a.opt.Interval)
+	defer t.Stop()
+	for {
+		a.ScrapeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeOnce polls every cell once (concurrently), merges, publishes and
+// returns the new view. Unreachable cells contribute their last good
+// scrape, marked stale.
+func (a *Aggregator) ScrapeOnce(ctx context.Context) *View {
+	now := a.opt.Now()
+	type result struct {
+		i  int
+		cs CellScrape
+		ok bool
+	}
+	results := make([]result, len(a.targets))
+	var wg sync.WaitGroup
+	for i, tgt := range a.targets {
+		wg.Add(1)
+		go func(i int, tgt Target) {
+			defer wg.Done()
+			cs, err := scrapeCell(ctx, tgt, now)
+			if err != nil {
+				results[i] = result{i: i, cs: CellScrape{Name: tgt.Name, Err: err.Error()}, ok: false}
+				return
+			}
+			results[i] = result{i: i, cs: cs, ok: true}
+		}(i, tgt)
+	}
+	wg.Wait()
+
+	a.mu.Lock()
+	a.round++
+	round := a.round
+	cells := make([]CellScrape, 0, len(a.targets))
+	opsDelta := make(map[string]uint64, len(a.targets))
+	for _, r := range results {
+		if r.ok {
+			a.last[r.cs.Name] = r.cs
+			opsDelta[r.cs.Name] = r.cs.Ops - minu(a.prevOps[r.cs.Name], r.cs.Ops)
+			a.prevOps[r.cs.Name] = r.cs.Ops
+			cells = append(cells, r.cs)
+			continue
+		}
+		// Failed round: surface the last good scrape (if any) marked
+		// stale-as-of its capture time, so -watch readers see the cell
+		// drop out without losing its last known state.
+		if prev, ok := a.last[r.cs.Name]; ok {
+			prev.Stale = true
+			prev.Err = r.cs.Err
+			cells = append(cells, prev)
+		} else {
+			cells = append(cells, r.cs)
+		}
+	}
+	a.mu.Unlock()
+
+	v := merge(now, round, cells, opsDelta)
+	a.view.Store(v)
+	return v
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scrapeCell polls one cell: config discovery, per-shard stats, the
+// cell-wide debug/health/tier planes (any shard serves them), and the
+// per-backend hot-key sketches unioned across shards.
+func scrapeCell(ctx context.Context, tgt Target, now time.Time) (CellScrape, error) {
+	cs := CellScrape{Name: tgt.Name, At: now, Stats: make(map[string]proto.StatsResp)}
+	raw, _, err := tgt.Caller.Call(ctx, "backend-0", proto.MethodConfig, nil)
+	if err != nil {
+		return cs, fmt.Errorf("config: %w", err)
+	}
+	cfg, err := proto.UnmarshalConfigResp(raw)
+	if err != nil {
+		return cs, fmt.Errorf("config decode: %w", err)
+	}
+	cs.Config = cfg
+
+	heat := make(map[string]*proto.DebugHotKey)
+	reachable := false
+	for _, addr := range cfg.ShardAddrs {
+		if raw, _, err := tgt.Caller.Call(ctx, addr, proto.MethodStats, nil); err == nil {
+			if st, serr := proto.UnmarshalStatsResp(raw); serr == nil {
+				cs.Stats[addr] = st
+				cs.Ops += st.Gets + st.Sets
+				cs.Keys += st.ResidentKeys
+				cs.Bytes += st.MemoryBytes
+				reachable = true
+			}
+		}
+		// The tracer is cell-wide (one snapshot per cell, take the
+		// first); the heavy-hitter sketch is per-backend (union all).
+		raw, _, err := tgt.Caller.Call(ctx, addr, proto.MethodDebug, proto.DebugReq{MaxSlow: 1}.Marshal())
+		if err != nil {
+			continue
+		}
+		dbg, derr := proto.UnmarshalDebugResp(raw)
+		if derr != nil {
+			continue
+		}
+		if !cs.DebugOK {
+			cs.Debug, cs.DebugOK = dbg, true
+		}
+		for _, hk := range dbg.HotKeys {
+			if got, ok := heat[hk.Key]; ok {
+				got.Count += hk.Count
+				got.Err += hk.Err
+			} else {
+				cp := hk
+				heat[hk.Key] = &cp
+			}
+		}
+	}
+	if !reachable {
+		return cs, fmt.Errorf("no shard of %s answered stats", tgt.Name)
+	}
+	cs.HotKeys = rankHeat(heat)
+
+	for _, addr := range cfg.ShardAddrs {
+		raw, _, err := tgt.Caller.Call(ctx, addr, proto.MethodHealth, proto.HealthReq{}.Marshal())
+		if err != nil {
+			continue
+		}
+		if hl, herr := proto.UnmarshalHealthResp(raw); herr == nil {
+			cs.Health, cs.HealthOK = hl, true
+		}
+		break
+	}
+	for _, addr := range cfg.ShardAddrs {
+		raw, _, err := tgt.Caller.Call(ctx, addr, proto.MethodTier, proto.TierReq{}.Marshal())
+		if err != nil {
+			continue
+		}
+		if ti, terr := proto.UnmarshalTierResp(raw); terr == nil {
+			cs.Tier, cs.TierOK = ti, true
+		}
+		break
+	}
+	return cs, nil
+}
+
+func rankHeat(heat map[string]*proto.DebugHotKey) []proto.DebugHotKey {
+	out := make([]proto.DebugHotKey, 0, len(heat))
+	for _, hk := range heat {
+		out = append(out, *hk)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// MergeHotKeys unions several heavy-hitter rankings (per-backend or
+// per-cell space-saving sketches) into one global ranking, hottest
+// first. Counts and error bounds sum: each input's Count over-estimates
+// by at most its Err, so the union's Count over-estimates by at most the
+// summed Err and the ranking's trust interval stays computable.
+func MergeHotKeys(rankings ...[]proto.DebugHotKey) []proto.DebugHotKey {
+	heat := make(map[string]*proto.DebugHotKey)
+	for _, ranking := range rankings {
+		for _, hk := range ranking {
+			if got, ok := heat[hk.Key]; ok {
+				got.Count += hk.Count
+				got.Err += hk.Err
+			} else {
+				cp := hk
+				heat[hk.Key] = &cp
+			}
+		}
+	}
+	return rankHeat(heat)
+}
+
+// stateRank orders SLO states for worst-wins rollups.
+func stateRank(s string) int {
+	switch s {
+	case "page":
+		return 3
+	case "warn":
+		return 2
+	case "ok":
+		return 1
+	}
+	return 0
+}
+
+// merge folds the per-cell scrapes into one fleet view.
+func merge(now time.Time, round uint64, cells []CellScrape, opsDelta map[string]uint64) *View {
+	v := &View{At: now, Round: round, Cells: cells, Verdict: "unknown"}
+
+	// Latency: rebuild one histogram per (kind, transport) from the raw
+	// buckets each cell shipped, then read fleet percentiles off the
+	// merged distribution. Quantile-only hists (old senders, empty
+	// buckets) cannot be merged exactly and are skipped.
+	type histKey struct{ kind, transport string }
+	merged := make(map[histKey]*stats.Histogram)
+	contrib := make(map[histKey]int)
+	var order []histKey
+	for _, cs := range cells {
+		if !cs.DebugOK {
+			continue
+		}
+		for _, h := range cs.Debug.Hists {
+			if len(h.Buckets) == 0 {
+				continue
+			}
+			k := histKey{h.Kind, h.Transport}
+			mh, ok := merged[k]
+			if !ok {
+				mh = &stats.Histogram{}
+				merged[k] = mh
+				order = append(order, k)
+			}
+			mh.AddBuckets(h.Buckets, h.SumNs, h.MaxNs)
+			contrib[k]++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].kind != order[j].kind {
+			return order[i].kind < order[j].kind
+		}
+		return order[i].transport < order[j].transport
+	})
+	for _, k := range order {
+		h := merged[k]
+		q := h.Quantiles(50, 90, 99, 99.9)
+		v.Hists = append(v.Hists, MergedHist{
+			Kind: k.kind, Transport: k.transport,
+			Count: h.Count(), MeanNs: uint64(h.Mean()),
+			P50Ns: q[0], P90Ns: q[1], P99Ns: q[2], P999Ns: q[3],
+			MaxNs: h.Max(), Cells: contrib[k],
+		})
+	}
+
+	// SLO verdict: per class, worst state across cells wins; burn rates
+	// report the fleet max (the cell closest to its error budget), window
+	// tallies and alert counts sum.
+	classes := make(map[string]*ClassVerdict)
+	var classOrder []string
+	healthSeen := false
+	for _, cs := range cells {
+		if !cs.HealthOK {
+			continue
+		}
+		healthSeen = true
+		for _, c := range cs.Health.Classes {
+			cv, ok := classes[c.Class]
+			if !ok {
+				cv = &ClassVerdict{Class: c.Class, State: "ok"}
+				classes[c.Class] = cv
+				classOrder = append(classOrder, c.Class)
+			}
+			if stateRank(c.State) > stateRank(cv.State) {
+				cv.State = c.State
+			}
+			if c.FastBurnMilli > cv.FastBurnMilli {
+				cv.FastBurnMilli = c.FastBurnMilli
+			}
+			if c.SlowBurnMilli > cv.SlowBurnMilli {
+				cv.SlowBurnMilli = c.SlowBurnMilli
+			}
+			cv.WindowGood += c.WindowGood
+			cv.WindowBad += c.WindowBad
+			cv.Pages += c.Pages
+			cv.Warns += c.Warns
+			cv.Cells++
+		}
+	}
+	sort.Strings(classOrder)
+	worst := "ok"
+	for _, name := range classOrder {
+		cv := classes[name]
+		v.Classes = append(v.Classes, *cv)
+		if stateRank(cv.State) > stateRank(worst) {
+			worst = cv.State
+		}
+	}
+	if healthSeen {
+		v.Verdict = worst
+	}
+
+	// Global heat: union the per-cell (already shard-unioned) sketches.
+	perCell := make([][]proto.DebugHotKey, 0, len(cells))
+	for _, cs := range cells {
+		perCell = append(perCell, cs.HotKeys)
+	}
+	v.HotKeys = MergeHotKeys(perCell...)
+
+	// Ring: the freshest tier snapshot any cell serves.
+	for _, cs := range cells {
+		if cs.TierOK && (!v.RingOK || cs.Tier.RingVersion > v.Ring.RingVersion) {
+			v.Ring, v.RingOK = cs.Tier, true
+		}
+	}
+
+	// Routing skew: each live cell's share of the interval's observed ops
+	// against the keyspace share its arcs own on the freshest ring.
+	owned := make(map[string]uint64)
+	if v.RingOK {
+		for _, c := range v.Ring.Cells {
+			owned[c.Name] = c.OwnedPpm
+		}
+	}
+	var totalOps uint64
+	for _, cs := range cells {
+		if !cs.Stale && cs.Err == "" {
+			totalOps += opsDelta[cs.Name]
+		}
+	}
+	for _, cs := range cells {
+		if cs.Stale || cs.Err != "" {
+			continue
+		}
+		sk := CellSkew{Name: cs.Name, Ops: opsDelta[cs.Name], OwnedPpm: owned[cs.Name]}
+		if totalOps > 0 {
+			sk.ObservedPpm = opsDelta[cs.Name] * 1_000_000 / totalOps
+		}
+		if sk.OwnedPpm > 0 {
+			sk.RatioMilli = sk.ObservedPpm * 1000 / sk.OwnedPpm
+		}
+		v.Skew = append(v.Skew, sk)
+	}
+	return v
+}
+
+// MaxSkewMilli returns the largest observed/owned ratio across cells
+// (1000 = proportional), or 0 with no skew data.
+func (v *View) MaxSkewMilli() uint64 {
+	var m uint64
+	for _, s := range v.Skew {
+		if s.RatioMilli > m {
+			m = s.RatioMilli
+		}
+	}
+	return m
+}
+
+// WriteProm renders the merged fleet view as Prometheus text exposition.
+func (v *View) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_cells gauge\n")
+	fmt.Fprintf(w, "cliquemap_fleet_cells %d\n", len(v.Cells))
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_cell_up gauge\n")
+	for _, cs := range v.Cells {
+		up := 1
+		if cs.Stale || cs.Err != "" {
+			up = 0
+		}
+		fmt.Fprintf(w, "cliquemap_fleet_cell_up{cell=%s} %d\n", strconv.Quote(cs.Name), up)
+	}
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_cell_ops_total counter\n")
+	for _, cs := range v.Cells {
+		fmt.Fprintf(w, "cliquemap_fleet_cell_ops_total{cell=%s} %d\n", strconv.Quote(cs.Name), cs.Ops)
+	}
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_op_latency_ns summary\n")
+	for _, h := range v.Hists {
+		base := fmt.Sprintf("kind=%s,transport=%s", strconv.Quote(h.Kind), strconv.Quote(h.Transport))
+		fmt.Fprintf(w, "cliquemap_fleet_op_latency_ns{%s,quantile=\"0.5\"} %d\n", base, h.P50Ns)
+		fmt.Fprintf(w, "cliquemap_fleet_op_latency_ns{%s,quantile=\"0.9\"} %d\n", base, h.P90Ns)
+		fmt.Fprintf(w, "cliquemap_fleet_op_latency_ns{%s,quantile=\"0.99\"} %d\n", base, h.P99Ns)
+		fmt.Fprintf(w, "cliquemap_fleet_op_latency_ns{%s,quantile=\"0.999\"} %d\n", base, h.P999Ns)
+		fmt.Fprintf(w, "cliquemap_fleet_op_latency_ns_count{%s} %d\n", base, h.Count)
+	}
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_slo_state gauge\n")
+	fmt.Fprintf(w, "cliquemap_fleet_slo_state %d\n", stateRank(v.Verdict))
+	fmt.Fprintf(w, "# TYPE cliquemap_fleet_slo_burn gauge\n")
+	for _, c := range v.Classes {
+		fmt.Fprintf(w, "cliquemap_fleet_slo_burn{class=%s,window=\"fast\"} %g\n",
+			strconv.Quote(c.Class), float64(c.FastBurnMilli)/1000)
+		fmt.Fprintf(w, "cliquemap_fleet_slo_burn{class=%s,window=\"slow\"} %g\n",
+			strconv.Quote(c.Class), float64(c.SlowBurnMilli)/1000)
+	}
+	if len(v.HotKeys) > 0 {
+		fmt.Fprintf(w, "# TYPE cliquemap_fleet_hot_key_count gauge\n")
+		n := len(v.HotKeys)
+		if n > 16 {
+			n = 16
+		}
+		for _, hk := range v.HotKeys[:n] {
+			fmt.Fprintf(w, "cliquemap_fleet_hot_key_count{key=%s} %d\n", strconv.Quote(hk.Key), hk.Count)
+		}
+	}
+	if len(v.Skew) > 0 {
+		fmt.Fprintf(w, "# TYPE cliquemap_fleet_route_skew gauge\n")
+		for _, s := range v.Skew {
+			fmt.Fprintf(w, "cliquemap_fleet_route_skew{cell=%s} %g\n",
+				strconv.Quote(s.Name), float64(s.RatioMilli)/1000)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cliquemap/internal/core/proto"
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/stats"
+)
+
+// fakeCell serves canned method responses through the Caller interface,
+// so merge semantics are tested without spinning up real cells.
+type fakeCell struct {
+	cfg    proto.ConfigResp
+	stats  map[string]proto.StatsResp
+	debug  map[string]proto.DebugResp // per shard addr
+	health *proto.HealthResp
+	tier   *proto.TierResp
+	fail   bool
+}
+
+var errDown = errors.New("unreachable")
+
+func (f *fakeCell) Call(_ context.Context, addr, method string, _ []byte) ([]byte, fabric.OpTrace, error) {
+	if f.fail {
+		return nil, fabric.OpTrace{}, errDown
+	}
+	switch method {
+	case proto.MethodConfig:
+		return f.cfg.Marshal(), fabric.OpTrace{}, nil
+	case proto.MethodStats:
+		st, ok := f.stats[addr]
+		if !ok {
+			return nil, fabric.OpTrace{}, errDown
+		}
+		return st.Marshal(), fabric.OpTrace{}, nil
+	case proto.MethodDebug:
+		dbg, ok := f.debug[addr]
+		if !ok {
+			return nil, fabric.OpTrace{}, errDown
+		}
+		return dbg.Marshal(), fabric.OpTrace{}, nil
+	case proto.MethodHealth:
+		if f.health == nil {
+			return nil, fabric.OpTrace{}, errDown
+		}
+		return f.health.Marshal(), fabric.OpTrace{}, nil
+	case proto.MethodTier:
+		if f.tier == nil {
+			return nil, fabric.OpTrace{}, errDown
+		}
+		return f.tier.Marshal(), fabric.OpTrace{}, nil
+	}
+	return nil, fabric.OpTrace{}, errDown
+}
+
+// wireHist renders a histogram of the given observations as its DebugHist
+// wire form, the way a backend's MethodDebug handler does.
+func wireHist(kind, transport string, obs []uint64) proto.DebugHist {
+	var h stats.Histogram
+	for _, v := range obs {
+		h.Record(v)
+	}
+	q := h.Quantiles(50, 90, 99, 99.9)
+	return proto.DebugHist{
+		Kind: kind, Transport: transport,
+		Count: h.Count(), MeanNs: uint64(h.Mean()),
+		P50Ns: q[0], P90Ns: q[1], P99Ns: q[2], P999Ns: q[3],
+		MaxNs: h.Max(), SumNs: h.Sum(), Buckets: h.Buckets(),
+	}
+}
+
+func simpleCell(name string, ops uint64, hists []proto.DebugHist, hot []proto.DebugHotKey) *fakeCell {
+	return &fakeCell{
+		cfg: proto.ConfigResp{ShardAddrs: []string{"backend-0"}},
+		stats: map[string]proto.StatsResp{
+			"backend-0": {Gets: ops, ResidentKeys: 10, MemoryBytes: 1 << 20},
+		},
+		debug: map[string]proto.DebugResp{
+			"backend-0": {OpsTotal: ops, Hists: hists, HotKeys: hot},
+		},
+	}
+}
+
+func TestMergedPercentilesMatchUnion(t *testing.T) {
+	// Two cells with disjoint latency populations; the fleet percentiles
+	// must equal a single histogram fed the union, not an average of the
+	// per-cell quantiles.
+	var obsA, obsB []uint64
+	for i := 0; i < 900; i++ {
+		obsA = append(obsA, 1000) // fast cell: 1µs
+	}
+	for i := 0; i < 100; i++ {
+		obsB = append(obsB, 1_000_000) // slow cell: 1ms
+	}
+	a := New([]Target{
+		{Name: "a", Caller: simpleCell("a", 900, []proto.DebugHist{wireHist("GET", "2xR", obsA)}, nil)},
+		{Name: "b", Caller: simpleCell("b", 100, []proto.DebugHist{wireHist("GET", "2xR", obsB)}, nil)},
+	}, Options{})
+	v := a.ScrapeOnce(context.Background())
+	if len(v.Hists) != 1 {
+		t.Fatalf("hists: %+v", v.Hists)
+	}
+	var union stats.Histogram
+	for _, o := range append(append([]uint64{}, obsA...), obsB...) {
+		union.Record(o)
+	}
+	h := v.Hists[0]
+	if h.Count != 1000 || h.Cells != 2 {
+		t.Fatalf("count=%d cells=%d", h.Count, h.Cells)
+	}
+	wantQ := union.Quantiles(50, 99)
+	if h.P50Ns != wantQ[0] || h.P99Ns != wantQ[1] {
+		t.Errorf("merged p50/p99 = %d/%d, want %d/%d", h.P50Ns, h.P99Ns, wantQ[0], wantQ[1])
+	}
+	// p99 of the union is in the slow cell's population — a quantile
+	// average could never land there.
+	if h.P99Ns < 900_000 {
+		t.Errorf("p99 %d does not reflect the slow cell", h.P99Ns)
+	}
+	if h.MaxNs != union.Max() || h.MeanNs != uint64(union.Mean()) {
+		t.Errorf("max/mean = %d/%d, want %d/%d", h.MaxNs, h.MeanNs, union.Max(), uint64(union.Mean()))
+	}
+}
+
+func TestStaleCellKeepsLastGoodScrape(t *testing.T) {
+	now := time.Unix(100, 0)
+	clock := func() time.Time { return now }
+	b := simpleCell("b", 50, nil, nil)
+	a := New([]Target{
+		{Name: "a", Caller: simpleCell("a", 100, nil, nil)},
+		{Name: "b", Caller: b},
+	}, Options{Now: clock})
+	v := a.ScrapeOnce(context.Background())
+	if len(v.Cells) != 2 || v.Cells[1].Stale {
+		t.Fatalf("first round: %+v", v.Cells)
+	}
+	firstAt := v.Cells[1].At
+
+	// Cell b drops out; its row must stay, marked stale as of the last
+	// good scrape, and must no longer contribute to skew.
+	b.fail = true
+	now = now.Add(5 * time.Second)
+	v = a.ScrapeOnce(context.Background())
+	bs := v.Cells[1]
+	if !bs.Stale || bs.Err == "" {
+		t.Fatalf("expected stale cell b: %+v", bs)
+	}
+	if !bs.At.Equal(firstAt) {
+		t.Errorf("stale-as-of %v, want %v", bs.At, firstAt)
+	}
+	if bs.Ops != 50 {
+		t.Errorf("stale row lost last good state: %+v", bs)
+	}
+	for _, s := range v.Skew {
+		if s.Name == "b" {
+			t.Errorf("stale cell in skew: %+v", v.Skew)
+		}
+	}
+}
+
+func TestBurnVerdictRollup(t *testing.T) {
+	mk := func(state string, fast uint64, pages uint64) *proto.HealthResp {
+		return &proto.HealthResp{Classes: []proto.HealthClass{{
+			Class: "GET", State: state, FastBurnMilli: fast,
+			WindowGood: 90, WindowBad: 10, Pages: pages,
+		}}}
+	}
+	ca := simpleCell("a", 1, nil, nil)
+	ca.health = mk("ok", 500, 0)
+	cb := simpleCell("b", 1, nil, nil)
+	cb.health = mk("page", 14500, 2)
+	a := New([]Target{{Name: "a", Caller: ca}, {Name: "b", Caller: cb}}, Options{})
+	v := a.ScrapeOnce(context.Background())
+	if v.Verdict != "page" {
+		t.Fatalf("verdict %q, want page", v.Verdict)
+	}
+	if len(v.Classes) != 1 {
+		t.Fatalf("classes: %+v", v.Classes)
+	}
+	c := v.Classes[0]
+	if c.State != "page" || c.FastBurnMilli != 14500 || c.Pages != 2 ||
+		c.WindowGood != 180 || c.WindowBad != 20 || c.Cells != 2 {
+		t.Errorf("rollup: %+v", c)
+	}
+}
+
+func TestHotKeyUnionAcrossCells(t *testing.T) {
+	a := New([]Target{
+		{Name: "a", Caller: simpleCell("a", 1, nil, []proto.DebugHotKey{{Key: "k1", Count: 70}, {Key: "k2", Count: 10}})},
+		{Name: "b", Caller: simpleCell("b", 1, nil, []proto.DebugHotKey{{Key: "k2", Count: 80}, {Key: "k3", Count: 5}})},
+	}, Options{})
+	v := a.ScrapeOnce(context.Background())
+	if len(v.HotKeys) != 3 {
+		t.Fatalf("hot keys: %+v", v.HotKeys)
+	}
+	if v.HotKeys[0].Key != "k2" || v.HotKeys[0].Count != 90 {
+		t.Errorf("global hottest: %+v", v.HotKeys[0])
+	}
+	if v.HotKeys[1].Key != "k1" || v.HotKeys[2].Key != "k3" {
+		t.Errorf("ranking: %+v", v.HotKeys)
+	}
+}
+
+func TestSkewAgainstRingShares(t *testing.T) {
+	ca := simpleCell("a", 300, nil, nil)
+	ring := &proto.TierResp{RingVersion: 7, Cells: []proto.TierCell{
+		{Name: "a", OwnedPpm: 750_000},
+		{Name: "b", OwnedPpm: 250_000},
+	}}
+	ca.tier = ring
+	cb := simpleCell("b", 100, nil, nil)
+	a := New([]Target{{Name: "a", Caller: ca}, {Name: "b", Caller: cb}}, Options{})
+	v := a.ScrapeOnce(context.Background())
+	if !v.RingOK || v.Ring.RingVersion != 7 {
+		t.Fatalf("ring: %+v", v.Ring)
+	}
+	if len(v.Skew) != 2 {
+		t.Fatalf("skew: %+v", v.Skew)
+	}
+	// Cell a serves 75% of ops and owns 75% of the ring: ratio 1.0.
+	sa := v.Skew[0]
+	if sa.ObservedPpm != 750_000 || sa.RatioMilli != 1000 {
+		t.Errorf("cell a skew: %+v", sa)
+	}
+	if v.MaxSkewMilli() != 1000 {
+		t.Errorf("max skew: %d", v.MaxSkewMilli())
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	ca := simpleCell("a", 10, []proto.DebugHist{wireHist("GET", "2xR", []uint64{1000, 2000})},
+		[]proto.DebugHotKey{{Key: "hot\"key", Count: 9}})
+	ca.health = &proto.HealthResp{Classes: []proto.HealthClass{{Class: "GET", State: "warn", FastBurnMilli: 2500}}}
+	a := New([]Target{{Name: "a", Caller: ca}}, Options{})
+	v := a.ScrapeOnce(context.Background())
+	var buf bytes.Buffer
+	v.WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"cliquemap_fleet_cells 1",
+		`cliquemap_fleet_cell_up{cell="a"} 1`,
+		`cliquemap_fleet_op_latency_ns{kind="GET",transport="2xR",quantile="0.99"}`,
+		"cliquemap_fleet_slo_state 2",
+		`cliquemap_fleet_slo_burn{class="GET",window="fast"} 2.5`,
+		`cliquemap_fleet_hot_key_count{key="hot\"key"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -138,6 +138,57 @@ func (h *Histogram) Snapshot() *Histogram {
 	return s
 }
 
+// NumBuckets is the bucket-array size of Histogram; wire consumers use it
+// to bound decoded bucket indices.
+const NumBuckets = 64 * 16
+
+// HistBucket is one occupied bucket of a Histogram — the sparse form a
+// histogram travels in on the wire, so remote aggregators can merge true
+// distributions instead of averaging quantiles.
+type HistBucket struct {
+	Index uint32
+	Count uint64
+}
+
+// Buckets returns the occupied buckets in index order. Latency
+// distributions occupy a few dozen of the 1024 buckets, so the sparse
+// form is what the wire wants.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			out = append(out, HistBucket{Index: uint32(i), Count: c})
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// AddBuckets folds pre-bucketed counts into h — the receive side of the
+// wire form. sum and max carry the exact aggregates alongside (bucket
+// lower bounds alone would bias the mean down and lose the true max).
+// Out-of-range indices are dropped.
+func (h *Histogram) AddBuckets(bs []HistBucket, sum, max uint64) {
+	var n uint64
+	for _, b := range bs {
+		if int(b.Index) >= len(h.counts) {
+			continue
+		}
+		h.counts[b.Index].Add(b.Count)
+		n += b.Count
+	}
+	h.total.Add(n)
+	h.sum.Add(sum)
+	for {
+		m := h.max.Load()
+		if max <= m || h.max.CompareAndSwap(m, max) {
+			break
+		}
+	}
+}
+
 // Merge adds every observation in o into h. Percentile reads of the
 // merged histogram equal those over the union of both observation sets
 // (within bucket resolution). o should be a quiescent snapshot; h may be

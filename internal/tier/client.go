@@ -7,7 +7,10 @@ import (
 	"sync/atomic"
 
 	"cliquemap/internal/core/client"
+	"cliquemap/internal/fabric"
 	"cliquemap/internal/hashring"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/trace"
 	"cliquemap/internal/truetime"
 )
 
@@ -45,6 +48,68 @@ type ClientOptions struct {
 	// PerCell templates the per-cell client options (strategy, R,
 	// observer, ...). ID/HostID are assigned per cell as usual.
 	PerCell client.Options
+
+	// Tracer records completed tier-level ops: one trace per user op,
+	// carrying the tier spans (tier-route, ring-lookup, tier-forward,
+	// follower-cache-hit, follower-revalidate) plus every span the
+	// per-cell legs contributed — follower cell and owner cell on the
+	// same op id. nil means the LOCAL cell's tracer, so the co-located
+	// cell's MethodDebug (cmstat -trace) shows the federated op
+	// end-to-end; the per-cell clients see the tier's span context in
+	// ctx and contribute spans instead of double-recording.
+	Tracer *trace.Tracer
+}
+
+// Outcome classifies how the tier served one op — the tier edge's
+// latency axis: each class has its own histogram because their latency
+// regimes differ by an order of magnitude (a local follower hit never
+// leaves the cell; a forward pays a full remote quorum).
+type Outcome uint8
+
+const (
+	// OutcomeOwnerDirect: the co-located cell owns the key; the op ran
+	// locally with no tier hop.
+	OutcomeOwnerDirect Outcome = iota
+	// OutcomeFollowerHit: a remotely-owned GET served from the local
+	// follower cache — fresh inside the staleness bound, or stale but
+	// confirmed current by the owner's version.
+	OutcomeFollowerHit
+	// OutcomeRevalidateMiss: the follower cache could not serve the
+	// value — no usable entry, or the owner held a newer version — so
+	// the op paid an owner-cell round trip.
+	OutcomeRevalidateMiss
+	// OutcomeForward: the op went to a remote owner outside the
+	// follower path (all mutations, and GETs with FollowerReads off).
+	OutcomeForward
+	numOutcomes
+)
+
+// String names the outcome class.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOwnerDirect:
+		return "owner-direct"
+	case OutcomeFollowerHit:
+		return "follower-hit"
+	case OutcomeRevalidateMiss:
+		return "revalidate-miss"
+	}
+	return "forward"
+}
+
+// Outcomes lists the outcome classes in display order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeOwnerDirect, OutcomeFollowerHit, OutcomeRevalidateMiss, OutcomeForward}
+}
+
+// OutcomeStat summarizes one outcome class's latency histogram.
+type OutcomeStat struct {
+	Outcome Outcome
+	Count   uint64
+	MeanNs  uint64
+	P50Ns   uint64
+	P99Ns   uint64
+	MaxNs   uint64
 }
 
 // Metrics counts tier-client outcomes. Read with ClientMetrics.
@@ -70,6 +135,10 @@ type Client struct {
 	local *client.Client
 	now   func() uint64 // local cell's virtual clock
 	m     Metrics
+
+	tracer   *trace.Tracer
+	cellIdx  map[string]uint32 // cell name → configuration-order index, for span args
+	outcomes [numOutcomes]stats.Histogram
 }
 
 // NewClient builds a tier client with one per-cell client each.
@@ -92,11 +161,81 @@ func (t *Tier) NewClient(opt ClientOptions) (*Client, error) {
 	}
 	c.local = c.cls[opt.Local]
 	c.now = t.cells[opt.Local].Fabric.NowNs
+	c.tracer = opt.Tracer
+	if c.tracer == nil {
+		c.tracer = t.cells[opt.Local].Tracer
+	}
+	c.cellIdx = make(map[string]uint32, len(t.order))
+	for i, n := range t.order {
+		c.cellIdx[n] = uint32(i)
+	}
 	return c, nil
 }
 
 // Metrics returns the client's outcome counters.
 func (c *Client) Metrics() *Metrics { return &c.m }
+
+// Tracer returns the tier-edge tracer tier ops record into.
+func (c *Client) Tracer() *trace.Tracer { return c.tracer }
+
+// OutcomeHist returns the live latency histogram for one outcome class.
+func (c *Client) OutcomeHist(o Outcome) *stats.Histogram { return &c.outcomes[o] }
+
+// OutcomeStats summarizes the per-outcome-class latency histograms
+// (classes with traffic only).
+func (c *Client) OutcomeStats() []OutcomeStat {
+	var out []OutcomeStat
+	for _, o := range Outcomes() {
+		h := c.outcomes[o].Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		q := h.Quantiles(50, 99)
+		out = append(out, OutcomeStat{
+			Outcome: o, Count: h.Count(), MeanNs: uint64(h.Mean()),
+			P50Ns: q[0], P99Ns: q[1], MaxNs: h.Max(),
+		})
+	}
+	return out
+}
+
+// traceOp opens the tier-level span context for one user op. The per-cell
+// clients see it in ctx and contribute their spans to THIS op instead of
+// recording their own — the cross-cell propagation mechanism: over TCP
+// the wire frames carry this op id into the remote cell, and every leg's
+// spans come back on its OpTrace.
+func (c *Client) traceOp(ctx context.Context, k trace.Kind) (*trace.SpanContext, context.Context, *fabric.OpTrace) {
+	if c.tracer == nil || trace.FromContext(ctx) != nil {
+		return nil, ctx, nil
+	}
+	sc := &trace.SpanContext{OpID: c.tracer.NextID(), Kind: k}
+	tr := &fabric.OpTrace{Spans: make([]fabric.Span, 0, 12)}
+	return sc, trace.NewContext(ctx, sc), tr
+}
+
+// finish records one completed tier op into the tier-edge tracer and its
+// outcome-class histogram. Nil-safe: a nil sc (tracing off, or an
+// enclosing op already tracing) records nothing.
+func (c *Client) finish(sc *trace.SpanContext, total *fabric.OpTrace, k trace.Kind, tp trace.Transport, attempts uint32, outcome Outcome, err error) {
+	if sc == nil || err != nil {
+		return
+	}
+	c.outcomes[outcome].Record(total.Ns)
+	c.tracer.Record(sc.OpID, k, tp, attempts, *total)
+}
+
+// routeTraced is route plus the ring-lookup span.
+func (c *Client) routeTraced(h hashring.KeyHash, total *fabric.OpTrace, attempt int) (string, error) {
+	n, ok := c.t.router.Route(h)
+	if total != nil {
+		total.Annotate(trace.SpanRingLookup, uint32(c.t.router.Version()), total.Ns, 0)
+		total.Annotate(trace.SpanTierRoute, uint32(attempt), total.Ns, 0)
+	}
+	if !ok {
+		return "", ErrNoCells
+	}
+	return n, nil
+}
 
 // route resolves key's owning cell, or ErrNoCells.
 func (c *Client) route(h hashring.KeyHash) (string, error) {
@@ -120,23 +259,43 @@ func (c *Client) noteFailed(owner string) {
 func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	c.m.Ops.Add(1)
 	h := c.t.opt.Hash(key)
+	sc, ctx, total := c.traceOp(ctx, trace.KindGet)
 	var lastErr error = ErrNoCells
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
-		owner, err := c.route(h)
+		owner, err := c.routeTraced(h, total, attempt)
 		if err != nil {
 			return nil, false, err
 		}
 		if c.opt.FollowerReads && owner != c.opt.Local {
-			val, found, err := c.followerGet(ctx, owner, key)
+			val, found, outcome, err := c.followerGet(ctx, owner, key, total)
 			if err == nil {
 				c.t.router.NoteSuccess(owner)
+				c.finish(sc, total, trace.KindGet, c.local.Transport(), uint32(attempt+1), outcome, nil)
 				return val, found, nil
 			}
 			lastErr = err
 		} else {
-			val, found, err := c.cls[owner].Get(ctx, key)
+			outcome := OutcomeOwnerDirect
+			var val []byte
+			var found bool
+			if total != nil {
+				start := total.Ns
+				var tr fabric.OpTrace
+				val, found, tr, err = c.cls[owner].GetTraced(ctx, key)
+				total.Sequence(tr)
+				if owner != c.opt.Local {
+					outcome = OutcomeForward
+					total.Annotate(trace.SpanTierForward, c.cellIdx[owner], start, tr.Ns)
+				}
+			} else {
+				val, found, err = c.cls[owner].Get(ctx, key)
+				if owner != c.opt.Local {
+					outcome = OutcomeForward
+				}
+			}
 			if err == nil {
 				c.t.router.NoteSuccess(owner)
+				c.finish(sc, total, trace.KindGet, c.cls[owner].Transport(), uint32(attempt+1), outcome, nil)
 				return val, found, nil
 			}
 			lastErr = err
@@ -149,45 +308,90 @@ func (c *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 // followerGet serves a remotely-owned key through the local follower
 // cache: fresh entries answer locally; stale entries revalidate by
 // version against the owner; misses fetch (with version) from the owner
-// and populate the cache.
-func (c *Client) followerGet(ctx context.Context, owner string, key []byte) ([]byte, bool, error) {
+// and populate the cache. When total is non-nil the legs' spans fold
+// into it: local-cell spans first, then — if the entry was stale or
+// missing — the owner cell's revalidation legs, bracketed by
+// follower-revalidate / tier-forward annotations.
+func (c *Client) followerGet(ctx context.Context, owner string, key []byte, total *fabric.OpTrace) ([]byte, bool, Outcome, error) {
 	fk := followerKey(key)
-	if raw, found, err := c.local.Get(ctx, fk); err == nil && found {
+	var raw []byte
+	var found bool
+	var err error
+	if total != nil {
+		var tr fabric.OpTrace
+		raw, found, tr, err = c.local.GetTraced(ctx, fk)
+		total.Sequence(tr)
+	} else {
+		raw, found, err = c.local.Get(ctx, fk)
+	}
+	if err == nil && found {
 		if ver, stamp, payload, ok := decodeFollower(raw); ok {
 			if age := c.now() - stamp; age <= c.opt.StaleBoundNs {
 				c.m.FollowerHits.Add(1)
-				return payload, true, nil
+				if total != nil {
+					total.Annotate(trace.SpanFollowerHit, uint32(age/1000), total.Ns, 0)
+				}
+				return payload, true, OutcomeFollowerHit, nil
 			}
 			// Stale: ask the owner for the current version (the probe
 			// also carries the value, so a changed key refreshes in one
 			// round trip).
-			oval, over, ofound, oerr := c.cls[owner].GetVersioned(ctx, key)
+			var oval []byte
+			var over truetime.Version
+			var ofound bool
+			var oerr error
+			if total != nil {
+				start := total.Ns
+				var otr fabric.OpTrace
+				oval, over, ofound, otr, oerr = c.cls[owner].GetVersionedTraced(ctx, key)
+				total.Sequence(otr)
+				arg := uint32(0) // confirmed
+				switch {
+				case oerr == nil && !ofound:
+					arg = 2 // erased at the owner
+				case oerr == nil && over != ver:
+					arg = 1 // refreshed with a newer value
+				}
+				total.Annotate(trace.SpanFollowerReval, arg, start, otr.Ns)
+			} else {
+				oval, over, ofound, oerr = c.cls[owner].GetVersioned(ctx, key)
+			}
 			if oerr != nil {
-				return nil, false, oerr
+				return nil, false, OutcomeRevalidateMiss, oerr
 			}
 			if !ofound {
 				_ = c.local.Erase(ctx, fk)
-				return nil, false, nil
+				return nil, false, OutcomeRevalidateMiss, nil
 			}
 			if over == ver {
 				c.m.FollowerRevalids.Add(1)
 				c.storeFollower(ctx, key, payload, ver)
-				return payload, true, nil
+				return payload, true, OutcomeFollowerHit, nil
 			}
 			c.m.FollowerRefreshes.Add(1)
 			c.storeFollower(ctx, key, oval, over)
-			return oval, true, nil
+			return oval, true, OutcomeRevalidateMiss, nil
 		}
 	}
 	c.m.FollowerMisses.Add(1)
-	val, ver, found, err := c.cls[owner].GetVersioned(ctx, key)
+	var val []byte
+	var ver truetime.Version
+	if total != nil {
+		start := total.Ns
+		var otr fabric.OpTrace
+		val, ver, found, otr, err = c.cls[owner].GetVersionedTraced(ctx, key)
+		total.Sequence(otr)
+		total.Annotate(trace.SpanTierForward, c.cellIdx[owner], start, otr.Ns)
+	} else {
+		val, ver, found, err = c.cls[owner].GetVersioned(ctx, key)
+	}
 	if err != nil {
-		return nil, false, err
+		return nil, false, OutcomeRevalidateMiss, err
 	}
 	if found {
 		c.storeFollower(ctx, key, val, ver)
 	}
-	return val, found, nil
+	return val, found, OutcomeRevalidateMiss, nil
 }
 
 // Set stores key=value on the owning cell.
@@ -202,18 +406,29 @@ func (c *Client) Set(ctx context.Context, key, value []byte) error {
 func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.Version, error) {
 	c.m.Ops.Add(1)
 	h := c.t.opt.Hash(key)
+	sc, ctx, total := c.traceOp(ctx, trace.KindSet)
 	var lastErr error = ErrNoCells
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
-		owner, err := c.route(h)
+		owner, err := c.routeTraced(h, total, attempt)
 		if err != nil {
 			return truetime.Version{}, err
 		}
-		ver, err := c.cls[owner].SetVersioned(ctx, key, value)
+		var ver truetime.Version
+		outcome := c.mutationLeg(total, owner, func() (fabric.OpTrace, error) {
+			var tr fabric.OpTrace
+			if total != nil {
+				ver, tr, err = c.cls[owner].SetVersionedTraced(ctx, key, value)
+			} else {
+				ver, err = c.cls[owner].SetVersioned(ctx, key, value)
+			}
+			return tr, err
+		})
 		if err == nil {
 			c.t.router.NoteSuccess(owner)
 			if c.opt.FollowerReads && owner != c.opt.Local {
 				c.storeFollower(ctx, key, value, ver)
 			}
+			c.finish(sc, total, trace.KindSet, trace.TransportRPC, uint32(attempt+1), outcome, nil)
 			return ver, nil
 		}
 		lastErr = err
@@ -222,25 +437,56 @@ func (c *Client) SetVersioned(ctx context.Context, key, value []byte) (truetime.
 	return truetime.Version{}, lastErr
 }
 
+// mutationLeg runs one owner-cell mutation attempt, sequencing its spans
+// into total and bracketing remote legs with a tier-forward annotation.
+// It returns the outcome class for the attempt.
+func (c *Client) mutationLeg(total *fabric.OpTrace, owner string, run func() (fabric.OpTrace, error)) Outcome {
+	outcome := OutcomeOwnerDirect
+	if owner != c.opt.Local {
+		outcome = OutcomeForward
+	}
+	if total == nil {
+		_, _ = run()
+		return outcome
+	}
+	start := total.Ns
+	tr, _ := run()
+	total.Sequence(tr)
+	if outcome == OutcomeForward {
+		total.Annotate(trace.SpanTierForward, c.cellIdx[owner], start, tr.Ns)
+	}
+	return outcome
+}
+
 // Erase removes key from its owning cell (and the local follower cache).
 func (c *Client) Erase(ctx context.Context, key []byte) error {
 	c.m.Ops.Add(1)
 	h := c.t.opt.Hash(key)
+	sc, ctx, total := c.traceOp(ctx, trace.KindErase)
 	var lastErr error = ErrNoCells
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
-		owner, err := c.route(h)
+		owner, err := c.routeTraced(h, total, attempt)
 		if err != nil {
 			return err
 		}
-		if err := c.cls[owner].Erase(ctx, key); err == nil {
+		outcome := c.mutationLeg(total, owner, func() (fabric.OpTrace, error) {
+			var tr fabric.OpTrace
+			if total != nil {
+				tr, err = c.cls[owner].EraseTraced(ctx, key)
+			} else {
+				err = c.cls[owner].Erase(ctx, key)
+			}
+			return tr, err
+		})
+		if err == nil {
 			c.t.router.NoteSuccess(owner)
 			if c.opt.FollowerReads && owner != c.opt.Local {
 				_ = c.local.Erase(ctx, followerKey(key))
 			}
+			c.finish(sc, total, trace.KindErase, trace.TransportRPC, uint32(attempt+1), outcome, nil)
 			return nil
-		} else {
-			lastErr = err
 		}
+		lastErr = err
 		c.noteFailed(owner)
 	}
 	return lastErr
@@ -252,18 +498,29 @@ func (c *Client) Erase(ctx context.Context, key []byte) error {
 func (c *Client) Cas(ctx context.Context, key, value []byte, expected truetime.Version) (bool, error) {
 	c.m.Ops.Add(1)
 	h := c.t.opt.Hash(key)
+	sc, ctx, total := c.traceOp(ctx, trace.KindCas)
 	var lastErr error = ErrNoCells
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
-		owner, err := c.route(h)
+		owner, err := c.routeTraced(h, total, attempt)
 		if err != nil {
 			return false, err
 		}
-		applied, err := c.cls[owner].Cas(ctx, key, value, expected)
+		var applied bool
+		outcome := c.mutationLeg(total, owner, func() (fabric.OpTrace, error) {
+			var tr fabric.OpTrace
+			if total != nil {
+				applied, tr, err = c.cls[owner].CasTraced(ctx, key, value, expected)
+			} else {
+				applied, err = c.cls[owner].Cas(ctx, key, value, expected)
+			}
+			return tr, err
+		})
 		if err == nil {
 			c.t.router.NoteSuccess(owner)
 			if applied && c.opt.FollowerReads && owner != c.opt.Local {
 				_ = c.local.Erase(ctx, followerKey(key))
 			}
+			c.finish(sc, total, trace.KindCas, trace.TransportRPC, uint32(attempt+1), outcome, nil)
 			return applied, nil
 		}
 		lastErr = err

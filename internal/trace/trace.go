@@ -45,6 +45,11 @@ const (
 	SpanCStateWake    uint16 = 14 // 1rma: C-state wake penalty after idle
 	SpanBackoff       uint16 = 15 // client: capped exponential backoff before a retry; Arg = attempt #
 	SpanHedge         uint16 = 16 // client: hedged/failover data read on a backup replica; Arg = shard
+	SpanTierRoute     uint16 = 17 // tier: one routing decision; Arg = tier-level attempt #
+	SpanRingLookup    uint16 = 18 // tier: weighted-ring owner resolution; Arg = ring version (low 32 bits)
+	SpanTierForward   uint16 = 19 // tier: op forwarded to a remote owner cell; Arg = owner cell index
+	SpanFollowerHit   uint16 = 20 // tier: follower cache served inside the staleness bound; Arg = age µs
+	SpanFollowerReval uint16 = 21 // tier: stale follower entry revalidated by owner version; Arg = 0 confirmed, 1 refreshed, 2 erased
 )
 
 // CodeName names a span code for display; unknown codes render
@@ -83,6 +88,16 @@ func CodeName(c uint16) string {
 		return "backoff"
 	case SpanHedge:
 		return "hedge"
+	case SpanTierRoute:
+		return "tier-route"
+	case SpanRingLookup:
+		return "ring-lookup"
+	case SpanTierForward:
+		return "tier-forward"
+	case SpanFollowerHit:
+		return "follower-cache-hit"
+	case SpanFollowerReval:
+		return "follower-revalidate"
 	}
 	return fmt.Sprintf("span-%d", c)
 }
@@ -431,7 +446,9 @@ func (t *Tracer) SetReplicaHealth(addr string, score float64, demoted bool) {
 	t.auxMu.Unlock()
 }
 
-// HistStat is one kind/transport histogram summary.
+// HistStat is one kind/transport histogram summary. SumNs and Buckets
+// carry the raw distribution so fleet-level consumers can merge
+// histograms exactly instead of averaging quantiles.
 type HistStat struct {
 	Kind      Kind
 	Transport Transport
@@ -442,6 +459,8 @@ type HistStat struct {
 	P99Ns     uint64
 	P999Ns    uint64
 	MaxNs     uint64
+	SumNs     uint64
+	Buckets   []stats.HistBucket
 }
 
 // Snapshot is a point-in-time view of the tracer, the payload behind the
@@ -476,7 +495,7 @@ func (t *Tracer) Snapshot(maxSlow int) Snapshot {
 				Kind: k, Transport: tp, Count: h.Count(),
 				MeanNs: uint64(h.Mean()),
 				P50Ns:  q[0], P90Ns: q[1], P99Ns: q[2], P999Ns: q[3],
-				MaxNs: h.Max(),
+				MaxNs: h.Max(), SumNs: h.Sum(), Buckets: h.Buckets(),
 			})
 		}
 	}
