@@ -215,7 +215,12 @@ func runChaosSoak(t *testing.T, preset string, seed uint64) {
 	// Three spares: the maintenance-storm preset grows the cell by two
 	// shards and still runs a maintenance handoff while grown, so the
 	// storm needs +2 growth capacity plus one idle spare at all times.
-	c := newCell(t, Options{Shards: 3, Spares: 3, Mode: R32})
+	runChaosSoakCell(t, preset, seed, Options{Shards: 3, Spares: 3, Mode: R32})
+}
+
+func runChaosSoakCell(t *testing.T, preset string, seed uint64, copt Options) {
+	t.Helper()
+	c := newCell(t, copt)
 	cc := c.Internal()
 	ctx := context.Background()
 
@@ -338,6 +343,95 @@ func TestChaosSoakBrownout(t *testing.T)      { runChaosSoak(t, "brownout", 1) }
 func TestChaosSoakPartitionHeal(t *testing.T) { runChaosSoak(t, "partition-heal", 1) }
 func TestChaosSoakCorruption(t *testing.T)    { runChaosSoak(t, "corruption-soak", 1) }
 func TestChaosSoakRollingCrash(t *testing.T)  { runChaosSoak(t, "rolling-crash", 1) }
+
+// TestChaosSoakRollingCrashWarm is the rolling-crash soak with durable
+// warm restarts: every crashed shard rejoins from its checkpoint+journal
+// lineage (recovering state, miss-bounce, self-validation) instead of
+// cold-empty. The same oracle must hold — in particular, a warm-restarted
+// replica's recovered-but-stale residents must never surface past the
+// quorum as resurrections or regressed observations.
+func TestChaosSoakRollingCrashWarm(t *testing.T) {
+	runChaosSoakCell(t, "rolling-crash-warm", 1, Options{Shards: 3, Spares: 3, Mode: R32, DataDir: t.TempDir()})
+}
+
+// TestRestartLostWriteRegressionCold is the distilled rolling-crash
+// lost-write flake: a SET acked by exactly {0,1} (replica 2's leg forced
+// to fail), then replica 0 crashes and restarts EMPTY. Pre-fix, a quorum
+// GET could collect miss(0)+miss(2) — two "agreed miss" votes for a key
+// the cell acknowledged — and return a clean miss. The recovering state
+// must withhold replica 0's miss vote until repair completes.
+func TestRestartLostWriteRegressionCold(t *testing.T) {
+	testRestartLostWriteRegression(t, Options{Shards: 3, Mode: R32})
+}
+
+// TestRestartLostWriteRegressionWarm closes the same hole from the other
+// side: with a data directory, the restarted acker recovers the key from
+// its journal and serves it immediately — no repair needed for the read
+// to hit.
+func TestRestartLostWriteRegressionWarm(t *testing.T) {
+	testRestartLostWriteRegression(t, Options{Shards: 3, Mode: R32, DataDir: t.TempDir()})
+}
+
+func testRestartLostWriteRegression(t *testing.T, copt Options) {
+	c := newCell(t, copt)
+	cc := c.Internal()
+	ctx := context.Background()
+	cl := cc.NewClient(client.Options{Strategy: client.StrategyRPC, NoFallback: true, Retries: 2})
+
+	key, val := []byte("ghost"), []byte("acked-by-two")
+	// Replica 2's mutation leg fails outright: the SET acks on {0,1} alone.
+	cc.SetRPCFailRate(2, 1.0, 1)
+	if err := cl.Set(ctx, key, val); err != nil {
+		t.Fatalf("quorum-of-two set: %v", err)
+	}
+	cc.SetRPCFailRate(2, 0, 0)
+
+	// Crash an acker and bring it back mid-recovery (RestartBegin swaps in
+	// the new backend but does NOT repair yet — the window the flake lived
+	// in). Every read in this window must refuse to agree-miss: a value, or
+	// an error, never a clean miss.
+	c.Crash(0)
+	if _, err := cc.RestartBegin(0); err != nil {
+		t.Fatal(err)
+	}
+	sawHit := false
+	for i := 0; i < 20; i++ {
+		got, hit, err := cl.Get(ctx, key)
+		if err != nil {
+			continue // quorum starved by the withheld vote: safe, retryable
+		}
+		if !hit {
+			t.Fatal("lost acked write: quorum agreed miss while an acker was mid-restart")
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("get = %q, want %q", got, val)
+		}
+		sawHit = true
+	}
+	if copt.DataDir != "" {
+		// Warm: the journal already restored the key on the restarted
+		// replica, so reads must succeed before any repair runs...
+		if !sawHit {
+			t.Fatal("warm-restarted acker never served its journaled write")
+		}
+		if rec := cc.Backend(0).RecoveryStatsSnapshot(); rec.RecoveredKeys == 0 {
+			t.Fatal("warm restart recovered zero keys")
+		}
+	}
+
+	// ...and after self-validation completes, reads hit unconditionally in
+	// both variants.
+	if err := cc.RestartComplete(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := cl.Get(ctx, key)
+	if err != nil || !hit || !bytes.Equal(got, val) {
+		t.Fatalf("post-repair get: %q hit=%v err=%v", got, hit, err)
+	}
+	if cc.Backend(0).Recovering() {
+		t.Fatal("recovering guard still up after RestartComplete")
+	}
+}
 
 // TestChaosSoakMaintenanceStorm runs the full SET/ERASE/CAS-adjacent
 // workload through repeated planned-maintenance cycles and an online

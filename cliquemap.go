@@ -149,6 +149,12 @@ type Options struct {
 	// thresholds, and per-op-class objectives; zero values take the
 	// production defaults (5m/1h virtual windows, page at burn 14.4).
 	Health health.Config
+	// DataDir, when non-empty, enables durable warm restarts: every
+	// backend task checkpoints its corpus and journals mutations under
+	// DataDir/<task-addr>, and a restarted task (or a restarted cmcell
+	// process pointed at the same directory) recovers its pre-crash
+	// corpus from checkpoint + journal replay instead of rejoining empty.
+	DataDir string
 }
 
 // KeyHash is the 128-bit key hash: Hi selects the backend cohort, Lo the
@@ -183,6 +189,7 @@ func NewCell(opt Options) (*Cell, error) {
 		Mode:        opt.Mode.internal(),
 		ClientHosts: opt.ClientHosts,
 		Health:      opt.Health,
+		DataDir:     opt.DataDir,
 		Backend: backend.Options{
 			Policy:            opt.Eviction,
 			DataBytes:         opt.DataBytes,
@@ -223,6 +230,18 @@ func (c *Cell) NewClient(opt ClientOptions) *Client {
 // rpc.DialTCP and the proto message schemas against it.
 func (c *Cell) ServeTCP(addr string) (io.Closer, error) {
 	return c.c.ServeTCP(addr)
+}
+
+// RecoveredKeys reports how many keys the cell's tasks loaded from their
+// durable checkpoints and journals at startup (0 without Options.DataDir,
+// or on a first start). Lets an operator confirm a restarted process came
+// back warm.
+func (c *Cell) RecoveredKeys() uint64 {
+	var n uint64
+	for _, b := range c.c.Nodes() {
+		n += b.RecoveryStatsSnapshot().RecoveredKeys
+	}
+	return n
 }
 
 // NewWANClient attaches a client in a remote region: every lookup travels
@@ -273,6 +292,11 @@ func (c *Cell) Crash(shard int) { c.c.Crash(shard) }
 // Restart brings a crashed shard back empty and runs post-restart repairs
 // (§5.4).
 func (c *Cell) Restart(ctx context.Context, shard int) error { return c.c.Restart(ctx, shard) }
+
+// RestartWarm brings a crashed shard back recovered from its durable
+// checkpoint + journal (Options.DataDir) and self-validates it back into
+// the quorum; cold like Restart when the cell has no data directory.
+func (c *Cell) RestartWarm(ctx context.Context, shard int) error { return c.c.RestartWarm(ctx, shard) }
 
 // RepairAll runs one cohort-scan repair sweep, returning repairs issued.
 func (c *Cell) RepairAll(ctx context.Context) (int, error) { return c.c.RepairAll(ctx) }

@@ -39,6 +39,7 @@ func main() {
 		for _, id := range []string{"3", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15", "16", "17", "18", "19", "20"} {
 			fmt.Printf("fig%s\n", id)
 		}
+		fmt.Println("14warm")
 		fmt.Println("resize")
 		fmt.Println("tier")
 		return

@@ -61,12 +61,13 @@ func main() {
 	resizeTo := flag.Int("resize", 0, "resize the cell to this shard count at 1/4 of the run and back at 3/4 (0 disables; needs enough spares to grow)")
 	chaosPreset := flag.String("chaos", "", "run a chaos schedule during the workload: brownout, partition-heal, corruption-soak, rolling-crash, maintenance-storm")
 	chaosSeed := flag.Uint64("chaosseed", 1, "chaos schedule seed (same seed = same schedule)")
+	dataDir := flag.String("data", "", "durable warm-restart directory: journal + checkpoint each task's corpus here and recover it on startup")
 	listen := flag.String("listen", "", "also serve the RPC surface on this TCP address (e.g. 127.0.0.1:7070)")
 	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 	probeRounds := flag.Int("probes", 50, "E2E prober rounds spread across the run (0 disables)")
 	flag.Parse()
 
-	opt := cliquemap.Options{Shards: *shards, Spares: *spares, Eviction: *evict}
+	opt := cliquemap.Options{Shards: *shards, Spares: *spares, Eviction: *evict, DataDir: *dataDir}
 	switch *mode {
 	case "r1":
 		opt.Mode = cliquemap.R1
@@ -109,6 +110,13 @@ func main() {
 
 	fmt.Printf("cmcell: %d shards + %d spares, %s, %s lookups over %s\n",
 		*shards, *spares, *mode, *strategy, *transport)
+	if *dataDir != "" {
+		if n := cell.RecoveredKeys(); n > 0 {
+			fmt.Printf("warm restart: recovered %d keys from %s\n", n, *dataDir)
+		} else {
+			fmt.Printf("durable restarts enabled: journaling to %s (nothing to recover)\n", *dataDir)
+		}
+	}
 
 	if *listen != "" {
 		gw, gerr := cell.ServeTCP(*listen)

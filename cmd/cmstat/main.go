@@ -302,6 +302,8 @@ func printTables(cur, prev *snapshot, showTrace, showTier bool, maxHot int) {
 			strings.Join(restartedShards, ", "))
 	}
 
+	printRecovery(cur)
+
 	if cur.tierOK && (showTier || len(cur.tier.Cells) > 0) {
 		printTier(cur.tier)
 	}
@@ -311,6 +313,44 @@ func printTables(cur, prev *snapshot, showTrace, showTier bool, maxHot int) {
 	if cur.dbgOK {
 		printDebug(cur, prev, showTrace, maxHot)
 	}
+}
+
+// printRecovery renders the durability plane: one row per shard with
+// the age of its last durable checkpoint, the delta journal depth since
+// that checkpoint, and — after a warm restart — how much of the corpus
+// came back from disk and how much of it has self-validated against the
+// quorum. Omitted entirely when no shard runs with a data directory.
+func printRecovery(cur *snapshot) {
+	cfg := cur.cfg
+	any := false
+	for _, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if ok && (st.CkptUnixNano != 0 || st.JournalRecords != 0 || st.JournalBytes != 0 ||
+			st.RecoveredKeys != 0 || st.Recovering) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\nRECOVERY\tADDR\tCKPT EPOCH\tCKPT AGE\tJOURNAL\tJBYTES\tRECOVERED\tREPLAYED\tSELFVAL\tRECOVERING")
+	for shard, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if !ok {
+			continue
+		}
+		age := "-"
+		if st.CkptUnixNano != 0 {
+			age = cur.at.Sub(time.Unix(0, int64(st.CkptUnixNano))).Round(time.Second).String()
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%v\n",
+			shard, addr, st.CkptEpoch, age,
+			st.JournalRecords, fmtBytes(st.JournalBytes),
+			st.RecoveredKeys, st.ReplayedRecords, st.SelfValidated, st.Recovering)
+	}
+	w.Flush()
 }
 
 // printTier renders the federation router's ring table: one row per

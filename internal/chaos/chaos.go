@@ -54,6 +54,7 @@ const (
 	HazardMaintain
 	HazardResize
 	HazardHeal
+	HazardRestartWarm
 	numHazards
 )
 
@@ -82,6 +83,8 @@ func (h Hazard) String() string {
 		return "resize"
 	case HazardHeal:
 		return "heal"
+	case HazardRestartWarm:
+		return "restart-warm"
 	}
 	return fmt.Sprintf("hazard-%d", uint8(h))
 }
@@ -95,6 +98,10 @@ type Surface interface {
 	Crash(shard int)
 	// Restart brings shard's backend back empty and kicks off repair.
 	Restart(ctx context.Context, shard int) error
+	// RestartWarm brings shard's backend back recovered from its durable
+	// checkpoint + journal (falling back to a cold start when the cell
+	// has no data directory) and runs the self-validation rejoin.
+	RestartWarm(ctx context.Context, shard int) error
 	// SetRPCFailRate makes shard's server fail the given fraction of calls
 	// transiently; rate 0 heals.
 	SetRPCFailRate(shard int, rate float64, seed int64)
@@ -190,6 +197,13 @@ func (p *Plane) Restart(ctx context.Context, shard int) error {
 	return p.sur.Restart(ctx, shard)
 }
 
+// RestartWarm revives shard's backend from its durable state (cold when
+// none) and triggers the self-validation rejoin.
+func (p *Plane) RestartWarm(ctx context.Context, shard int) error {
+	p.note(HazardRestartWarm)
+	return p.sur.RestartWarm(ctx, shard)
+}
+
 // RPCFailRate injects transient call failures at shard; rate 0 heals.
 func (p *Plane) RPCFailRate(shard int, rate float64) {
 	if rate > 0 {
@@ -281,12 +295,17 @@ type Event struct {
 	Count  int     // corruption flips, or resize target shard count
 	Seed   uint64  // per-event actuator seed
 	Heal   int     // step at which the effect reverts; -1 = never
+	Warm   bool    // crash heals via RestartWarm instead of cold Restart
 }
 
 // String renders the event for schedule dumps and determinism checks.
 func (e Event) String() string {
-	return fmt.Sprintf("step=%d %s shard=%d rate=%.3f delay=%d count=%d seed=%d heal=%d",
+	s := fmt.Sprintf("step=%d %s shard=%d rate=%.3f delay=%d count=%d seed=%d heal=%d",
 		e.Step, e.Hazard, e.Shard, e.Rate, e.Delay, e.Count, e.Seed, e.Heal)
+	if e.Warm {
+		s += " warm=true"
+	}
+	return s
 }
 
 // Schedule is a deterministic fault plan: Events sorted by Step, all
@@ -310,7 +329,7 @@ func (s Schedule) String() string {
 
 // Presets names the built-in scenario schedules.
 func Presets() []string {
-	return []string{"brownout", "partition-heal", "corruption-soak", "rolling-crash", "maintenance-storm"}
+	return []string{"brownout", "partition-heal", "corruption-soak", "rolling-crash", "rolling-crash-warm", "maintenance-storm"}
 }
 
 // Preset builds a named scenario schedule for a cell of the given shard
@@ -363,6 +382,17 @@ func Preset(name string, seed uint64, shards int) (Schedule, error) {
 		for i, shard := range rng.Perm(shards) {
 			s.Events = append(s.Events, Event{
 				Step: 1 + 2*i, Hazard: HazardCrash, Shard: shard, Heal: 2 + 2*i,
+			})
+		}
+	case "rolling-crash-warm":
+		// The same rolling worst case, but every victim rejoins via the
+		// durability plane: checkpoint + journal replay instead of an
+		// empty corpus. The oracle's lost-write check is the payoff — a
+		// warm rejoin must never surface an agreed miss for an acked key.
+		s.Steps = 2 + 2*shards
+		for i, shard := range rng.Perm(shards) {
+			s.Events = append(s.Events, Event{
+				Step: 1 + 2*i, Hazard: HazardCrash, Shard: shard, Heal: 2 + 2*i, Warm: true,
 			})
 		}
 	case "maintenance-storm":
@@ -581,7 +611,13 @@ func (e *Engine) heal(ctx context.Context, ev Event) error {
 	switch ev.Hazard {
 	case HazardCrash:
 		for _, s := range e.targets(ev) {
-			if err := e.plane.Restart(ctx, s); err != nil {
+			var err error
+			if ev.Warm {
+				err = e.plane.RestartWarm(ctx, s)
+			} else {
+				err = e.plane.Restart(ctx, s)
+			}
+			if err != nil {
 				return err
 			}
 		}

@@ -12,8 +12,9 @@ import (
 type fakeSurface struct {
 	mu       sync.Mutex
 	shards   int
-	crashed  map[int]bool
-	restarts int
+	crashed      map[int]bool
+	restarts     int
+	warmRestarts int
 	failRate map[int]float64
 	delay    map[int]uint64
 	isolated  map[int]bool
@@ -54,6 +55,17 @@ func (f *fakeSurface) Restart(_ context.Context, shard int) error {
 	}
 	delete(f.crashed, shard)
 	f.restarts++
+	return nil
+}
+
+func (f *fakeSurface) RestartWarm(_ context.Context, shard int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.crashed[shard] {
+		return fmt.Errorf("warm restart of shard %d that is not crashed", shard)
+	}
+	delete(f.crashed, shard)
+	f.warmRestarts++
 	return nil
 }
 

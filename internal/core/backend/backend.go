@@ -48,6 +48,7 @@ import (
 	"cliquemap/internal/core/proto"
 	"cliquemap/internal/eviction"
 	"cliquemap/internal/hashring"
+	"cliquemap/internal/persist"
 	"cliquemap/internal/rmem"
 	"cliquemap/internal/rpc"
 	"cliquemap/internal/slab"
@@ -136,6 +137,26 @@ type Options struct {
 	// HeatK sizes the key-heat top-k sketch (per-shard capacity; see
 	// stats.TopK). 0 takes the sketch's default.
 	HeatK int
+
+	// DataDir, when non-empty, enables the durability plane (persist.go):
+	// applied mutations tee into a write-ahead journal under DataDir,
+	// checkpoints collapse the journal, and New recovers the corpus warm
+	// from the newest checkpoint + journal tail before serving.
+	DataDir string
+	// CheckpointEvery is the journal depth (records) that triggers an
+	// async checkpoint; 0 takes a default.
+	CheckpointEvery int
+	// Recovering starts the backend in the §5.4 self-validation window:
+	// resident entries serve, misses bounce with proto.ErrRecovering, and
+	// bucket headers carry a sentinel config stamp that diverts one-sided
+	// readers to RPC, until EndRecovery. Set by restarts rejoining a
+	// quorum whose corpus may be behind.
+	Recovering bool
+	// PersistHook and PersistSync pass through to persist.Options (crash
+	// injection for tests; per-append fsync for power-loss durability —
+	// kill -9 survival needs neither, the OS page cache persists).
+	PersistHook func(point string) bool
+	PersistSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -341,6 +362,21 @@ type Backend struct {
 
 	evictCursor atomic.Uint64 // round-robin start stripe for capacity eviction
 
+	// persist, when set, is the durable store behind warm restarts:
+	// applied mutations tee into its journal under the key's stripe lock
+	// (persist.go). Stored only after recovery replay completes, so
+	// replayed records are not re-journaled. Memory-only backends keep it
+	// nil and pay one atomic load per mutation.
+	persist     atomic.Pointer[persist.Store]
+	recovering  atomic.Bool
+	ckptRunning atomic.Bool
+
+	// Warm-restart telemetry behind the RECOVERY stats columns.
+	recoveredKeys   atomic.Uint64
+	replayedRecords atomic.Uint64
+	recoverySettles atomic.Uint64
+	selfValidated   atomic.Uint64
+
 	// tierSrc, when set, serves MethodTier snapshots; the federation
 	// tier attaches a closure over its router after construction. Kept
 	// at the tail: it is cold, and the fields above it are hot-path.
@@ -420,6 +456,9 @@ func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network,
 	if store != nil {
 		b.configID.Store(store.Get().ID)
 	}
+	if opt.Recovering {
+		b.recovering.Store(true) // before newIndex: buckets get the sentinel stamp
+	}
 
 	b.idx.Store(b.newIndex(opt.Geometry, 1))
 
@@ -437,6 +476,15 @@ func New(opt Options, store *config.Store, reg *rmem.Registry, net *rpc.Network,
 	dr.cur.Store(dr.windows[0])
 	b.data.Store(dr)
 
+	// Recover the durable corpus before the RPC service exists: replay
+	// runs with zero concurrent traffic, and the journal tee activates
+	// only once replay is done (persist.go).
+	if opt.DataDir != "" {
+		if err := b.openPersist(); err != nil {
+			return nil, fmt.Errorf("backend: persist: %w", err)
+		}
+	}
+
 	b.srv = net.Serve(opt.Addr, opt.HostID)
 	b.registerHandlers()
 	return b, nil
@@ -447,7 +495,7 @@ func (b *Backend) newIndex(geo layout.Geometry, epoch uint64) *indexRegion {
 	region := rmem.NewRegion(geo.RegionBytes(), geo.RegionBytes())
 	hdr := make([]byte, layout.BucketHeaderSize)
 	for i := 0; i < geo.Buckets; i++ {
-		layout.EncodeBucketHeader(hdr, b.configID.Load(), 0)
+		layout.EncodeBucketHeader(hdr, b.stampID(), 0)
 		region.Write(geo.BucketOffset(i), hdr)
 	}
 	return &indexRegion{geo: geo, region: region, win: b.reg.Register(region, epoch), epoch: epoch}
@@ -549,7 +597,7 @@ func (b *Backend) restampLocked() {
 				flags = dec.Flags
 			}
 		}
-		layout.EncodeBucketHeader(hdr, b.configID.Load(), flags)
+		layout.EncodeBucketHeader(hdr, b.stampID(), flags)
 		idx.region.Write(off, hdr)
 	}
 }
@@ -1042,8 +1090,10 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 		}
 		s.ctr.setsApplied.Add(1)
 		b.journalNote(key)
+		b.persistNote(persist.OpSet, key, value, v)
 		s.mu.Unlock()
 		b.maybeResizeIndex()
+		b.maybeCheckpoint()
 		return true, v, evictions
 	}
 }
@@ -1090,7 +1140,7 @@ func (b *Backend) readEntryQuarantining(idx *indexRegion, bucket, slot int, e la
 // bucket's stripe lock is held.
 func (b *Backend) setOverflowLocked(idx *indexRegion, bucket int) {
 	hdr := make([]byte, layout.BucketHeaderSize)
-	layout.EncodeBucketHeader(hdr, b.configID.Load(), layout.OverflowFlag)
+	layout.EncodeBucketHeader(hdr, b.stampID(), layout.OverflowFlag)
 	idx.region.Write(idx.geo.BucketOffset(bucket), hdr)
 }
 
@@ -1126,6 +1176,8 @@ func (b *Backend) applyEraseTraced(sink *trace.SpanSink, key []byte, v truetime.
 	b.tombInsert(key, v)
 	s.ctr.erasesApplied.Add(1)
 	b.journalNote(key)
+	b.persistNote(persist.OpErase, key, nil, v)
+	b.maybeCheckpoint() // async; safe under the stripe lock
 	return true, v
 }
 
@@ -1186,6 +1238,7 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 			se.version = v
 			s.side[string(key)] = se
 			b.journalNote(key)
+			b.persistNote(persist.OpSet, key, se.value, v)
 			s.mu.Unlock()
 			return true
 		}
@@ -1227,6 +1280,9 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 	idx.region.Write(idx.geo.BucketOffset(bucket)+layout.BucketHeaderSize+slot*layout.IndexEntrySize, entryBuf)
 	dr.alloc.Free(slab.Ref{Offset: int(old.Ptr.Offset), Size: sizeClassOf(int(old.Ptr.Size))}, int(old.Ptr.Size))
 	b.journalNote(key)
+	if val, merr := (layout.DataEntry{Value: stored, Compressed: compressed}).MaterializeValue(); merr == nil {
+		b.persistNote(persist.OpSet, key, val, v)
+	}
 	return true
 }
 

@@ -441,6 +441,11 @@ func (b *Backend) DropForeign(shards, replicas int) int {
 	}
 	b.tombLive.Store(int64(b.tomb.len()))
 	b.tombMu.Unlock()
+	if len(victims) > 0 && b.persist.Load() != nil {
+		// Collapse the durable lineage to the trimmed corpus so a later
+		// crash cannot resurrect the dropped foreign keys.
+		_ = b.CheckpointNow()
+	}
 	return len(victims)
 }
 
@@ -490,4 +495,5 @@ func (b *Backend) Clear() {
 	b.tombMu.Unlock()
 	b.tombLive.Store(0)
 	b.tombSummarySet.Store(false)
+	b.persistReset() // empty corpus; a crash must not resurrect the old one
 }

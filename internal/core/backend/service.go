@@ -44,6 +44,14 @@ func (b *Backend) registerHandlers() {
 			return nil, layout.ErrConfigChanged
 		}
 		value, ver, found := b.localGetTraced(trace.SinkFrom(ctx), r.Key)
+		if !found && b.recovering.Load() {
+			// A recovering replica cannot distinguish "never stored" from
+			// "acked before the crash, not yet recovered": a clean miss
+			// here could mint a lost-write quorum. Resident entries are
+			// safe to serve (genuine acked writes at monotone versions);
+			// misses bounce until the self-validation sweep ends.
+			return nil, proto.ErrRecovering
+		}
 		return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodGet, getHandlerCPU)
@@ -67,6 +75,9 @@ func (b *Backend) registerHandlers() {
 			return nil, proto.ErrShardSealed
 		}
 		applied, stored, ev := b.applySetTraced(trace.SinkFrom(ctx), r.Key, r.Value, r.Version)
+		if applied && r.Repair {
+			b.noteRecoverySettle()
+		}
 		return proto.MutateResp{Applied: applied, Stored: stored, Evictions: ev, Sealed: b.handoffStranded(entryID)}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodSet, setHandlerCPU)
@@ -142,6 +153,9 @@ func (b *Backend) registerHandlers() {
 			return nil, err
 		}
 		applied := b.applyUpdateVersion(r.Key, r.Version)
+		if applied {
+			b.noteRecoverySettle()
+		}
 		return proto.MutateResp{Applied: applied, Stored: r.Version}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodUpdateVersion, eraseHandlerCPU)
@@ -227,6 +241,7 @@ func (b *Backend) registerHandlers() {
 		if p := b.store.Get().Pending; p != nil {
 			pendingShards = uint64(p.Shards)
 		}
+		rec := b.RecoveryStatsSnapshot()
 		return proto.StatsResp{
 			Shard:          b.Shard(),
 			Sealed:         b.Sealed(),
@@ -246,6 +261,15 @@ func (b *Backend) registerHandlers() {
 			HeatTotal:      b.heat.Total(),
 			HandoffSealed:  b.HandoffSealed(),
 			PendingShards:  pendingShards,
+
+			CkptEpoch:       rec.CkptEpoch,
+			CkptUnixNano:    uint64(rec.CkptUnixNano),
+			JournalRecords:  rec.JournalRecords,
+			JournalBytes:    rec.JournalBytes,
+			RecoveredKeys:   rec.RecoveredKeys,
+			ReplayedRecords: rec.ReplayedRecords,
+			SelfValidated:   rec.SelfValidated,
+			Recovering:      rec.Recovering,
 		}.Marshal(), nil
 	})
 
@@ -354,6 +378,11 @@ func (b *Backend) HandleMsg(req []byte) ([]byte, error) {
 		return nil, layout.ErrConfigChanged
 	}
 	value, ver, found := b.localGet(r.Key)
+	if !found && b.recovering.Load() {
+		// Same guard as the MethodGet handler: a recovering replica's
+		// miss is not evidence of absence and must not feed a quorum.
+		return nil, proto.ErrRecovering
+	}
 	return proto.GetResp{Found: found, Value: value, Version: ver}.Marshal(), nil
 }
 
@@ -558,7 +587,9 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 					continue
 				}
 				if v.local {
-					b.applyErase([]byte(k), bestV)
+					if applied, _ := b.applyErase([]byte(k), bestV); applied {
+						b.noteRecoverySettle()
+					}
 				} else {
 					client.Call(ctx, v.addr, proto.MethodErase, proto.EraseReq{Key: []byte(k), Version: bestV}.Marshal())
 				}
@@ -614,7 +645,9 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 				continue
 			}
 			if v.local {
-				b.applySet([]byte(k), value, bestV)
+				if applied, _, _ := b.applySet([]byte(k), value, bestV); applied {
+					b.noteRecoverySettle()
+				}
 			} else {
 				client.Call(ctx, v.addr, proto.MethodSet, proto.SetReq{Key: []byte(k), Value: value, Version: bestV, Repair: true}.Marshal())
 			}

@@ -11,6 +11,8 @@ package cell
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -66,6 +68,12 @@ type Options struct {
 	Pony    pony.CostModel
 	PonyEng pony.EngineConfig
 	OneRMA  onerma.CostModel
+
+	// DataDir, when non-empty, enables durable warm restarts: each task
+	// journals and checkpoints its corpus under DataDir/<addr>, and a
+	// restarted task recovers warm from that state instead of rejoining
+	// empty (see internal/persist and RestartWarm).
+	DataDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -158,7 +166,7 @@ func New(opt Options) (*Cell, error) {
 	c.Store = config.NewStore(cfg)
 
 	for _, info := range c.Store.Get().Backends {
-		n, err := c.startNode(info)
+		n, err := c.startNode(info, false)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +177,9 @@ func New(opt Options) (*Cell, error) {
 }
 
 // startNode builds a backend task with its registry and NIC on its host.
-func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
+// recovering starts the task in the §5.4 self-validation window (restarts
+// rejoining a quorum; initial cell construction starts clean).
+func (c *Cell) startNode(info config.BackendInfo, recovering bool) (*node, error) {
 	reg := rmem.NewRegistry()
 	bopt := c.opt.Backend
 	if c.opt.Hash != nil {
@@ -178,6 +188,12 @@ func (c *Cell) startNode(info config.BackendInfo) (*node, error) {
 	bopt.Shard = info.Shard
 	bopt.HostID = info.HostID
 	bopt.Addr = info.Addr
+	bopt.Recovering = recovering
+	if c.opt.DataDir != "" {
+		// Per-task subdir keyed by address: the durable lineage follows
+		// the task across crash/restart and shard promotion alike.
+		bopt.DataDir = filepath.Join(c.opt.DataDir, info.Addr)
+	}
 	gen := truetime.NewGenerator(c.Clock, uint64(1000+info.HostID))
 	b, err := backend.New(bopt, c.Store, reg, c.Net, gen, c.Acct)
 	if err != nil {
@@ -558,19 +574,52 @@ func (c *Cell) Crash(shard int) {
 // paper restarts on another host; host identity is immaterial here) and
 // runs the §5.4 post-restart repairs: the restarted backend requests
 // repairs from the healthy members of every cohort it participates in.
+// Any durable state the dead task left behind is discarded first — a
+// replacement on another machine has no local disk history. Use
+// RestartWarm to rejoin from checkpoint + journal instead.
 func (c *Cell) Restart(ctx context.Context, shard int) error {
+	if c.opt.DataDir != "" {
+		os.RemoveAll(filepath.Join(c.opt.DataDir, c.Store.Get().AddrFor(shard)))
+	}
+	if _, err := c.RestartBegin(shard); err != nil {
+		return err
+	}
+	return c.RestartComplete(ctx, shard)
+}
+
+// RestartWarm brings shard s back recovered from its durable checkpoint +
+// journal (chaos.Surface): the replacement serves its pre-crash corpus
+// immediately and self-validates back into the quorum, instead of being
+// repaired key-by-key from an empty start. Falls back to Restart's cold
+// behaviour when the cell has no data directory — minus the state wipe,
+// which would be a no-op anyway.
+func (c *Cell) RestartWarm(ctx context.Context, shard int) error {
+	if _, err := c.RestartBegin(shard); err != nil {
+		return err
+	}
+	return c.RestartComplete(ctx, shard)
+}
+
+// RestartBegin replaces the dead task at shard with a fresh one in the
+// recovering state and returns its backend. With a data directory the
+// replacement loads its corpus from the newest checkpoint plus journal
+// tail before serving; without one it starts empty. Either way it serves
+// resident entries but bounces misses with proto.ErrRecovering until
+// RestartComplete — a replica that may be behind must not vote agreed
+// misses (the rolling-crash lost-write hazard).
+func (c *Cell) RestartBegin(shard int) (*backend.Backend, error) {
 	cfg := c.Store.Get()
 	addr := cfg.AddrFor(shard)
 	c.mu.Lock()
 	old := c.byAddr[addr]
 	c.mu.Unlock()
 	if old == nil {
-		return fmt.Errorf("cell: no task at %s", addr)
+		return nil, fmt.Errorf("cell: no task at %s", addr)
 	}
 
-	fresh, err := c.startNode(old.info) // re-Serve replaces the dead server
+	fresh, err := c.startNode(old.info, true) // re-Serve replaces the dead server
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c.mu.Lock()
 	for i, n := range c.nodes {
@@ -582,7 +631,22 @@ func (c *Cell) Restart(ctx context.Context, shard int) error {
 	c.mu.Unlock()
 
 	fresh.b.SetConfigID(cfg.ID)
-	return c.RepairCohortsOf(ctx, shard)
+	return fresh.b, nil
+}
+
+// RestartComplete runs the §5.4 post-restart repairs for shard's cohorts
+// and, on success, ends the recovering window: the rejoined replica
+// resumes voting misses. On repair failure the guard deliberately stays
+// up — a replica that could not self-validate keeps withholding miss
+// votes (safety over liveness); callers retry RestartComplete.
+func (c *Cell) RestartComplete(ctx context.Context, shard int) error {
+	if err := c.RepairCohortsOf(ctx, shard); err != nil {
+		return err
+	}
+	if b := c.Backend(shard); b != nil {
+		b.EndRecovery()
+	}
+	return nil
 }
 
 // RepairCohortsOf repairs every shard whose cohort includes shard s —

@@ -544,6 +544,11 @@ func (c *Client) classifyAndRepair(ctx context.Context, key []byte, err error) {
 		} else {
 			c.forgetAll()
 		}
+	case errors.Is(err, proto.ErrRecovering):
+		// A restarted replica is still self-validating: its misses are
+		// withheld, not authoritative. No client state to repair — retry
+		// and let the rest of the quorum carry the read.
+		c.M.QuorumRetries.Inc()
 	case errors.Is(err, layout.ErrTornRead) || errors.Is(err, layout.ErrKeyMismatch):
 		c.M.TornRetries.Inc()
 	case errors.Is(err, ErrInquorate):

@@ -70,6 +70,15 @@ const (
 // backend can errors.Is against it without importing each other.
 var ErrShardSealed = fmt.Errorf("proto: shard sealed for handoff")
 
+// ErrRecovering is returned by a freshly-restarted backend for a GET that
+// misses while the backend is still self-validating back into the quorum
+// (§5.4): the replica cannot distinguish "never stored" from "acked
+// before the crash, not yet recovered", so its miss must not count as an
+// agreed-miss vote. Resident entries are served normally. Clients treat
+// it like a transient replica fault: drop the vote and lean on the rest
+// of the quorum.
+var ErrRecovering = fmt.Errorf("proto: backend recovering, miss vote withheld")
+
 // Version field tags, shared by every message embedding a VersionNumber.
 func encodeVersion(e *wire.Encoder, base uint64, v truetime.Version) {
 	e.Uint(base, uint64(v.Micros))
@@ -891,6 +900,22 @@ type StatsResp struct {
 	// config snapshot, 0 outside transitions.
 	HandoffSealed bool
 	PendingShards uint64
+	// Durable warm-restart telemetry (the cmstat RECOVERY columns).
+	// CkptEpoch/CkptUnixNano identify the newest committed checkpoint
+	// (zero when none this process lifetime); JournalRecords/JournalBytes
+	// are the live write-ahead journal depth; RecoveredKeys is the corpus
+	// size recovered at startup, ReplayedRecords the journal-tail records
+	// replayed on top of the checkpoint, SelfValidated the recovered
+	// entries that rejoined the quorum without needing a repair settle;
+	// Recovering is the §5.4 self-validation window flag.
+	CkptEpoch       uint64
+	CkptUnixNano    uint64
+	JournalRecords  uint64
+	JournalBytes    uint64
+	RecoveredKeys   uint64
+	ReplayedRecords uint64
+	SelfValidated   uint64
+	Recovering      bool
 }
 
 // Marshal encodes the stats snapshot.
@@ -914,6 +939,14 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(16, r.HeatTotal)
 	e.Bool(17, r.HandoffSealed)
 	e.Uint(18, r.PendingShards)
+	e.Uint(19, r.CkptEpoch)
+	e.Uint(20, r.CkptUnixNano)
+	e.Uint(21, r.JournalRecords)
+	e.Uint(22, r.JournalBytes)
+	e.Uint(23, r.RecoveredKeys)
+	e.Uint(24, r.ReplayedRecords)
+	e.Uint(25, r.SelfValidated)
+	e.Bool(26, r.Recovering)
 	return e.Encoded()
 }
 
@@ -962,6 +995,22 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.HandoffSealed = d.Bool()
 		case 18:
 			r.PendingShards = d.Uint()
+		case 19:
+			r.CkptEpoch = d.Uint()
+		case 20:
+			r.CkptUnixNano = d.Uint()
+		case 21:
+			r.JournalRecords = d.Uint()
+		case 22:
+			r.JournalBytes = d.Uint()
+		case 23:
+			r.RecoveredKeys = d.Uint()
+		case 24:
+			r.ReplayedRecords = d.Uint()
+		case 25:
+			r.SelfValidated = d.Uint()
+		case 26:
+			r.Recovering = d.Bool()
 		}
 	}
 	return r, d.Err()

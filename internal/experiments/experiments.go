@@ -96,6 +96,7 @@ func All() []func() Result {
 		Fig12Incast,
 		Fig13Planned,
 		Fig14Unplanned,
+		FigWarmRestart,
 		Fig15PonyRamp,
 		Fig16OneRMAHW,
 		Fig17OneRMAGet,
@@ -118,6 +119,7 @@ func ByName(name string) (func() Result, bool) {
 		"14": Fig14Unplanned, "15": Fig15PonyRamp, "16": Fig16OneRMAHW,
 		"17": Fig17OneRMAGet, "18": Fig18Mix, "19": Fig19MixCPU,
 		"20": Fig20ValueSize, "resize": FigResize, "tier": FigTier,
+		"14warm": FigWarmRestart, "warmrestart": FigWarmRestart,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -34,7 +34,7 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("99"); ok {
 		t.Error("bogus figure resolved")
 	}
-	if len(All()) != 18 {
+	if len(All()) != 19 {
 		t.Errorf("All() = %d experiments", len(All()))
 	}
 }
@@ -109,6 +109,54 @@ func TestFig11Shape(t *testing.T) {
 	}
 	if r32 > 2.0 {
 		t.Errorf("R=3.2 loaded p50 = %.2fx; preferred backend should nearly hide the antagonist", r32)
+	}
+}
+
+// TestFigWarmRestartShape: the durable warm restart must be
+// journal-replay-bound, not repair-bound — the restarted task serves
+// ≥99% of its pre-crash corpus before any repair runs, and the repair
+// traffic its cohort pushes drops ≥10× versus a cold restart.
+func TestFigWarmRestartShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := FigWarmRestart()
+	var cold, warm *Row
+	for i := range r.Rows {
+		switch r.Rows[i].Label {
+		case "cold-restart":
+			cold = &r.Rows[i]
+		case "warm-restart":
+			warm = &r.Rows[i]
+		}
+	}
+	if cold == nil || warm == nil {
+		t.Fatalf("missing rows: %+v", r.Rows)
+	}
+	col := func(row *Row, name string) float64 {
+		for _, c := range row.Cols {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("row %s missing col %s", row.Label, name)
+		return 0
+	}
+	if served := col(warm, "precrash_served"); served < 99 {
+		t.Errorf("warm restart served %.1f%% of pre-crash corpus pre-repair, want >= 99%%", served)
+	}
+	if served := col(cold, "precrash_served"); served != 0 {
+		t.Errorf("cold restart served %.1f%% pre-repair; an empty task should serve nothing", served)
+	}
+	coldRep, warmRep := col(cold, "repairs"), col(warm, "repairs")
+	if coldRep == 0 {
+		t.Fatal("cold restart issued zero repairs; the baseline is broken")
+	}
+	if coldRep < 10*(warmRep+1) {
+		t.Errorf("repair traffic: cold=%v warm=%v, want >= 10x drop", coldRep, warmRep)
+	}
+	if col(warm, "recovered_from_disk") == 0 {
+		t.Error("warm restart recovered nothing from disk")
 	}
 }
 
