@@ -5,10 +5,15 @@
 // Columns are matched by (figure name, row label, column name); rows
 // present in only one file are listed but not gated. Delta direction is
 // inferred from the unit: latency and footprint units (ns, us, B,
-// cpu-s/s) regress when they grow, rate units (ops/s, B/s) regress when
-// they shrink, and dimensionless columns (ratios, "x") are reported but
-// never gated — a crossover factor moving is a finding, not a perf
-// regression.
+// cpu-s/s) regress when they grow, capacity and rate units (qps, ops/s,
+// B/s) regress when they shrink, and dimensionless columns (ratios, "x")
+// are reported but never gated — a crossover factor moving is a finding,
+// not a perf regression.
+//
+// Columns tagged noisy (wall-clock-denominated rates, load-wall knees)
+// are reported with a "~" mark when they move past the gate but never
+// count as violations; categorical text columns (e.g. the loadwall
+// limiting resource) are diffed as text, also informationally.
 //
 // Usage:
 //
@@ -57,7 +62,7 @@ func direction(unit string) int {
 	switch unit {
 	case "ns", "us", "B", "cpu-s/s":
 		return 1
-	case "ops/s", "B/s":
+	case "qps", "ops/s", "B/s":
 		return -1
 	}
 	return 0
@@ -117,12 +122,24 @@ func main() {
 			}
 			for _, c := range r.Cols {
 				oc, ok := oldByCol[c.Name]
-				if !ok || oc.Value == 0 {
+				if !ok {
+					continue
+				}
+				if c.Text != "" || oc.Text != "" {
+					// Categorical column: a change is a finding, not a
+					// regression; surface it informationally.
+					if !*quiet && oc.Text != c.Text {
+						fmt.Printf(" ~ %-18s %-12s %14s -> %-14s\n", r.Label, c.Name, oc.Text, c.Text)
+					}
+					continue
+				}
+				if oc.Value == 0 {
 					continue
 				}
 				pct := (c.Value - oc.Value) / math.Abs(oc.Value) * 100
 				dir := direction(c.Unit)
-				regressed := inGate && dir != 0 && pct*float64(dir) > *gate
+				noisy := c.Noisy || oc.Noisy
+				regressed := inGate && !noisy && dir != 0 && pct*float64(dir) > *gate
 				if regressed {
 					violations++
 				}
@@ -131,6 +148,8 @@ func main() {
 					switch {
 					case regressed:
 						mark = "!"
+					case noisy && dir != 0 && math.Abs(pct) > *gate:
+						mark = "~" // noisy column moved; informational
 					case dir != 0 && -pct*float64(dir) > *gate:
 						mark = "+" // improved past the gate
 					}

@@ -42,6 +42,7 @@ func main() {
 		fmt.Println("14warm")
 		fmt.Println("resize")
 		fmt.Println("tier")
+		fmt.Println("loadwall")
 		return
 	}
 	if *reps < 1 {

@@ -9,9 +9,12 @@
 //	-http addr     serve HTTP observability: GET /metrics returns
 //	               Prometheus text exposition of the cell's op-tracing
 //	               plane (latency quantiles per kind/transport, slow-op
-//	               counters, CPU accounts) plus the health plane's SLO
-//	               burn-rate and alert-state gauges, and /debug/pprof/*
-//	               exposes the standard Go profiling endpoints
+//	               counters, CPU accounts), the health plane's SLO
+//	               burn-rate and alert-state gauges, and the per-task
+//	               saturation plane (worker-pool occupancy, admission ρ,
+//	               stripe-lock contention, NIC engine queueing);
+//	               /debug/pprof/* exposes the standard Go profiling
+//	               endpoints
 //	-probes n      spread n E2E prober rounds across the run (default
 //	               50; 0 disables). Each round sweeps every transport
 //	               strategy with the full GET/SET/CAS/ERASE canary mix
@@ -133,6 +136,7 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			cell.Tracer().WriteProm(w, cell.Internal().Acct)
 			cell.Health().WriteProm(w)
+			cell.Internal().WriteSaturationProm(w)
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

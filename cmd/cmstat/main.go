@@ -5,7 +5,10 @@
 // (Debug method), the fleet health plane's SLO state (Health method),
 // and the key-heat telemetry — the operational dashboard view. When a
 // resize is in flight (the Config response carries a pending epoch) a
-// RESIZE section shows per-shard handoff progress.
+// RESIZE section shows per-shard handoff progress. Cells that export
+// saturation telemetry get a SATURATION section: worker-pool occupancy,
+// admission ρ, stripe-lock contention, and NIC engine queueing — the
+// live view of the resources a load-wall run names as limiting.
 //
 // Flags:
 //
@@ -303,6 +306,7 @@ func printTables(cur, prev *snapshot, showTrace, showTier bool, maxHot int) {
 	}
 
 	printRecovery(cur)
+	printSaturation(cur, prev)
 
 	if cur.tierOK && (showTier || len(cur.tier.Cells) > 0) {
 		printTier(cur.tier)
@@ -351,6 +355,88 @@ func printRecovery(cur *snapshot) {
 			st.RecoveredKeys, st.ReplayedRecords, st.SelfValidated, st.Recovering)
 	}
 	w.Flush()
+}
+
+// printSaturation renders the per-shard saturation plane: how busy each
+// resource on the serving path is, so a load-wall report's "limited by X"
+// can be read straight off a live cell. Gauges (worker occupancy, ρ,
+// engines) are instantaneous; the queue-time columns are cumulative
+// counters, so under -watch they print as queue-seconds accumulated per
+// wall second over the interval — the same score the loadwall probe
+// ranks resources by — with restart resets clamped to zero like every
+// other counter. Omitted for cells that predate the telemetry (all
+// saturation fields decode as zero).
+func printSaturation(cur, prev *snapshot) {
+	cfg := cur.cfg
+	any := false
+	for _, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if ok && (st.RPCWorkerLimit != 0 || st.NICEngines != 0) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	delt := prev != nil
+	if delt {
+		fmt.Fprintln(w, "\nSATURATION\tADDR\tWORKERS\tRPCρ\tQWAIT s/s\tLOCK s/s\tCONT/s\tENG\tNICρ\tNICQ s/s\tNICOPS/s")
+	} else {
+		fmt.Fprintln(w, "\nSATURATION\tADDR\tWORKERS\tRPCρ\tQUEUED\tQWAIT\tCONTENDED\tLOCKWAIT\tENG\tNICρ\tNICQ\tNICOPS")
+	}
+	var restartedShards []string
+	for shard, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if !ok {
+			continue
+		}
+		workers := fmt.Sprintf("%d/%d", st.RPCWorkersBusy, st.RPCWorkerLimit)
+		if delt {
+			elapsed := cur.at.Sub(prev.at).Seconds()
+			p := prev.stats[addr]
+			restarted := false
+			qwait := delta(st.RPCSubmitWaitNs, p.RPCSubmitWaitNs, &restarted) +
+				delta(st.RPCQueueNs, p.RPCQueueNs, &restarted)
+			lock := delta(st.StripeWaitNs, p.StripeWaitNs, &restarted)
+			cont := delta(st.StripeContended, p.StripeContended, &restarted)
+			nicq := delta(st.NICQueueNs, p.NICQueueNs, &restarted)
+			nops := delta(st.NICOps, p.NICOps, &restarted)
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.2f\t%s\t%s\t%s\t%d\t%.2f\t%s\t%s\n",
+				shard, addr, workers, float64(st.RPCRhoMilli)/1000,
+				fmtQSec(qwait, elapsed), fmtQSec(lock, elapsed),
+				fmtRate(cont, elapsed),
+				st.NICEngines, float64(st.NICRhoMilli)/1000,
+				fmtQSec(nicq, elapsed), fmtRate(nops, elapsed))
+			if restarted {
+				restartedShards = append(restartedShards, addr)
+			}
+		} else {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%.2f\t%d\t%v\t%d\t%v\t%d\t%.2f\t%v\t%d\n",
+				shard, addr, workers, float64(st.RPCRhoMilli)/1000,
+				st.RPCQueuedCalls,
+				time.Duration(st.RPCSubmitWaitNs+st.RPCQueueNs),
+				st.StripeContended, time.Duration(st.StripeWaitNs),
+				st.NICEngines, float64(st.NICRhoMilli)/1000,
+				time.Duration(st.NICQueueNs), st.NICOps)
+		}
+	}
+	w.Flush()
+	if len(restartedShards) > 0 {
+		fmt.Printf("note: saturation counters reset on %s (backend restart); affected deltas clamped to zero\n",
+			strings.Join(restartedShards, ", "))
+	}
+}
+
+// fmtQSec renders accumulated queue-nanoseconds over a wall interval as
+// queue-seconds per second: 1.00 ≈ one op-stream's worth of continuous
+// waiting on that resource.
+func fmtQSec(ns uint64, seconds float64) string {
+	if seconds <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", float64(ns)/1e9/seconds)
 }
 
 // printTier renders the federation router's ring table: one row per

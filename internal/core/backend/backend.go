@@ -77,6 +77,58 @@ func (b *Backend) SetHealthSource(fn func() []byte) { b.healthSrc.Store(&fn) }
 // MethodTier. Safe to leave unset: the handler serves an empty snapshot.
 func (b *Backend) SetTierSource(fn func() []byte) { b.tierSrc.Store(&fn) }
 
+// NICSaturation mirrors the serving NIC's queue-pressure snapshot
+// (pony.Saturation) without importing the transport package.
+type NICSaturation struct {
+	Engines  uint64 // current engine count (gauge)
+	RhoMilli uint64 // utilization at the last engine visit ×1000 (gauge)
+	QueueNs  uint64 // cumulative modelled engine-queue ns
+	Ops      uint64 // cumulative ops served
+}
+
+// SetNICSatSource attaches the serving NIC's saturation snapshot provider
+// so MethodStats can report engine-queue pressure alongside the backend's
+// own counters. Safe to leave unset (RPC-only cells): zeros are served.
+func (b *Backend) SetNICSatSource(fn func() NICSaturation) { b.nicSatSrc.Store(&fn) }
+
+// NICSat returns the serving NIC's saturation snapshot, or zeros.
+func (b *Backend) NICSat() NICSaturation {
+	if fn := b.nicSatSrc.Load(); fn != nil {
+		return (*fn)()
+	}
+	return NICSaturation{}
+}
+
+// StripeSaturation aggregates the per-stripe lock-contention counters:
+// how often mutations collided on a stripe, how long contended acquirers
+// waited, and the sampled critical-section occupancy.
+type StripeSaturation struct {
+	Acquisitions uint64 // lockStripe acquisitions
+	Contended    uint64 // acquisitions that found the lock held
+	WaitNs       uint64 // wall-ns contended acquirers waited
+	HeldNs       uint64 // wall-ns of sampled (1/heldSampleEvery) critical sections
+	HeldSampled  uint64 // critical sections measured into HeldNs
+}
+
+// StripeSaturation snapshots the stripe-lock contention counters. The
+// counters live under each stripe's mutex (keeping them off the hot
+// path's pre-lock cache traffic), so the snapshot takes each lock
+// briefly; it only runs on MethodStats.
+func (b *Backend) StripeSaturation() StripeSaturation {
+	var out StripeSaturation
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		out.Acquisitions += s.lockAcq
+		out.Contended += s.lockContended
+		out.WaitNs += s.lockWaitNs
+		out.HeldNs += s.lockHeldNs
+		out.HeldSampled += s.lockHeldSampled
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // noteHeat feeds one key access into the heat sketch, reusing the hash
 // the hot path already computed. Probe-namespace canaries are excluded so
 // the health plane's own synthetic traffic can never masquerade as a hot
@@ -87,20 +139,46 @@ func (b *Backend) noteHeat(key []byte, h hashring.KeyHash) {
 	}
 }
 
+// heldSampleEvery sets how many lockStripe acquisitions share one
+// held-time measurement; sampling keeps the clock reads off all but
+// 1/64th of hot-path critical sections.
+const heldSampleEvery = 64
+
 // lockStripe acquires s.mu, attributing contended waits to the op's span
-// sink. The uncontended path is a single TryLock CAS — no clock read —
-// so untraced and uncontended ops pay nothing over a plain Lock.
+// sink and to the stripe's contention counters. All counter writes happen
+// after acquisition, inside the critical section the caller already owns —
+// the uncontended path is a single TryLock CAS plus a plain increment on
+// memory no other CPU is touching, so it pays (almost) nothing over a
+// plain Lock and adds no shared-cache-line traffic before the lock.
+// Sampled acquisitions additionally time their critical section, billed at
+// release by stripe.unlock.
 func lockStripe(s *stripe, sink *trace.SpanSink) {
-	if sink == nil {
+	if !s.mu.TryLock() {
+		t0 := time.Now()
 		s.mu.Lock()
-		return
+		wait := uint64(time.Since(t0))
+		s.lockContended++
+		s.lockWaitNs += wait
+		if sink != nil {
+			sink.Annotate(trace.SpanStripeWait, 0, wait)
+		}
 	}
-	if s.mu.TryLock() {
-		return
+	s.lockAcq++
+	if s.lockAcq%heldSampleEvery == 0 {
+		s.heldStart = time.Now()
 	}
-	t0 := time.Now()
-	s.mu.Lock()
-	sink.Annotate(trace.SpanStripeWait, 0, uint64(time.Since(t0)))
+}
+
+// unlock releases the stripe, billing a sampled critical section's held
+// time. Every stripe unlock must come through here so a sampled section is
+// always closed by its own release.
+func (s *stripe) unlock() {
+	if !s.heldStart.IsZero() {
+		s.lockHeldNs += uint64(time.Since(s.heldStart))
+		s.lockHeldSampled++
+		s.heldStart = time.Time{}
+	}
+	s.mu.Unlock()
 }
 
 // maxStripes bounds the stripe count; the actual count is the largest
@@ -294,6 +372,18 @@ type stripe struct {
 	policy eviction.Policy
 	side   map[string]sideEntry
 	ctr    counterShard
+
+	// Lock-contention telemetry (the loadwall saturation plane). All of
+	// it — counters included — is guarded by mu itself and mutated only
+	// inside the critical section, so the hot path never touches a shared
+	// cache line before it owns the stripe. StripeSaturation (MethodStats
+	// only) takes each stripe's lock briefly to snapshot.
+	lockAcq         uint64 // lockStripe acquisitions (sampling base)
+	lockContended   uint64 // acquisitions that found the lock held
+	lockWaitNs      uint64 // measured wall-ns contended acquirers waited
+	lockHeldNs      uint64 // measured wall-ns of sampled critical sections
+	lockHeldSampled uint64 // critical sections measured into lockHeldNs
+	heldStart       time.Time
 }
 
 // Backend is one CliqueMap backend task.
@@ -381,6 +471,10 @@ type Backend struct {
 	// tier attaches a closure over its router after construction. Kept
 	// at the tail: it is cold, and the fields above it are hot-path.
 	tierSrc atomic.Pointer[func() []byte]
+
+	// nicSatSrc, when set, supplies the serving NIC's saturation snapshot
+	// for MethodStats (cold; read only by stats scrapes).
+	nicSatSrc atomic.Pointer[func() NICSaturation]
 }
 
 // opBufs is per-call scratch: a bucket read buffer, an IndexEntry encode
@@ -727,7 +821,7 @@ func (b *Backend) localGetTraced(sink *trace.SpanSink, key []byte) (value []byte
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
 	lockStripe(s, sink)
-	defer s.mu.Unlock()
+	defer s.unlock()
 	if _, _, e, ok := b.findEntry(b.idx.Load(), h, bufs); ok {
 		de, err := b.readEntry(e)
 		if err == nil && string(de.Key) == string(key) {
@@ -925,10 +1019,10 @@ func (b *Backend) evictOne(assoc bool) bool {
 			} else {
 				s.ctr.capacityEvictions.Add(1)
 			}
-			s.mu.Unlock()
+			s.unlock()
 			return true
 		}
-		s.mu.Unlock()
+		s.unlock()
 	}
 	return false
 }
@@ -1012,11 +1106,11 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 		bound := b.versionBoundRaw(s, raw, ways, key, h)
 		if !bound.Less(v) {
 			s.ctr.versionRejects.Add(1)
-			s.mu.Unlock()
+			s.unlock()
 			return false, bound, evictions
 		}
 		dr := b.data.Load()
-		s.mu.Unlock()
+		s.unlock()
 
 		// Allocate and write the DataEntry body with no stripe lock held.
 		ptr, ref, need, ev, err := b.writeEntry(dr, bufs, key, value, v)
@@ -1029,7 +1123,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 		if b.data.Load() != dr {
 			// A compact-restart swapped the data region underneath the
 			// allocation; discard and redo against the new region.
-			s.mu.Unlock()
+			s.unlock()
 			dr.alloc.Free(ref, need)
 			continue
 		}
@@ -1041,7 +1135,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 		// Re-validate: a concurrent mutation may have advanced the bound.
 		bound2 := b.versionBoundRaw(s, raw, ways, key, h)
 		if !bound2.Less(v) {
-			s.mu.Unlock()
+			s.unlock()
 			dr.alloc.Free(ref, need)
 			s.ctr.versionRejects.Add(1)
 			return false, bound2, evictions
@@ -1078,7 +1172,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 			idx.region.Write(slotOff(vs), entryBuf)
 			idx.used.Add(1)
 		} else {
-			s.mu.Unlock()
+			s.unlock()
 			dr.alloc.Free(ref, need)
 			return false, bound2, evictions
 		}
@@ -1091,7 +1185,7 @@ func (b *Backend) applySetTraced(sink *trace.SpanSink, key, value []byte, v true
 		s.ctr.setsApplied.Add(1)
 		b.journalNote(key)
 		b.persistNote(persist.OpSet, key, value, v)
-		s.mu.Unlock()
+		s.unlock()
 		b.maybeResizeIndex()
 		b.maybeCheckpoint()
 		return true, v, evictions
@@ -1157,7 +1251,7 @@ func (b *Backend) applyEraseTraced(sink *trace.SpanSink, key []byte, v truetime.
 	bufs := bufPool.Get().(*opBufs)
 	defer bufPool.Put(bufs)
 	lockStripe(s, sink)
-	defer s.mu.Unlock()
+	defer s.unlock()
 	idx := b.idx.Load()
 	bucket := int(h.Lo % uint64(idx.geo.Buckets))
 	raw := readBucketInto(idx, bucket, bufs)
@@ -1210,7 +1304,7 @@ func (b *Backend) applyCasTraced(sink *trace.SpanSink, key, value []byte, expect
 			}
 		}
 	}
-	s.mu.Unlock()
+	s.unlock()
 	bufPool.Put(bufs)
 
 	if cur != expected {
@@ -1239,21 +1333,21 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 			s.side[string(key)] = se
 			b.journalNote(key)
 			b.persistNote(persist.OpSet, key, se.value, v)
-			s.mu.Unlock()
+			s.unlock()
 			return true
 		}
-		s.mu.Unlock()
+		s.unlock()
 		return false
 	}
 	de, err := b.readEntry(e)
 	if err != nil || string(de.Key) != string(key) || !e.Version.Less(v) {
-		s.mu.Unlock()
+		s.unlock()
 		return false
 	}
 	stored := append([]byte(nil), de.Value...)
 	compressed := de.Compressed
 	dr := b.data.Load()
-	s.mu.Unlock()
+	s.unlock()
 
 	// Re-encode at the new version with no stripe lock held (allocation
 	// may evict), then re-validate and publish.
@@ -1263,7 +1357,7 @@ func (b *Backend) applyUpdateVersion(key []byte, v truetime.Version) bool {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlock()
 	if b.data.Load() != dr {
 		dr.alloc.Free(ref, need)
 		return false
@@ -1508,7 +1602,7 @@ func (b *Backend) Len() int {
 		s := &b.stripes[i]
 		s.mu.Lock()
 		n += len(s.side)
-		s.mu.Unlock()
+		s.unlock()
 	}
 	return n
 }
@@ -1529,7 +1623,7 @@ func (b *Backend) IngestTouches(keys [][]byte) {
 		s := b.stripeOf(h)
 		s.mu.Lock()
 		s.policy.TouchBytes(k)
-		s.mu.Unlock()
+		s.unlock()
 		s.ctr.touches.Add(1)
 		// Touch batches carry the keys of one-sided RMA GETs the backend
 		// never executes — without this feed, RMA-heavy hot keys would be

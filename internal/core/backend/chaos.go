@@ -39,12 +39,12 @@ func (b *Backend) CorruptEntries(n int, seed uint64) [][]byte {
 		// all stripe locks, so the bucket number may no longer be valid.
 		cur := b.idx.Load()
 		if cur != idx && bucket >= cur.geo.Buckets {
-			s.mu.Unlock()
+			s.unlock()
 			continue
 		}
 		raw := readBucketInto(cur, bucket, bufs)
 		key := b.corruptOneLocked(cur, raw, rng)
-		s.mu.Unlock()
+		s.unlock()
 		if key != nil {
 			keys = append(keys, key)
 		}

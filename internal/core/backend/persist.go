@@ -212,7 +212,7 @@ func (b *Backend) CheckpointNow() error {
 func (b *Backend) checkpointScanStripe(si int) []persist.Record {
 	s := &b.stripes[si]
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer s.unlock()
 	idx := b.idx.Load()
 	var out []persist.Record
 	for i := si; i < idx.geo.Buckets; i += int(b.nStripes) {

@@ -242,6 +242,9 @@ func (b *Backend) registerHandlers() {
 			pendingShards = uint64(p.Shards)
 		}
 		rec := b.RecoveryStatsSnapshot()
+		ssat := b.StripeSaturation()
+		rsat := s.Saturation()
+		nsat := b.NICSat()
 		return proto.StatsResp{
 			Shard:          b.Shard(),
 			Sealed:         b.Sealed(),
@@ -270,6 +273,22 @@ func (b *Backend) registerHandlers() {
 			ReplayedRecords: rec.ReplayedRecords,
 			SelfValidated:   rec.SelfValidated,
 			Recovering:      rec.Recovering,
+
+			StripeContended:   ssat.Contended,
+			StripeWaitNs:      ssat.WaitNs,
+			StripeHeldNs:      ssat.HeldNs,
+			StripeHeldSampled: ssat.HeldSampled,
+			RPCWorkerLimit:    rsat.WorkerLimit,
+			RPCWorkersBusy:    rsat.WorkersBusy,
+			RPCQueuedSubmits:  rsat.QueuedSubmits,
+			RPCSubmitWaitNs:   rsat.SubmitWaitNs,
+			RPCQueuedCalls:    rsat.QueuedCalls,
+			RPCQueueNs:        rsat.QueueNs,
+			RPCRhoMilli:       rsat.RhoMilli,
+			NICEngines:        nsat.Engines,
+			NICRhoMilli:       nsat.RhoMilli,
+			NICQueueNs:        nsat.QueueNs,
+			NICOps:            nsat.Ops,
 		}.Marshal(), nil
 	})
 

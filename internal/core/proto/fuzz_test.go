@@ -372,3 +372,46 @@ func FuzzDebugRespExtended(f *testing.F) {
 		}
 	})
 }
+
+// cmstat's SATURATION table and the loadwall limiting-resource probe
+// decode StatsResp frames — now extended with the saturation tags
+// (27–41: stripe contention, rpc admission queue, NIC engine queue) —
+// straight off the gateway socket. The decoder must uphold the standing
+// contract: hostile frames (maxed varints, unknown tags, truncation)
+// error or degrade to zeros, never panic, never fabricate counters, and
+// whatever decodes re-marshals identically (drift would make cmstat
+// -watch deltas lie about where the knee came from).
+func FuzzStatsResp(f *testing.F) {
+	f.Add(StatsResp{
+		Shard: 2, Sealed: true, ResidentKeys: 1000, MemoryBytes: 1 << 20,
+		Sets: 500, Gets: 9000, Stripes: 16, StripeMaxOps: 900, StripeTotalOps: 9500,
+		CkptEpoch: 3, JournalRecords: 44, Recovering: true,
+		StripeContended: 17, StripeWaitNs: 81234, StripeHeldNs: 400000, StripeHeldSampled: 12,
+		RPCWorkerLimit: 64, RPCWorkersBusy: 7, RPCQueuedSubmits: 3, RPCSubmitWaitNs: 55555,
+		RPCQueuedCalls: 120, RPCQueueNs: 9_000_000, RPCRhoMilli: 870,
+		NICEngines: 4, NICRhoMilli: 930, NICQueueNs: 1_234_567, NICOps: 88_000,
+	}.Marshal())
+	// Hostile saturation tags: every new field maxed, plus an unknown tag
+	// beyond the current ceiling (forward compatibility).
+	e := wire.NewEncoder()
+	for tag := uint64(27); tag <= 41; tag++ {
+		e.Uint(tag, ^uint64(0))
+	}
+	e.Uint(99, 7)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalStatsResp(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalStatsResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}

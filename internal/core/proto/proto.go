@@ -916,6 +916,28 @@ type StatsResp struct {
 	ReplayedRecords uint64
 	SelfValidated   uint64
 	Recovering      bool
+	// Saturation telemetry (the cmstat SATURATION columns and the loadwall
+	// limiting-resource probe). Stripe* cover lock contention on the
+	// mutation path; RPC* cover the server's worker pool and modelled
+	// admission queue; NIC* cover the serving NIC's engine queue. Gauges
+	// (RPCWorkerLimit, RPCWorkersBusy, RPCRhoMilli, NICEngines,
+	// NICRhoMilli) are instantaneous; the rest are cumulative and may
+	// reset when a task restarts.
+	StripeContended   uint64
+	StripeWaitNs      uint64
+	StripeHeldNs      uint64
+	StripeHeldSampled uint64
+	RPCWorkerLimit    uint64
+	RPCWorkersBusy    uint64
+	RPCQueuedSubmits  uint64
+	RPCSubmitWaitNs   uint64
+	RPCQueuedCalls    uint64
+	RPCQueueNs        uint64
+	RPCRhoMilli       uint64
+	NICEngines        uint64
+	NICRhoMilli       uint64
+	NICQueueNs        uint64
+	NICOps            uint64
 }
 
 // Marshal encodes the stats snapshot.
@@ -947,6 +969,21 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(24, r.ReplayedRecords)
 	e.Uint(25, r.SelfValidated)
 	e.Bool(26, r.Recovering)
+	e.Uint(27, r.StripeContended)
+	e.Uint(28, r.StripeWaitNs)
+	e.Uint(29, r.StripeHeldNs)
+	e.Uint(30, r.StripeHeldSampled)
+	e.Uint(31, r.RPCWorkerLimit)
+	e.Uint(32, r.RPCWorkersBusy)
+	e.Uint(33, r.RPCQueuedSubmits)
+	e.Uint(34, r.RPCSubmitWaitNs)
+	e.Uint(35, r.RPCQueuedCalls)
+	e.Uint(36, r.RPCQueueNs)
+	e.Uint(37, r.RPCRhoMilli)
+	e.Uint(38, r.NICEngines)
+	e.Uint(39, r.NICRhoMilli)
+	e.Uint(40, r.NICQueueNs)
+	e.Uint(41, r.NICOps)
 	return e.Encoded()
 }
 
@@ -1011,6 +1048,36 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.SelfValidated = d.Uint()
 		case 26:
 			r.Recovering = d.Bool()
+		case 27:
+			r.StripeContended = d.Uint()
+		case 28:
+			r.StripeWaitNs = d.Uint()
+		case 29:
+			r.StripeHeldNs = d.Uint()
+		case 30:
+			r.StripeHeldSampled = d.Uint()
+		case 31:
+			r.RPCWorkerLimit = d.Uint()
+		case 32:
+			r.RPCWorkersBusy = d.Uint()
+		case 33:
+			r.RPCQueuedSubmits = d.Uint()
+		case 34:
+			r.RPCSubmitWaitNs = d.Uint()
+		case 35:
+			r.RPCQueuedCalls = d.Uint()
+		case 36:
+			r.RPCQueueNs = d.Uint()
+		case 37:
+			r.RPCRhoMilli = d.Uint()
+		case 38:
+			r.NICEngines = d.Uint()
+		case 39:
+			r.NICRhoMilli = d.Uint()
+		case 40:
+			r.NICQueueNs = d.Uint()
+		case 41:
+			r.NICOps = d.Uint()
 		}
 	}
 	return r, d.Err()

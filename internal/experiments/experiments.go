@@ -21,6 +21,15 @@ type Col struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit,omitempty"`
+	// Noisy tags a wall-clock-denominated measurement (rates, cpu-s per
+	// wall-s) that swings with machine load across otherwise-identical
+	// runs; benchdiff reports noisy columns informationally instead of
+	// gating on them.
+	Noisy bool `json:"noisy,omitempty"`
+	// Text, when non-empty, makes this a categorical column (e.g. the
+	// loadwall limiting resource); Value is ignored by the formatter and
+	// benchdiff never gates on it.
+	Text string `json:"text,omitempty"`
 }
 
 // Row is one labelled series point (a bar, an interval, a sweep setting).
@@ -72,11 +81,13 @@ func (r Result) Format() string {
 
 func formatCol(c Col) string {
 	switch {
+	case c.Text != "":
+		return c.Text
 	case c.Unit == "":
 		return fmt.Sprintf("%.3g", c.Value)
-	case c.Value >= 1e6 && (c.Unit == "ops/s" || c.Unit == "B/s" || c.Unit == "B"):
+	case c.Value >= 1e6 && (c.Unit == "ops/s" || c.Unit == "B/s" || c.Unit == "B" || c.Unit == "qps"):
 		return fmt.Sprintf("%.2fM%s", c.Value/1e6, strings.TrimPrefix(c.Unit, ""))
-	case c.Value >= 1e3 && (c.Unit == "ops/s" || c.Unit == "B/s" || c.Unit == "B"):
+	case c.Value >= 1e3 && (c.Unit == "ops/s" || c.Unit == "B/s" || c.Unit == "B" || c.Unit == "qps"):
 		return fmt.Sprintf("%.1fK%s", c.Value/1e3, c.Unit)
 	default:
 		return fmt.Sprintf("%.3g%s", c.Value, c.Unit)
@@ -105,6 +116,7 @@ func All() []func() Result {
 		Fig20ValueSize,
 		FigResize,
 		FigTier,
+		FigLoadWall,
 	}
 }
 
@@ -120,6 +132,7 @@ func ByName(name string) (func() Result, bool) {
 		"17": Fig17OneRMAGet, "18": Fig18Mix, "19": Fig19MixCPU,
 		"20": Fig20ValueSize, "resize": FigResize, "tier": FigTier,
 		"14warm": FigWarmRestart, "warmrestart": FigWarmRestart,
+		"loadwall": FigLoadWall,
 	}
 	f, ok := m[name]
 	return f, ok

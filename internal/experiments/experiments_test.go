@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"cliquemap/internal/core/client"
 )
 
 func TestResultFormat(t *testing.T) {
@@ -26,7 +28,7 @@ func TestResultFormat(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize", "tier"} {
+	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize", "tier", "loadwall"} {
 		if _, ok := ByName(n); !ok {
 			t.Errorf("ByName(%q) failed", n)
 		}
@@ -34,7 +36,7 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("99"); ok {
 		t.Error("bogus figure resolved")
 	}
-	if len(All()) != 19 {
+	if len(All()) != 20 {
 		t.Errorf("All() = %d experiments", len(All()))
 	}
 }
@@ -327,5 +329,57 @@ func TestFig20Shape(t *testing.T) {
 	}
 	if p50(3) < 1.3*p50(0) {
 		t.Errorf("16KB latency (%v) should exceed 32B (%v)", p50(3), p50(0))
+	}
+}
+
+// TestFigLoadWallShape: the knee search finds a wall above the starting
+// load for both an RMA strategy and the RPC path, and the saturation
+// plane names a limiting resource. A cheap profile (short steps, fewer
+// bisections) keeps this in unit-test budget; the published figure uses
+// the full profile.
+func TestFigLoadWallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	prof := loadwallProfile{stepDurNs: 100e6, bisect: 2, workers: 8}
+	cases := []loadwallCase{
+		{label: "SCAR 128B", strategy: client.StrategySCAR, valSize: 128, getFrac: 1,
+			slowNIC: true, latObjNs: 4_000_000, startQPS: 2000, maxQPS: 64_000, clientHosts: 8},
+		{label: "RPC 128B", strategy: client.StrategyRPC, valSize: 128, getFrac: 1,
+			rpcTight: true, latObjNs: 4_000_000, startQPS: 1500, maxQPS: 64_000, clientHosts: 8},
+	}
+	r := figLoadWallWith(cases, prof)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The search runs against the wall clock; on a box busy with other
+	// test packages (or under -race) scheduler starvation can fail even
+	// the floor step twice. One whole-row retry keeps the test about the
+	// harness's shape, not the CI machine's load average.
+	for i, row := range r.Rows {
+		if len(row.Cols) > 0 && row.Cols[0].Value <= 0 {
+			retry := figLoadWallWith(cases[i:i+1], prof)
+			if len(retry.Rows) == 1 {
+				r.Rows[i] = retry.Rows[0]
+			}
+		}
+	}
+	for _, row := range r.Rows {
+		if len(row.Cols) != 5 {
+			t.Fatalf("%s: cols = %d, want 5", row.Label, len(row.Cols))
+		}
+		knee := row.Cols[0]
+		if knee.Name != "knee" || knee.Unit != "qps" {
+			t.Fatalf("%s: first col = %+v, want knee/qps", row.Label, knee)
+		}
+		if knee.Value <= 0 {
+			t.Errorf("%s: no sustainable load found (knee=%.0f)", row.Label, knee.Value)
+		}
+		if p50, p999 := row.Cols[1].Value, row.Cols[3].Value; p999 < p50 {
+			t.Errorf("%s: p99.9 %.1fus < p50 %.1fus", row.Label, p999, p50)
+		}
+		if lim := row.Cols[4]; lim.Name != "limit" || lim.Text == "" || lim.Text == "none" {
+			t.Errorf("%s: wall not named: %+v", row.Label, lim)
+		}
 	}
 }

@@ -80,7 +80,7 @@ func Fig6Languages() Result {
 		res.Rows = append(res.Rows, Row{
 			Label: prof.Name,
 			Cols: []Col{
-				{Name: "op_rate", Value: rate, Unit: "ops/s"},
+				{Name: "op_rate", Value: rate, Unit: "ops/s", Noisy: true},
 				{Name: "cpu/op", Value: cpuNs / 1000, Unit: "us"},
 				{Name: "p50_lat", Value: float64(hist.Percentile(50)) / 1000, Unit: "us"},
 			},

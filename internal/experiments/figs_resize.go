@@ -86,7 +86,7 @@ func FigResize() Result {
 		res.Rows = append(res.Rows, Row{
 			Label: fmt.Sprintf("t%d", iv),
 			Cols: append(latCols(&hist, 50, 99.9),
-				Col{Name: "rpc_rate", Value: float64(bytes-lastBytes) / wall, Unit: "B/s"},
+				Col{Name: "rpc_rate", Value: float64(bytes-lastBytes) / wall, Unit: "B/s", Noisy: true},
 			),
 		})
 		lastBytes = bytes

@@ -78,13 +78,16 @@ func produceWorkloadWeek(name, title string, diurnal workload.Diurnal, setWave w
 		wall := time.Since(dayStart).Seconds()
 		row := Row{
 			Label: fmt.Sprintf("day%d", day+1),
+			// The rates divide by wall time, so they swing with machine
+			// load across interleaved reps (±16% observed); Noisy keeps
+			// benchdiff from gating on them.
 			Cols: append(latCols(&getHist, 50, 90, 99, 99.9),
-				Col{Name: "get_rate", Value: float64(gets) / wall, Unit: "ops/s"},
-				Col{Name: "set_rate", Value: float64(sets) / wall, Unit: "ops/s"},
+				Col{Name: "get_rate", Value: float64(gets) / wall, Unit: "ops/s", Noisy: true},
+				Col{Name: "set_rate", Value: float64(sets) / wall, Unit: "ops/s", Noisy: true},
 			),
 		}
 		if backfill {
-			row.Cols = append(row.Cols, Col{Name: "backfill", Value: float64(backfills) / wall, Unit: "ops/s"})
+			row.Cols = append(row.Cols, Col{Name: "backfill", Value: float64(backfills) / wall, Unit: "ops/s", Noisy: true})
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -352,6 +352,18 @@ func (h *Host) DeliverAt(at uint64, sz int) uint64 {
 	return h.f.params.BaseRTTNs/2 + ser + queue + antQueue + jit + h.extraNs.Load()
 }
 
+// Backlog reports the downlink's queued drain time in ns — how long a
+// frame arriving now would wait behind already-billed traffic. It is a
+// saturation gauge: near zero below capacity, growing without bound once
+// offered load exceeds the drain rate.
+func (h *Host) Backlog() uint64 {
+	now := h.f.nowNs()
+	if nf := h.nextFree.Load(); nf > now {
+		return nf - now
+	}
+	return 0
+}
+
 // RTT models a request of reqBytes to dst followed by a response of
 // respBytes back to src, returning the round-trip latency.
 func (f *Fabric) RTT(src, dst int, reqBytes, respBytes int) uint64 {

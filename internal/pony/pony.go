@@ -75,12 +75,19 @@ type NIC struct {
 
 	mu         sync.Mutex
 	engines    int
-	rateEWMA   float64 // ops/sec estimate
-	lastOp     time.Time
+	rateEWMA   float64 // ops/sec estimate (windowed, smoothed)
+	winStart   time.Time
+	winOps     int
 	down       bool
 	opCounter  uint64
 	extraNs    uint64 // injected per-visit engine delay (fault injection)
 	msgHandler MsgHandler
+
+	// Saturation telemetry, maintained under mu by service(): cumulative
+	// modelled engine-queue wait and the last computed utilization. They
+	// cost two stores under an already-held lock.
+	queueNs uint64  // cumulative modelled queue-wait ns across ops
+	lastRho float64 // utilization at the most recent engine visit
 }
 
 // New builds a NIC on host. reg may be nil for client-only hosts; acct may
@@ -92,7 +99,7 @@ func New(host *fabric.Host, reg *rmem.Registry, cost CostModel, ecfg EngineConfi
 	if ecfg == (EngineConfig{}) {
 		ecfg = DefaultEngineConfig()
 	}
-	return &NIC{host: host, reg: reg, cost: cost, ecfg: ecfg, acct: acct, engines: 1, lastOp: time.Now()}
+	return &NIC{host: host, reg: reg, cost: cost, ecfg: ecfg, acct: acct, engines: 1}
 }
 
 // Host returns the fabric host this NIC is attached to.
@@ -146,15 +153,19 @@ func (n *NIC) service(opCost uint64) (uint64, error) {
 		return 0, nic.ErrUnreachable
 	}
 	n.opCounter++
-	// EWMA op-rate estimate from inter-arrival gaps.
-	dt := now.Sub(n.lastOp).Seconds()
-	n.lastOp = now
-	if dt > 0 {
-		inst := 1.0 / dt
-		if dt > 1 {
-			inst = 0
-		}
-		n.rateEWMA = 0.98*n.rateEWMA + 0.02*inst
+	// Windowed op-rate estimate: ops per wall second over ≥5ms windows,
+	// EWMA-smoothed. Averaging inverse inter-arrival gaps instead would
+	// diverge under concurrent callers — clustered arrivals make E[1/gap]
+	// unbounded, so the estimate pegs at burst rate no matter how low the
+	// offered load is, and rho saturates spuriously.
+	if n.winStart.IsZero() {
+		n.winStart = now
+	}
+	n.winOps++
+	if el := now.Sub(n.winStart).Seconds(); el >= 0.005 {
+		inst := float64(n.winOps) / el
+		n.rateEWMA = 0.7*n.rateEWMA + 0.3*inst
+		n.winStart, n.winOps = now, 0
 	}
 	// Per-engine utilization: offered CPU-seconds per wall second.
 	rho := n.rateEWMA * float64(opCost) / 1e9 / float64(n.engines)
@@ -165,7 +176,32 @@ func (n *NIC) service(opCost uint64) (uint64, error) {
 		n.engines--
 	}
 	rho = n.rateEWMA * float64(opCost) / 1e9 / float64(n.engines)
-	return opCost + fabric.QueueModel(float64(opCost), fabric.Clamp01(rho)) + n.extraNs, nil
+	q := fabric.QueueModel(float64(opCost), fabric.Clamp01(rho))
+	n.queueNs += q
+	n.lastRho = rho
+	return opCost + q + n.extraNs, nil
+}
+
+// Saturation is a point-in-time snapshot of the NIC's engine-queue
+// pressure: how many engines are spun up, the utilization the adaptive
+// scaler last saw, and the cumulative modelled queue wait ops have eaten.
+type Saturation struct {
+	Engines  uint64 // current engine count (gauge)
+	RhoMilli uint64 // utilization at the last engine visit ×1000 (gauge)
+	QueueNs  uint64 // cumulative modelled engine-queue ns across ops
+	Ops      uint64 // cumulative ops served
+}
+
+// Saturation snapshots the NIC's queue-pressure telemetry.
+func (n *NIC) Saturation() Saturation {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Saturation{
+		Engines:  uint64(n.engines),
+		RhoMilli: uint64(fabric.Clamp01(n.lastRho) * 1000),
+		QueueNs:  n.queueNs,
+		Ops:      n.opCounter,
+	}
 }
 
 func (n *NIC) charge(ns uint64) {

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/stats"
@@ -127,6 +128,55 @@ type Server struct {
 	failRate float64
 	failRng  *rand.Rand
 	pool     *workerPool // bounded handler-execution pool
+
+	sat satCounters // admission-queue saturation telemetry
+}
+
+// satCounters is the server's modelled admission-queue state: utilization
+// is estimated from sampled arrival timing (one virtual-clock read per
+// rhoSampleEvery calls) so per-call cost stays at one atomic add, and the
+// M/M/c-ish queue wait derived from it is billed into each call's modelled
+// latency. These counters survive SetWorkerLimit pool swaps.
+type satCounters struct {
+	arrivals    atomic.Uint64 // calls that reached dispatch
+	sampleAtNs  atomic.Uint64 // virtual instant of the previous rho sample
+	rhoMilli    atomic.Uint64 // smoothed modelled utilization, ×1000 (gauge)
+	queueNs     atomic.Uint64 // cumulative modelled admission-queue ns billed
+	queuedCalls atomic.Uint64 // calls billed a nonzero modelled queue wait
+}
+
+// rhoSampleEvery sets how many arrivals share one utilization sample.
+const rhoSampleEvery = 64
+
+// admit returns the modelled admission-queue wait for one call whose
+// handler occupies serviceNs of one of limit workers. Every
+// rhoSampleEvery-th arrival refreshes the utilization estimate from the
+// window's arrival rate (taking the sampling call's service time as
+// representative) with 3:1 smoothing; QueueModel's 0.98 clamp bounds the
+// worst-case billed wait at 49× the per-worker service share, so an
+// unloaded server bills ~0 and existing latency figures are undisturbed.
+func (s *Server) admit(now func() uint64, serviceNs uint64, limit int32) uint64 {
+	c := &s.sat
+	if c.arrivals.Add(1)%rhoSampleEvery == 0 {
+		t := now()
+		prev := c.sampleAtNs.Swap(t)
+		if prev > 0 && t > prev {
+			rate := float64(rhoSampleEvery) * 1e9 / float64(t-prev)
+			inst := rate * float64(serviceNs) / 1e9 / float64(limit)
+			old := float64(c.rhoMilli.Load()) / 1000
+			c.rhoMilli.Store(uint64(fabric.Clamp01((3*old+inst)/4) * 1000))
+		}
+	}
+	rho := float64(c.rhoMilli.Load()) / 1000
+	if rho <= 0 {
+		return 0
+	}
+	q := fabric.QueueModel(float64(serviceNs)/float64(limit), rho)
+	if q > 0 {
+		c.queueNs.Add(q)
+		c.queuedCalls.Add(1)
+	}
+	return q
 }
 
 // workerPool runs handlers on a bounded set of persistent worker
@@ -139,6 +189,13 @@ type workerPool struct {
 	tasks   chan task
 	limit   int32
 	running atomic.Int32
+	busy    atomic.Int32 // workers currently executing a handler (gauge)
+
+	// Occupancy telemetry for the wall side of the admission queue: both
+	// are touched only on the at-limit path, so the uncontended fast path
+	// pays nothing.
+	queuedSubmits atomic.Uint64 // submits that waited for a worker at the pool limit
+	submitWaitNs  atomic.Uint64 // cumulative measured wall-ns those submits waited
 }
 
 type task struct {
@@ -179,14 +236,25 @@ func (p *workerPool) submit(ctx context.Context, h Handler, principal string, re
 	default:
 		if n := p.running.Add(1); n <= p.limit {
 			go p.worker()
+			select {
+			case p.tasks <- t:
+			case <-ctx.Done():
+				doneChans.Put(done)
+				return nil, ErrDeadlineExceeded
+			}
 		} else {
+			// At the pool limit with every worker busy: this submit is
+			// genuinely queued, so the clock reads live only here.
 			p.running.Add(-1)
-		}
-		select {
-		case p.tasks <- t:
-		case <-ctx.Done():
-			doneChans.Put(done)
-			return nil, ErrDeadlineExceeded
+			p.queuedSubmits.Add(1)
+			t0 := time.Now()
+			select {
+			case p.tasks <- t:
+				p.submitWaitNs.Add(uint64(time.Since(t0)))
+			case <-ctx.Done():
+				doneChans.Put(done)
+				return nil, ErrDeadlineExceeded
+			}
 		}
 	}
 	r := <-done
@@ -198,7 +266,9 @@ func (p *workerPool) submit(ctx context.Context, h Handler, principal string, re
 // warm across requests.
 func (p *workerPool) worker() {
 	for t := range p.tasks {
+		p.busy.Add(1)
 		resp, err := t.h(t.ctx, t.principal, t.req)
+		p.busy.Add(-1)
 		t.done <- taskResult{resp: resp, err: err}
 	}
 }
@@ -296,6 +366,43 @@ func (s *Server) Stopped() bool {
 // Addr returns the server's address.
 func (s *Server) Addr() string { return s.addr }
 
+// Saturation is a point-in-time snapshot of one server's admission-side
+// saturation telemetry: how full the worker pool is (wall side) and how
+// hard the modelled admission queue is pushing back (model side).
+type Saturation struct {
+	WorkerLimit   uint64 // pool size (gauge)
+	WorkersBusy   uint64 // workers executing a handler right now (gauge)
+	QueuedSubmits uint64 // submits that waited for a worker at the pool limit
+	SubmitWaitNs  uint64 // cumulative measured wall-ns those submits waited
+	Calls         uint64 // calls that reached dispatch on this server
+	QueuedCalls   uint64 // calls billed a modelled admission-queue wait
+	QueueNs       uint64 // cumulative modelled admission-queue ns billed
+	RhoMilli      uint64 // smoothed modelled utilization ×1000 (gauge)
+}
+
+// Saturation snapshots the server's saturation counters. Pool-side
+// counters reset when SetWorkerLimit installs a fresh pool; consumers
+// (cmstat -watch) clamp deltas on restart.
+func (s *Server) Saturation() Saturation {
+	s.mu.Lock()
+	pool := s.pool
+	s.mu.Unlock()
+	busy := pool.busy.Load()
+	if busy < 0 {
+		busy = 0
+	}
+	return Saturation{
+		WorkerLimit:   uint64(pool.limit),
+		WorkersBusy:   uint64(busy),
+		QueuedSubmits: pool.queuedSubmits.Load(),
+		SubmitWaitNs:  pool.submitWaitNs.Load(),
+		Calls:         s.sat.arrivals.Load(),
+		QueuedCalls:   s.sat.queuedCalls.Load(),
+		QueueNs:       s.sat.queueNs.Load(),
+		RhoMilli:      s.sat.rhoMilli.Load(),
+	}
+}
+
 // Caller is the client-side calling surface — satisfied by the in-process
 // Client and by the TCP gateway's remote client, so higher layers work
 // over either.
@@ -386,6 +493,12 @@ func (c *Client) Call(ctx context.Context, addr, method string, req []byte) ([]b
 		n.handlerMeter.ChargeOnly(extra)
 	}
 	sb.add(&tr, trace.SpanRPCServer, uint32(extra), n.cost.ServerCPUNs+n.cost.LatencyNs/2+extra)
+
+	// Modelled admission queue: as offered load approaches the worker
+	// pool's capacity, calls wait for a worker before the handler runs.
+	if qns := s.admit(n.f.NowNs, n.cost.ServerCPUNs+extra, pool.limit); qns > 0 {
+		sb.add(&tr, trace.SpanRPCQueue, uint32(s.sat.rhoMilli.Load()), qns)
+	}
 
 	// Traced calls get a span sink so the handler can deposit measured
 	// costs (stripe lock waits) back into this call's trace. Untraced

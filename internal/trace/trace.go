@@ -50,6 +50,7 @@ const (
 	SpanTierForward   uint16 = 19 // tier: op forwarded to a remote owner cell; Arg = owner cell index
 	SpanFollowerHit   uint16 = 20 // tier: follower cache served inside the staleness bound; Arg = age µs
 	SpanFollowerReval uint16 = 21 // tier: stale follower entry revalidated by owner version; Arg = 0 confirmed, 1 refreshed, 2 erased
+	SpanRPCQueue      uint16 = 22 // rpc: modelled admission-queue wait at a loaded server; Arg = utilization ‰
 )
 
 // CodeName names a span code for display; unknown codes render
@@ -98,6 +99,8 @@ func CodeName(c uint16) string {
 		return "follower-cache-hit"
 	case SpanFollowerReval:
 		return "follower-revalidate"
+	case SpanRPCQueue:
+		return "rpc-queue"
 	}
 	return fmt.Sprintf("span-%d", c)
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# loadwall_smoke.sh — end-to-end smoke of the load-wall capacity harness
+# and the saturation observability plane: the open-loop generator's
+# coordinated-omission tests run under the race detector, the StatsResp
+# saturation tags replay their fuzz seed corpus, a live cmcell must
+# render the cmstat SATURATION table and export the Prometheus
+# saturation gauges, and cmbench -fig loadwall must find a knee for
+# every sweep row and name the limiting resource. Exits non-zero on any
+# missed expectation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN="$(mktemp -d)"
+trap 'kill -9 $(jobs -p) 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+# Phase 1: the harness itself. The fake-clock tests assert latency is
+# charged from the scheduled send time (no coordinated omission), and
+# the generator/knee-search internals are race-clean.
+go test -race ./internal/loadwall/
+echo "phase 1: loadwall harness race-clean"
+
+# Phase 2: the saturation wire frames. FuzzStatsResp replays hostile
+# StatsResp encodings covering the saturation tags (27-41).
+go test -run 'FuzzStatsResp' ./internal/core/proto/
+echo "phase 2: StatsResp fuzz seed corpus clean"
+
+# Phase 3: a live cell must surface the saturation plane end to end.
+go build -o "$BIN/cmcell" ./cmd/cmcell
+go build -o "$BIN/cmstat" ./cmd/cmstat
+go build -o "$BIN/cmbench" ./cmd/cmbench
+
+"$BIN/cmcell" -shards 3 -spares 0 -keys 200 -ops 2000000 -getfrac 0.9 \
+  -probes 0 -listen 127.0.0.1:7078 -http 127.0.0.1:7079 >"$BIN/cell.log" 2>&1 &
+PID=$!
+for attempt in $(seq 1 60); do
+  grep -q "preloaded 200 keys" "$BIN/cell.log" && break
+  kill -0 "$PID" 2>/dev/null || { echo "cell died early:" >&2; cat "$BIN/cell.log" >&2; exit 1; }
+  [ "$attempt" -eq 60 ] && { echo "preload never finished" >&2; cat "$BIN/cell.log" >&2; exit 1; }
+  sleep 1
+done
+
+for attempt in $(seq 1 30); do
+  if OUT="$("$BIN/cmstat" -gateway 127.0.0.1:7078 2>/dev/null)"; then break; fi
+  [ "$attempt" -eq 30 ] && { echo "cmstat never connected" >&2; exit 1; }
+  sleep 1
+done
+echo "== cmstat =="
+echo "$OUT"
+grep -q "SATURATION" <<<"$OUT" || { echo "cmstat missing SATURATION table" >&2; exit 1; }
+
+# -watch must render per-interval saturation rates without dying.
+WOUT="$(timeout 15 "$BIN/cmstat" -gateway 127.0.0.1:7078 -watch 1s 2>/dev/null | head -120 || true)"
+grep -q "QWAIT s/s" <<<"$WOUT" || { echo "cmstat -watch missing interval saturation columns" >&2; exit 1; }
+
+PROM="$(curl -sf http://127.0.0.1:7079/metrics)"
+for metric in cliquemap_rpc_workers cliquemap_rpc_utilization cliquemap_stripe_lock_contended_total cliquemap_nic_engines; do
+  grep -q "$metric" <<<"$PROM" || { echo "/metrics missing $metric" >&2; exit 1; }
+done
+kill -9 "$PID" 2>/dev/null || true
+echo "phase 3: live SATURATION table + Prometheus gauges render"
+
+# Phase 4: the capacity harness must find a load wall for every sweep
+# row and name what it hit. Every knee column must be a positive rate
+# and no row may report an unidentified wall.
+"$BIN/cmbench" -fig loadwall >"$BIN/loadwall.out"
+echo "== cmbench -fig loadwall =="
+cat "$BIN/loadwall.out"
+KNEES="$(grep -c "qps" "$BIN/loadwall.out" || true)"
+[ "$KNEES" -ge 6 ] || { echo "expected >= 6 knee rows, got $KNEES" >&2; exit 1; }
+grep -Eq "nic-engines|rpc-workers|downlink|stripe-locks|retry-budget" "$BIN/loadwall.out" \
+  || { echo "no limiting resource named" >&2; exit 1; }
+if grep -qw "none" "$BIN/loadwall.out"; then
+  echo "a sweep row found no knee (limit=none)" >&2; exit 1
+fi
+
+echo "loadwall smoke OK"
