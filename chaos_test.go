@@ -433,6 +433,96 @@ func testRestartLostWriteRegression(t *testing.T, copt Options) {
 	}
 }
 
+// TestRestartLostWriteUnderContention re-runs the distilled lost-write
+// repro with the load profile the original flake needed: the pinned
+// quorum-of-two SET goes through the crash/RestartBegin window while
+// concurrent writers hammer unrelated keys (journal, stripe-lock, and
+// repair contention) and concurrent readers race the ghost key. The
+// historical failure mode — PR 6's baseline lost the acked write ~3/30
+// only under parallel load, because an empty cold-restarted acker's miss
+// vote could complete a false miss quorum exactly when scheduling delays
+// let a GET land mid-restart — was fixed by the §5.4 recovering state
+// (PR 8: misses withheld until self-validation). This pins the fix at
+// the contention point, not just the single-threaded distillation.
+func TestRestartLostWriteUnderContention(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32})
+	cc := c.Internal()
+	ctx := context.Background()
+	cl := cc.NewClient(client.Options{Strategy: client.StrategyRPC, NoFallback: true, Retries: 2})
+
+	key, val := []byte("ghost-contended"), []byte("acked-by-two")
+	cc.SetRPCFailRate(2, 1.0, 1)
+	if err := cl.Set(ctx, key, val); err != nil {
+		t.Fatalf("quorum-of-two set: %v", err)
+	}
+	cc.SetRPCFailRate(2, 0, 0)
+
+	c.Crash(0)
+	if _, err := cc.RestartBegin(0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	// Contention writers: disjoint keys, full mutation pressure on every
+	// backend (including the recovering one) for the whole window.
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			wcl := cc.NewClient(client.Options{Strategy: client.StrategyRPC, Retries: 2})
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("contender-w%d-k%d", w, i%8))
+				wcl.Set(ctx, k, []byte(fmt.Sprintf("w%d.s%d", w, i)))
+			}
+		}(w)
+	}
+	// Racing readers on the ghost key: every answered read in the window
+	// must be the acked value — an agreed miss is the lost write.
+	errCh := make(chan string, 8)
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			rcl := cc.NewClient(client.Options{Strategy: client.StrategyRPC, NoFallback: true, Retries: 2})
+			for i := 0; i < 30; i++ {
+				got, hit, err := rcl.Get(ctx, key)
+				if err != nil {
+					continue // quorum starved by the withheld vote: safe
+				}
+				if !hit {
+					errCh <- "lost acked write: agreed miss during contended mid-restart window"
+					return
+				}
+				if !bytes.Equal(got, val) {
+					errCh <- fmt.Sprintf("ghost read %q, want %q", got, val)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+	if err := cc.RestartComplete(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := cl.Get(ctx, key)
+	if err != nil || !hit || !bytes.Equal(got, val) {
+		t.Fatalf("post-repair get: %q hit=%v err=%v", got, hit, err)
+	}
+}
+
 // TestChaosSoakMaintenanceStorm runs the full SET/ERASE/CAS-adjacent
 // workload through repeated planned-maintenance cycles and an online
 // grow-then-shrink — every seal/drain/flip window the control plane can
@@ -676,5 +766,70 @@ func TestCorruptionCaughtByChecksum(t *testing.T) {
 	}
 	if d := cl.M.TornRetries.Value() - tornBefore; d != 0 {
 		t.Errorf("%d torn reads after overwrite cure (corruption should be gone)", d)
+	}
+}
+
+// TestEvictedTombstoneResurrection is the distilled §5.2 residual: a key
+// erased with quorum {0,1} (replica 2's leg forced to fail) whose
+// tombstone is then churned out of the ackers' exact caches by unrelated
+// erases. Before the pending-settle queue, the evicted tombstone
+// collapsed straight into the coarse summary — invisible to repair, which
+// stayed dominated-neutral while replica 2 kept the stale value — and two
+// cold restarts of the ackers later, repair settled that stale value back
+// onto the cohort: a resurrection of an acked erase. The pending queue
+// keeps the evicted tombstone enumerable, so the repair sweep folds the
+// erase back into cohort scans and re-erases replica 2 first.
+func TestEvictedTombstoneResurrection(t *testing.T) {
+	c := newCell(t, Options{Shards: 3, Mode: R32, TombstoneCap: 2})
+	cc := c.Internal()
+	ctx := context.Background()
+	cl := cc.NewClient(client.Options{Strategy: client.StrategyRPC, NoFallback: true, Retries: 2})
+
+	key := []byte("lazarus")
+	if err := cl.Set(ctx, key, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 2's mutation leg fails outright: the ERASE acks on {0,1}.
+	cc.SetRPCFailRate(2, 1.0, 1)
+	if err := cl.Erase(ctx, key); err != nil {
+		t.Fatalf("quorum-of-two erase: %v", err)
+	}
+	cc.SetRPCFailRate(2, 0, 0)
+
+	// Churn unrelated erases through the cohort until the key's tombstone
+	// is evicted from the ackers' exact caches (cap 2) — but not so many
+	// that it also overflows the pending-settle queue.
+	for i := 0; i < 3; i++ {
+		fk := []byte(fmt.Sprintf("filler-%d", i))
+		if err := cl.Set(ctx, fk, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Erase(ctx, fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The repair sweep that must fold the evicted-but-pending tombstone
+	// back into cohort scans and complete the erase on replica 2.
+	if _, err := cc.RepairAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold-restart both ackers in turn: their tombstone caches AND coarse
+	// summaries are wiped. Pre-fix, after the second restart the only
+	// surviving view of the key was replica 2's stale value, and repair
+	// settled it back cohort-wide.
+	for _, s := range []int{0, 1} {
+		c.Crash(s)
+		if err := cc.Restart(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cc.RepairAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, hit, err := cl.Get(ctx, key); err != nil || hit {
+		t.Fatalf("acked erase resurrected: got %q hit=%v err=%v", got, hit, err)
 	}
 }

@@ -140,6 +140,13 @@ type Options struct {
 	// CompressThreshold enables DEFLATE compression of values at least
 	// this many bytes (0 disables) — §9's post-launch compression feature.
 	CompressThreshold int
+	// TombstoneCap sizes each backend's exact tombstone cache (§5.2) and
+	// its pending-settle queue of evicted tombstones (default 8192 each).
+	TombstoneCap int
+	// HotK caps each backend's promoted hot-key set (0 takes the default
+	// of 8; negative disables promotion). Promoted keys gain all-replica
+	// residency and are advertised to clients for near-caching/steering.
+	HotK int
 	// Hash overrides the cell-wide 128-bit key hash (§6.5 added
 	// customizable hash functions for disaggregation users): hi selects
 	// the backend, lo the bucket. All clients of the cell share it. nil
@@ -174,6 +181,18 @@ type ClientOptions struct {
 	// TouchBatch enables batched access-record reporting at the given
 	// flush threshold; 0 disables (§4.2).
 	TouchBatch int
+	// NearCacheEntries sizes the client-side near-cache for server-
+	// promoted hot keys; 0 disables it. Near-serves are validated by a
+	// 1-RTT index-only quorum read, so they never return a value no
+	// quorum currently vouches for. RMA strategies (2xR, SCAR) only.
+	// Requires TouchBatch > 0: promotion decisions ride Touch acks.
+	NearCacheEntries int
+	// HotSteer fetches promoted keys with large values over RPC instead
+	// of the RMA path (the Figure 20 value-size crossover).
+	HotSteer bool
+	// HotSpread rotates promoted keys' data reads across the healthy
+	// quorum members instead of always reading the fastest replica.
+	HotSpread bool
 }
 
 // Cell is a running CliqueMap cell: backends, spares, NICs, config store.
@@ -197,6 +216,8 @@ func NewCell(opt Options) (*Cell, error) {
 			OverflowFallback:  opt.OverflowFallback,
 			ReshapeEnabled:    !opt.DisableReshaping,
 			CompressThreshold: opt.CompressThreshold,
+			TombstoneCap:      opt.TombstoneCap,
+			HotK:              opt.HotK,
 		},
 	}
 	if opt.Buckets > 0 || opt.Ways > 0 {
@@ -218,9 +239,12 @@ func NewCell(opt Options) (*Cell, error) {
 // NewClient attaches a new client to the cell.
 func (c *Cell) NewClient(opt ClientOptions) *Client {
 	cl := c.c.NewClient(client.Options{
-		Strategy:   opt.Strategy.internal(),
-		Retries:    opt.Retries,
-		TouchBatch: opt.TouchBatch,
+		Strategy:         opt.Strategy.internal(),
+		Retries:          opt.Retries,
+		TouchBatch:       opt.TouchBatch,
+		NearCacheEntries: opt.NearCacheEntries,
+		HotSteer:         opt.HotSteer,
+		HotSpread:        opt.HotSpread,
 	})
 	return &Client{cl: cl}
 }
@@ -435,6 +459,9 @@ type ClientStats struct {
 	Hedges, HedgeWins  uint64
 	Failovers          uint64
 	BudgetDenied       uint64
+	NearHits           uint64
+	NearStale          uint64
+	SteerRPC           uint64
 	GetP50, GetP99     time.Duration
 }
 
@@ -452,6 +479,9 @@ func (c *Client) Stats() ClientStats {
 		HedgeWins:    m.HedgeWins.Value(),
 		Failovers:    m.Failovers.Value(),
 		BudgetDenied: m.BudgetDenied.Value(),
+		NearHits:     m.NearHits.Value(),
+		NearStale:    m.NearStale.Value(),
+		SteerRPC:     m.SteerRPC.Value(),
 		GetP50:       time.Duration(m.GetLatency.Percentile(50)),
 		GetP99:       time.Duration(m.GetLatency.Percentile(99)),
 	}

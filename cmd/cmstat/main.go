@@ -8,7 +8,9 @@
 // RESIZE section shows per-shard handoff progress. Cells that export
 // saturation telemetry get a SATURATION section: worker-pool occupancy,
 // admission ρ, stripe-lock contention, and NIC engine queueing — the
-// live view of the resources a load-wall run names as limiting.
+// live view of the resources a load-wall run names as limiting. Shards
+// promoting hot keys (§hot-key adaptive serving) get a PROMOTED section:
+// the promotion-set epoch and current members per shard.
 //
 // Flags:
 //
@@ -307,6 +309,7 @@ func printTables(cur, prev *snapshot, showTrace, showTier bool, maxHot int) {
 
 	printRecovery(cur)
 	printSaturation(cur, prev)
+	printPromoted(cur)
 
 	if cur.tierOK && (showTier || len(cur.tier.Cells) > 0) {
 		printTier(cur.tier)
@@ -427,6 +430,47 @@ func printSaturation(cur, prev *snapshot) {
 		fmt.Printf("note: saturation counters reset on %s (backend restart); affected deltas clamped to zero\n",
 			strings.Join(restartedShards, ", "))
 	}
+}
+
+// printPromoted renders the hot-key promotion plane: one row per shard
+// holding promoted keys, with the promotion-set epoch (bumped on every
+// membership change — clients revalidate their piggybacked view against
+// it) and the keys themselves. Omitted when no shard promotes (HotK
+// disabled, or the workload has no stable head).
+func printPromoted(cur *snapshot) {
+	cfg := cur.cfg
+	any := false
+	for _, addr := range cfg.ShardAddrs {
+		if st, ok := cur.stats[addr]; ok && (st.HotEpoch != 0 || len(st.HotKeys) > 0) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\nPROMOTED\tADDR\tEPOCH\tKEYS\tSET")
+	for shard, addr := range cfg.ShardAddrs {
+		st, ok := cur.stats[addr]
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, len(st.HotKeys))
+		for i, k := range st.HotKeys {
+			if i == 4 {
+				names = append(names, fmt.Sprintf("+%d more", len(st.HotKeys)-i))
+				break
+			}
+			names = append(names, fmtKey(string(k)))
+		}
+		set := strings.Join(names, " ")
+		if set == "" {
+			set = "-"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%s\n", shard, addr, st.HotEpoch, len(st.HotKeys), set)
+	}
+	w.Flush()
 }
 
 // fmtQSec renders accumulated queue-nanoseconds over a wall interval as

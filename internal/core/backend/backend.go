@@ -132,9 +132,12 @@ func (b *Backend) StripeSaturation() StripeSaturation {
 // noteHeat feeds one key access into the heat sketch, reusing the hash
 // the hot path already computed. Probe-namespace canaries are excluded so
 // the health plane's own synthetic traffic can never masquerade as a hot
-// key.
+// key, and the federation tier's follower-cache namespace is excluded so
+// cached copies of remotely-owned keys don't re-count reads the owner
+// cell already measured (follower traffic would otherwise self-amplify
+// apparent heat and mis-drive the promotion loop).
 func (b *Backend) noteHeat(key []byte, h hashring.KeyHash) {
-	if !layout.IsProbeKey(key) {
+	if !layout.IsProbeKey(key) && !layout.IsTierKey(key) {
 		b.heat.Touch(key, h.Lo)
 	}
 }
@@ -215,6 +218,11 @@ type Options struct {
 	// HeatK sizes the key-heat top-k sketch (per-shard capacity; see
 	// stats.TopK). 0 takes the sketch's default.
 	HeatK int
+	// HotK caps the hot-key promoted set (hotset.go): the top keys whose
+	// traffic share clears the promotion bar are settled to all-replica
+	// residency and advertised to clients via response piggybacks. 0
+	// takes a default; negative disables promotion entirely.
+	HotK int
 
 	// DataDir, when non-empty, enables the durability plane (persist.go):
 	// applied mutations tee into a write-ahead journal under DataDir,
@@ -475,6 +483,16 @@ type Backend struct {
 	// nicSatSrc, when set, supplies the serving NIC's saturation snapshot
 	// for MethodStats (cold; read only by stats scrapes).
 	nicSatSrc atomic.Pointer[func() NICSaturation]
+
+	// Hot-key promotion state (hotset.go). Cold: evaluated on touch
+	// ingestion and stats scrapes, read via one atomic load everywhere
+	// else.
+	hotMu        sync.Mutex // serializes epoch bumps
+	hot          atomic.Pointer[hotSet]
+	hotEvalTotal atomic.Uint64 // sketch total at the last evaluation
+	hotEpochs    atomic.Uint64 // promotion epoch changes (observability)
+	hotSettles   atomic.Uint64 // residency settles issued by RepairHot
+	hotResidency atomic.Bool   // a RepairHot sweep is in flight
 }
 
 // opBufs is per-call scratch: a bucket read buffer, an IndexEntry encode
@@ -871,6 +889,27 @@ func (b *Backend) tombDrop(key []byte) {
 	defer b.tombMu.Unlock()
 	b.tomb.drop(key)
 	b.tombLive.Store(int64(b.tomb.len()))
+}
+
+// tombSettled retires key's pending-settle tombstone after a repair sweep
+// observed the erase cohort-settled at v (see tombstoneCache.settled).
+func (b *Backend) tombSettled(key string, v truetime.Version) {
+	if b.tombLive.Load() == 0 {
+		return
+	}
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	b.tomb.settled(key, v)
+	b.tombLive.Store(int64(b.tomb.len()))
+}
+
+// tombPendingOverflow reports how many evicted tombstones fell out of the
+// pending-settle queue into the coarse summary — each one consumed the
+// bounded resurrection residual (tests, observability).
+func (b *Backend) tombPendingOverflow() uint64 {
+	b.tombMu.Lock()
+	defer b.tombMu.Unlock()
+	return b.tomb.overflow
 }
 
 // tombLen returns the cached tombstone count (tests).

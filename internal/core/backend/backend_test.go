@@ -141,21 +141,22 @@ func TestEraseOfAbsentKeyStillTombstones(t *testing.T) {
 	}
 }
 
-// TestTombstoneSummaryCoarseButConsistent: after the tombstone cache
-// evicts an entry into the summary, SETs below the summary are rejected
-// even for unrelated keys — coarse, never inconsistent (§5.2).
+// TestTombstoneSummaryCoarseButConsistent: after a tombstone overflows
+// BOTH the exact cache and the pending-settle queue into the summary,
+// SETs below the summary are rejected even for unrelated keys — coarse,
+// never inconsistent (§5.2).
 func TestTombstoneSummaryCoarseButConsistent(t *testing.T) {
 	r := newRig(t, Options{Shard: 0, TombstoneCap: 2})
 	vOld := r.v()
 	var eraseVs []truetime.Version
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 6; i++ {
 		eraseVs = append(eraseVs, r.v())
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 6; i++ {
 		r.b.applyErase([]byte(fmt.Sprintf("e%d", i)), eraseVs[i])
 	}
-	// e0, e1 evicted into summary (cap 2). A SET on e0 below the summary
-	// must be rejected.
+	// e0, e1 overflowed the pending queue (cap 2 each stage) into the
+	// summary. A SET on e0 below the summary must be rejected.
 	if applied, _, _ := r.b.applySet([]byte("e0"), []byte("x"), vOld); applied {
 		t.Error("SET below summary bound applied")
 	}
@@ -167,6 +168,30 @@ func TestTombstoneSummaryCoarseButConsistent(t *testing.T) {
 	// New versions beyond the summary proceed.
 	if applied, _, _ := r.b.applySet([]byte("e0"), []byte("y"), r.v()); !applied {
 		t.Error("fresh SET rejected")
+	}
+}
+
+// TestHeatExcludesReservedNamespaces: probe-canary and federation
+// follower-cache keys must never register in the heat sketch — synthetic
+// and echoed traffic masquerading as heat would mis-drive the hot-key
+// promotion loop.
+func TestHeatExcludesReservedNamespaces(t *testing.T) {
+	r := newRig(t, Options{Shard: 0})
+	user := []byte("user-key")
+	probe := []byte(layout.ProbeKeyPrefix + "canary")
+	tier := []byte(layout.TierKeyPrefix + "remote-key")
+	for i := 0; i < 50; i++ {
+		r.b.localGet(user)
+		r.b.localGet(probe)
+		r.b.localGet(tier)
+	}
+	if got := r.b.Heat().Total(); got != 50 {
+		t.Errorf("heat total = %d, want 50 (user accesses only)", got)
+	}
+	for _, hk := range r.b.Heat().TopN(10) {
+		if hk.Key != string(user) {
+			t.Errorf("reserved-namespace key %q registered in heat sketch", hk.Key)
+		}
 	}
 }
 

@@ -189,6 +189,9 @@ func (b *Backend) snapshotKeys(keys []string) []proto.MigrateItem {
 		}
 		b.tombMu.Lock()
 		v, ok := b.tomb.entries[k]
+		if !ok {
+			v, ok = b.tomb.pending[k]
+		}
 		b.tombMu.Unlock()
 		if ok {
 			out = append(out, proto.MigrateItem{Key: kb, Version: v, Tombstone: true})
@@ -221,20 +224,30 @@ func (b *Backend) tombSummaryFold(v truetime.Version) {
 	b.tombSummarySet.Store(true)
 }
 
-// tombstoneMigrateItems lists live (cached) tombstones as Tombstone-
-// flagged migrate items, mirroring tombstoneScanItems.
+// tombstoneMigrateItems lists enumerable tombstones (live cache plus the
+// pending-settle queue) as Tombstone-flagged migrate items, mirroring
+// tombstoneScanItems.
 func (b *Backend) tombstoneMigrateItems(shard, shards int) []proto.MigrateItem {
 	b.tombMu.Lock()
 	defer b.tombMu.Unlock()
 	var out []proto.MigrateItem
-	for k, v := range b.tomb.entries {
+	emit := func(k string, v truetime.Version) {
 		if shard >= 0 && shards > 0 {
 			h := b.opt.Hash([]byte(k))
 			if int(h.Hi%uint64(shards)) != shard {
-				continue
+				return
 			}
 		}
 		out = append(out, proto.MigrateItem{Key: []byte(k), Version: v, Tombstone: true})
+	}
+	for k, v := range b.tomb.entries {
+		emit(k, v)
+	}
+	for k, v := range b.tomb.pending {
+		if _, live := b.tomb.entries[k]; live {
+			continue
+		}
+		emit(k, v)
 	}
 	return out
 }
@@ -437,6 +450,11 @@ func (b *Backend) DropForeign(shards, replicas int) int {
 	for k := range b.tomb.entries {
 		if foreign(b.opt.Hash([]byte(k)).Hi) {
 			delete(b.tomb.entries, k)
+		}
+	}
+	for k := range b.tomb.pending {
+		if foreign(b.opt.Hash([]byte(k)).Hi) {
+			delete(b.tomb.pending, k)
 		}
 	}
 	b.tombLive.Store(int64(b.tomb.len()))

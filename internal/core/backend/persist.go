@@ -190,13 +190,19 @@ func (b *Backend) CheckpointNow() error {
 			}
 		}
 	}
-	// Live tombstones ride along as erase records so version bounds on
-	// recently-erased keys survive the restart (the coarse summary does
-	// not; it re-forms as the cache refills).
+	// Enumerable tombstones (live cache plus the pending-settle queue)
+	// ride along as erase records so version bounds on recently-erased
+	// keys survive the restart (the coarse summary does not; it re-forms
+	// as the cache refills).
 	b.tombMu.Lock()
-	tombs := make([]persist.Record, 0, len(b.tomb.entries))
+	tombs := make([]persist.Record, 0, len(b.tomb.entries)+len(b.tomb.pending))
 	for k, v := range b.tomb.entries {
 		tombs = append(tombs, persist.Record{Op: persist.OpErase, Key: []byte(k), Version: v})
+	}
+	for k, v := range b.tomb.pending {
+		if _, live := b.tomb.entries[k]; !live {
+			tombs = append(tombs, persist.Record{Op: persist.OpErase, Key: []byte(k), Version: v})
+		}
 	}
 	b.tombMu.Unlock()
 	for _, r := range tombs {

@@ -128,7 +128,14 @@ func (b *Backend) registerHandlers() {
 			return nil, err
 		}
 		b.IngestTouches(r.Keys)
-		return proto.Ack{}.Marshal(), nil
+		b.maybeEvalHot()
+		// Piggyback the hot-key promotion set on the ack clients already
+		// wait for: touch batches are exactly the traffic that makes keys
+		// hot, so their senders learn the promoted set with no extra
+		// round trip. Old clients decode this as the empty Ack frame they
+		// expect (additive tags).
+		epoch, hot := b.HotSnapshot()
+		return proto.TouchResp{HotEpoch: epoch, HotKeys: hot}.Marshal(), nil
 	})
 	s.SetMethodCost(proto.MethodTouch, touchHandlerCPU)
 
@@ -245,6 +252,10 @@ func (b *Backend) registerHandlers() {
 		ssat := b.StripeSaturation()
 		rsat := s.Saturation()
 		nsat := b.NICSat()
+		// Stats scrapes double as a promotion heartbeat for workloads
+		// that never send touch batches (MSG/RPC-only clients).
+		b.maybeEvalHot()
+		hotEpoch, hotKeys := b.HotSnapshot()
 		return proto.StatsResp{
 			Shard:          b.Shard(),
 			Sealed:         b.Sealed(),
@@ -289,6 +300,9 @@ func (b *Backend) registerHandlers() {
 			NICRhoMilli:       nsat.RhoMilli,
 			NICQueueNs:        nsat.QueueNs,
 			NICOps:            nsat.Ops,
+
+			HotEpoch: hotEpoch,
+			HotKeys:  hotKeys,
 		}.Marshal(), nil
 	})
 
@@ -343,11 +357,22 @@ func (b *Backend) registerHandlers() {
 		// The health plane is cell-wide state; the cell attaches a
 		// marshalled-snapshot source after construction. A bare backend
 		// (tests, spares before wiring) serves an empty snapshot rather
-		// than an error so tooling can always poll.
+		// than an error so tooling can always poll. The serving backend's
+		// hot-key promotion set rides along (additive tags), so health
+		// pollers learn the hot set on a poll they already make.
+		epoch, hot := b.HotSnapshot()
 		if fn := b.healthSrc.Load(); fn != nil {
-			return (*fn)(), nil
+			body := (*fn)()
+			if epoch == 0 {
+				return body, nil
+			}
+			if hr, err := proto.UnmarshalHealthResp(body); err == nil {
+				hr.HotEpoch, hr.HotKeys = epoch, hot
+				return hr.Marshal(), nil
+			}
+			return body, nil
 		}
-		return proto.HealthResp{}.Marshal(), nil
+		return proto.HealthResp{HotEpoch: epoch, HotKeys: hot}.Marshal(), nil
 	})
 
 	s.Handle(proto.MethodTier, func(_ context.Context, _ string, _ []byte) ([]byte, error) {
@@ -472,25 +497,36 @@ func (b *Backend) scan(r proto.ScanReq) proto.ScanResp {
 	return resp
 }
 
-// tombstoneScanItems lists the live (cached) tombstones for shard as scan
-// items, so repair sees erases as first-class versioned state. Tombstones
-// evicted into the §5.2 coarse summary are not enumerable; the summary
-// still blocks stale SETs, and the residual resurrection window (repair
-// from a replica that never saw the erase) is bounded by the cache
-// capacity.
+// tombstoneScanItems lists the enumerable tombstones for shard as scan
+// items — the live cache plus the pending-settle queue of evicted
+// tombstones — so repair sees erases as first-class versioned state and
+// can fold evicted-but-unsettled erases back into cohort scans. Only
+// tombstones that also overflow the pending queue collapse into the §5.2
+// coarse summary, which still blocks stale SETs but is invisible here;
+// that double-overflow-before-a-sweep window is the formally-bounded
+// resurrection residual (see tombstoneCache).
 func (b *Backend) tombstoneScanItems(shard, shards int) []proto.ScanItem {
 	b.tombMu.Lock()
 	defer b.tombMu.Unlock()
 	var out []proto.ScanItem
-	for k, v := range b.tomb.entries {
+	emit := func(k string, v truetime.Version) {
 		h := b.opt.Hash([]byte(k))
 		if shard >= 0 && shards > 0 && int(h.Hi%uint64(shards)) != shard {
-			continue
+			return
 		}
 		out = append(out, proto.ScanItem{
 			HashHi: h.Hi, HashLo: h.Lo, Version: v,
 			Key: []byte(k), Tombstone: true,
 		})
+	}
+	for k, v := range b.tomb.entries {
+		emit(k, v)
+	}
+	for k, v := range b.tomb.pending {
+		if _, live := b.tomb.entries[k]; live {
+			continue // the exact entry is newer-or-equal; don't clobber it
+		}
+		emit(k, v)
 	}
 	return out
 }
@@ -586,6 +622,12 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			}
 		}
 		if clean || bestIdx < 0 {
+			if clean && bestTomb {
+				// Every replica holds the tombstone at bestV: the erase
+				// is cohort-settled, so a pending-settle copy of it can
+				// retire.
+				b.tombSettled(k, bestV)
+			}
 			continue
 		}
 
@@ -601,6 +643,7 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 			// Newest state is an ERASE: propagate the tombstone. Replicas
 			// still holding the value missed the erase; re-erasing at the
 			// tombstone's version completes it (§5.2) without resurrection.
+			settledAll := true
 			for i, v := range views {
 				if versions[i] == bestV {
 					continue
@@ -609,9 +652,15 @@ func (b *Backend) RepairShard(ctx context.Context, s int) (repaired int, err err
 					if applied, _ := b.applyErase([]byte(k), bestV); applied {
 						b.noteRecoverySettle()
 					}
-				} else {
-					client.Call(ctx, v.addr, proto.MethodErase, proto.EraseReq{Key: []byte(k), Version: bestV}.Marshal())
+				} else if _, _, cerr := client.Call(ctx, v.addr, proto.MethodErase, proto.EraseReq{Key: []byte(k), Version: bestV}.Marshal()); cerr != nil {
+					// Unreachable laggard: the erase was not delivered, so
+					// a pending-settle tombstone must stay enumerable for
+					// the next sweep.
+					settledAll = false
 				}
+			}
+			if settledAll {
+				b.tombSettled(k, bestV)
 			}
 			repaired++
 			continue

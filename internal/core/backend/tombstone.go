@@ -8,24 +8,48 @@ import (
 // arriving SETs must not resurrect affirmatively-erased values, but erased
 // versions cannot live in the index region without wasting RMA-accessible
 // DRAM. The cache is a fully associative, fixed-size structure on the
-// backend's heap; evicted entries are approximated (bounded above) by a
-// single summary VersionNumber — coarse, but never inconsistent.
+// backend's heap.
+//
+// Eviction is two-staged. A tombstone evicted from the exact cache first
+// moves to the PENDING-SETTLE queue: it keeps its precise (key, version)
+// and stays enumerable to cohort scans, so the next repair sweep can fold
+// the erase back into cohort state (re-erasing any replica that missed
+// it) and then retire the entry once the cohort is observed settled.
+// Only when the pending queue itself overflows does a tombstone collapse
+// into the single coarse summary VersionNumber — coarse, but never
+// inconsistent. The summary blocks stale SETs but is invisible to repair
+// (repair must stay neutral on summary-dominated keys, see RepairShard),
+// so the resurrection residual is formally bounded to keys that fall out
+// of BOTH stages before a repair sweep runs; overflow counts the times
+// that bound was consumed.
 type tombstoneCache struct {
 	cap     int
 	entries map[string]truetime.Version
 	order   []string // FIFO eviction order
 	summary truetime.Version
+
+	// Pending-settle queue: evicted-but-not-yet-settled tombstones.
+	pending      map[string]truetime.Version
+	pendingOrder []string // FIFO; may hold stale keys, skipped on pop
+	pendingCap   int
+	overflow     uint64 // pending evictions folded into the summary
 }
 
 func newTombstoneCache(capacity int) *tombstoneCache {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &tombstoneCache{cap: capacity, entries: make(map[string]truetime.Version)}
+	return &tombstoneCache{
+		cap:        capacity,
+		entries:    make(map[string]truetime.Version),
+		pending:    make(map[string]truetime.Version),
+		pendingCap: capacity,
+	}
 }
 
 // insert records key as erased at v, evicting the oldest tombstone into
-// the summary if full. A newer tombstone for the same key wins.
+// the pending-settle queue if full. A newer tombstone for the same key
+// wins.
 func (t *tombstoneCache) insert(key string, v truetime.Version) {
 	if old, ok := t.entries[key]; ok {
 		if old.Less(v) {
@@ -37,14 +61,49 @@ func (t *tombstoneCache) insert(key string, v truetime.Version) {
 		victim := t.order[0]
 		t.order = t.order[1:]
 		if ev, ok := t.entries[victim]; ok {
-			if t.summary.Less(ev) {
-				t.summary = ev
-			}
+			t.pendingInsert(victim, ev)
 			delete(t.entries, victim)
 		}
 	}
 	t.entries[key] = v
 	t.order = append(t.order, key)
+	// The exact entry supersedes any older pending copy of the same key.
+	delete(t.pending, key)
+}
+
+// pendingInsert parks an evicted tombstone in the pending-settle queue,
+// folding the queue's own oldest entries into the coarse summary when it
+// overflows — the formally-bounded residual.
+func (t *tombstoneCache) pendingInsert(key string, v truetime.Version) {
+	if old, ok := t.pending[key]; ok {
+		if old.Less(v) {
+			t.pending[key] = v
+		}
+		return
+	}
+	t.pending[key] = v
+	t.pendingOrder = append(t.pendingOrder, key)
+	for len(t.pending) > t.pendingCap && len(t.pendingOrder) > 0 {
+		victim := t.pendingOrder[0]
+		t.pendingOrder = t.pendingOrder[1:]
+		if ev, ok := t.pending[victim]; ok {
+			if t.summary.Less(ev) {
+				t.summary = ev
+			}
+			delete(t.pending, victim)
+			t.overflow++
+		}
+	}
+}
+
+// settled retires key's pending tombstone once a repair sweep has
+// observed the cohort settled at version v (every replica holds the
+// tombstone, or every laggard's re-erase was delivered). A pending entry
+// newer than v stays — it still needs its own settle.
+func (t *tombstoneCache) settled(key string, v truetime.Version) {
+	if pv, ok := t.pending[key]; ok && !v.Less(pv) {
+		delete(t.pending, key)
+	}
 }
 
 // drop removes key's tombstone (a newer SET superseded it). The summary is
@@ -53,17 +112,23 @@ func (t *tombstoneCache) insert(key string, v truetime.Version) {
 // allocation-free).
 func (t *tombstoneCache) drop(key []byte) {
 	delete(t.entries, string(key))
+	delete(t.pending, string(key))
 }
 
 // bound returns the highest version that could have erased key: the exact
-// tombstone when cached, else the summary upper bound. Byte-keyed for the
-// same reason as drop.
+// tombstone when cached (live or pending), else the summary upper bound.
+// Byte-keyed for the same reason as drop.
 func (t *tombstoneCache) bound(key []byte) truetime.Version {
 	if v, ok := t.entries[string(key)]; ok {
+		return v
+	}
+	if v, ok := t.pending[string(key)]; ok {
 		return v
 	}
 	return t.summary
 }
 
-// len returns the cached tombstone count.
-func (t *tombstoneCache) len() int { return len(t.entries) }
+// len returns the enumerable tombstone count: live entries plus the
+// pending-settle queue (both feed bound and cohort scans, so both gate
+// the tombLive fast-path shadow).
+func (t *tombstoneCache) len() int { return len(t.entries) + len(t.pending) }

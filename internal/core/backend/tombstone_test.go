@@ -36,24 +36,51 @@ func TestTombstoneNewerWins(t *testing.T) {
 	}
 }
 
-// TestTombstoneSummaryUpperBound: evicted tombstones are approximated by
-// the summary — coarse (it bounds unrelated keys too) but never lower
-// than the evicted version (§5.2: "bounded above... never inconsistent").
-func TestTombstoneSummaryUpperBound(t *testing.T) {
+// TestTombstonePendingKeepsExactBound: a tombstone evicted from the exact
+// cache parks in the pending-settle queue, so its bound stays PRECISE (and
+// enumerable to repair) instead of collapsing into the coarse summary.
+func TestTombstonePendingKeepsExactBound(t *testing.T) {
 	tc := newTombstoneCache(2)
 	tc.insert("a", ver(10))
 	tc.insert("b", ver(20))
-	tc.insert("c", ver(5)) // evicts "a" (FIFO) into the summary
-	if tc.len() != 2 {
-		t.Fatalf("len = %d, want 2", tc.len())
+	tc.insert("c", ver(5)) // evicts "a" (FIFO) into the pending queue
+	if len(tc.entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(tc.entries))
 	}
-	// "a" is gone from the cache; its bound must still be >= v10.
+	if got := tc.bound([]byte("a")); got != ver(10) {
+		t.Errorf("bound(a) = %v, want exact pending v10", got)
+	}
+	// Unrelated keys are NOT bounded until the pending queue itself
+	// overflows — the summary is the second stage, not the first.
+	if got := tc.bound([]byte("never-seen")); !got.Zero() {
+		t.Errorf("bound(never-seen) = %v, want zero (summary unset)", got)
+	}
+	if tc.overflow != 0 {
+		t.Errorf("overflow = %d, want 0", tc.overflow)
+	}
+}
+
+// TestTombstoneSummaryUpperBound: tombstones overflowing BOTH stages are
+// approximated by the summary — coarse (it bounds unrelated keys too) but
+// never lower than the evicted version (§5.2: "bounded above... never
+// inconsistent").
+func TestTombstoneSummaryUpperBound(t *testing.T) {
+	tc := newTombstoneCache(1) // pendingCap == cap == 1
+	tc.insert("a", ver(10))
+	tc.insert("b", ver(20)) // "a" → pending
+	tc.insert("c", ver(5))  // "b" → pending, "a" overflows → summary v10
 	if got := tc.bound([]byte("a")); got.Less(ver(10)) {
 		t.Errorf("bound(a) = %v < evicted version", got)
+	}
+	if got := tc.bound([]byte("b")); got != ver(20) {
+		t.Errorf("bound(b) = %v, want exact pending v20", got)
 	}
 	// The summary also bounds never-erased keys (documented coarseness).
 	if got := tc.bound([]byte("never-seen")); got.Less(ver(10)) {
 		t.Errorf("summary bound = %v", got)
+	}
+	if tc.overflow != 1 {
+		t.Errorf("overflow = %d, want 1", tc.overflow)
 	}
 }
 
@@ -68,9 +95,10 @@ func TestTombstoneSummaryMonotone(t *testing.T) {
 		}
 		last = b
 	}
-	// With capacity 1, the 49 oldest were evicted: summary >= v49.
-	if tc.bound([]byte("probe")).Less(ver(49)) {
-		t.Errorf("summary = %v, want >= v49", tc.bound([]byte("probe")))
+	// With both stages at capacity 1, the 48 oldest overflowed into the
+	// summary: summary >= v48 (k49 pending, k50 live).
+	if tc.bound([]byte("probe")).Less(ver(48)) {
+		t.Errorf("summary = %v, want >= v48", tc.bound([]byte("probe")))
 	}
 }
 
@@ -81,13 +109,41 @@ func TestTombstoneDrop(t *testing.T) {
 	if got := tc.bound([]byte("a")); !got.Zero() {
 		t.Errorf("after drop, bound = %v", got)
 	}
-	// Dropping must not shrink the summary.
+	// Dropping one key must not shrink another key's pending bound.
 	tc2 := newTombstoneCache(1)
 	tc2.insert("x", ver(10))
-	tc2.insert("y", ver(20)) // x evicted → summary v10
+	tc2.insert("y", ver(20)) // x evicted → pending v10
 	tc2.drop([]byte("y"))
-	if tc2.bound([]byte("anything")).Less(ver(10)) {
+	if tc2.bound([]byte("x")).Less(ver(10)) {
+		t.Error("drop shrank an unrelated pending bound")
+	}
+	// Nor the summary, once set by double overflow.
+	tc3 := newTombstoneCache(1)
+	tc3.insert("x", ver(10))
+	tc3.insert("y", ver(20))
+	tc3.insert("z", ver(30)) // x overflows → summary v10
+	tc3.drop([]byte("z"))
+	if tc3.bound([]byte("anything")).Less(ver(10)) {
 		t.Error("drop shrank the summary")
+	}
+}
+
+// TestTombstonePendingSettled: repair retires a pending tombstone only at
+// a settle version at least as new as the parked erase.
+func TestTombstonePendingSettled(t *testing.T) {
+	tc := newTombstoneCache(1)
+	tc.insert("a", ver(10))
+	tc.insert("b", ver(20)) // a → pending v10
+	tc.settled("a", ver(5)) // older settle: must NOT retire it
+	if got := tc.bound([]byte("a")); got != ver(10) {
+		t.Errorf("bound(a) = %v after stale settle, want v10", got)
+	}
+	tc.settled("a", ver(10))
+	if got := tc.bound([]byte("a")); !got.Zero() {
+		t.Errorf("bound(a) = %v after settle, want zero", got)
+	}
+	if tc.len() != 1 { // only "b" remains
+		t.Errorf("len = %d, want 1", tc.len())
 	}
 }
 

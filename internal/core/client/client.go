@@ -92,6 +92,12 @@ type Metrics struct {
 	Failovers              stats.Counter // data reads absorbed by a backup quorum member
 	BudgetDenied           stats.Counter // retries refused by the retry budget
 	BackoffNs              stats.Counter // virtual ns spent backing off
+	NearHits               stats.Counter // near-cache serves validated by an index quorum
+	NearStale              stats.Counter // near entries dropped: version moved under us
+	NearInval              stats.Counter // near entries dropped: quorum-agreed miss (erase)
+	NearRevalFails         stats.Counter // inconclusive revalidation rounds → full path
+	SteerRPC               stats.Counter // hot large-value GETs steered to RPC (Fig 20)
+	SpreadReads            stats.Counter // hot data reads rotated off the fastest replica
 	GetLatency, SetLatency stats.Histogram
 }
 
@@ -131,6 +137,17 @@ type Options struct {
 	// Seed perturbs the client's jitter/probe randomness; 0 derives from
 	// ID so distinct clients desynchronize by default.
 	Seed uint64
+	// NearCacheEntries sizes the client-side near-cache for server-
+	// promoted hot keys; 0 disables it. Only the RMA lookup strategies
+	// (2xR, SCAR) use it: their index-only revalidation round is what
+	// makes a near-serve cheaper than the full path.
+	NearCacheEntries int
+	// HotSteer enables per-key transport steering: promoted keys whose
+	// last observed value clears the Fig 20 size crossover fetch over RPC.
+	HotSteer bool
+	// HotSpread rotates hot keys' data reads across the healthy quorum
+	// members instead of always reading from the fastest replica.
+	HotSpread bool
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +199,15 @@ type Client struct {
 	rngState atomic.Uint64 // jitter/probe randomness (xorshift)
 	dataEWMA atomic.Uint64 // rolling data-read latency, drives hedging
 
+	// Hot-key adaptive serving state (nearcache.go). promo is the merged
+	// promoted-key set piggybacked on Touch acks; promoMu guards the
+	// per-backend epoch bookkeeping behind it.
+	near        *nearCache
+	promo       atomic.Pointer[promoSet]
+	promoMu     sync.Mutex
+	promoEpochs map[string]uint64
+	promoSets   map[string]map[string]struct{}
+
 	M Metrics
 }
 
@@ -212,6 +238,9 @@ func New(opt Options, store *config.Store, rpcc rpc.Caller, clock truetime.Clock
 	}
 	c.rngState.Store(opt.Seed)
 	c.cfg = store.Get()
+	if opt.NearCacheEntries > 0 && (opt.Strategy == Strategy2xR || opt.Strategy == StrategySCAR) {
+		c.near = newNearCache(opt.NearCacheEntries)
+	}
 	return c
 }
 
@@ -444,6 +473,26 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 		// without growth on the hot path.
 		total.Spans = make([]fabric.Span, 0, 8)
 	}
+	// Near-cache fast path: a cached hot-key value serves after one
+	// index-only revalidation round (1 RTT, no data leg). An inconclusive
+	// round falls through to the full path with its legs already billed.
+	if c.near != nil {
+		nval, nfound, served, ntr := c.nearGet(ctx, key)
+		total.Sequence(ntr)
+		if served {
+			if nfound {
+				c.M.Hits.Inc()
+				c.noteTouch(key)
+			} else {
+				c.M.Misses.Inc()
+			}
+			c.M.GetLatency.Record(total.Ns)
+			if sc != nil {
+				c.opt.Tracer.Record(sc.OpID, trace.KindGet, c.transport(), 1, total)
+			}
+			return nval, nfound, total, nil
+		}
+	}
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if ctx.Err() != nil {
 			return nil, false, total, ErrExhausted
@@ -463,13 +512,14 @@ func (c *Client) GetTraced(ctx context.Context, key []byte) (value []byte, found
 			sc.Attempt = uint32(attempt)
 		}
 		attemptStart := total.Ns
-		val, ok, atr, aerr := c.attemptGet(ctx, key)
+		val, ok, wver, atr, aerr := c.attemptGet(ctx, key)
 		total.Sequence(atr)
 		if aerr == nil {
 			c.opt.Budget.Credit()
 			if ok {
 				c.M.Hits.Inc()
 				c.noteTouch(key)
+				c.nearStore(key, val, wver)
 			} else {
 				c.M.Misses.Inc()
 			}
@@ -587,8 +637,9 @@ func isWindowErr(err error) bool {
 }
 
 // attemptGet performs one lookup attempt under the configured strategy
-// and replication mode.
-func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabric.OpTrace, error) {
+// and replication mode. On a hit it also returns the quorum-winning
+// version, which feeds the near-cache.
+func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	c.mu.Lock()
 	cfg := c.cfg
 	c.mu.Unlock()
@@ -601,6 +652,13 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 		return c.attemptGetRPC(ctx, key, cfg, rt)
 	case StrategyMSG:
 		return c.attemptGetMSG(ctx, key, cfg, rt)
+	}
+	// Per-key steering: a promoted key whose value is past the Fig 20
+	// crossover moves fewer bytes (and fewer NIC ops) over one RPC than
+	// over the RMA index+data legs.
+	if c.steerToRPC(key) {
+		c.M.SteerRPC.Inc()
+		return c.attemptGetRPC(ctx, key, cfg, rt)
 	}
 
 	// Resolve replicas — first use pays a Hello RPC — before pinning the
@@ -628,7 +686,7 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 				lastErr = errs[i]
 				continue
 			}
-			v := c.fetchIndex(at, key, h, reps[i], cfg.ID)
+			v := c.fetchIndex(at, key, h, reps[i], cfg.ID, false)
 			if v.err != nil {
 				lastErr = v.err
 				continue
@@ -638,7 +696,7 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 		if lastErr == nil {
 			lastErr = ErrUnavailable
 		}
-		return nil, false, fabric.OpTrace{}, lastErr
+		return nil, false, truetime.Version{}, fabric.OpTrace{}, lastErr
 	}
 
 	// RMA strategies: fetch index views from every cohort member, all
@@ -650,7 +708,7 @@ func (c *Client) attemptGet(ctx context.Context, key []byte) ([]byte, bool, fabr
 			views = append(views, indexView{err: errs[i]})
 			continue
 		}
-		v := c.fetchIndex(at, key, h, reps[i], cfg.ID)
+		v := c.fetchIndex(at, key, h, reps[i], cfg.ID, false)
 		if v.err != nil {
 			c.noteReplicaFailure(reps[i].addr)
 		} else {
@@ -674,13 +732,15 @@ func (c *Client) opStart() uint64 {
 // start must not masquerade as data-plane queueing. cfgID is the config
 // the client routed with; a bucket stamped differently means the fleet
 // moved on (maintenance or resize) and the answer cannot be trusted.
-func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep replica, cfgID uint64) indexView {
+// forcePlain forces a bucket-only Read even under SCAR — the near-cache
+// revalidation path wants the index vote without moving data bytes.
+func (c *Client) fetchIndex(at uint64, key []byte, h hashring.KeyHash, rep replica, cfgID uint64, forcePlain bool) indexView {
 	v := indexView{rep: rep}
 	geo := layout.Geometry{Buckets: rep.hello.Buckets, Ways: rep.hello.Ways}
 	bucket := int(h.Lo % uint64(geo.Buckets))
 	off := geo.BucketOffset(bucket)
 
-	useScar := c.opt.Strategy == StrategySCAR && rep.conn.SupportsScar()
+	useScar := !forcePlain && c.opt.Strategy == StrategySCAR && rep.conn.SupportsScar()
 	var raw []byte
 	if useScar {
 		c.chargeCPU(cpuSCAR)
@@ -737,8 +797,9 @@ func (c *Client) wrapTransportErr(rep replica, err error) error {
 	return errStale{addr: rep.addr, err: err}
 }
 
-// assembleGet forms the quorum, fetches data, and validates.
-func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashring.KeyHash, cfg config.CellConfig, views []indexView) ([]byte, bool, fabric.OpTrace, error) {
+// assembleGet forms the quorum, fetches data, and validates. On a hit the
+// quorum-winning version rides along for the near-cache.
+func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashring.KeyHash, cfg config.CellConfig, views []indexView) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	quorumNeed := cfg.Mode.Quorum()
 
 	// Index-phase latency: the op can proceed once `quorumNeed` replicas
@@ -761,10 +822,10 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		// Not enough live replicas to even try: surface the first error.
 		for _, v := range views {
 			if v.err != nil {
-				return nil, false, tr, v.err
+				return nil, false, truetime.Version{}, tr, v.err
 			}
 		}
-		return nil, false, tr, ErrUnavailable
+		return nil, false, truetime.Version{}, tr, ErrUnavailable
 	}
 	// Cohorts are tiny (≤ replication factor): insertion sort keeps the
 	// leg latencies on the stack, off the reflection-based sort path.
@@ -820,22 +881,22 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		}
 	}
 	if winner == nil {
-		return nil, false, tr, ErrInquorate
+		return nil, false, truetime.Version{}, tr, ErrInquorate
 	}
 	if winner.ver.Zero() {
 		// Miss quorum. If any replica flagged overflow, the key may live
 		// in a side table reachable only via RPC (§4.2).
 		for _, v := range views {
 			if v.err == nil && v.overflow {
-				val, found, ftr, ferr := c.rpcGetAt(ctx, v.rep.addr, key, cfg.ID)
+				val, found, fver, ftr, ferr := c.rpcGetAt(ctx, v.rep.addr, key, cfg.ID)
 				tr.Sequence(ftr)
 				if ferr == nil {
 					c.M.RPCFallbacks.Inc()
-					return val, found, tr, nil
+					return val, found, fver, tr, nil
 				}
 			}
 		}
-		return nil, false, tr, nil
+		return nil, false, truetime.Version{}, tr, nil
 	}
 
 	// Candidate data sources: quorum members holding the winning version,
@@ -852,13 +913,33 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 		}
 	}
 	if len(cands) == 0 {
-		return nil, false, tr, ErrInquorate
+		return nil, false, truetime.Version{}, tr, ErrInquorate
 	}
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && (!demArr[j] && demArr[j-1] ||
 			demArr[j] == demArr[j-1] && cands[j].trace.Ns < cands[j-1].trace.Ns); j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
 			demArr[j], demArr[j-1] = demArr[j-1], demArr[j]
+		}
+	}
+	// Hot-key spread: rotate the healthy prefix so a promoted key's data
+	// reads load-balance across the quorum instead of always landing on
+	// the fastest (soon to be hottest) replica. Demoted members keep
+	// their sorted-last position; failover order is unchanged.
+	if c.opt.HotSpread && len(cands) > 1 && c.isPromoted(key) {
+		healthy := 0
+		for healthy < len(cands) && !demArr[healthy] {
+			healthy++
+		}
+		if healthy > 1 {
+			if r := int(c.rand64() % uint64(healthy)); r > 0 {
+				var rotArr [8]indexView
+				copy(rotArr[:healthy], cands[:healthy])
+				for i := 0; i < healthy; i++ {
+					cands[i] = rotArr[(i+r)%healthy]
+				}
+				c.M.SpreadReads.Inc()
+			}
 		}
 	}
 
@@ -914,7 +995,7 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 							tr.Annotate(trace.SpanHedge, uint32(b.rep.shard), dataStart+hedgeAfter, htr.Ns)
 							tr.AddBytes(int(htr.Bytes))
 							tr.Add(hedgeAfter + htr.Ns)
-							return hval, true, tr, nil
+							return hval, true, winner.ver, tr, nil
 						}
 					}
 				}
@@ -948,13 +1029,13 @@ func (c *Client) assembleGet(ctx context.Context, at uint64, key []byte, h hashr
 			continue
 		}
 		c.noteReplicaSuccess(cand.rep.addr)
-		return val, true, tr, nil
+		return val, true, winner.ver, tr, nil
 	}
-	return nil, false, tr, lastErr
+	return nil, false, truetime.Version{}, tr, lastErr
 }
 
 // attemptGetRPC queries replicas over full RPC and quorums on versions.
-func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	c.chargeCPU(cpuRPC)
 	return c.twoSidedQuorum(cfg, rt, func(i int) (proto.GetResp, fabric.OpTrace, error) {
 		addr := rt.addrs[i]
@@ -972,7 +1053,7 @@ func (c *Client) attemptGetRPC(ctx context.Context, key []byte, cfg config.CellC
 
 // attemptGetMSG queries replicas via two-sided NIC messaging (Figure 7's
 // MSG strategy).
-func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellConfig, rt route) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	if c.msg == nil {
 		return c.attemptGetRPC(ctx, key, cfg, rt)
 	}
@@ -995,7 +1076,7 @@ func (c *Client) attemptGetMSG(ctx context.Context, key []byte, cfg config.CellC
 
 // twoSidedQuorum runs the version-quorum logic over any request/response
 // lookup primitive.
-func (c *Client) twoSidedQuorum(cfg config.CellConfig, rt route, fetch func(i int) (proto.GetResp, fabric.OpTrace, error)) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) twoSidedQuorum(cfg config.CellConfig, rt route, fetch func(i int) (proto.GetResp, fabric.OpTrace, error)) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	need := cfg.Mode.Quorum()
 	type result struct {
 		resp proto.GetResp
@@ -1016,7 +1097,7 @@ func (c *Client) twoSidedQuorum(cfg config.CellConfig, rt route, fetch func(i in
 		tr.Spans = append(tr.Spans, ltr.Spans...)
 	}
 	if len(results) < need {
-		return nil, false, tr, ErrUnavailable
+		return nil, false, truetime.Version{}, tr, ErrUnavailable
 	}
 	sort.Slice(legNs, func(i, j int) bool { return legNs[i] < legNs[j] })
 	phase := tr.Ns
@@ -1042,17 +1123,17 @@ func (c *Client) twoSidedQuorum(cfg config.CellConfig, rt route, fetch func(i in
 		}
 	}
 	if !won {
-		return nil, false, tr, ErrInquorate
+		return nil, false, truetime.Version{}, tr, ErrInquorate
 	}
 	if winner.Zero() {
-		return nil, false, tr, nil
+		return nil, false, truetime.Version{}, tr, nil
 	}
 	for _, r := range results {
 		if r.resp.Found && r.resp.Version == winner {
-			return r.resp.Value, true, tr, nil
+			return r.resp.Value, true, winner, tr, nil
 		}
 	}
-	return nil, false, tr, ErrInquorate
+	return nil, false, truetime.Version{}, tr, ErrInquorate
 }
 
 // rpcGetAny tries an RPC lookup on each cohort member until one answers.
@@ -1068,7 +1149,7 @@ func (c *Client) rpcGetAny(ctx context.Context, key []byte) ([]byte, bool, fabri
 		if addr == "" {
 			continue
 		}
-		val, found, ftr, err := c.rpcGetAt(ctx, addr, key, cfg.ID)
+		val, found, _, ftr, err := c.rpcGetAt(ctx, addr, key, cfg.ID)
 		tr.Sequence(ftr)
 		if err == nil {
 			return val, found, tr, nil
@@ -1127,16 +1208,16 @@ func (c *Client) GetVersionedTraced(ctx context.Context, key []byte) ([]byte, tr
 	return nil, truetime.Version{}, false, total, lastErr
 }
 
-func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte, cfgID uint64) ([]byte, bool, fabric.OpTrace, error) {
+func (c *Client) rpcGetAt(ctx context.Context, addr string, key []byte, cfgID uint64) ([]byte, bool, truetime.Version, fabric.OpTrace, error) {
 	resp, tr, err := c.rpcc.Call(ctx, addr, proto.MethodGet, proto.GetReq{Key: key, ConfigID: cfgID}.Marshal())
 	if err != nil {
-		return nil, false, tr, err
+		return nil, false, truetime.Version{}, tr, err
 	}
 	g, gerr := proto.UnmarshalGetResp(resp)
 	if gerr != nil {
-		return nil, false, tr, gerr
+		return nil, false, truetime.Version{}, tr, gerr
 	}
-	return g.Value, g.Found, tr, nil
+	return g.Value, g.Found, g.Version, tr, nil
 }
 
 // GetBatch looks up many keys as one logical op (§7.1: Ads/Geo fetches are
@@ -1198,6 +1279,9 @@ func (c *Client) SetVersionedTraced(ctx context.Context, key, value []byte) (tru
 	}
 	sc, ctx := c.traceOp(ctx, trace.KindSet)
 	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodSet, build, v)
+	// Even a failed fan-out may have applied somewhere: the cached copy is
+	// unconditionally suspect after our own mutation.
+	c.nearInvalidate(key)
 	c.observe(trace.KindSet, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
@@ -1221,6 +1305,7 @@ func (c *Client) EraseTraced(ctx context.Context, key []byte) (fabric.OpTrace, e
 	}
 	sc, ctx := c.traceOp(ctx, trace.KindErase)
 	tr, attempts, _, err := c.mutateAll(ctx, key, proto.MethodErase, build, v)
+	c.nearInvalidate(key)
 	c.observe(trace.KindErase, trace.TransportRPC, tr.Ns, err)
 	c.M.SetLatency.Record(tr.Ns)
 	if sc != nil && err == nil {
@@ -1248,6 +1333,7 @@ func (c *Client) CasTraced(ctx context.Context, key, value []byte, expected true
 	}
 	sc, ctx := c.traceOp(ctx, trace.KindCas)
 	tr, attempts, applied, err := c.mutateAll(ctx, key, proto.MethodCas, build, v)
+	c.nearInvalidate(key)
 	c.observe(trace.KindCas, trace.TransportRPC, tr.Ns, err)
 	if err != nil {
 		return false, tr, err
@@ -1432,7 +1518,7 @@ func (c *Client) noteTouch(key []byte) {
 	}
 	c.mu.Unlock()
 	for addr, keys := range flush {
-		c.rpcc.Call(context.Background(), addr, proto.MethodTouch, proto.TouchReq{Keys: keys}.Marshal())
+		c.sendTouches(context.Background(), addr, keys)
 	}
 }
 
@@ -1446,7 +1532,21 @@ func (c *Client) FlushTouches(ctx context.Context) {
 		if len(keys) == 0 {
 			continue
 		}
-		c.rpcc.Call(ctx, addr, proto.MethodTouch, proto.TouchReq{Keys: keys}.Marshal())
+		c.sendTouches(ctx, addr, keys)
+	}
+}
+
+// sendTouches reports one batch of access records and folds the ack's
+// piggybacked promotion set into the client's hot-key view (§4.2 made
+// bidirectional): the same traffic that feeds the server's heat sketch
+// carries its promotion decisions back.
+func (c *Client) sendTouches(ctx context.Context, addr string, keys [][]byte) {
+	resp, _, err := c.rpcc.Call(ctx, addr, proto.MethodTouch, proto.TouchReq{Keys: keys}.Marshal())
+	if err != nil {
+		return
+	}
+	if tr, terr := proto.UnmarshalTouchResp(resp); terr == nil {
+		c.ingestPromo(addr, tr.HotEpoch, tr.HotKeys)
 	}
 }
 

@@ -1,0 +1,353 @@
+package client
+
+// Hot-key adaptive serving — the client half of the loop the server's
+// promotion machinery (backend/hotset.go) drives:
+//
+//   - NEAR-CACHE: values of server-promoted (sketch-hot) keys are cached
+//     client-side with their quorum-winning VersionNumber. A near-serve is
+//     never blind: it first runs one index-only revalidation round — a
+//     quorum of plain bucket reads, 1 RTT, no data leg even under SCAR —
+//     and serves the cached value only if a read quorum still votes
+//     exactly the cached version. An acked overwrite or erase therefore
+//     invalidates the entry within one revalidation RTT, because any
+//     read quorum intersects the mutation's ack quorum.
+//   - PROMOTION LEARNING: the promoted-key set piggybacks on responses
+//     the client already receives (Touch acks, §4.2); per-backend sets
+//     are epoch-gated and merged into one atomic snapshot.
+//   - STEERING: per-key transport choice. Promoted keys whose last
+//     observed value size clears the Fig 20 crossover are fetched over
+//     RPC (one round trip carrying the value beats index+data RMA reads
+//     at large sizes); everything else keeps the configured strategy.
+//   - SPREADING: promoted keys rotate the data-read candidate order
+//     across the healthy quorum members instead of always hammering the
+//     fastest replica, so a hot key's data reads load-balance R-ways.
+//
+// What the near-cache does NOT guarantee: a hit is as fresh as the
+// revalidation quorum — a mutation acked after the revalidation round
+// started may not be observed until the next GET. It never serves a
+// value no quorum currently vouches for, and an erased key can never be
+// resurrected from it (an agreed index miss drops the entry and serves
+// the miss).
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"cliquemap/internal/fabric"
+	"cliquemap/internal/truetime"
+)
+
+// hotRPCCrossoverBytes is the per-key steering threshold: Figure 20's
+// value-size sweep has RPC lookups matching the RMA paths' latency in
+// the tens-of-KB range while moving fewer NIC-engine bytes than a SCAR
+// data piggyback, so promoted keys at least this large steer to RPC.
+const hotRPCCrossoverBytes = 16 << 10
+
+// errNearInconclusive reports a revalidation round that cannot decide
+// (an overflowed bucket hides the key from index-only reads); the full
+// GET path must run.
+var errNearInconclusive = errors.New("client: near-cache revalidation inconclusive")
+
+type nearEntry struct {
+	val []byte
+	ver truetime.Version
+}
+
+// nearCache is a small FIFO map of version-validated hot-key values.
+// Admission is promotion-gated (nearStore), retention is cap-gated.
+type nearCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]nearEntry
+	order []string // FIFO; may hold stale keys, skipped on pop
+
+	// sizes keeps last-observed value sizes for steering — advisory
+	// only, so entries survive drops and are evicted on their own FIFO.
+	sizes     map[string]int
+	sizeOrder []string
+}
+
+func newNearCache(capacity int) *nearCache {
+	return &nearCache{
+		cap:   capacity,
+		m:     make(map[string]nearEntry, capacity),
+		sizes: make(map[string]int),
+	}
+}
+
+func (n *nearCache) get(key []byte) (nearEntry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.m[string(key)]
+	return e, ok
+}
+
+func (n *nearCache) put(key, val []byte, ver truetime.Version) {
+	k := string(key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.sizes[k] != len(val) {
+		if _, seen := n.sizes[k]; !seen {
+			n.sizeOrder = append(n.sizeOrder, k)
+			for len(n.sizeOrder) > 4*n.cap {
+				victim := n.sizeOrder[0]
+				n.sizeOrder = n.sizeOrder[1:]
+				delete(n.sizes, victim)
+			}
+		}
+		n.sizes[k] = len(val)
+	}
+	if _, ok := n.m[k]; ok {
+		n.m[k] = nearEntry{val: append([]byte(nil), val...), ver: ver}
+		return
+	}
+	for len(n.m) >= n.cap && len(n.order) > 0 {
+		victim := n.order[0]
+		n.order = n.order[1:]
+		delete(n.m, victim)
+	}
+	n.m[k] = nearEntry{val: append([]byte(nil), val...), ver: ver}
+	n.order = append(n.order, k)
+}
+
+func (n *nearCache) drop(key []byte) {
+	n.mu.Lock()
+	delete(n.m, string(key))
+	n.mu.Unlock()
+}
+
+// sizeHint returns the last observed value size for key, if any — the
+// steering input. Survives entry drops (it is advisory, not state).
+func (n *nearCache) sizeHint(key []byte) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sz, ok := n.sizes[string(key)]
+	return sz, ok
+}
+
+func (n *nearCache) len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.m)
+}
+
+// ----------------------------------------------------- promotion state --
+
+// promoSet is the merged promoted-key set across all backends the client
+// has heard from, swapped atomically.
+type promoSet struct {
+	keys map[string]struct{}
+}
+
+// isPromoted reports whether key is in any backend's promoted set, as
+// last piggybacked to this client.
+func (c *Client) isPromoted(key []byte) bool {
+	p := c.promo.Load()
+	if p == nil {
+		return false
+	}
+	_, ok := p.keys[string(key)]
+	return ok
+}
+
+// PromotedKeys returns the client's current view of the merged promoted
+// set (tests, tooling).
+func (c *Client) PromotedKeys() int {
+	p := c.promo.Load()
+	if p == nil {
+		return 0
+	}
+	return len(p.keys)
+}
+
+// ingestPromo folds one backend's piggybacked promotion set into the
+// merged snapshot. Epoch-gated per backend: replayed or unchanged
+// responses are free. Epoch 0 (old servers, nothing promoted yet) is a
+// no-op by construction.
+func (c *Client) ingestPromo(addr string, epoch uint64, keys [][]byte) {
+	if epoch == 0 {
+		return
+	}
+	c.promoMu.Lock()
+	defer c.promoMu.Unlock()
+	if c.promoEpochs == nil {
+		c.promoEpochs = make(map[string]uint64)
+		c.promoSets = make(map[string]map[string]struct{})
+	}
+	if c.promoEpochs[addr] == epoch {
+		return
+	}
+	c.promoEpochs[addr] = epoch
+	set := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		set[string(k)] = struct{}{}
+	}
+	c.promoSets[addr] = set
+	merged := make(map[string]struct{})
+	for _, s := range c.promoSets {
+		for k := range s {
+			merged[k] = struct{}{}
+		}
+	}
+	c.promo.Store(&promoSet{keys: merged})
+}
+
+// ------------------------------------------------------- near-serving --
+
+// nearStore records a quorum-validated GET result: the value size always
+// feeds the steering hint, and promoted keys are admitted to the cache.
+func (c *Client) nearStore(key, val []byte, ver truetime.Version) {
+	if c.near == nil || ver.Zero() || !c.isPromoted(key) {
+		return
+	}
+	c.near.put(key, val, ver)
+}
+
+// nearInvalidate drops key after one of this client's own mutations: its
+// cached version is definitionally stale.
+func (c *Client) nearInvalidate(key []byte) {
+	if c.near != nil {
+		c.near.drop(key)
+	}
+}
+
+// nearGet tries to serve key from the near-cache behind one index-only
+// revalidation round. Returns served=true when the round was conclusive
+// (fresh hit, or an agreed miss that also drops the entry); otherwise
+// the caller must run the full GET path — any revalidation legs already
+// paid are returned in tr either way so latency accounting stays honest.
+func (c *Client) nearGet(ctx context.Context, key []byte) (val []byte, found, served bool, tr fabric.OpTrace) {
+	e, ok := c.near.get(key)
+	if !ok {
+		return nil, false, false, tr
+	}
+	ver, vfound, tr, err := c.revalidateIndex(ctx, key)
+	if err != nil {
+		c.M.NearRevalFails.Inc()
+		return nil, false, false, tr
+	}
+	if vfound && ver == e.ver {
+		c.M.NearHits.Inc()
+		return append([]byte(nil), e.val...), true, true, tr
+	}
+	c.near.drop(key)
+	if !vfound {
+		// A read quorum agreed the key is absent: it was erased (or the
+		// cached entry outlived the corpus). Serve the miss; never the
+		// cached value — erased keys must not resurrect from here.
+		c.M.NearInval.Inc()
+		return nil, false, true, tr
+	}
+	// Version moved: the full path refreshes the entry.
+	c.M.NearStale.Inc()
+	return nil, false, false, tr
+}
+
+// revalidateIndex runs one quorum round of index-only bucket reads —
+// plain Reads even under SCAR, so no data bytes move — and returns the
+// quorum-winning version (found=false for an agreed miss). Any error
+// means the round was inconclusive.
+func (c *Client) revalidateIndex(ctx context.Context, key []byte) (ver truetime.Version, found bool, tr fabric.OpTrace, err error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	h := c.opt.Hash(key)
+	rt := readRoute(cfg, h)
+	quorumNeed := cfg.Mode.Quorum()
+
+	var repArr [8]replica
+	var errArr [8]error
+	reps := repArr[:0]
+	errs := errArr[:0]
+	for i, shard := range rt.shards {
+		rep, rerr := c.resolveReplica(ctx, cfg, shard, rt.addrs[i])
+		reps = append(reps, rep)
+		errs = append(errs, rerr)
+	}
+	at := c.opStart()
+
+	type vote struct {
+		ver   truetime.Version
+		count int
+	}
+	var voteArr [8]vote
+	votes := voteArr[:0]
+	var legArr [8]uint64
+	legNs := legArr[:0]
+	tr.Spans = make([]fabric.Span, 0, 8)
+	overflow := false
+	for i := range reps {
+		if errs[i] != nil {
+			continue
+		}
+		v := c.fetchIndex(at, key, h, reps[i], cfg.ID, true)
+		if v.err != nil {
+			c.noteReplicaFailure(reps[i].addr)
+			continue
+		}
+		c.noteReplicaSuccess(reps[i].addr)
+		legNs = append(legNs, v.trace.Ns)
+		tr.AddBytes(int(v.trace.Bytes))
+		tr.Spans = append(tr.Spans, v.trace.Spans...)
+		overflow = overflow || v.overflow
+		vv := truetime.Version{}
+		if v.present {
+			vv = v.entry.Version
+		}
+		seen := false
+		for j := range votes {
+			if votes[j].ver == vv {
+				votes[j].count++
+				seen = true
+				break
+			}
+		}
+		if !seen && len(votes) < cap(votes) {
+			votes = append(votes, vote{ver: vv, count: 1})
+		}
+	}
+	if len(legNs) < quorumNeed {
+		return truetime.Version{}, false, tr, ErrUnavailable
+	}
+	for i := 1; i < len(legNs); i++ {
+		for j := i; j > 0 && legNs[j] < legNs[j-1]; j-- {
+			legNs[j], legNs[j-1] = legNs[j-1], legNs[j]
+		}
+	}
+	tr.Add(legNs[quorumNeed-1])
+
+	var winner *vote
+	for i := range votes {
+		if votes[i].count >= quorumNeed && (winner == nil || winner.ver.Less(votes[i].ver)) {
+			winner = &votes[i]
+		}
+	}
+	if winner == nil {
+		return truetime.Version{}, false, tr, ErrInquorate
+	}
+	if winner.ver.Zero() {
+		if overflow {
+			// The key may live in an RPC-only side table (§4.2): an
+			// index miss proves nothing.
+			return truetime.Version{}, false, tr, errNearInconclusive
+		}
+		return truetime.Version{}, false, tr, nil
+	}
+	return winner.ver, true, tr, nil
+}
+
+// steerStrategy decides whether this GET should leave the configured
+// transport for RPC: promoted keys whose last observed value size clears
+// the Fig 20 crossover move more bytes over the RMA paths (bucket + data
+// or SCAR piggyback) than a single RPC round trip carrying the value.
+func (c *Client) steerToRPC(key []byte) bool {
+	if !c.opt.HotSteer || c.near == nil || c.opt.Strategy == StrategyRPC {
+		return false
+	}
+	if !c.isPromoted(key) {
+		return false
+	}
+	sz, ok := c.near.sizeHint(key)
+	return ok && sz >= hotRPCCrossoverBytes
+}

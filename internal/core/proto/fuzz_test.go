@@ -53,8 +53,9 @@ func TestDebugRespHeatRoundTrip(t *testing.T) {
 
 func FuzzHealthResp(f *testing.F) {
 	f.Add(HealthResp{GeneratedNs: 1, Rounds: 2,
-		Classes: []HealthClass{{Class: "GET", State: "warn", FastBurnMilli: 3000}},
-		Targets: []HealthTarget{{Name: "SCAR", Good: 9, Bad: 1}},
+		Classes:  []HealthClass{{Class: "GET", State: "warn", FastBurnMilli: 3000}},
+		Targets:  []HealthTarget{{Name: "SCAR", Good: 9, Bad: 1}},
+		HotEpoch: 4, HotKeys: [][]byte{[]byte("hot-h")},
 	}.Marshal())
 	// A class whose nested fields are hostile: non-UTF8 state, maxed
 	// varints, and an extra unknown tag (forward compatibility).
@@ -390,13 +391,17 @@ func FuzzStatsResp(f *testing.F) {
 		RPCWorkerLimit: 64, RPCWorkersBusy: 7, RPCQueuedSubmits: 3, RPCSubmitWaitNs: 55555,
 		RPCQueuedCalls: 120, RPCQueueNs: 9_000_000, RPCRhoMilli: 870,
 		NICEngines: 4, NICRhoMilli: 930, NICQueueNs: 1_234_567, NICOps: 88_000,
+		HotEpoch: 5, HotKeys: [][]byte{[]byte("hot"), {0x00, 0x01}},
 	}.Marshal())
-	// Hostile saturation tags: every new field maxed, plus an unknown tag
-	// beyond the current ceiling (forward compatibility).
+	// Hostile saturation tags: every new field maxed, plus the hot-key
+	// promotion tags (42/43) with a maxed epoch and a binary key, plus an
+	// unknown tag beyond the current ceiling (forward compatibility).
 	e := wire.NewEncoder()
 	for tag := uint64(27); tag <= 41; tag++ {
 		e.Uint(tag, ^uint64(0))
 	}
+	e.Uint(42, ^uint64(0))
+	e.Bytes(43, []byte("\xff\xfekey"))
 	e.Uint(99, 7)
 	f.Add(e.Encoded())
 	f.Add([]byte{})
@@ -414,4 +419,61 @@ func FuzzStatsResp(f *testing.F) {
 			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
 		}
 	})
+}
+
+// TouchResp is decoded by every heat-reporting client off its Touch-flush
+// ack — the promotion-learning channel of hot-key adaptive serving. The
+// frame is additive over the old empty Ack, so the decoder must treat an
+// empty body as "no promotion set" (epoch 0), and hostile bodies — maxed
+// epochs, binary keys, truncated varints, unknown tags — must error or
+// degrade, never panic, never fabricate keys. Drift matters doubly here:
+// a fabricated key would be admitted to near-caches fleet-wide.
+func FuzzTouchResp(f *testing.F) {
+	f.Add(TouchResp{HotEpoch: 3, HotKeys: [][]byte{[]byte("hot-a"), {0x00, 0xff}}}.Marshal())
+	f.Add(TouchResp{}.Marshal()) // the pre-promotion bare Ack
+	e := wire.NewEncoder()
+	e.Uint(1, ^uint64(0))
+	e.Bytes(2, []byte("\xff\xfekey"))
+	e.Uint(99, 7)
+	f.Add(e.Encoded())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalTouchResp(data)
+		if err != nil {
+			return
+		}
+		if len(r.HotKeys) > len(data) {
+			t.Fatalf("decoder fabricated %d hot keys from %d input bytes", len(r.HotKeys), len(data))
+		}
+		for _, k := range r.HotKeys {
+			if len(k) > len(data) {
+				t.Fatalf("decoder fabricated a %d-byte key from %d input bytes", len(k), len(data))
+			}
+		}
+		again, err := UnmarshalTouchResp(r.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("re-decode drift:\n first  %+v\n second %+v", r, again)
+		}
+	})
+}
+
+func TestTouchRespRoundTrip(t *testing.T) {
+	in := TouchResp{HotEpoch: 9, HotKeys: [][]byte{[]byte("a"), []byte("b")}}
+	out, err := UnmarshalTouchResp(in.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+	// The pre-promotion bare Ack (a header-only frame) decodes as "no
+	// promotion set".
+	empty, err := UnmarshalTouchResp(TouchResp{}.Marshal())
+	if err != nil || empty.HotEpoch != 0 || len(empty.HotKeys) != 0 {
+		t.Errorf("empty ack decoded to %+v, %v", empty, err)
+	}
 }

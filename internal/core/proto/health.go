@@ -65,6 +65,12 @@ type HealthResp struct {
 	Rounds      uint64 // prober rounds completed
 	Classes     []HealthClass
 	Targets     []HealthTarget
+	// Hot-key promotion piggyback (additive tags 5/6): the serving
+	// backend's promoted-key set and its epoch, so health pollers learn
+	// the hot set on a poll they already make. Zero/empty from
+	// pre-promotion servers.
+	HotEpoch uint64
+	HotKeys  [][]byte
 }
 
 func encodeHealthClass(e *wire.Encoder, tag uint64, c HealthClass) {
@@ -142,6 +148,12 @@ func (r HealthResp) Marshal() []byte {
 		m.Uint(3, t.Bad)
 		e.Message(4, m)
 	}
+	if r.HotEpoch != 0 {
+		e.Uint(5, r.HotEpoch)
+	}
+	for _, k := range r.HotKeys {
+		e.Bytes(6, k)
+	}
 	return e.Encoded()
 }
 
@@ -174,6 +186,10 @@ func UnmarshalHealthResp(b []byte) (HealthResp, error) {
 				}
 			}
 			r.Targets = append(r.Targets, t)
+		case 5:
+			r.HotEpoch = d.Uint()
+		case 6:
+			r.HotKeys = append(r.HotKeys, append([]byte(nil), d.Bytes()...))
 		}
 	}
 	return r, d.Err()

@@ -488,6 +488,49 @@ func UnmarshalTouchReq(b []byte) (TouchReq, error) {
 	return r, d.Err()
 }
 
+// TouchResp acknowledges a batched access-record report and piggybacks
+// the backend's hot-key promotion set: the keys this backend has promoted
+// to all-replica residency plus the epoch that identifies the set. Touch
+// flushes are the one RPC every heat-reporting client already sends, so
+// riding the promotion set on the reply teaches clients to near-cache and
+// spread hot reads without a new round trip. Additive: pre-promotion
+// servers answered a bare Ack (an empty frame), which decodes as epoch 0
+// with no keys, and pre-promotion clients ignore the body entirely.
+type TouchResp struct {
+	HotEpoch uint64
+	HotKeys  [][]byte
+}
+
+// Marshal encodes the response.
+func (r TouchResp) Marshal() []byte {
+	e := wire.NewEncoder()
+	if r.HotEpoch != 0 {
+		e.Uint(1, r.HotEpoch)
+	}
+	for _, k := range r.HotKeys {
+		e.Bytes(2, k)
+	}
+	return e.Encoded()
+}
+
+// UnmarshalTouchResp decodes the response.
+func UnmarshalTouchResp(b []byte) (TouchResp, error) {
+	var r TouchResp
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return r, err
+	}
+	for d.Next() {
+		switch d.Tag() {
+		case 1:
+			r.HotEpoch = d.Uint()
+		case 2:
+			r.HotKeys = append(r.HotKeys, append([]byte(nil), d.Bytes()...))
+		}
+	}
+	return r, d.Err()
+}
+
 // ScanItem is one KV summary in a cohort scan (§5.4): KeyHash + version,
 // plus the key itself so the scanner can repair without a second lookup.
 // Tombstone marks an erased key (§5.2): the scanner must see erases, or a
@@ -938,6 +981,12 @@ type StatsResp struct {
 	NICRhoMilli       uint64
 	NICQueueNs        uint64
 	NICOps            uint64
+	// Hot-key promotion set (the cmstat PROMOTED column): HotEpoch
+	// identifies the set (bumped on every membership change), HotKeys are
+	// the keys this backend currently holds at promoted (all-replica
+	// residency, read-spread) status.
+	HotEpoch uint64
+	HotKeys  [][]byte
 }
 
 // Marshal encodes the stats snapshot.
@@ -984,6 +1033,10 @@ func (r StatsResp) Marshal() []byte {
 	e.Uint(39, r.NICRhoMilli)
 	e.Uint(40, r.NICQueueNs)
 	e.Uint(41, r.NICOps)
+	e.Uint(42, r.HotEpoch)
+	for _, k := range r.HotKeys {
+		e.Bytes(43, k)
+	}
 	return e.Encoded()
 }
 
@@ -1078,6 +1131,10 @@ func UnmarshalStatsResp(b []byte) (StatsResp, error) {
 			r.NICQueueNs = d.Uint()
 		case 41:
 			r.NICOps = d.Uint()
+		case 42:
+			r.HotEpoch = d.Uint()
+		case 43:
+			r.HotKeys = append(r.HotKeys, append([]byte(nil), d.Bytes()...))
 		}
 	}
 	return r, d.Err()

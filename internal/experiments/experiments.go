@@ -117,6 +117,7 @@ func All() []func() Result {
 		FigResize,
 		FigTier,
 		FigLoadWall,
+		FigHotKey,
 	}
 }
 
@@ -132,7 +133,7 @@ func ByName(name string) (func() Result, bool) {
 		"17": Fig17OneRMAGet, "18": Fig18Mix, "19": Fig19MixCPU,
 		"20": Fig20ValueSize, "resize": FigResize, "tier": FigTier,
 		"14warm": FigWarmRestart, "warmrestart": FigWarmRestart,
-		"loadwall": FigLoadWall,
+		"loadwall": FigLoadWall, "hotkey": FigHotKey,
 	}
 	f, ok := m[name]
 	return f, ok

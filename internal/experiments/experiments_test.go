@@ -28,7 +28,7 @@ func TestResultFormat(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize", "tier", "loadwall"} {
+	for _, n := range []string{"3", "fig3", "FIG11", "20", "resize", "tier", "loadwall", "hotkey"} {
 		if _, ok := ByName(n); !ok {
 			t.Errorf("ByName(%q) failed", n)
 		}
@@ -36,7 +36,7 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("99"); ok {
 		t.Error("bogus figure resolved")
 	}
-	if len(All()) != 20 {
+	if len(All()) != 21 {
 		t.Errorf("All() = %d experiments", len(All()))
 	}
 }
@@ -380,6 +380,70 @@ func TestFigLoadWallShape(t *testing.T) {
 		}
 		if lim := row.Cols[4]; lim.Name != "limit" || lim.Text == "" || lim.Text == "none" {
 			t.Errorf("%s: wall not named: %+v", row.Label, lim)
+		}
+	}
+}
+
+// TestFigHotKeyShape pins the hot-key adaptive-serving acceptance gate on
+// the demonstrating pair (24K values, past the Fig 20 steering crossover):
+// adaptive GET p99.9 must be at most half the fixed-SCAR baseline's, every
+// row must report zero lost acked writes, the near-cache and promotion
+// machinery must actually engage on adaptive rows, and steering must fire
+// only past the crossover. The 4K pair's baseline tail is collision-driven
+// and not reliably present, so the latency gate anchors on 24K.
+func TestFigHotKeyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	r := FigHotKey()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	col := func(row Row, name string) float64 {
+		for _, c := range row.Cols {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		t.Fatalf("%s: no column %q", row.Label, name)
+		return 0
+	}
+	for _, row := range r.Rows {
+		if lost := col(row, "lost"); lost != 0 {
+			t.Errorf("%s: %v lost acked writes", row.Label, lost)
+		}
+		adaptive := strings.HasPrefix(row.Label, "adaptive")
+		if adaptive {
+			if col(row, "nearhit%") <= 0 {
+				t.Errorf("%s: near-cache never served", row.Label)
+			}
+			if col(row, "promoted") <= 0 {
+				t.Errorf("%s: no keys promoted", row.Label)
+			}
+		} else {
+			if col(row, "nearhit%") != 0 || col(row, "steered") != 0 {
+				t.Errorf("%s: fixed row used adaptive machinery: %+v", row.Label, row.Cols)
+			}
+		}
+	}
+	if v := col(r.Rows[1], "steered"); v != 0 {
+		t.Errorf("adaptive-4K steered %v reads below the crossover", v)
+	}
+	if v := col(r.Rows[3], "steered"); v <= 0 {
+		t.Error("adaptive-24K never steered past the crossover")
+	}
+	// The latency gate, with one whole-pair retry: the baseline tail is a
+	// real collision phenomenon, so a quiet machine-load fluke on a single
+	// rep should not fail the shape test.
+	gate := func(fixed, adaptive Row) bool {
+		return col(adaptive, "p99.9") <= 0.5*col(fixed, "p99.9")
+	}
+	if !gate(r.Rows[2], r.Rows[3]) {
+		retry := FigHotKey()
+		if !gate(retry.Rows[2], retry.Rows[3]) {
+			t.Errorf("adaptive-24K p99.9 %vus not <= 0.5x fixed %vus (retry: %vus vs %vus)",
+				col(r.Rows[3], "p99.9"), col(r.Rows[2], "p99.9"),
+				col(retry.Rows[3], "p99.9"), col(retry.Rows[2], "p99.9"))
 		}
 	}
 }

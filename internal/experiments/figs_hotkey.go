@@ -1,0 +1,194 @@
+package experiments
+
+// FigHotKey — hot-key adaptive serving under a skewed workload. A Zipf
+// s=1.2 GET storm (plus a writer churning the hottest keys) runs twice
+// against identical cells: once with fixed SCAR lookups, once with the
+// full adaptive loop — server-side promotion piggybacked on Touch acks,
+// client near-cache with index-only quorum revalidation, hot-key data-
+// read spreading, and Fig 20 value-size steering to RPC. The fixed
+// client pays every hot GET's full data bytes on the servers' NICs; the
+// adaptive client serves most hot GETs after a bucket-sized revalidation
+// round, so the queueing tail collapses. The writer's acked mutations
+// are the safety oracle: every key must read back at its last acked
+// sequence after the storm (the near-cache must never hide or resurrect
+// a write).
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cliquemap/internal/core/cell"
+	"cliquemap/internal/core/client"
+	"cliquemap/internal/core/config"
+	"cliquemap/internal/stats"
+	"cliquemap/internal/workload"
+)
+
+// hotkeyCase is one fixed-vs-adaptive pairing at a value size.
+type hotkeyCase struct {
+	label    string
+	valSize  int
+	nKeys    int
+	adaptive bool
+}
+
+const (
+	hotkeyWorkers   = 12
+	hotkeyOpsPerWkr = 2500
+	hotkeyHotSet    = 8 // keys the writer churns (the Zipf head)
+)
+
+// FigHotKey regenerates the hot-key adaptive-serving comparison.
+func FigHotKey() Result {
+	res := Result{
+		Name:  "hotkey",
+		Title: "Hot-key adaptive serving: Zipf s=1.2, fixed SCAR vs near-cache+steer+spread",
+		Notes: "lost must be 0; steer engages only past the Fig 20 crossover (24K rows)",
+	}
+	for _, hc := range []hotkeyCase{
+		{label: "scar-4K", valSize: 4 << 10, nKeys: 512},
+		{label: "adaptive-4K", valSize: 4 << 10, nKeys: 512, adaptive: true},
+		{label: "scar-24K", valSize: 24 << 10, nKeys: 192},
+		{label: "adaptive-24K", valSize: 24 << 10, nKeys: 192, adaptive: true},
+	} {
+		res.Rows = append(res.Rows, runHotkeyCase(hc))
+	}
+	return res
+}
+
+func runHotkeyCase(hc hotkeyCase) Row {
+	bopt := smallBackend()
+	bopt.DataBytes = 16 << 20
+	bopt.DataMaxBytes = 64 << 20
+	c := mustCell(cell.Options{
+		Shards: 3, Spares: 1, Mode: config.R32,
+		Transport:   cell.TransportPony,
+		ClientHosts: hotkeyWorkers,
+		Backend:     bopt,
+	})
+	keys := preload(c.NewClient(client.Options{}), hc.nKeys, hc.valSize)
+
+	copt := client.Options{Strategy: client.StrategySCAR, TouchBatch: 64}
+	if hc.adaptive {
+		copt.NearCacheEntries = 128
+		copt.HotSteer = true
+		copt.HotSpread = true
+	}
+	clients := make([]*client.Client, hotkeyWorkers)
+	for i := range clients {
+		clients[i] = c.NewClient(copt)
+	}
+
+	// Precompute the Zipf access sequence so the skew is identical across
+	// the fixed and adaptive runs (ZipfKeys is not concurrency-safe).
+	totalOps := hotkeyWorkers * hotkeyOpsPerWkr
+	zg := workload.NewZipfKeys(uint64(hc.nKeys), 1.2, 11)
+	seq := make([]uint32, totalOps)
+	for i := range seq {
+		seq[i] = uint32(zg.Next())
+	}
+
+	// Writes ride worker 0's closed loop: the substrate models closed-loop
+	// clients, so a free-running writer goroutine would starve behind the
+	// GET storm instead of interleaving with it. Worker 0 owns the hot set
+	// sequentially, so "last acked sequence" is exact per key.
+	wcl := c.NewClient(client.Options{})
+	acked := make([]uint64, hotkeyHotSet)
+	var wseq uint64
+
+	var hist stats.Histogram
+	var histMu sync.Mutex
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < hotkeyWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := clients[w]
+			var local stats.Histogram
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(totalOps) {
+					break
+				}
+				if w == 0 && i%4 == 0 {
+					wseq++
+					k := int(wseq) % hotkeyHotSet
+					if err := wcl.Set(ctx, keys[k], hotkeyVal(k, wseq, hc.valSize)); err == nil {
+						acked[k] = wseq
+					}
+				}
+				_, _, tr, err := cl.GetTraced(ctx, keys[seq[i]])
+				if err == nil {
+					local.Record(tr.Ns)
+				}
+			}
+			histMu.Lock()
+			hist.Merge(&local)
+			histMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	// Safety oracle: with the writer quiet, every hot key must read back
+	// at (at least) its last acked sequence — an older value is a lost
+	// acked write, a value for an erased/never-written seq is a phantom.
+	lost := 0
+	check := c.NewClient(client.Options{})
+	for k := 0; k < hotkeyHotSet; k++ {
+		if acked[k] == 0 {
+			continue
+		}
+		v, ok, err := check.Get(ctx, keys[k])
+		if err != nil || !ok || !bytes.HasPrefix(v, hotkeyValPrefix(k, acked[k])) {
+			lost++
+		}
+	}
+
+	var gets, nearHits, steered, spread uint64
+	for _, cl := range clients {
+		gets += cl.M.Gets.Value()
+		nearHits += cl.M.NearHits.Value()
+		steered += cl.M.SteerRPC.Value()
+		spread += cl.M.SpreadReads.Value()
+	}
+	promoted := 0
+	for _, b := range c.Nodes() {
+		if _, hot := b.HotSnapshot(); len(hot) > promoted {
+			promoted = len(hot)
+		}
+	}
+
+	// Scheduling-sensitive columns are tagged noisy: the fixed-SCAR tails
+	// are torn-retry collision artifacts (µs or tens of ms depending on
+	// who wins the race), and near-hit/steer/spread counts move with
+	// promotion timing. benchdiff reports their drift informationally.
+	// `promoted` and `lost` stay gated: the promoted-set size is
+	// deterministic and lost must be exactly zero.
+	cols := latCols(&hist, 50, 99, 99.9)
+	for i := range cols {
+		cols[i].Noisy = true
+	}
+	cols = append(cols,
+		Col{Name: "nearhit%", Value: 100 * float64(nearHits) / float64(gets), Unit: "%", Noisy: true},
+		Col{Name: "promoted", Value: float64(promoted)},
+		Col{Name: "steered", Value: float64(steered), Noisy: true},
+		Col{Name: "spread", Value: float64(spread), Noisy: true},
+		Col{Name: "lost", Value: float64(lost)},
+	)
+	return Row{Label: hc.label, Cols: cols}
+}
+
+// hotkeyVal builds a hot-set value: parseable sequence header, padded to
+// size with deterministic filler.
+func hotkeyVal(k int, seq uint64, size int) []byte {
+	v := workload.ValueGen(uint64(k)*1e9+seq, size)
+	copy(v, hotkeyValPrefix(k, seq))
+	return v
+}
+
+func hotkeyValPrefix(k int, seq uint64) []byte {
+	return []byte(fmt.Sprintf("hk%d.s%d|", k, seq))
+}

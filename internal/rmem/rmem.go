@@ -31,7 +31,6 @@ package rmem
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -209,12 +208,16 @@ func (r *Region) WriteChunked(off int, data []byte) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		if i > 0 {
-			// Yield so concurrent RMA reads can land between chunks even on
-			// a single-CPU scheduler — this is the DMA/CPU-store interleave
-			// that makes tearing physically possible.
-			runtime.Gosched()
-		}
+		// No explicit yield between chunks: dropping the stripe locks is the
+		// interleave point. A reader contending on the stripe enters the
+		// mutex's starvation-mode FIFO within ~1ms and is handed the lock at
+		// the next chunk boundary, so overlapping reads observe genuinely
+		// torn states — while a writer's latency stays bounded by its chunk
+		// count, not by the reader arrival rate. (An unconditional
+		// runtime.Gosched here parks the writer on the global run queue,
+		// which a busy single-P scheduler drains so rarely that a hot-key
+		// read storm starved SETs for entire seconds.)
+		//
 		// Re-check: a concurrent Shrink could have raced us.
 		if int64(off+end) > r.populated.Load() {
 			return ErrOutOfBounds

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestReadWriteRoundTrip(t *testing.T) {
@@ -77,8 +79,13 @@ func TestShrink(t *testing.T) {
 }
 
 // TestTornReadObservable proves the tearing model: a reader that races a
-// chunked writer can observe a mix of old and new bytes, while a reader
-// that races a plain Write never does.
+// chunked writer can observe a mix of old and new bytes. Tearing requires
+// temporal overlap — the reader contends on the stripe locks in a tight
+// loop, so on a single-CPU scheduler the mutex starvation-mode handoff
+// interleaves it with the writer at chunk boundaries (the same mechanism
+// a GET storm exercises against live SETs), while on multi-CPU the race
+// is direct. The writer keeps alternating values until a tear is seen or
+// a generous deadline proves the model broken.
 func TestTornReadObservable(t *testing.T) {
 	const size = 4 * WriteChunk
 	r := NewRegion(size, size)
@@ -86,17 +93,15 @@ func TestTornReadObservable(t *testing.T) {
 	newv := bytes.Repeat([]byte{0xBB}, size)
 	r.Write(0, old)
 
+	var sawTorn atomic.Bool
 	stop := make(chan struct{})
-	torn := make(chan bool, 1)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		sawTorn := false
 		for {
 			select {
 			case <-stop:
-				torn <- sawTorn
 				return
 			default:
 			}
@@ -105,15 +110,13 @@ func TestTornReadObservable(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			hasOld := bytes.Contains(got, []byte{0xAA})
-			hasNew := bytes.Contains(got, []byte{0xBB})
-			if hasOld && hasNew {
-				sawTorn = true
+			if bytes.Contains(got, []byte{0xAA}) && bytes.Contains(got, []byte{0xBB}) {
+				sawTorn.Store(true)
 			}
-			runtime.Gosched() // single-CPU schedulers need explicit interleave
 		}
 	}()
-	for i := 0; i < 400; i++ {
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; !sawTorn.Load() && time.Now().Before(deadline); i++ {
 		if i%2 == 0 {
 			r.WriteChunked(0, newv)
 		} else {
@@ -122,9 +125,46 @@ func TestTornReadObservable(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
-	if !<-torn {
+	if !sawTorn.Load() {
 		t.Error("chunked writes never produced an observable torn read; tearing model broken")
 	}
+}
+
+// TestWriteChunkedNotStarvedByReaders pins the mutation-liveness fix: a
+// closed-loop storm of readers over a hot entry's stripe must not starve
+// a chunked writer. With the old per-chunk runtime.Gosched, the writer
+// parked on the global run queue between every 256B chunk and a 24KB
+// write took seconds on a single-CPU scheduler (SETs starved for as long
+// as a GET storm lasted); with lock-handoff interleave it completes in
+// milliseconds.
+func TestWriteChunkedNotStarvedByReaders(t *testing.T) {
+	r := NewRegion(1<<20, 1<<20)
+	var stop atomic.Bool
+	defer stop.Store(true)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for !stop.Load() {
+				r.ReadInto(0, buf)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the storm establish
+	data := make([]byte, 24<<10)
+	start := time.Now()
+	if err := r.WriteChunked(0, data); err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	if el > 2*time.Second {
+		t.Fatalf("24KB chunked write starved under reader storm: took %v", el)
+	}
+	t.Logf("24KB chunked write under 12-reader storm: %v", el)
 }
 
 func TestAtomicWriteNeverTears(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"cliquemap/internal/core/client"
+	"cliquemap/internal/core/layout"
 	"cliquemap/internal/fabric"
 	"cliquemap/internal/hashring"
 	"cliquemap/internal/stats"
@@ -20,8 +21,10 @@ var ErrNoCells = errors.New("tier: no routable cells")
 
 // followerPrefix reserves the local-cell namespace holding follower-read
 // cache entries (wrapped with version + freshness stamp), keeping them
-// disjoint from authoritative entries the cell owns outright.
-const followerPrefix = "\x00tier/"
+// disjoint from authoritative entries the cell owns outright. It aliases
+// layout.TierKeyPrefix so the backend's heat sketch can recognize (and
+// exclude) follower-cache traffic without importing this package.
+const followerPrefix = layout.TierKeyPrefix
 
 // ClientOptions configures a tier client.
 type ClientOptions struct {
